@@ -1,0 +1,76 @@
+//! Ablation timing: what each MAPS design choice costs per priced period
+//! (the revenue side of the ablation lives in
+//! `maps-experiments --bin ablation`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maps_bench::PeriodFixture;
+use maps_core::{DeltaRule, MapsConfig, MapsStrategy, PricingStrategy};
+use maps_market::PriceLadder;
+use std::hint::black_box;
+
+fn variants() -> Vec<(&'static str, MapsConfig)> {
+    let base = MapsConfig::default();
+    vec![
+        ("default", base.clone()),
+        (
+            "shorthand_delta",
+            MapsConfig {
+                delta_rule: DeltaRule::ScaledShorthand,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_ucb",
+            MapsConfig {
+                use_ucb: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_lookahead",
+            MapsConfig {
+                plateau_lookahead: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "smoothing_0.3",
+            MapsConfig {
+                smoothing: Some(0.3),
+                ..base
+            },
+        ),
+    ]
+}
+
+fn bench_maps_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maps_ablation_period");
+    let fixture = PeriodFixture::new(200, 1000, 10, 29);
+    for (name, cfg) in variants() {
+        let mut maps = MapsStrategy::new(
+            fixture.grid.num_cells(),
+            PriceLadder::paper_default(),
+            cfg,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &fixture, |b, f| {
+            b.iter(|| black_box(maps.price_period(&f.input()).prices.len()))
+        });
+    }
+    group.finish();
+}
+
+/// Keeps the full workspace bench run to minutes: short warm-up and
+/// measurement windows, few samples.
+fn bounded() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = bounded();
+    targets = bench_maps_variants
+}
+criterion_main!(benches);

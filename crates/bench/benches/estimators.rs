@@ -1,0 +1,68 @@
+//! Estimator micro-benchmarks: UCB bookkeeping (Sec. 4.2.2), the
+//! Hoeffding frequency estimator (Algorithm 1) and the change detector.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maps_bench::XorShift;
+use maps_market::{ChangeDetector, FreqEstimator, PriceLadder, UcbStats};
+use std::hint::black_box;
+
+fn bench_ucb(c: &mut Criterion) {
+    let ladder = PriceLadder::paper_default();
+    let mut group = c.benchmark_group("ucb");
+    group.bench_function("observe", |b| {
+        let mut stats = UcbStats::new(ladder.len());
+        let mut rng = XorShift(5);
+        b.iter(|| {
+            let idx = (rng.next_u64() % 4) as usize;
+            stats.observe(idx, rng.next_u64().is_multiple_of(2));
+            black_box(stats.n_total())
+        })
+    });
+    group.bench_function("index_scan", |b| {
+        let mut stats = UcbStats::new(ladder.len());
+        for idx in 0..ladder.len() {
+            stats.observe_batch(idx, 1000, 500);
+        }
+        b.iter(|| {
+            let mut best = f64::NEG_INFINITY;
+            for (idx, p) in ladder.descending() {
+                best = best.max(p * stats.s_hat(idx) + p * stats.radius(idx));
+            }
+            black_box(best)
+        })
+    });
+    group.finish();
+}
+
+fn bench_freq(c: &mut Criterion) {
+    c.bench_function("freq_required_samples", |b| {
+        b.iter(|| black_box(FreqEstimator::required_samples(3.375, 0.2, 0.01, 4)))
+    });
+}
+
+fn bench_change_detector(c: &mut Criterion) {
+    c.bench_function("change_detector_observe", |b| {
+        let mut det = ChangeDetector::new(4, 200);
+        let mut rng = XorShift(9);
+        b.iter(|| {
+            let idx = (rng.next_u64() % 4) as usize;
+            black_box(det.observe(idx, rng.next_u64() % 10 < 7))
+        })
+    });
+}
+
+/// Keeps the full workspace bench run to minutes: short warm-up and
+/// measurement windows, few samples.
+fn bounded() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = bounded();
+    targets = bench_ucb, bench_freq, bench_change_detector
+}
+criterion_main!(benches);

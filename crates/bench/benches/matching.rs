@@ -1,0 +1,95 @@
+//! Matching-algorithm scaling: Hopcroft–Karp vs incremental Kuhn vs the
+//! greedy transversal-matroid matcher vs the Hungarian oracle.
+//!
+//! DESIGN.md §4.1: the simulator's market clearing relies on the greedy
+//! matcher being both exact (task-side weights) and near-linear; this
+//! bench quantifies the gap to the `O(n³)` Hungarian oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maps_bench::{random_graph, random_weights};
+use maps_matching::{
+    max_cardinality_matching, max_weight_matching_dense, max_weight_matching_left_weights,
+    IncrementalMatching,
+};
+use std::hint::black_box;
+
+fn bench_cardinality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_cardinality");
+    for n in [50usize, 200, 800] {
+        let graph = random_graph(n, n, 16.0 / n as f64, 42);
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &graph, |b, g| {
+            b.iter(|| black_box(max_cardinality_matching(g).cardinality()))
+        });
+        group.bench_with_input(BenchmarkId::new("kuhn", n), &graph, |b, g| {
+            b.iter(|| {
+                let mut m = IncrementalMatching::new(g);
+                let mut card = 0usize;
+                for l in 0..g.n_left() {
+                    card += usize::from(m.try_augment(l));
+                }
+                black_box(card)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_max_weight(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_weight");
+    for n in [20usize, 60, 150] {
+        let graph = random_graph(n, n, 0.2, 7);
+        let weights = random_weights(n, 9);
+        group.bench_with_input(
+            BenchmarkId::new("greedy_matroid", n),
+            &(&graph, &weights),
+            |b, (g, w)| b.iter(|| black_box(max_weight_matching_left_weights(g, w).1)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hungarian", n),
+            &(&graph, &weights),
+            |b, (g, w)| {
+                b.iter(|| {
+                    let (_, total) = max_weight_matching_dense(g.n_left(), g.n_right(), |l, r| {
+                        g.has_edge(l, r).then_some(w[l])
+                    });
+                    black_box(total)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_market_clearing_scale(c: &mut Criterion) {
+    // The per-period clearing workload at the paper's default and
+    // scalability densities.
+    let mut group = c.benchmark_group("market_clearing_period");
+    for (tasks, workers) in [(50usize, 500usize), (1250, 5000)] {
+        let fixture = maps_bench::PeriodFixture::new(tasks, workers, 10, 3);
+        let weights = random_weights(tasks, 5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{tasks}x{workers}")),
+            &(&fixture.graph, &weights),
+            |b, (g, w)| b.iter(|| black_box(max_weight_matching_left_weights(g, w).1)),
+        );
+    }
+    group.finish();
+}
+
+/// Keeps the full workspace bench run to minutes: short warm-up and
+/// measurement windows, few samples.
+fn bounded() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = bounded();
+    targets = bench_cardinality,
+    bench_max_weight,
+    bench_market_clearing_scale
+}
+criterion_main!(benches);

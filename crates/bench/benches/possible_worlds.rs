@@ -1,0 +1,61 @@
+//! Exact possible-world enumeration (Definition 6) vs the Monte-Carlo
+//! estimator: the cost of exactness grows as `2^|R|`, which is exactly
+//! why the paper replaces the expectation with the `L^g(n,p)`
+//! approximation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maps_bench::{random_graph, random_weights};
+use maps_core::monte_carlo_expected_revenue;
+use maps_matching::expected_total_revenue_exact;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expected_revenue_exact");
+    for n in [6usize, 10, 14] {
+        let graph = random_graph(n, n, 0.3, 21);
+        let weights = random_weights(n, 23);
+        let probs = vec![0.6; n];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&graph, &weights, &probs),
+            |b, (g, w, p)| b.iter(|| black_box(expected_total_revenue_exact(g, w, p))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expected_revenue_mc1000");
+    for n in [14usize, 50] {
+        let graph = random_graph(n, n, 0.3, 31);
+        let weights = random_weights(n, 33);
+        let probs = vec![0.6; n];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&graph, &weights, &probs),
+            |b, (g, w, p)| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                b.iter(|| black_box(monte_carlo_expected_revenue(g, w, p, 1000, &mut rng)))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Keeps the full workspace bench run to minutes: short warm-up and
+/// measurement windows, few samples.
+fn bounded() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = bounded();
+    targets = bench_exact, bench_monte_carlo
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Per-period pricing cost of each strategy — the micro version of the
+//! paper's Time panels (Figs. 6–8 middle rows): MAPS pays for the
+//! matching-based supply distribution, the heuristics are near-constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maps_bench::PeriodFixture;
+use maps_core::{
+    BasePStrategy, CappedUcbStrategy, MapsStrategy, PricingStrategy, SdeStrategy, SdrStrategy,
+};
+use std::hint::black_box;
+
+fn strategies(cells: usize) -> Vec<Box<dyn PricingStrategy>> {
+    vec![
+        Box::new(MapsStrategy::paper_default(cells)),
+        Box::new(BasePStrategy::paper_default(cells)),
+        Box::new(SdrStrategy::paper_default(cells)),
+        Box::new(SdeStrategy::paper_default(cells)),
+        Box::new(CappedUcbStrategy::paper_default(cells)),
+    ]
+}
+
+fn bench_by_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("price_period_by_workers");
+    for workers in [125usize, 500, 1000] {
+        // The paper's default period density: |R|/T = 50 tasks.
+        let fixture = PeriodFixture::new(50, workers, 10, 11);
+        for mut strategy in strategies(fixture.grid.num_cells()) {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), workers),
+                &fixture,
+                |b, f| b.iter(|| black_box(strategy.price_period(&f.input()).prices.len())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_by_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("price_period_by_tasks");
+    for tasks in [50usize, 200, 800] {
+        let fixture = PeriodFixture::new(tasks, 500, 10, 13);
+        for mut strategy in strategies(fixture.grid.num_cells()) {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), tasks),
+                &fixture,
+                |b, f| b.iter(|| black_box(strategy.price_period(&f.input()).prices.len())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_by_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("price_period_by_grid");
+    for side in [5u32, 10, 25] {
+        let fixture = PeriodFixture::new(50, 500, side, 17);
+        let mut maps = MapsStrategy::paper_default(fixture.grid.num_cells());
+        group.bench_with_input(
+            BenchmarkId::new("MAPS", side * side),
+            &fixture,
+            |b, f| b.iter(|| black_box(maps.price_period(&f.input()).prices.len())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_period_graph");
+    for workers in [500usize, 5000, 50_000] {
+        let fixture = PeriodFixture::new(1250, workers, 10, 19);
+        group.bench_with_input(
+            BenchmarkId::new("capped_k64", workers),
+            &fixture,
+            |b, f| {
+                b.iter(|| {
+                    black_box(
+                        maps_core::build_period_graph_capped(&f.grid, &f.tasks, &f.workers, 64)
+                            .n_edges(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Keeps the full workspace bench run to minutes: short warm-up and
+/// measurement windows, few samples.
+fn bounded() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = bounded();
+    targets = bench_by_workers,
+    bench_by_tasks,
+    bench_by_grid,
+    bench_graph_build
+}
+criterion_main!(benches);

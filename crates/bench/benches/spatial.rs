@@ -1,0 +1,68 @@
+//! Spatial-index benchmarks: build cost, disc queries and the ring-search
+//! k-NN that backs the capped graph builder (DESIGN.md §4 scalability).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maps_bench::XorShift;
+use maps_spatial::{BucketIndex, Point, Rect};
+use std::hint::black_box;
+
+fn points(n: usize, seed: u64) -> Vec<(Point, u32)> {
+    let mut rng = XorShift(seed | 1);
+    (0..n)
+        .map(|i| {
+            (
+                Point::new(rng.next_f64() * 100.0, rng.next_f64() * 100.0),
+                i as u32,
+            )
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucket_index_build");
+    for n in [1_000usize, 20_000, 200_000] {
+        let items = points(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &items, |b, items| {
+            b.iter(|| black_box(BucketIndex::build(Rect::square(100.0), items).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucket_index_query");
+    let items = points(100_000, 7);
+    let index = BucketIndex::build(Rect::square(100.0), &items);
+    let mut rng = XorShift(11);
+    group.bench_function("within_disc_r10", |b| {
+        b.iter(|| {
+            let center = Point::new(rng.next_f64() * 100.0, rng.next_f64() * 100.0);
+            let mut count = 0usize;
+            index.for_each_within_disc(center, 10.0, |_, _| count += 1);
+            black_box(count)
+        })
+    });
+    group.bench_function("k_nearest_64_r10", |b| {
+        b.iter(|| {
+            let center = Point::new(rng.next_f64() * 100.0, rng.next_f64() * 100.0);
+            black_box(index.k_nearest_within(center, 10.0, 64, |_, _| true).len())
+        })
+    });
+    group.finish();
+}
+
+/// Keeps the full workspace bench run to minutes: short warm-up and
+/// measurement windows, few samples.
+fn bounded() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = bounded();
+    targets = bench_build, bench_queries
+}
+criterion_main!(benches);

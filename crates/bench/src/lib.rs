@@ -1,0 +1,110 @@
+//! # maps-bench
+//!
+//! Criterion benchmarks backing the paper's Time panels in micro form
+//! plus data-structure benchmarks for the substrates. Shared fixtures
+//! live here; the benches themselves are under `benches/`.
+//!
+//! Run everything with `cargo bench --workspace`; each bench uses small
+//! sample counts so the full suite completes in minutes.
+
+#![warn(missing_docs)]
+
+use maps_core::{PeriodInput, TaskInput, WorkerInput};
+use maps_matching::{BipartiteGraph, BipartiteGraphBuilder};
+use maps_spatial::{GridSpec, Point, Rect};
+
+/// Deterministic xorshift for fixture construction (no rand dependency
+/// needed in the hot path).
+#[derive(Debug, Clone)]
+pub struct XorShift(pub u64);
+
+impl XorShift {
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A ready-to-price period fixture.
+pub struct PeriodFixture {
+    /// Grid of the fixture.
+    pub grid: GridSpec,
+    /// Tasks of the period.
+    pub tasks: Vec<TaskInput>,
+    /// Workers of the period.
+    pub workers: Vec<WorkerInput>,
+    /// Range-constraint bipartite graph.
+    pub graph: BipartiteGraph,
+}
+
+impl PeriodFixture {
+    /// Builds a period with `n_tasks` × `n_workers` over a `side × side`
+    /// grid on the paper's 100×100 region, worker radius 10.
+    pub fn new(n_tasks: usize, n_workers: usize, side: u32, seed: u64) -> Self {
+        let grid = GridSpec::square(Rect::square(100.0), side);
+        let mut rng = XorShift(seed | 1);
+        let tasks: Vec<TaskInput> = (0..n_tasks)
+            .map(|_| {
+                TaskInput::new(
+                    &grid,
+                    Point::new(rng.next_f64() * 100.0, rng.next_f64() * 100.0),
+                    0.5 + rng.next_f64() * 100.0,
+                )
+            })
+            .collect();
+        let workers: Vec<WorkerInput> = (0..n_workers)
+            .map(|_| {
+                WorkerInput::new(
+                    &grid,
+                    Point::new(rng.next_f64() * 100.0, rng.next_f64() * 100.0),
+                    10.0,
+                )
+            })
+            .collect();
+        let graph = maps_core::build_period_graph_capped(&grid, &tasks, &workers, 64);
+        Self {
+            grid,
+            tasks,
+            workers,
+            graph,
+        }
+    }
+
+    /// A borrowed [`PeriodInput`] over this fixture.
+    pub fn input(&self) -> PeriodInput<'_> {
+        PeriodInput {
+            grid: &self.grid,
+            tasks: &self.tasks,
+            workers: &self.workers,
+            graph: &self.graph,
+        }
+    }
+}
+
+/// Random bipartite graph with the given density (`0..=1`).
+pub fn random_graph(n_left: usize, n_right: usize, density: f64, seed: u64) -> BipartiteGraph {
+    let mut rng = XorShift(seed | 1);
+    let mut b = BipartiteGraphBuilder::new(n_left, n_right);
+    for l in 0..n_left {
+        for r in 0..n_right {
+            if rng.next_f64() < density {
+                b.add_edge(l, r);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Left-side weights in `[0, 10)`.
+pub fn random_weights(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = XorShift(seed | 1);
+    (0..n).map(|_| rng.next_f64() * 10.0).collect()
+}

@@ -1,0 +1,284 @@
+//! Base pricing — Algorithm 1 of the paper (Sec. 3).
+//!
+//! For every grid, probe each ladder price `p` against
+//! `h(p) = ⌈(2p²/ε²)·ln(2k/δ)⌉` recent requesters, estimate the
+//! acceptance ratio `Ŝ^g(p)`, pick the rung maximizing `p·Ŝ^g(p)` (ties
+//! towards the smaller price) as the estimated Myerson reserve price
+//! `p_m^g`, and return the arithmetic mean over grids as the **base
+//! price** `p_b`.
+//!
+//! Guarantees reproduced in tests: Theorem 2 (with prob. `1−δ` the chosen
+//! rung is ε-optimal among candidates), Theorem 3 (`p_m·S(p_m) ≥
+//! (1−α)·p*·S(p*)` against the continuous optimum).
+
+use crate::problem::DemandProbe;
+use maps_market::{FreqEstimator, PriceLadder};
+
+/// Outcome of the base-pricing calibration phase.
+#[derive(Debug, Clone)]
+pub struct BasePriceResult {
+    /// Estimated Myerson reserve price per grid: `(ladder index, price)`.
+    pub per_grid: Vec<(usize, f64)>,
+    /// The base price `p_b = Σ_g p_m^g / G`.
+    pub base_price: f64,
+    /// The per-grid sampling statistics — MAPS and CappedUCB seed their
+    /// UCB learners from these (the paper's shared statistics `P`).
+    pub stats: Vec<FreqEstimator>,
+}
+
+/// Algorithm 1, parameterized by the sampling accuracy `(ε, δ)`.
+#[derive(Debug, Clone)]
+pub struct BasePricing {
+    ladder: PriceLadder,
+    epsilon: f64,
+    delta: f64,
+}
+
+impl BasePricing {
+    /// Creates the calibrator.
+    ///
+    /// # Panics
+    /// Panics unless `ε > 0` and `δ ∈ (0, 1)`.
+    pub fn new(ladder: PriceLadder, epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta in (0,1)");
+        Self {
+            ladder,
+            epsilon,
+            delta,
+        }
+    }
+
+    /// The paper's defaults: ladder (1, 5, α=0.5), ε = 0.2, δ = 0.01
+    /// (Example 4).
+    pub fn paper_default() -> Self {
+        Self::new(PriceLadder::paper_default(), 0.2, 0.01)
+    }
+
+    /// The candidate ladder.
+    pub fn ladder(&self) -> &PriceLadder {
+        &self.ladder
+    }
+
+    /// Sampling half-width `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Failure probability `δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Runs Algorithm 1 over `num_cells` grids against the probe oracle.
+    ///
+    /// # Panics
+    /// Panics if `num_cells == 0`.
+    pub fn learn(&self, num_cells: usize, probe: &mut dyn DemandProbe) -> BasePriceResult {
+        assert!(num_cells > 0, "need at least one grid");
+        let k = self.ladder.k();
+        let mut per_grid = Vec::with_capacity(num_cells);
+        let mut stats = Vec::with_capacity(num_cells);
+        let mut sum = 0.0;
+        for cell in 0..num_cells {
+            let mut freq = FreqEstimator::new(self.ladder.len());
+            // Lines 4–8: probe every rung h(p) times.
+            for (idx, p) in self.ladder.ascending() {
+                let h = FreqEstimator::required_samples(p, self.epsilon, self.delta, k);
+                let accepted = probe.probe(cell.into(), p, h);
+                assert!(
+                    accepted <= h,
+                    "probe returned more acceptances than probes ({accepted} > {h})"
+                );
+                freq.record(idx, h, accepted);
+            }
+            // Line 9: argmax p·Ŝ(p), ties to the smaller price.
+            let mut best_idx = 0usize;
+            let mut best_val = f64::NEG_INFINITY;
+            for (idx, p) in self.ladder.ascending() {
+                let v = p * freq.s_hat(idx).expect("all rungs probed");
+                if v > best_val {
+                    best_val = v;
+                    best_idx = idx;
+                }
+            }
+            let p_m = self.ladder.price(best_idx);
+            sum += p_m;
+            per_grid.push((best_idx, p_m));
+            stats.push(freq);
+        }
+        BasePriceResult {
+            per_grid,
+            base_price: sum / num_cells as f64,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_market::{Demand, DemandDistribution};
+    use maps_spatial::CellId;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Probe backed by ground-truth demand distributions, one per grid.
+    struct TruthProbe {
+        demands: Vec<Demand>,
+        rng: SmallRng,
+        probes_issued: u64,
+    }
+
+    impl TruthProbe {
+        fn new(demands: Vec<Demand>, seed: u64) -> Self {
+            Self {
+                demands,
+                rng: SmallRng::seed_from_u64(seed),
+                probes_issued: 0,
+            }
+        }
+    }
+
+    impl DemandProbe for TruthProbe {
+        fn probe(&mut self, cell: CellId, price: f64, n: u64) -> u64 {
+            self.probes_issued += n;
+            let s = self.demands[cell.index()].survival(price);
+            (0..n).filter(|_| self.rng.gen::<f64>() < s).count() as u64
+        }
+    }
+
+    #[test]
+    fn deterministic_probe_finds_exact_argmax() {
+        // A probe that answers with exact (rounded) acceptance counts:
+        // the argmax over the ladder must be recovered exactly.
+        struct Exact;
+        impl DemandProbe for Exact {
+            fn probe(&mut self, _cell: CellId, price: f64, n: u64) -> u64 {
+                let s = Demand::paper_normal(2.0, 1.0).survival(price);
+                (s * n as f64).round() as u64
+            }
+        }
+        let bp = BasePricing::paper_default();
+        let result = bp.learn(4, &mut Exact);
+        let d = Demand::paper_normal(2.0, 1.0);
+        // Ground-truth ladder argmax:
+        let want = bp
+            .ladder()
+            .ascending()
+            .max_by(|a, b| {
+                (a.1 * d.survival(a.1))
+                    .partial_cmp(&(b.1 * d.survival(b.1)))
+                    .unwrap()
+            })
+            .unwrap();
+        for &(idx, p) in &result.per_grid {
+            assert_eq!(idx, want.0);
+            assert!((p - want.1).abs() < 1e-12);
+        }
+        assert!((result.base_price - want.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn base_price_is_mean_of_grid_reserves() {
+        // Two grids with very different demand: the base price must be
+        // the average of the two per-grid choices.
+        struct TwoGrids;
+        impl DemandProbe for TwoGrids {
+            fn probe(&mut self, cell: CellId, price: f64, n: u64) -> u64 {
+                let d = if cell.index() == 0 {
+                    Demand::paper_normal(1.2, 0.4) // cheap market
+                } else {
+                    Demand::paper_normal(3.5, 0.4) // expensive market
+                };
+                (d.survival(price) * n as f64).round() as u64
+            }
+        }
+        let bp = BasePricing::paper_default();
+        let r = bp.learn(2, &mut TwoGrids);
+        assert!(r.per_grid[0].1 < r.per_grid[1].1);
+        let mean = (r.per_grid[0].1 + r.per_grid[1].1) / 2.0;
+        assert!((r.base_price - mean).abs() < 1e-12);
+        // Stats are returned per grid with all rungs probed.
+        assert_eq!(r.stats.len(), 2);
+        for s in &r.stats {
+            for idx in 0..bp.ladder().len() {
+                assert!(s.tested(idx) > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_pac_guarantee_statistical() {
+        // With probability 1−δ the chosen rung's true value is within ε of
+        // the best rung's. Run 25 seeded trials; allow ≤ 2 failures
+        // (δ = 0.01 each ⇒ expected ≈ 0.25 failures).
+        let bp = BasePricing::paper_default();
+        let d = Demand::paper_normal(2.0, 1.0);
+        let best: f64 = bp
+            .ladder()
+            .ascending()
+            .map(|(_, p)| p * d.survival(p))
+            .fold(0.0, f64::max);
+        let mut failures = 0;
+        for seed in 0..25 {
+            let mut probe = TruthProbe::new(vec![Demand::paper_normal(2.0, 1.0)], seed);
+            let r = bp.learn(1, &mut probe);
+            let (_, p_m) = r.per_grid[0];
+            if p_m * d.survival(p_m) < best - bp.epsilon() {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 2, "{failures}/25 PAC violations");
+    }
+
+    #[test]
+    fn theorem3_against_continuous_optimum() {
+        // p_m·S(p_m) ≥ (1−α)·p*·S(p*) for the continuous optimum p*.
+        use maps_market::myerson_reserve_continuous;
+        for demand in [
+            Demand::paper_normal(2.0, 1.0),
+            Demand::paper_normal(3.0, 1.5),
+            Demand::paper_exponential(1.0),
+        ] {
+            let bp = BasePricing::paper_default();
+            let mut probe = TruthProbe::new(vec![demand; 4], 11);
+            let r = bp.learn(4, &mut probe);
+            let (_, v_star) = myerson_reserve_continuous(&demand, 1.0, 5.0, 1e-9);
+            for &(_, p_m) in &r.per_grid {
+                let v = p_m * demand.survival(p_m);
+                assert!(
+                    v >= (1.0 - bp.ladder().alpha()) * v_star - bp.epsilon(),
+                    "{demand:?}: {v} < (1-α)·{v_star}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_budget_matches_schedule() {
+        // The number of issued probes must be exactly G · Σ_p h(p).
+        let bp = BasePricing::paper_default();
+        let mut probe = TruthProbe::new(vec![Demand::paper_normal(2.0, 1.0); 3], 5);
+        let _ = bp.learn(3, &mut probe);
+        let k = bp.ladder().k();
+        let per_grid: u64 = bp
+            .ladder()
+            .ascending()
+            .map(|(_, p)| FreqEstimator::required_samples(p, 0.2, 0.01, k))
+            .sum();
+        assert_eq!(probe.probes_issued, 3 * per_grid);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one grid")]
+    fn rejects_zero_grids() {
+        struct Never;
+        impl DemandProbe for Never {
+            fn probe(&mut self, _: CellId, _: f64, _: u64) -> u64 {
+                0
+            }
+        }
+        let _ = BasePricing::paper_default().learn(0, &mut Never);
+    }
+}

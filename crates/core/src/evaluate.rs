@@ -1,0 +1,103 @@
+//! Revenue evaluation: market clearing and expected-revenue estimators.
+//!
+//! Definition 5: at the end of a period, the accepting tasks and the
+//! available workers form an instantiated bipartite graph whose
+//! maximum-weight matching value is the platform's revenue. The exact
+//! expectation (Definition 6) is `Σ_world U(world)·Pr[world]`; here we
+//! provide the per-world clearing primitive and a Monte-Carlo estimator
+//! for instances too large for possible-world enumeration.
+
+use maps_matching::{max_weight_matching_left_weights, BipartiteGraph, Matching};
+use rand::Rng;
+
+/// Clears the market: maximum-weight matching between (already accepted)
+/// tasks and workers, with task weights `d_r · p_r`.
+///
+/// Returns the matching and the realized revenue `U(B^t)`.
+pub fn realize_revenue(graph: &BipartiteGraph, weights: &[f64]) -> (Matching, f64) {
+    max_weight_matching_left_weights(graph, weights)
+}
+
+/// Monte-Carlo estimate of the expected total revenue
+/// `E[U(B^t) | P^t]` for given per-task acceptance probabilities.
+///
+/// # Panics
+/// Panics if slice lengths disagree with the graph or `samples == 0`.
+pub fn monte_carlo_expected_revenue(
+    graph: &BipartiteGraph,
+    weights: &[f64],
+    accept_probs: &[f64],
+    samples: u32,
+    rng: &mut impl Rng,
+) -> f64 {
+    assert_eq!(weights.len(), graph.n_left(), "one weight per task");
+    assert_eq!(accept_probs.len(), graph.n_left(), "one probability per task");
+    assert!(samples > 0, "need at least one sample");
+    let mut total = 0.0;
+    let mut keep = vec![false; graph.n_left()];
+    for _ in 0..samples {
+        for (k, &q) in keep.iter_mut().zip(accept_probs) {
+            *k = rng.gen::<f64>() < q;
+        }
+        let (sub, old_of_new) = graph.filter_left(&keep);
+        let sub_weights: Vec<f64> = old_of_new.iter().map(|&l| weights[l as usize]).collect();
+        let (_, revenue) = max_weight_matching_left_weights(&sub, &sub_weights);
+        total += revenue;
+    }
+    total / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_matching::{expected_total_revenue_exact, BipartiteGraphBuilder};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn running_example() -> BipartiteGraph {
+        BipartiteGraphBuilder::new(3, 3)
+            .with_edges([(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)])
+            .build()
+    }
+
+    #[test]
+    fn realize_revenue_running_example() {
+        let g = running_example();
+        let (m, rev) = realize_revenue(&g, &[3.9, 2.1, 2.0]);
+        assert!((rev - 5.9).abs() < 1e-9);
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn monte_carlo_matches_exact_enumeration() {
+        let g = running_example();
+        let weights = [3.9, 2.1, 2.0];
+        let probs = [0.5, 0.5, 0.8];
+        let exact = expected_total_revenue_exact(&g, &weights, &probs);
+        let mut rng = SmallRng::seed_from_u64(12345);
+        let mc = monte_carlo_expected_revenue(&g, &weights, &probs, 40_000, &mut rng);
+        assert!(
+            (mc - exact).abs() < 0.05,
+            "MC {mc} vs exact {exact} (4.075 per Example 3)"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_degenerate_probs() {
+        let g = running_example();
+        let weights = [3.9, 2.1, 2.0];
+        let mut rng = SmallRng::seed_from_u64(1);
+        let all = monte_carlo_expected_revenue(&g, &weights, &[1.0; 3], 10, &mut rng);
+        assert!((all - 5.9).abs() < 1e-9);
+        let none = monte_carlo_expected_revenue(&g, &weights, &[0.0; 3], 10, &mut rng);
+        assert_eq!(none, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn rejects_zero_samples() {
+        let g = running_example();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = monte_carlo_expected_revenue(&g, &[1.0; 3], &[0.5; 3], 0, &mut rng);
+    }
+}

@@ -1,0 +1,669 @@
+//! MAPS — the MAtching-based Pricing Strategy (Algorithms 2 + 3, Sec. 4).
+//!
+//! Per time period, MAPS:
+//!
+//! 1. builds the task–worker bipartite graph (done by the caller and
+//!    passed in through [`PeriodInput`]),
+//! 2. groups tasks by grid and builds each grid's demand/supply curves
+//!    ([`LFunction`]),
+//! 3. greedily distributes the *dependent* supply: a max-heap keyed by
+//!    the marginal gain `Δ^g` repeatedly admits one more worker into the
+//!    grid that profits most, maintaining feasibility with an incremental
+//!    augmenting path in the shared pre-matching `M′` (so a worker serving
+//!    two grids is never double-counted), and
+//! 4. finalizes each grid's price at the Algorithm-3 maximizer of its
+//!    learned revenue approximation.
+//!
+//! Lemma 9 (per-grid `Δ` is non-increasing) makes the lazy heap sound and
+//! Theorem 8 gives the `(1−1/e)` guarantee for the resulting supply plan.
+//!
+//! ## Deviations from the pseudocode (documented in DESIGN.md)
+//!
+//! * The first `G` heap pops with `Δ = ∞` in Algorithm 2 only exist to
+//!   bootstrap the per-grid candidates; we push the first real candidate
+//!   for each non-empty grid directly.
+//! * On popping an entry whose promised augmenting path was consumed by
+//!   another grid in the meantime (possible because line 16's feasibility
+//!   check happens at *insert* time), we re-verify and finalize the grid
+//!   at its current supply instead of corrupting `M′`.
+//! * Admissions with `Δ = 0` are skipped: they cannot change any price or
+//!   the approximation value, only burn a worker inside the throw-away
+//!   pre-matching.
+
+use crate::base::BasePricing;
+use crate::lfunc::{ApproxKind, DeltaRule, LFunction};
+use crate::problem::{DemandProbe, Observation, PeriodInput, PriceSchedule, PricingStrategy};
+use crate::smoothing::smooth_prices;
+use maps_market::{ChangeDetector, PriceLadder, UcbStats};
+use maps_matching::IncrementalMatching;
+use std::collections::BinaryHeap;
+
+/// Tunables for [`MapsStrategy`].
+#[derive(Debug, Clone)]
+pub struct MapsConfig {
+    /// Base-pricing sampling accuracy `ε` (Algorithm 1).
+    pub epsilon: f64,
+    /// Base-pricing failure probability `δ`.
+    pub delta: f64,
+    /// How the heap key `Δ^g` is computed (see [`DeltaRule`]).
+    pub delta_rule: DeltaRule,
+    /// Whether Algorithm 3 adds the UCB confidence radius (disable for
+    /// the no-optimism ablation).
+    pub use_ucb: bool,
+    /// Tumbling-window length for the Sec.-4.2.2 change detector;
+    /// `None` disables detection (the synthetic workloads of Table 3 are
+    /// stationary, where 2σ windows only produce false resets).
+    pub change_window: Option<u64>,
+    /// Optional spatial smoothing factor `β ∈ [0,1]` applied to the final
+    /// schedule (paper Sec. 4.2.3, practical note ii). `None` disables.
+    pub smoothing: Option<f64>,
+    /// Which expected-revenue approximation Algorithm 3 maximizes
+    /// (Eq. (1) by default; Appendix C.6's variant for the ablation).
+    pub approx: ApproxKind,
+    /// Plateau lookahead. On a *discrete* ladder, `max_p L̂(n, p)` is a
+    /// step function of the supply mass with flat plateaus between rung
+    /// survival levels, so the paper's "stop when Δ^g = 0" rule (valid
+    /// for the continuous concave curve of Lemma 9) can stall a grid at
+    /// a high intersection rung long before supply saturates demand.
+    /// With lookahead enabled, a zero one-step gain is replaced by the
+    /// best *amortized* gain over all reachable supply levels (the
+    /// standard concave-hull correction), restoring convergence to the
+    /// Myerson regime under abundant supply. Disable to reproduce the
+    /// pseudocode literally (ablation `A1`).
+    pub plateau_lookahead: bool,
+}
+
+impl Default for MapsConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.2,
+            delta: 0.01,
+            delta_rule: DeltaRule::LDifference,
+            use_ucb: true,
+            change_window: None,
+            smoothing: None,
+            approx: ApproxKind::MinCurves,
+            plateau_lookahead: true,
+        }
+    }
+}
+
+/// One heap entry `((g, n_new, p_new), Δ^g)` of Algorithm 2.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    delta: f64,
+    cell: u32,
+    price_idx: u32,
+    price: f64,
+    l_hat: f64,
+    revenue_hat: f64,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.delta == other.delta && self.cell == other.cell
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on Δ; ties broken by lower cell id for determinism.
+        self.delta
+            .total_cmp(&other.delta)
+            .then_with(|| other.cell.cmp(&self.cell))
+    }
+}
+
+/// Per-grid working state for one pricing round.
+struct CellState {
+    /// Demand/supply curves for this grid's tasks.
+    lf: LFunction,
+    /// Task indices of this grid, sorted by decreasing distance.
+    tasks_desc: Vec<u32>,
+    /// Scan position into `tasks_desc`: entries before it are matched or
+    /// proven un-augmentable (dead). Once a free task has no augmenting
+    /// path it never regains one (augmentations only grow reachability
+    /// on the matched side), so dead tasks are skipped forever.
+    cursor: usize,
+    /// Admitted supply `n^tg`.
+    n: usize,
+    /// `max_p L̂(n, p)` and the shorthand revenue at the current supply.
+    cur_l: f64,
+    cur_rev: f64,
+    /// Maximizer price at the current supply (starts at the base price).
+    cur_price: f64,
+    cur_price_idx: u32,
+    /// Whether the final price was already fixed by a Δ=0 pop.
+    finalized: bool,
+}
+
+/// The MAPS pricing strategy.
+#[derive(Debug, Clone)]
+pub struct MapsStrategy {
+    ladder: PriceLadder,
+    cfg: MapsConfig,
+    num_cells: usize,
+    base_price: f64,
+    stats: Vec<UcbStats>,
+    change: Option<Vec<ChangeDetector>>,
+}
+
+impl MapsStrategy {
+    /// Creates MAPS for a region with `num_cells` grids and the given
+    /// candidate ladder. Until [`PricingStrategy::calibrate`] runs, the
+    /// base price defaults to the ladder's middle rung.
+    pub fn new(num_cells: usize, ladder: PriceLadder, cfg: MapsConfig) -> Self {
+        assert!(num_cells > 0, "need at least one grid");
+        if let Some(beta) = cfg.smoothing {
+            assert!((0.0..=1.0).contains(&beta), "smoothing factor in [0,1]");
+        }
+        let stats = vec![UcbStats::new(ladder.len()); num_cells];
+        let change = cfg
+            .change_window
+            .map(|m| vec![ChangeDetector::new(ladder.len(), m); num_cells]);
+        let base_price = ladder.price(ladder.len() / 2);
+        Self {
+            ladder,
+            cfg,
+            num_cells,
+            base_price,
+            stats,
+            change,
+        }
+    }
+
+    /// Paper-default MAPS over the default ladder.
+    pub fn paper_default(num_cells: usize) -> Self {
+        Self::new(num_cells, PriceLadder::paper_default(), MapsConfig::default())
+    }
+
+    /// The learned/base price `p_b` currently in use for empty grids.
+    pub fn base_price(&self) -> f64 {
+        self.base_price
+    }
+
+    /// Overrides the base price (tests / resuming from a checkpoint).
+    pub fn set_base_price(&mut self, p: f64) {
+        self.base_price = self.ladder.clamp(p);
+    }
+
+    /// Read access to a grid's UCB statistics.
+    pub fn stats(&self, cell: usize) -> &UcbStats {
+        &self.stats[cell]
+    }
+
+    /// Mutable access to a grid's UCB statistics (used by tests and by
+    /// checkpoint restoration; normal operation goes through `observe`).
+    pub fn stats_mut(&mut self, cell: usize) -> &mut UcbStats {
+        &mut self.stats[cell]
+    }
+
+    /// The candidate ladder.
+    pub fn ladder(&self) -> &PriceLadder {
+        &self.ladder
+    }
+
+    /// Advances `state.cursor` past dead tasks and returns the next task
+    /// with an augmenting path, without applying it.
+    fn next_augmentable(
+        matching: &mut IncrementalMatching<'_>,
+        state: &mut CellState,
+    ) -> Option<u32> {
+        while state.cursor < state.tasks_desc.len() {
+            let t = state.tasks_desc[state.cursor];
+            if matching.can_augment(t as usize) {
+                return Some(t);
+            }
+            // Dead (or already matched — only possible for admitted heads).
+            state.cursor += 1;
+        }
+        None
+    }
+
+    /// Lines 16–21: proposes the next candidate for `cell` (or a Δ=0
+    /// finalizer when no further supply can be admitted).
+    fn push_next(
+        &self,
+        cell: u32,
+        state: &mut CellState,
+        matching: &mut IncrementalMatching<'_>,
+        heap: &mut BinaryHeap<Entry>,
+    ) {
+        let finalizer = Entry {
+            delta: 0.0,
+            cell,
+            price_idx: state.cur_price_idx,
+            price: state.cur_price,
+            l_hat: state.cur_l,
+            revenue_hat: state.cur_rev,
+        };
+        if state.n >= state.lf.num_tasks()
+            || Self::next_augmentable(matching, state).is_none()
+        {
+            heap.push(finalizer);
+            return;
+        }
+        let stats = &self.stats[cell as usize];
+        let value_of = |m: &crate::lfunc::Maximizer| match self.cfg.delta_rule {
+            DeltaRule::LDifference => m.l_hat,
+            DeltaRule::ScaledShorthand => m.revenue_hat,
+        };
+        let cur_value = match self.cfg.delta_rule {
+            DeltaRule::LDifference => state.cur_l,
+            DeltaRule::ScaledShorthand => state.cur_rev,
+        };
+        match state.lf.maximize_kind(
+            self.cfg.approx,
+            state.n + 1,
+            stats,
+            &self.ladder,
+            self.cfg.use_ucb,
+        ) {
+            Some(m) => {
+                let mut delta = (value_of(&m) - cur_value).max(0.0);
+                if delta <= 1e-12 && self.cfg.plateau_lookahead {
+                    // Concave-hull correction: one more worker gains
+                    // nothing, but a deeper supply level might (the step
+                    // function plateaus between ladder rungs). Credit this
+                    // admission with the best amortized future gain.
+                    for m_level in (state.n + 2)..=state.lf.num_tasks() {
+                        if let Some(mx) = state.lf.maximize_kind(
+                            self.cfg.approx,
+                            m_level,
+                            stats,
+                            &self.ladder,
+                            self.cfg.use_ucb,
+                        ) {
+                            let amortized = (value_of(&mx) - cur_value)
+                                / (m_level - state.n) as f64;
+                            delta = delta.max(amortized);
+                        }
+                    }
+                }
+                heap.push(Entry {
+                    delta,
+                    cell,
+                    price_idx: m.price_idx as u32,
+                    price: m.price,
+                    l_hat: m.l_hat,
+                    revenue_hat: m.revenue_hat,
+                });
+            }
+            None => heap.push(finalizer),
+        }
+    }
+}
+
+impl PricingStrategy for MapsStrategy {
+    fn name(&self) -> &'static str {
+        "MAPS"
+    }
+
+    fn calibrate(&mut self, probe: &mut dyn DemandProbe) {
+        let bp = BasePricing::new(self.ladder.clone(), self.cfg.epsilon, self.cfg.delta);
+        let result = bp.learn(self.num_cells, probe);
+        self.base_price = self.ladder.clamp(result.base_price);
+        for (stats, freq) in self.stats.iter_mut().zip(&result.stats) {
+            stats.seed_from(freq);
+        }
+    }
+
+    fn price_period(&mut self, input: &PeriodInput<'_>) -> PriceSchedule {
+        let g = input.grid.num_cells();
+        assert_eq!(g, self.num_cells, "grid size changed mid-simulation");
+        let mut prices = vec![self.base_price; g];
+
+        // Group task indices per grid, sorted by decreasing distance so
+        // supply admission follows the supply curve's top-n semantics.
+        let mut cell_tasks: Vec<Vec<u32>> = vec![Vec::new(); g];
+        for (i, t) in input.tasks.iter().enumerate() {
+            cell_tasks[t.cell.index()].push(i as u32);
+        }
+        let mut states: Vec<Option<CellState>> = Vec::with_capacity(g);
+        for list in &mut cell_tasks {
+            if list.is_empty() {
+                states.push(None);
+                continue;
+            }
+            list.sort_unstable_by(|&a, &b| {
+                input.tasks[b as usize]
+                    .distance
+                    .total_cmp(&input.tasks[a as usize].distance)
+                    .then(a.cmp(&b))
+            });
+            let dists: Vec<f64> = list
+                .iter()
+                .map(|&i| input.tasks[i as usize].distance)
+                .collect();
+            states.push(Some(CellState {
+                lf: LFunction::new(dists),
+                tasks_desc: std::mem::take(list),
+                cursor: 0,
+                n: 0,
+                cur_l: 0.0,
+                cur_rev: 0.0,
+                cur_price: self.base_price,
+                cur_price_idx: self.ladder.nearest_index(self.base_price) as u32,
+                finalized: false,
+            }));
+        }
+
+        // Greedy supply distribution over the shared pre-matching M′.
+        let mut matching = IncrementalMatching::new(input.graph);
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(g + 1);
+        for cell in 0..g as u32 {
+            if states[cell as usize].is_some() {
+                let mut state = states[cell as usize].take().unwrap();
+                self.push_next(cell, &mut state, &mut matching, &mut heap);
+                states[cell as usize] = Some(state);
+            }
+        }
+
+        while let Some(entry) = heap.pop() {
+            let cell = entry.cell as usize;
+            let mut state = states[cell].take().expect("entry for a task-bearing cell");
+            if state.finalized {
+                states[cell] = Some(state);
+                continue;
+            }
+            if entry.delta <= 0.0 {
+                // Lines 11–14: final price, clamped into the window.
+                prices[cell] = self.ladder.clamp(entry.price);
+                state.finalized = true;
+                states[cell] = Some(state);
+                continue;
+            }
+            // Lines 9–10: admit one worker via an augmenting path —
+            // re-verified because the path may have been consumed since
+            // this entry was inserted.
+            match Self::next_augmentable(&mut matching, &mut state) {
+                Some(task) => {
+                    let ok = matching.try_augment(task as usize);
+                    debug_assert!(ok, "can_augment just succeeded");
+                    state.cursor += 1;
+                    state.n += 1;
+                    state.cur_l = entry.l_hat;
+                    state.cur_rev = entry.revenue_hat;
+                    state.cur_price = entry.price;
+                    state.cur_price_idx = entry.price_idx;
+                    self.push_next(entry.cell, &mut state, &mut matching, &mut heap);
+                }
+                None => {
+                    // Stale promise: finalize at the current supply level.
+                    heap.push(Entry {
+                        delta: 0.0,
+                        cell: entry.cell,
+                        price_idx: state.cur_price_idx,
+                        price: state.cur_price,
+                        l_hat: state.cur_l,
+                        revenue_hat: state.cur_rev,
+                    });
+                }
+            }
+            states[cell] = Some(state);
+        }
+
+        if let Some(beta) = self.cfg.smoothing {
+            smooth_prices(input.grid, &mut prices, beta);
+        }
+        PriceSchedule { prices }
+    }
+
+    fn observe(&mut self, feedback: &[Observation]) {
+        for obs in feedback {
+            let idx = self.ladder.nearest_index(obs.price);
+            let cell = obs.cell.index();
+            self.stats[cell].observe(idx, obs.accepted);
+            if let Some(change) = &mut self.change {
+                if change[cell].observe(idx, obs.accepted) {
+                    // Sec. 4.2.2: statistically-significant deviation →
+                    // discard the stale estimate for this price.
+                    self.stats[cell].reset_price(idx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_period_graph;
+    use crate::problem::{TaskInput, WorkerInput};
+    use maps_spatial::{GridSpec, Point, Rect};
+
+    /// The running example: 4×4 grid over an 8×8 region; r1, r2 in grid 9
+    /// (cell 8), r3 in grid 11 (cell 10); three workers with radius 2.5;
+    /// Table-1 acceptance ratios seeded into the statistics.
+    fn running_example_strategy() -> (GridSpec, Vec<TaskInput>, Vec<WorkerInput>, MapsStrategy) {
+        let grid = GridSpec::square(Rect::square(8.0), 4);
+        let tasks = vec![
+            TaskInput::new(&grid, Point::new(1.0, 4.5), 1.3), // r1
+            TaskInput::new(&grid, Point::new(1.5, 5.0), 0.7), // r2
+            TaskInput::new(&grid, Point::new(5.0, 5.0), 1.0), // r3
+        ];
+        let workers = vec![
+            WorkerInput::new(&grid, Point::new(3.0, 5.0), 2.5), // w1
+            WorkerInput::new(&grid, Point::new(7.0, 5.0), 2.5), // w2
+            WorkerInput::new(&grid, Point::new(5.0, 3.0), 2.5), // w3
+        ];
+        let ladder = PriceLadder::explicit(vec![1.0, 2.0, 3.0]);
+        let mut maps = MapsStrategy::new(grid.num_cells(), ladder, MapsConfig::default());
+        // Example 5: "we assume we have obtained the statistics about the
+        // acceptance ratios as in Table 1".
+        let table1 = [0.9, 0.8, 0.5];
+        for cell in 0..grid.num_cells() {
+            for (idx, s) in table1.iter().enumerate() {
+                let n = 1_000_000u64;
+                maps.stats_mut(cell)
+                    .observe_batch(idx, n, (s * n as f64) as u64);
+            }
+        }
+        maps.set_base_price(2.0);
+        (grid, tasks, workers, maps)
+    }
+
+    #[test]
+    fn example5_final_prices() {
+        let (grid, tasks, workers, mut maps) = running_example_strategy();
+        let graph = build_period_graph(&grid, &tasks, &workers);
+        let input = PeriodInput {
+            grid: &grid,
+            tasks: &tasks,
+            workers: &workers,
+            graph: &graph,
+        };
+        let schedule = maps.price_period(&input);
+        // Paper: "The price for grid 9 is 3 and the price for grid 11 is 2."
+        assert_eq!(schedule.prices[8], 3.0, "grid 9");
+        assert_eq!(schedule.prices[10], 2.0, "grid 11");
+        // Empty grids keep the base price.
+        assert_eq!(schedule.prices[0], 2.0);
+        assert_eq!(schedule.prices[15], 2.0);
+    }
+
+    #[test]
+    fn example5_trace_with_shorthand_delta() {
+        // The ScaledShorthand rule must agree on the running example
+        // (both rules coincide at demand-limited maximizers).
+        let (grid, tasks, workers, mut maps) = running_example_strategy();
+        maps.cfg.delta_rule = DeltaRule::ScaledShorthand;
+        let graph = build_period_graph(&grid, &tasks, &workers);
+        let input = PeriodInput {
+            grid: &grid,
+            tasks: &tasks,
+            workers: &workers,
+            graph: &graph,
+        };
+        let schedule = maps.price_period(&input);
+        assert_eq!(schedule.prices[8], 3.0);
+        assert_eq!(schedule.prices[10], 2.0);
+    }
+
+    #[test]
+    fn no_workers_prices_at_base() {
+        let (grid, tasks, _, mut maps) = running_example_strategy();
+        let graph = build_period_graph(&grid, &tasks, &[]);
+        let input = PeriodInput {
+            grid: &grid,
+            tasks: &tasks,
+            workers: &[],
+            graph: &graph,
+        };
+        let schedule = maps.price_period(&input);
+        // No supply anywhere → every grid finalizes at the base price.
+        for &p in &schedule.prices {
+            assert_eq!(p, 2.0);
+        }
+    }
+
+    #[test]
+    fn no_tasks_prices_at_base() {
+        let (grid, _, workers, mut maps) = running_example_strategy();
+        let graph = build_period_graph(&grid, &[], &workers);
+        let input = PeriodInput {
+            grid: &grid,
+            tasks: &[],
+            workers: &workers,
+            graph: &graph,
+        };
+        let schedule = maps.price_period(&input);
+        for &p in &schedule.prices {
+            assert_eq!(p, 2.0);
+        }
+    }
+
+    #[test]
+    fn prices_always_within_window() {
+        let (grid, tasks, workers, mut maps) = running_example_strategy();
+        let graph = build_period_graph(&grid, &tasks, &workers);
+        let input = PeriodInput {
+            grid: &grid,
+            tasks: &tasks,
+            workers: &workers,
+            graph: &graph,
+        };
+        let schedule = maps.price_period(&input);
+        for &p in &schedule.prices {
+            assert!((1.0..=3.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn observe_updates_stats_and_nearest_rung() {
+        let (_, _, _, mut maps) = running_example_strategy();
+        let before = maps.stats(8).n_at(2);
+        maps.observe(&[Observation {
+            cell: 8usize.into(),
+            price: 2.9, // nearest rung is 3.0 (index 2)
+            accepted: false,
+        }]);
+        assert_eq!(maps.stats(8).n_at(2), before + 1);
+    }
+
+    #[test]
+    fn change_detection_resets_price_stats() {
+        let grid = GridSpec::square(Rect::square(8.0), 4);
+        let ladder = PriceLadder::explicit(vec![1.0, 2.0, 3.0]);
+        let mut maps = MapsStrategy::new(
+            grid.num_cells(),
+            ladder,
+            MapsConfig {
+                change_window: Some(50),
+                ..MapsConfig::default()
+            },
+        );
+        // Feed a stable 100%-accept window, then a 0%-accept window: the
+        // detector must flag and reset that rung's statistics.
+        let obs_accept: Vec<Observation> = (0..50)
+            .map(|_| Observation {
+                cell: 0usize.into(),
+                price: 2.0,
+                accepted: true,
+            })
+            .collect();
+        maps.observe(&obs_accept);
+        assert_eq!(maps.stats(0).n_at(1), 50);
+        let obs_reject: Vec<Observation> = (0..50)
+            .map(|_| Observation {
+                cell: 0usize.into(),
+                price: 2.0,
+                accepted: false,
+            })
+            .collect();
+        maps.observe(&obs_reject);
+        assert_eq!(maps.stats(0).n_at(1), 0, "stats reset after change flag");
+    }
+
+    #[test]
+    fn supply_constrained_grid_prefers_higher_price() {
+        // One grid, two tasks, one worker: MAPS should price above the
+        // sufficient-supply optimum (2.0 under Table 1) because supply
+        // covers only the longer task — the Fig. 4 case-3 behaviour.
+        let grid = GridSpec::square(Rect::square(8.0), 1);
+        let tasks = vec![
+            TaskInput::new(&grid, Point::new(1.0, 1.0), 1.0),
+            TaskInput::new(&grid, Point::new(1.2, 1.0), 1.0),
+        ];
+        let workers = vec![WorkerInput::new(&grid, Point::new(1.0, 1.2), 2.0)];
+        let ladder = PriceLadder::explicit(vec![1.0, 2.0, 3.0]);
+        let mut maps = MapsStrategy::new(1, ladder, MapsConfig::default());
+        // S(1)=0.99, S(2)=0.6, S(3)=0.35: with both tasks servable the
+        // best rung is 2 (1.2·C vs 1.05·C); with one worker the supply
+        // ratio is 0.5 and rung 3 wins: min(1.05, 1.5) = 1.05 beats
+        // min(1.2, 1.0) = 1.0 and min(0.99, 0.5) = 0.5.
+        let s = [0.99, 0.6, 0.35];
+        for (idx, s) in s.iter().enumerate() {
+            let n = 1_000_000u64;
+            maps.stats_mut(0).observe_batch(idx, n, (s * n as f64) as u64);
+        }
+        maps.set_base_price(2.0);
+        let graph = build_period_graph(&grid, &tasks, &workers);
+        let input = PeriodInput {
+            grid: &grid,
+            tasks: &tasks,
+            workers: &workers,
+            graph: &graph,
+        };
+        let schedule = maps.price_period(&input);
+        assert_eq!(schedule.prices[0], 3.0);
+    }
+
+    #[test]
+    fn smoothing_pulls_neighbor_prices_together() {
+        let (grid, tasks, workers, mut maps) = running_example_strategy();
+        maps.cfg.smoothing = Some(0.5);
+        let graph = build_period_graph(&grid, &tasks, &workers);
+        let input = PeriodInput {
+            grid: &grid,
+            tasks: &tasks,
+            workers: &workers,
+            graph: &graph,
+        };
+        let schedule = maps.price_period(&input);
+        // Grid 9 was 3.0 surrounded by base 2.0: smoothing must pull it
+        // strictly below 3.0 but keep it above the base price.
+        assert!(schedule.prices[8] < 3.0);
+        assert!(schedule.prices[8] > 2.0);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let (grid, tasks, workers, mut maps) = running_example_strategy();
+        let graph = build_period_graph(&grid, &tasks, &workers);
+        let input = PeriodInput {
+            grid: &grid,
+            tasks: &tasks,
+            workers: &workers,
+            graph: &graph,
+        };
+        let a = maps.price_period(&input);
+        let b = maps.price_period(&input);
+        assert_eq!(a, b);
+    }
+}

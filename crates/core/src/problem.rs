@@ -1,0 +1,264 @@
+//! GDP problem types: tasks, workers, per-period inputs, price schedules
+//! and the [`PricingStrategy`] interface every compared algorithm
+//! implements (Sec. 5.1 "Compared algorithms").
+
+use maps_matching::BipartiteGraph;
+use maps_spatial::{CellId, GridSpec, Point};
+
+/// A spatial task `r = <t, ori_r, des_r>` as seen by the pricing layer in
+/// one time period (Definition 2). The private valuation `v_r` is *not*
+/// part of this type — it is unknown to the platform by definition; only
+/// the simulator's ground truth knows it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskInput {
+    /// Origin `ori_r` (determines the grid cell and range feasibility).
+    pub origin: Point,
+    /// Travel distance `d_r` from origin to destination.
+    pub distance: f64,
+    /// Cell of the origin — precomputed because every strategy needs it.
+    pub cell: CellId,
+}
+
+impl TaskInput {
+    /// Builds a task, deriving the cell from `grid`.
+    pub fn new(grid: &GridSpec, origin: Point, distance: f64) -> Self {
+        assert!(
+            distance.is_finite() && distance > 0.0,
+            "travel distance must be positive, got {distance}"
+        );
+        Self {
+            origin,
+            distance,
+            cell: grid.cell_of(origin),
+        }
+    }
+}
+
+/// A crowd worker `w = <t, l_w, a_w>` (Definition 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerInput {
+    /// Initial location `l_w`.
+    pub location: Point,
+    /// Range-constraint radius `a_w`.
+    pub radius: f64,
+    /// Cell of the location (SDR/SDE/CappedUCB count workers per grid).
+    pub cell: CellId,
+}
+
+impl WorkerInput {
+    /// Builds a worker, deriving the cell from `grid`.
+    pub fn new(grid: &GridSpec, location: Point, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "worker radius must be non-negative, got {radius}"
+        );
+        Self {
+            location,
+            radius,
+            cell: grid.cell_of(location),
+        }
+    }
+}
+
+/// Everything a strategy sees when pricing one time period `t`.
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodInput<'a> {
+    /// The grid partitioning (Definition 1).
+    pub grid: &'a GridSpec,
+    /// Issued tasks `R^t`.
+    pub tasks: &'a [TaskInput],
+    /// Available workers `W^t`.
+    pub workers: &'a [WorkerInput],
+    /// The bipartite graph under the range constraint
+    /// (`tasks × workers`, edge iff `|ori_r − l_w| ≤ a_w`).
+    pub graph: &'a BipartiteGraph,
+}
+
+/// One unit price per grid cell — the strategy's output `P^t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceSchedule {
+    /// `prices[c]` is the unit price for cell `c`.
+    pub prices: Vec<f64>,
+}
+
+impl PriceSchedule {
+    /// A uniform schedule (what base pricing produces).
+    pub fn uniform(num_cells: usize, price: f64) -> Self {
+        Self {
+            prices: vec![price; num_cells],
+        }
+    }
+
+    /// Price for `cell`.
+    #[inline]
+    pub fn price(&self, cell: CellId) -> f64 {
+        self.prices[cell.index()]
+    }
+
+    /// The task-level weights `d_r · p_r` for a set of tasks under this
+    /// schedule (the bipartite edge weights of Definition 5).
+    pub fn task_weights(&self, tasks: &[TaskInput]) -> Vec<f64> {
+        tasks
+            .iter()
+            .map(|t| t.distance * self.price(t.cell))
+            .collect()
+    }
+}
+
+/// A requester's observed decision, fed back to learning strategies after
+/// each period (the platform always observes accept/reject for every
+/// posted price, whether or not the task was eventually matched).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Grid cell of the task's origin.
+    pub cell: CellId,
+    /// The unit price that was posted to the requester.
+    pub price: f64,
+    /// Whether the requester accepted (`v_r > price`).
+    pub accepted: bool,
+}
+
+/// Oracle used during the offline calibration phase (Algorithm 1 lines
+/// 5–6: "Use the price p for h(p) times and observe the acceptance
+/// ratio"). The simulator implements this against ground-truth demand.
+pub trait DemandProbe {
+    /// Offers `price` to `n` requesters (who recently issued tasks) in
+    /// `cell`; returns how many accepted.
+    fn probe(&mut self, cell: CellId, price: f64, n: u64) -> u64;
+}
+
+/// The interface shared by MAPS and all baselines.
+pub trait PricingStrategy {
+    /// Display name used in experiment tables ("MAPS", "BaseP", …).
+    fn name(&self) -> &'static str;
+
+    /// One-time offline calibration before the simulation starts
+    /// (Algorithm 1 for the strategies that need a base price and seeded
+    /// acceptance statistics). Default: nothing to calibrate.
+    fn calibrate(&mut self, probe: &mut dyn DemandProbe) {
+        let _ = probe;
+    }
+
+    /// Prices one time period.
+    fn price_period(&mut self, input: &PeriodInput<'_>) -> PriceSchedule;
+
+    /// Consumes post-period accept/reject feedback. Default: stateless.
+    fn observe(&mut self, feedback: &[Observation]) {
+        let _ = feedback;
+    }
+}
+
+/// Enumeration of the five compared strategies, for CLI/experiment config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// MAPS (Algorithms 2–3) — the paper's contribution.
+    Maps,
+    /// Base pricing (Algorithm 1) applied as a flat schedule.
+    BaseP,
+    /// Supply/demand ratio heuristic.
+    Sdr,
+    /// Supply/demand exponential heuristic.
+    Sde,
+    /// Babaioff et al. CappedUCB, per grid independently.
+    CappedUcb,
+}
+
+impl StrategyKind {
+    /// All five strategies in the paper's plotting order.
+    pub const ALL: [StrategyKind; 5] = [
+        StrategyKind::Maps,
+        StrategyKind::BaseP,
+        StrategyKind::Sdr,
+        StrategyKind::Sde,
+        StrategyKind::CappedUcb,
+    ];
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Maps => "MAPS",
+            StrategyKind::BaseP => "BaseP",
+            StrategyKind::Sdr => "SDR",
+            StrategyKind::Sde => "SDE",
+            StrategyKind::CappedUcb => "CappedUCB",
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for StrategyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "maps" => Ok(StrategyKind::Maps),
+            "basep" | "base" => Ok(StrategyKind::BaseP),
+            "sdr" => Ok(StrategyKind::Sdr),
+            "sde" => Ok(StrategyKind::Sde),
+            "cappeducb" | "capped-ucb" | "capped" => Ok(StrategyKind::CappedUcb),
+            other => Err(format!("unknown strategy '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_spatial::Rect;
+
+    fn grid() -> GridSpec {
+        GridSpec::square(Rect::square(8.0), 4)
+    }
+
+    #[test]
+    fn task_input_derives_cell() {
+        let g = grid();
+        let t = TaskInput::new(&g, Point::new(1.0, 5.0), 0.7);
+        assert_eq!(t.cell.paper_number(), 9);
+        assert_eq!(t.distance, 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be positive")]
+    fn task_input_rejects_zero_distance() {
+        let _ = TaskInput::new(&grid(), Point::ORIGIN, 0.0);
+    }
+
+    #[test]
+    fn worker_input_derives_cell() {
+        let g = grid();
+        let w = WorkerInput::new(&g, Point::new(5.0, 3.0), 2.5);
+        assert_eq!(w.cell.paper_number(), 7);
+    }
+
+    #[test]
+    fn schedule_prices_and_weights() {
+        let g = grid();
+        let mut s = PriceSchedule::uniform(g.num_cells(), 2.0);
+        s.prices[8] = 3.0; // grid 9
+        let tasks = [
+            TaskInput::new(&g, Point::new(1.0, 5.0), 0.7), // grid 9
+            TaskInput::new(&g, Point::new(5.0, 5.0), 1.0), // grid 11
+        ];
+        assert_eq!(s.price(tasks[0].cell), 3.0);
+        assert_eq!(s.price(tasks[1].cell), 2.0);
+        let w = s.task_weights(&tasks);
+        assert!((w[0] - 2.1).abs() < 1e-12);
+        assert!((w[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strategy_kind_roundtrip() {
+        for k in StrategyKind::ALL {
+            let parsed: StrategyKind = k.name().parse().unwrap();
+            assert_eq!(parsed, k);
+        }
+        assert!("bogus".parse::<StrategyKind>().is_err());
+        assert_eq!(StrategyKind::Maps.to_string(), "MAPS");
+    }
+}

@@ -1,0 +1,101 @@
+//! Spatial price smoothing — the practical extension sketched in
+//! Sec. 4.2.3 of the paper: *"Spatial smoothing can also be integrated to
+//! reduce the gap of unit prices among neighbouring grids."*
+//!
+//! One Jacobi relaxation step over the 4-neighbourhood:
+//! `p'_c = (1−β)·p_c + β·mean(neighbours of c)`. Being a convex
+//! combination, the result stays inside the original price range, so the
+//! `[p_min, p_max]` window is preserved automatically.
+
+use maps_spatial::{CellId, GridSpec};
+
+/// Smooths `prices` in place with factor `beta ∈ [0, 1]`.
+///
+/// `beta = 0` is the identity; `beta = 1` replaces each price with its
+/// neighbourhood mean. Cells keep their own price when they have no
+/// neighbours (1×1 grids).
+///
+/// # Panics
+/// Panics if `prices.len() != grid.num_cells()` or `beta ∉ [0,1]`.
+pub fn smooth_prices(grid: &GridSpec, prices: &mut [f64], beta: f64) {
+    assert_eq!(prices.len(), grid.num_cells(), "one price per cell");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+    if beta == 0.0 {
+        return;
+    }
+    let old = prices.to_vec();
+    for c in 0..old.len() {
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        for n in grid.neighbors4(CellId(c as u32)) {
+            sum += old[n.index()];
+            cnt += 1;
+        }
+        if cnt > 0 {
+            prices[c] = (1.0 - beta) * old[c] + beta * (sum / cnt as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_spatial::Rect;
+
+    fn grid3() -> GridSpec {
+        GridSpec::square(Rect::square(3.0), 3)
+    }
+
+    #[test]
+    fn beta_zero_is_identity() {
+        let g = grid3();
+        let mut p: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let before = p.clone();
+        smooth_prices(&g, &mut p, 0.0);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn uniform_prices_are_fixed_point() {
+        let g = grid3();
+        let mut p = vec![2.5; 9];
+        smooth_prices(&g, &mut p, 0.7);
+        for &x in &p {
+            assert!((x - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spike_is_attenuated_and_spread() {
+        let g = grid3();
+        let mut p = vec![1.0; 9];
+        p[4] = 5.0; // centre spike
+        smooth_prices(&g, &mut p, 0.5);
+        // Centre pulled towards its neighbours' mean (1.0).
+        assert!((p[4] - 3.0).abs() < 1e-12);
+        // Edge-adjacent cells pulled up: (1-β)·1 + β·(mean of 3 nbrs
+        // including the spike) = 0.5 + 0.5·(7/3).
+        assert!((p[1] - (0.5 + 0.5 * 7.0 / 3.0)).abs() < 1e-12);
+        // Corners (not adjacent to the spike) stay at 1.
+        assert!((p[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn result_stays_within_original_range() {
+        let g = grid3();
+        let mut p: Vec<f64> = (0..9).map(|i| 1.0 + (i as f64) * 0.5).collect();
+        let (lo, hi) = (1.0, 5.0);
+        smooth_prices(&g, &mut p, 1.0);
+        for &x in &p {
+            assert!((lo..=hi).contains(&x), "price {x} escaped [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in [0,1]")]
+    fn rejects_bad_beta() {
+        let g = grid3();
+        let mut p = vec![1.0; 9];
+        smooth_prices(&g, &mut p, 1.5);
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Fig10 panels (see DESIGN.md experiment index).
+
+use maps_experiments::cli::{run_figure, CliArgs};
+use maps_simulator::alloc::TrackingAllocator;
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator::new();
+
+fn main() {
+    let args = CliArgs::parse("fig10");
+    run_figure("fig10", &args);
+}

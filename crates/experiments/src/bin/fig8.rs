@@ -1,0 +1,12 @@
+//! Regenerates the paper's Fig8 panels (see DESIGN.md experiment index).
+
+use maps_experiments::cli::{run_figure, CliArgs};
+use maps_simulator::alloc::TrackingAllocator;
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator::new();
+
+fn main() {
+    let args = CliArgs::parse("fig8");
+    run_figure("fig8", &args);
+}

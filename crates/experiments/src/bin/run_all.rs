@@ -1,0 +1,13 @@
+//! Runs every panel of Figs. 6-8 and Fig. 10 in sequence (the full
+//! evaluation of the paper). `--quick` gives a CI-sized pass.
+
+use maps_experiments::cli::{run_figure, CliArgs};
+use maps_simulator::alloc::TrackingAllocator;
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator::new();
+
+fn main() {
+    let args = CliArgs::parse("run_all");
+    run_figure("all", &args);
+}

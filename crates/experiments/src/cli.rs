@@ -1,0 +1,116 @@
+//! Tiny shared CLI for the figure binaries (no external arg parser in
+//! the offline dependency set).
+
+use crate::panels::{all_panels, panel_by_name, PanelSpec, Scale};
+use crate::report::{print_metric_tables, write_jsonl};
+use crate::runner::{run_panel, RunOptions};
+use std::path::PathBuf;
+
+/// Parsed command-line options for a figure binary.
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    /// Restrict to one panel (e.g. `--panel w`); `None` = all panels of
+    /// the figure.
+    pub panel: Option<String>,
+    /// `--quick`: ~20× smaller datasets.
+    pub quick: bool,
+    /// `--parallel`: rayon over cells (disables memory tracking).
+    pub parallel: bool,
+    /// `--seeds N`: average over N seeds (default 1).
+    pub seeds: u64,
+    /// `--out DIR`: JSONL output directory (default `results/`).
+    pub out_dir: PathBuf,
+    /// `--no-memory`: skip peak-heap tracking.
+    pub no_memory: bool,
+}
+
+impl CliArgs {
+    /// Parses `std::env::args`, exiting with usage on error.
+    pub fn parse(bin: &str) -> Self {
+        let mut args = CliArgs {
+            panel: None,
+            quick: false,
+            parallel: false,
+            seeds: 1,
+            out_dir: PathBuf::from("results"),
+            no_memory: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--panel" => args.panel = it.next(),
+                "--quick" => args.quick = true,
+                "--parallel" => args.parallel = true,
+                "--no-memory" => args.no_memory = true,
+                "--seeds" => {
+                    args.seeds = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage(bin))
+                }
+                "--out" => args.out_dir = PathBuf::from(it.next().unwrap_or_else(|| usage(bin))),
+                "--help" | "-h" => usage(bin),
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    usage(bin)
+                }
+            }
+        }
+        args
+    }
+
+    /// The corresponding [`RunOptions`].
+    pub fn run_options(&self) -> RunOptions {
+        RunOptions {
+            scale: if self.quick { Scale::Quick } else { Scale::Full },
+            num_seeds: self.seeds,
+            parallel: self.parallel,
+            track_memory: !self.no_memory && !self.parallel,
+        }
+    }
+}
+
+fn usage(bin: &str) -> ! {
+    eprintln!(
+        "usage: {bin} [--panel KEY] [--quick] [--parallel] [--seeds N] \
+         [--out DIR] [--no-memory]\n\
+         panels: w r mu-t mean-s | mu-v sigma-v t g | aw scale beijing1 beijing2 | alpha"
+    );
+    std::process::exit(2)
+}
+
+/// Shared main body: run the selected panels of one figure.
+pub fn run_figure(figure: &str, args: &CliArgs) {
+    let panels: Vec<PanelSpec> = match &args.panel {
+        Some(name) => match panel_by_name(name) {
+            Some(p) if p.figure == figure || figure == "all" => vec![p],
+            Some(p) => {
+                eprintln!("panel '{name}' belongs to {}, not {figure}", p.figure);
+                std::process::exit(2)
+            }
+            None => {
+                eprintln!("unknown panel '{name}'");
+                std::process::exit(2)
+            }
+        },
+        None => all_panels()
+            .into_iter()
+            .filter(|p| figure == "all" || p.figure == figure)
+            .collect(),
+    };
+    let options = args.run_options();
+    for spec in panels {
+        eprintln!(
+            "running {}/{} ({}, scale {:?}, seeds {})…",
+            spec.figure, spec.panel, spec.paper_ref, options.scale, options.num_seeds
+        );
+        let start = std::time::Instant::now();
+        let rows = run_panel(&spec, options);
+        eprintln!("  done in {:.1}s", start.elapsed().as_secs_f64());
+        print_metric_tables(&rows);
+        let path = args.out_dir.join(format!("{}_{}.jsonl", spec.figure, spec.panel));
+        if let Err(e) = write_jsonl(&rows, &path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Result rows, paper-style tables and JSON-lines output.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// One aggregated experiment cell (a point in one of the paper's plots).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Figure id (`fig6` … `fig10`).
+    pub figure: String,
+    /// Panel key (`w`, `r`, …).
+    pub panel: String,
+    /// Paper sub-figure reference.
+    pub paper_ref: String,
+    /// x-axis name.
+    pub x_name: String,
+    /// Sweep value.
+    pub x: f64,
+    /// Strategy display name.
+    pub strategy: String,
+    /// Total revenue (Revenue panels).
+    pub revenue: f64,
+    /// Strategy pricing time over all periods (Time panels).
+    pub pricing_secs: f64,
+    /// Market-clearing time (same for all strategies; reported apart).
+    pub clearing_secs: f64,
+    /// One-off calibration time.
+    pub calibration_secs: f64,
+    /// Peak heap in MiB (Memory panels), if tracked.
+    pub memory_mib: Option<f64>,
+    /// Average issued tasks.
+    pub issued: f64,
+    /// Average accepted tasks.
+    pub accepted: f64,
+    /// Average matched tasks.
+    pub matched: f64,
+}
+
+/// The strategy ordering used by the paper's legends.
+pub const STRATEGY_ORDER: [&str; 5] = ["MAPS", "BaseP", "SDR", "SDE", "CappedUCB"];
+
+fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100_000.0 {
+        format!("{:.3e}", v)
+    } else if v.abs() >= 100.0 {
+        format!("{:.1}", v)
+    } else {
+        format!("{:.4}", v)
+    }
+}
+
+/// Renders one metric (revenue / time / memory) of a panel as a table of
+/// strategies × sweep values, mirroring a paper sub-figure.
+pub fn metric_table(rows: &[Row], metric: &str) -> String {
+    let mut xs: Vec<f64> = rows.iter().map(|r| r.x).collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    let x_name = rows.first().map(|r| r.x_name.clone()).unwrap_or_default();
+    let mut out = String::new();
+    out.push_str(&format!("{:<10}", format!("{metric}\\{x_name}")));
+    for &x in &xs {
+        out.push_str(&format!("{:>14}", fmt_value(x)));
+    }
+    out.push('\n');
+    for strategy in STRATEGY_ORDER {
+        out.push_str(&format!("{strategy:<10}"));
+        for &x in &xs {
+            let cell = rows
+                .iter()
+                .find(|r| r.strategy == strategy && r.x == x)
+                .map(|r| match metric {
+                    "revenue" => fmt_value(r.revenue),
+                    "time" => fmt_value(r.pricing_secs),
+                    "memory" => r
+                        .memory_mib
+                        .map(fmt_value)
+                        .unwrap_or_else(|| "-".to_string()),
+                    other => panic!("unknown metric {other}"),
+                })
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!("{cell:>14}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints the three paper metrics (revenue, time, memory) for a panel.
+pub fn print_metric_tables(rows: &[Row]) {
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    let head = &rows[0];
+    println!(
+        "== {} / {} — {} (x = {}) ==",
+        head.figure, head.panel, head.paper_ref, head.x_name
+    );
+    for metric in ["revenue", "time", "memory"] {
+        println!("{}", metric_table(rows, metric));
+    }
+}
+
+/// Appends rows as JSON lines to `path` (creates parent dirs).
+pub fn write_jsonl(rows: &[Row], path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::io::BufWriter::new(
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?,
+    );
+    for row in rows {
+        serde_json::to_writer(&mut file, row)?;
+        file.write_all(b"\n")?;
+    }
+    file.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(strategy: &str, x: f64, revenue: f64) -> Row {
+        Row {
+            figure: "fig6".into(),
+            panel: "w".into(),
+            paper_ref: "Fig. 6 (a,e,i)".into(),
+            x_name: "|W|".into(),
+            x,
+            strategy: strategy.into(),
+            revenue,
+            pricing_secs: 0.1,
+            clearing_secs: 0.05,
+            calibration_secs: 0.2,
+            memory_mib: Some(5.0),
+            issued: 100.0,
+            accepted: 70.0,
+            matched: 50.0,
+        }
+    }
+
+    #[test]
+    fn table_contains_all_strategies_and_values() {
+        let rows = vec![row("MAPS", 1250.0, 123.0), row("BaseP", 1250.0, 456789.0)];
+        let t = metric_table(&rows, "revenue");
+        assert!(t.contains("MAPS"));
+        assert!(t.contains("CappedUCB")); // missing rows render as '-'
+        assert!(t.contains("123.0"));
+        assert!(t.contains("4.568e5"));
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn memory_metric_handles_none() {
+        let mut r = row("MAPS", 1.0, 1.0);
+        r.memory_mib = None;
+        let t = metric_table(&[r], "memory");
+        assert!(t.lines().any(|l| l.starts_with("MAPS") && l.contains('-')));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown metric")]
+    fn unknown_metric_panics() {
+        let _ = metric_table(&[row("MAPS", 1.0, 1.0)], "latency");
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let dir = std::env::temp_dir().join("maps_experiments_test");
+        let path = dir.join("rows.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let rows = vec![row("MAPS", 1250.0, 1.5), row("SDR", 2500.0, 2.5)];
+        write_jsonl(&rows, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<Row> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(parsed, rows);
+        let _ = std::fs::remove_file(&path);
+    }
+}

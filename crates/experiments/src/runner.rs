@@ -1,0 +1,163 @@
+//! Sweep execution: runs every (x, strategy) cell of a panel, optionally
+//! in parallel, and aggregates seeds into [`Row`]s.
+
+use crate::panels::{PanelSpec, Scale};
+use crate::report::Row;
+use maps_core::StrategyKind;
+use maps_simulator::alloc::TrackingAllocator;
+use maps_simulator::{Outcome, Simulation};
+use rayon::prelude::*;
+
+/// Options controlling a panel run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Dataset scale.
+    pub scale: Scale,
+    /// Seeds to average over (the paper reports single runs; averaging
+    /// over ≥1 seeds reduces Monte-Carlo noise in the tables).
+    pub num_seeds: u64,
+    /// Run cells in parallel with rayon. Wall-clock timings and peak-
+    /// memory figures are only meaningful in serial mode; parallel mode
+    /// is for fast revenue-shape iteration.
+    pub parallel: bool,
+    /// Measure peak heap via the tracking allocator (requires the binary
+    /// to install [`TrackingAllocator`] as the global allocator, and
+    /// implies serial execution).
+    pub track_memory: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Full,
+            num_seeds: 1,
+            parallel: false,
+            track_memory: true,
+        }
+    }
+}
+
+/// Runs one simulation cell, with optional peak-memory accounting.
+fn run_cell(spec: &PanelSpec, x: f64, kind: StrategyKind, scale: Scale, seed: u64, track: bool) -> Outcome {
+    let truth = (spec.build)(x, scale, seed);
+    if track {
+        TrackingAllocator::reset_peak();
+    }
+    let mut outcome = Simulation::new(truth, kind).run();
+    if track {
+        outcome.peak_memory_mib = Some(TrackingAllocator::peak_mib());
+    }
+    outcome
+}
+
+/// Averages several outcomes into one row.
+fn aggregate(spec: &PanelSpec, x: f64, kind: StrategyKind, outcomes: &[Outcome]) -> Row {
+    let n = outcomes.len() as f64;
+    let mean = |f: &dyn Fn(&Outcome) -> f64| outcomes.iter().map(f).sum::<f64>() / n;
+    Row {
+        figure: spec.figure.to_string(),
+        panel: spec.panel.to_string(),
+        paper_ref: spec.paper_ref.to_string(),
+        x_name: spec.x_name.to_string(),
+        x,
+        strategy: kind.name().to_string(),
+        revenue: mean(&|o| o.total_revenue),
+        pricing_secs: mean(&|o| o.pricing_secs),
+        clearing_secs: mean(&|o| o.clearing_secs),
+        calibration_secs: mean(&|o| o.calibration_secs),
+        memory_mib: outcomes
+            .iter()
+            .filter_map(|o| o.peak_memory_mib)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            }),
+        issued: mean(&|o| o.issued_tasks as f64),
+        accepted: mean(&|o| o.accepted_tasks as f64),
+        matched: mean(&|o| o.matched_tasks as f64),
+    }
+}
+
+/// Runs a whole panel: every sweep value × the five strategies.
+pub fn run_panel(spec: &PanelSpec, options: RunOptions) -> Vec<Row> {
+    let cells: Vec<(f64, StrategyKind)> = spec
+        .xs
+        .iter()
+        .flat_map(|&x| StrategyKind::ALL.into_iter().map(move |k| (x, k)))
+        .collect();
+    let track = options.track_memory && !options.parallel;
+    let run_one = |&(x, kind): &(f64, StrategyKind)| -> Row {
+        let outcomes: Vec<Outcome> = (0..options.num_seeds.max(1))
+            .map(|seed| run_cell(spec, x, kind, options.scale, seed, track))
+            .collect();
+        aggregate(spec, x, kind, &outcomes)
+    };
+    if options.parallel {
+        cells.par_iter().map(run_one).collect()
+    } else {
+        cells.iter().map(run_one).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::panels::fig6_w;
+
+    #[test]
+    fn quick_panel_produces_all_rows() {
+        let spec = fig6_w();
+        let rows = run_panel(
+            &spec,
+            RunOptions {
+                scale: Scale::Quick,
+                num_seeds: 1,
+                parallel: true,
+                track_memory: false,
+            },
+        );
+        assert_eq!(rows.len(), 5 * 5);
+        for row in &rows {
+            assert!(row.revenue >= 0.0);
+            assert!(row.issued > 0.0);
+            assert_eq!(row.figure, "fig6");
+        }
+        // Every strategy appears for every x.
+        for &x in &spec.xs {
+            let strategies: Vec<_> = rows
+                .iter()
+                .filter(|r| r.x == x)
+                .map(|r| r.strategy.clone())
+                .collect();
+            assert_eq!(strategies.len(), 5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn seeds_are_averaged() {
+        let spec = fig6_w();
+        let one = run_panel(
+            &spec,
+            RunOptions {
+                scale: Scale::Quick,
+                num_seeds: 1,
+                parallel: true,
+                track_memory: false,
+            },
+        );
+        let three = run_panel(
+            &spec,
+            RunOptions {
+                scale: Scale::Quick,
+                num_seeds: 3,
+                parallel: true,
+                track_memory: false,
+            },
+        );
+        // Same shape, (almost surely) different values.
+        assert_eq!(one.len(), three.len());
+        assert!(one
+            .iter()
+            .zip(&three)
+            .any(|(a, b)| (a.revenue - b.revenue).abs() > 1e-9));
+    }
+}

@@ -1,0 +1,186 @@
+//! Change detection for acceptance ratios (Sec. 4.2.2).
+//!
+//! The paper: *"we flag a change if the number of accepted requesters is
+//! not within `m·Ŝ^g(p) ± 2√(m·Ŝ^g(p)(1 − Ŝ^g(p)))` for `m` requesters,
+//! where `Ŝ^g(p)` is the acceptance ratio for the previous `m`
+//! requesters"*. That is a two-sigma binomial deviation test over
+//! tumbling windows of `m` observations per (grid, price).
+
+/// Per-price tumbling-window change detector for one grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangeDetector {
+    window: u64,
+    /// Ŝ from the previous completed window, per ladder position.
+    prev_ratio: Vec<Option<f64>>,
+    /// Current window tallies, per ladder position.
+    cur_tested: Vec<u64>,
+    cur_accepted: Vec<u64>,
+}
+
+impl ChangeDetector {
+    /// Creates a detector with tumbling windows of `window` observations
+    /// for each of `n_prices` ladder positions.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn new(n_prices: usize, window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            prev_ratio: vec![None; n_prices],
+            cur_tested: vec![0; n_prices],
+            cur_accepted: vec![0; n_prices],
+        }
+    }
+
+    /// Window length `m`.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Feeds one observation for ladder position `idx`; returns `true`
+    /// when the just-completed window deviates significantly from the
+    /// previous one (the caller should then reset its estimator for that
+    /// price).
+    pub fn observe(&mut self, idx: usize, accepted: bool) -> bool {
+        self.cur_tested[idx] += 1;
+        self.cur_accepted[idx] += u64::from(accepted);
+        if self.cur_tested[idx] < self.window {
+            return false;
+        }
+        // Window complete: test against the previous window's ratio.
+        let m = self.window as f64;
+        let acc = self.cur_accepted[idx] as f64;
+        let ratio = acc / m;
+        let flagged = match self.prev_ratio[idx] {
+            None => false,
+            Some(s_prev) => {
+                let expected = m * s_prev;
+                let band = 2.0 * (m * s_prev * (1.0 - s_prev)).sqrt();
+                (acc - expected).abs() > band
+            }
+        };
+        self.prev_ratio[idx] = Some(ratio);
+        self.cur_tested[idx] = 0;
+        self.cur_accepted[idx] = 0;
+        flagged
+    }
+
+    /// Feeds a batch; returns `true` if any completed window flagged.
+    pub fn observe_batch(&mut self, idx: usize, tested: u64, accepted: u64) -> bool {
+        assert!(accepted <= tested, "accepted {accepted} > tested {tested}");
+        // Spread acceptances evenly across the batch (Bresenham-style);
+        // the tumbling-window statistics only depend on per-window counts.
+        let mut flagged = false;
+        for i in 0..tested {
+            let accept_now = (i * accepted) / tested != ((i + 1) * accepted) / tested;
+            flagged |= self.observe(idx, accept_now);
+        }
+        flagged
+    }
+
+    /// Forgets the learned baseline for position `idx` (e.g. after the
+    /// caller re-estimated from scratch).
+    pub fn reset(&mut self, idx: usize) {
+        self.prev_ratio[idx] = None;
+        self.cur_tested[idx] = 0;
+        self.cur_accepted[idx] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Feeds `n` Bernoulli(q) observations, returns number of flags.
+    fn feed(det: &mut ChangeDetector, rng: &mut SmallRng, q: f64, n: u64) -> u32 {
+        let mut flags = 0;
+        for _ in 0..n {
+            if det.observe(0, rng.gen::<f64>() < q) {
+                flags += 1;
+            }
+        }
+        flags
+    }
+
+    #[test]
+    fn first_window_never_flags() {
+        let mut det = ChangeDetector::new(1, 10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Exactly one window: no baseline yet → no flag possible.
+        assert_eq!(feed(&mut det, &mut rng, 0.9, 10), 0);
+    }
+
+    #[test]
+    fn stable_distribution_rarely_flags() {
+        // The band compares against the *previous window's sample* ratio,
+        // so the difference of two windows has variance 2σ² and the 2σ
+        // band corresponds to z = √2 ≈ 1.41, i.e. ≈16 % false positives
+        // per window. Require the empirical rate to stay near that.
+        let mut det = ChangeDetector::new(1, 200);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let flags = feed(&mut det, &mut rng, 0.7, 200 * 50);
+        assert!(flags <= 16, "too many false alarms: {flags}/50 windows");
+    }
+
+    #[test]
+    fn shifted_distribution_flags_quickly() {
+        let mut det = ChangeDetector::new(1, 200);
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Learn a 0.8 baseline…
+        assert_eq!(feed(&mut det, &mut rng, 0.8, 200), 0);
+        // …then the market shifts to 0.4: the very next window must flag.
+        let flags = feed(&mut det, &mut rng, 0.4, 200);
+        assert!(flags >= 1, "shift not detected");
+    }
+
+    #[test]
+    fn small_shift_within_band_is_tolerated() {
+        let mut det = ChangeDetector::new(1, 100);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let _ = feed(&mut det, &mut rng, 0.80, 100);
+        // 0.80 → 0.78 is inside 2σ = 2·√(100·0.8·0.2)/100 = 0.08.
+        let flags = feed(&mut det, &mut rng, 0.78, 100);
+        assert_eq!(flags, 0);
+    }
+
+    #[test]
+    fn reset_clears_baseline() {
+        let mut det = ChangeDetector::new(1, 100);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = feed(&mut det, &mut rng, 0.9, 100);
+        det.reset(0);
+        // After reset the next window is a fresh baseline: no flag even
+        // for a dramatic shift.
+        let flags = feed(&mut det, &mut rng, 0.1, 100);
+        assert_eq!(flags, 0);
+    }
+
+    #[test]
+    fn batch_observation_equivalent_counts() {
+        // A batch with the same per-window acceptance count behaves like
+        // the sequential feed for flagging purposes.
+        let mut det = ChangeDetector::new(1, 10);
+        assert!(!det.observe_batch(0, 10, 9)); // baseline window: Ŝ=0.9
+        // Next window with 1/10 accepted: |1 − 9| = 8 > 2√(10·0.9·0.1)=1.9.
+        assert!(det.observe_batch(0, 10, 1));
+    }
+
+    #[test]
+    fn per_price_isolation() {
+        let mut det = ChangeDetector::new(2, 10);
+        assert!(!det.observe_batch(0, 10, 9));
+        // Price 1 never saw a baseline; its windows can't flag.
+        assert!(!det.observe_batch(1, 10, 0));
+        // Price 0 shifts → flags, price 1 stays calm.
+        assert!(det.observe_batch(0, 10, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_zero_window() {
+        let _ = ChangeDetector::new(1, 0);
+    }
+}

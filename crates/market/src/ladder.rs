@@ -1,0 +1,280 @@
+//! The geometric candidate price set shared by Algorithms 1 and 3.
+//!
+//! Algorithm 1 samples prices `p_min, (1+α)p_min, (1+α)²p_min, …` up to
+//! `p_max`; Algorithm 3 iterates the same candidates from high to low
+//! (`p ← p/(1+α)` starting at `p_max`). Sharing one materialized ladder —
+//! indexed by position — keeps the UCB statistics of Sec. 4.2.2 aligned
+//! between the base-pricing phase and MAPS (the paper implicitly assumes
+//! this, since MAPS reuses the statistics `P` seeded by base pricing).
+
+/// Geometric price ladder `p_i = p_min · (1+α)^i ∩ [p_min, p_max]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceLadder {
+    p_min: f64,
+    p_max: f64,
+    alpha: f64,
+    prices: Vec<f64>,
+}
+
+impl PriceLadder {
+    /// Builds the ladder.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p_min ≤ p_max` and `α > 0` (the paper's
+    /// Theorem 3 additionally wants `α ∈ (0,1)` for its guarantee, but the
+    /// algorithm itself runs for any positive step).
+    pub fn new(p_min: f64, p_max: f64, alpha: f64) -> Self {
+        assert!(
+            p_min > 0.0 && p_min.is_finite(),
+            "p_min must be positive, got {p_min}"
+        );
+        assert!(
+            p_max >= p_min && p_max.is_finite(),
+            "p_max must be ≥ p_min, got {p_max}"
+        );
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        let mut prices = Vec::new();
+        let mut p = p_min;
+        // Tolerate float drift so that p_max itself is included when the
+        // ladder lands on it exactly (e.g. p_min=1, α=1, p_max=4).
+        while p <= p_max * (1.0 + 1e-12) {
+            prices.push(p.min(p_max));
+            p *= 1.0 + alpha;
+        }
+        Self {
+            p_min,
+            p_max,
+            alpha,
+            prices,
+        }
+    }
+
+    /// The paper's default ladder: `p_min = 1, p_max = 5, α = 0.5`
+    /// → candidates `{1, 1.5, 2.25, 3.375}` (Example 4).
+    pub fn paper_default() -> Self {
+        Self::new(1.0, 5.0, 0.5)
+    }
+
+    /// A ladder with explicitly chosen rungs (strictly increasing,
+    /// positive). The paper's worked examples use the candidate set
+    /// `{1, 2, 3}` of Table 1, which no geometric ladder can produce
+    /// exactly; this constructor lets tests and custom deployments pin
+    /// the rungs. `α` is derived as the largest successive ratio − 1 so
+    /// that Theorem 3's `(1−α)` guarantee still reads correctly.
+    ///
+    /// # Panics
+    /// Panics if `prices` is empty, non-increasing, or non-positive.
+    pub fn explicit(prices: Vec<f64>) -> Self {
+        assert!(!prices.is_empty(), "ladder needs at least one price");
+        for w in prices.windows(2) {
+            assert!(w[0] < w[1], "prices must be strictly increasing");
+        }
+        assert!(
+            prices[0] > 0.0 && prices[0].is_finite(),
+            "prices must be positive and finite"
+        );
+        assert!(prices.last().unwrap().is_finite(), "prices must be finite");
+        let alpha = prices
+            .windows(2)
+            .map(|w| w[1] / w[0] - 1.0)
+            .fold(0.0f64, f64::max)
+            .max(f64::EPSILON);
+        Self {
+            p_min: prices[0],
+            p_max: *prices.last().unwrap(),
+            alpha,
+            prices,
+        }
+    }
+
+    /// Lower price bound.
+    pub fn p_min(&self) -> f64 {
+        self.p_min
+    }
+
+    /// Upper price bound.
+    pub fn p_max(&self) -> f64 {
+        self.p_max
+    }
+
+    /// Multiplicative step `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of candidate prices.
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Whether the ladder is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+
+    /// Algorithm 1's `k = ⌈ln(p_max/p_min)/ln(1+α)⌉`, the candidate-count
+    /// bound used inside the sample-size formula `h(p)`. For the paper
+    /// default this is 4 (Example 4).
+    pub fn k(&self) -> usize {
+        if self.p_max <= self.p_min {
+            return 1;
+        }
+        ((self.p_max / self.p_min).ln() / (1.0 + self.alpha).ln()).ceil() as usize
+    }
+
+    /// The candidate prices in increasing order.
+    pub fn prices(&self) -> &[f64] {
+        &self.prices
+    }
+
+    /// Price at ladder position `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn price(&self, i: usize) -> f64 {
+        self.prices[i]
+    }
+
+    /// Iterates `(index, price)` in increasing order (Algorithm 1).
+    pub fn ascending(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.prices.iter().copied().enumerate()
+    }
+
+    /// Iterates `(index, price)` from `p_max` downwards (Algorithm 3:
+    /// "we iterate prices from big to small").
+    pub fn descending(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.prices.iter().copied().enumerate().rev()
+    }
+
+    /// Index of the ladder price closest to `p` (ties towards the lower
+    /// price, consistent with the paper's tie-breaking towards smaller
+    /// prices / higher acceptance).
+    pub fn nearest_index(&self, p: f64) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, &c) in self.prices.iter().enumerate() {
+            let d = (c - p).abs();
+            if d < best_d - 1e-15 {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Clamps an arbitrary price into `[p_min, p_max]` (Algorithm 2
+    /// lines 13–14 clamp MAPS prices at `p_max`; Sec. 3.2 Remarks clamp
+    /// base prices that fall outside the window).
+    pub fn clamp(&self, p: f64) -> f64 {
+        p.clamp(self.p_min, self.p_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example4_ladder() {
+        // Paper Example 4: pmin=1, pmax=5, α=0.5 → k=4 and candidates
+        // {1, 1.5, 2.25, 3.375}.
+        let l = PriceLadder::paper_default();
+        assert_eq!(l.k(), 4);
+        assert_eq!(l.len(), 4);
+        let want = [1.0, 1.5, 2.25, 3.375];
+        for (got, want) in l.prices().iter().zip(want) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ladder_includes_exact_pmax() {
+        // 1 * 2^2 = 4 = p_max: the top rung must be included exactly once.
+        let l = PriceLadder::new(1.0, 4.0, 1.0);
+        assert_eq!(l.prices(), &[1.0, 2.0, 4.0]);
+        assert_eq!(l.k(), 2);
+    }
+
+    #[test]
+    fn degenerate_single_price() {
+        let l = PriceLadder::new(2.0, 2.0, 0.5);
+        assert_eq!(l.prices(), &[2.0]);
+        assert_eq!(l.k(), 1);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn ascending_descending_are_mirrors() {
+        let l = PriceLadder::paper_default();
+        let up: Vec<_> = l.ascending().collect();
+        let mut down: Vec<_> = l.descending().collect();
+        down.reverse();
+        assert_eq!(up, down);
+        assert_eq!(up[0], (0, 1.0));
+        assert_eq!(up.last().copied(), Some((3, 3.375)));
+    }
+
+    #[test]
+    fn successive_ratio_is_one_plus_alpha() {
+        for alpha in [0.25, 0.5, 1.0] {
+            let l = PriceLadder::new(1.0, 50.0, alpha);
+            for w in l.prices().windows(2) {
+                // Last rung may be clamped at p_max; ratio must never exceed 1+α.
+                let ratio = w[1] / w[0];
+                assert!(ratio <= 1.0 + alpha + 1e-12);
+                assert!(ratio > 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_index_and_clamp() {
+        let l = PriceLadder::paper_default();
+        assert_eq!(l.nearest_index(1.0), 0);
+        assert_eq!(l.nearest_index(2.3), 2);
+        assert_eq!(l.nearest_index(100.0), 3);
+        assert_eq!(l.nearest_index(0.0), 0);
+        // tie between 1.0 and 1.5 at p=1.25 → lower index wins
+        assert_eq!(l.nearest_index(1.25), 0);
+        assert_eq!(l.clamp(0.5), 1.0);
+        assert_eq!(l.clamp(7.0), 5.0);
+        assert_eq!(l.clamp(2.0), 2.0);
+    }
+
+    #[test]
+    fn k_grows_with_range() {
+        let narrow = PriceLadder::new(1.0, 2.0, 0.5);
+        let wide = PriceLadder::new(1.0, 100.0, 0.5);
+        assert!(wide.k() > narrow.k());
+        assert_eq!(wide.len(), wide.prices().len());
+    }
+
+    #[test]
+    fn explicit_ladder_table1() {
+        let l = PriceLadder::explicit(vec![1.0, 2.0, 3.0]);
+        assert_eq!(l.prices(), &[1.0, 2.0, 3.0]);
+        assert_eq!(l.p_min(), 1.0);
+        assert_eq!(l.p_max(), 3.0);
+        assert!((l.alpha() - 1.0).abs() < 1e-12); // ratio 2/1 dominates
+        assert_eq!(l.nearest_index(2.6), 2);
+        assert_eq!(l.clamp(0.2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn explicit_rejects_unsorted() {
+        let _ = PriceLadder::explicit(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_min must be positive")]
+    fn rejects_zero_pmin() {
+        let _ = PriceLadder::new(0.0, 5.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_max must be")]
+    fn rejects_inverted_bounds() {
+        let _ = PriceLadder::new(5.0, 1.0, 0.5);
+    }
+}

@@ -1,0 +1,56 @@
+//! # maps-market
+//!
+//! Market/demand substrate for the MAPS reproduction
+//! (Tong et al., SIGMOD 2018).
+//!
+//! The paper models each requester's private valuation `v_r` as an i.i.d.
+//! sample from an unknown per-grid distribution with CDF `F^g`, and the
+//! *acceptance ratio* `S^g(p) = Pr[v_r > p] = 1 − F^g(p)` (Definition 3).
+//! Base pricing assumes `F^g` has a **monotone hazard rate** (MHR), which
+//! makes the revenue curve `p·S(p)` unimodal with the Myerson reserve
+//! price as unique maximizer (Sec. 3.1.1).
+//!
+//! This crate provides:
+//!
+//! * [`special`] — erf / normal CDF / normal quantile implemented from
+//!   scratch (no external math crates).
+//! * [`demand`] — the [`DemandDistribution`] trait and the paper's
+//!   distribution families (truncated Normal — Table 3's default,
+//!   truncated Exponential — Appendix D, Uniform), all MHR.
+//! * [`myerson`] — continuous (golden-section) and ladder-restricted
+//!   Myerson reserve price solvers.
+//! * [`ladder`] — the geometric candidate price set
+//!   `p_min·(1+α)^i ∩ [p_min, p_max]` shared by Algorithms 1 and 3.
+//! * [`estimator`] — the Hoeffding frequency estimator of Algorithm 1
+//!   (`h(p) = ⌈(2p²/ε²)·ln(2k/δ)⌉` samples per price) and the UCB
+//!   statistics of Sec. 4.2.2 (`Ŝ(p) + √(2·ln N / N(p))`, radius 0 for
+//!   unseen prices).
+//! * [`change`] — the statistically-significant-deviation change detector
+//!   (`m·Ŝ ± 2√(m·Ŝ(1−Ŝ))` windows) of Sec. 4.2.2.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod change;
+pub mod demand;
+pub mod estimator;
+pub mod ladder;
+pub mod myerson;
+pub mod special;
+
+pub use change::ChangeDetector;
+pub use demand::{Demand, DemandDistribution, TruncatedExponential, TruncatedNormal, Uniform};
+pub use estimator::{FreqEstimator, UcbStats};
+pub use ladder::PriceLadder;
+pub use myerson::{myerson_reserve_continuous, myerson_reserve_on_ladder};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::change::ChangeDetector;
+    pub use crate::demand::{
+        Demand, DemandDistribution, TruncatedExponential, TruncatedNormal, Uniform,
+    };
+    pub use crate::estimator::{FreqEstimator, UcbStats};
+    pub use crate::ladder::PriceLadder;
+    pub use crate::myerson::{myerson_reserve_continuous, myerson_reserve_on_ladder};
+}

@@ -1,0 +1,252 @@
+//! Incremental augmenting paths over a mutable pre-matching.
+//!
+//! MAPS (Algorithm 2) grows a pre-matching `M′` one worker at a time: when
+//! the max-heap decides grid `g` should receive one more unit of supply,
+//! the algorithm must "find an augmenting path for r ∈ R^tg and add the
+//! match into M′" (line 10), and the feasibility test in line 16 asks
+//! whether *any* unassigned task of the grid admits an augmenting path.
+//! [`IncrementalMatching`] supports exactly these two operations with
+//! epoch-stamped visited marks so repeated probes do not pay `O(V)`
+//! clearing costs.
+
+use crate::graph::BipartiteGraph;
+use crate::Matching;
+
+/// A mutable matching over a borrowed bipartite graph supporting Kuhn-style
+/// single-source augmentation.
+#[derive(Debug, Clone)]
+pub struct IncrementalMatching<'g> {
+    graph: &'g BipartiteGraph,
+    match_left: Vec<Option<u32>>,
+    match_right: Vec<Option<u32>>,
+    /// Epoch stamps replacing a `visited: Vec<bool>` that would need
+    /// clearing before every augmentation attempt.
+    visited_right: Vec<u32>,
+    epoch: u32,
+}
+
+impl<'g> IncrementalMatching<'g> {
+    /// Starts from the empty matching.
+    pub fn new(graph: &'g BipartiteGraph) -> Self {
+        Self {
+            graph,
+            match_left: vec![None; graph.n_left()],
+            match_right: vec![None; graph.n_right()],
+            visited_right: vec![0; graph.n_right()],
+            epoch: 0,
+        }
+    }
+
+    /// The graph this matching lives on.
+    pub fn graph(&self) -> &'g BipartiteGraph {
+        self.graph
+    }
+
+    /// Current assignment of left vertex `l`.
+    #[inline]
+    pub fn matched_right(&self, l: usize) -> Option<u32> {
+        self.match_left[l]
+    }
+
+    /// Current assignment of right vertex `r`.
+    #[inline]
+    pub fn matched_left(&self, r: usize) -> Option<u32> {
+        self.match_right[r]
+    }
+
+    /// Whether left vertex `l` is currently matched.
+    #[inline]
+    pub fn is_left_matched(&self, l: usize) -> bool {
+        self.match_left[l].is_some()
+    }
+
+    /// Number of matched pairs.
+    pub fn cardinality(&self) -> usize {
+        self.match_left.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Tries to match the currently-unmatched left vertex `l` by finding an
+    /// augmenting path; on success the path is applied and `true` returned.
+    /// A failed search leaves the matching untouched.
+    ///
+    /// # Panics
+    /// Panics if `l` is already matched (augmenting from a matched vertex
+    /// would corrupt the matching).
+    pub fn try_augment(&mut self, l: usize) -> bool {
+        assert!(
+            self.match_left[l].is_none(),
+            "augmenting from already-matched left vertex {l}"
+        );
+        self.bump_epoch();
+        self.dfs(l, true)
+    }
+
+    /// Like [`Self::try_augment`] but never modifies the matching; returns
+    /// whether an augmenting path from `l` exists right now.
+    pub fn can_augment(&mut self, l: usize) -> bool {
+        if self.match_left[l].is_some() {
+            return false;
+        }
+        self.bump_epoch();
+        self.dfs(l, false)
+    }
+
+    /// Removes the assignment of left vertex `l` (if any), freeing its
+    /// worker. Used by simulators when a task is cancelled.
+    pub fn unmatch_left(&mut self, l: usize) {
+        if let Some(r) = self.match_left[l].take() {
+            self.match_right[r as usize] = None;
+        }
+    }
+
+    /// Freezes into a plain [`Matching`].
+    pub fn into_matching(self) -> Matching {
+        Matching {
+            pairs: self.match_left,
+        }
+    }
+
+    /// A snapshot of the current assignment.
+    pub fn to_matching(&self) -> Matching {
+        Matching {
+            pairs: self.match_left.clone(),
+        }
+    }
+
+    fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.checked_add(1).unwrap_or_else(|| {
+            self.visited_right.fill(0);
+            1
+        });
+    }
+
+    /// Kuhn's DFS. When `apply` is false the assignments are not written;
+    /// the reachability computed is identical because assignment writes
+    /// only happen on the success path, after all recursion has resolved.
+    fn dfs(&mut self, l: usize, apply: bool) -> bool {
+        // Recursion depth is bounded by the matching cardinality, which is
+        // small for the per-period graphs this system builds.
+        let graph = self.graph;
+        for &r in graph.neighbors(l) {
+            let r = r as usize;
+            if self.visited_right[r] == self.epoch {
+                continue;
+            }
+            self.visited_right[r] = self.epoch;
+            let occupant = self.match_right[r];
+            let free = match occupant {
+                None => true,
+                Some(l2) => self.dfs(l2 as usize, apply),
+            };
+            if free {
+                if apply {
+                    self.match_right[r] = Some(l as u32);
+                    self.match_left[l] = Some(r as u32);
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::BipartiteGraphBuilder;
+
+    fn chain_graph() -> BipartiteGraph {
+        // l0-{r0}, l1-{r0,r1}, l2-{r1,r2}: perfect matching exists but
+        // requires augmentation through occupied vertices.
+        BipartiteGraphBuilder::new(3, 3)
+            .with_edges([(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)])
+            .build()
+    }
+
+    #[test]
+    fn augments_through_chain() {
+        let g = chain_graph();
+        let mut m = IncrementalMatching::new(&g);
+        assert!(m.try_augment(1)); // l1 -> r0 (first neighbour)
+        assert_eq!(m.matched_right(1), Some(0));
+        assert!(m.try_augment(0)); // pushes l1 to r1
+        assert_eq!(m.matched_right(0), Some(0));
+        assert_eq!(m.matched_right(1), Some(1));
+        assert!(m.try_augment(2)); // pushes nothing: r2 free? l2-{r1,r2}: r1 taken -> l1 -> ... l1 can't move (r0 taken by l0, l0 stuck) so r2 used.
+        assert_eq!(m.matched_right(2), Some(2));
+        assert_eq!(m.cardinality(), 3);
+        assert!(m.to_matching().is_valid(&g));
+    }
+
+    #[test]
+    fn failed_augment_leaves_matching_intact() {
+        // Two tasks, one worker.
+        let g = BipartiteGraphBuilder::new(2, 1)
+            .with_edges([(0, 0), (1, 0)])
+            .build();
+        let mut m = IncrementalMatching::new(&g);
+        assert!(m.try_augment(0));
+        let before = m.to_matching();
+        assert!(!m.try_augment(1));
+        assert_eq!(m.to_matching(), before);
+    }
+
+    #[test]
+    fn can_augment_is_side_effect_free() {
+        let g = chain_graph();
+        let mut m = IncrementalMatching::new(&g);
+        assert!(m.try_augment(0));
+        let before = m.to_matching();
+        assert!(m.can_augment(1));
+        assert_eq!(m.to_matching(), before, "can_augment must not mutate");
+        assert!(m.try_augment(1));
+        assert!(m.can_augment(2));
+        assert_eq!(m.cardinality(), 2);
+    }
+
+    #[test]
+    fn can_augment_false_for_matched_vertex() {
+        let g = chain_graph();
+        let mut m = IncrementalMatching::new(&g);
+        assert!(m.try_augment(0));
+        assert!(!m.can_augment(0));
+    }
+
+    #[test]
+    fn unmatch_frees_worker() {
+        let g = BipartiteGraphBuilder::new(2, 1)
+            .with_edges([(0, 0), (1, 0)])
+            .build();
+        let mut m = IncrementalMatching::new(&g);
+        assert!(m.try_augment(0));
+        assert!(!m.can_augment(1));
+        m.unmatch_left(0);
+        assert_eq!(m.cardinality(), 0);
+        assert!(m.try_augment(1));
+        assert_eq!(m.matched_left(0), Some(1));
+    }
+
+    #[test]
+    fn running_example_supply_distribution() {
+        // Example 5's trace: grid 9 = {r1(=0), r2(=1)}, grid 11 = {r3(=2)}.
+        // After w1 is assigned to r1, no augmenting path exists for r2,
+        // but r3 still has one.
+        let g = BipartiteGraphBuilder::new(3, 3)
+            .with_edges([(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)])
+            .build();
+        let mut m = IncrementalMatching::new(&g);
+        assert!(m.try_augment(0)); // r1 takes w1
+        assert!(!m.can_augment(1)); // r2 has no path (paper: insert Δ=0)
+        assert!(m.try_augment(2)); // r3 served via w2/w3
+        assert_eq!(m.cardinality(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-matched")]
+    fn double_augment_panics() {
+        let g = chain_graph();
+        let mut m = IncrementalMatching::new(&g);
+        assert!(m.try_augment(0));
+        let _ = m.try_augment(0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Tracking global allocator for the Memory(MB) experiment panels.
+//!
+//! The paper reports each strategy's memory cost (Figs. 6–8 bottom rows).
+//! We measure peak heap usage with a thin wrapper around the system
+//! allocator that maintains current/peak byte counters. The experiment
+//! binaries install it via:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: maps_simulator::alloc::TrackingAllocator = TrackingAllocator::new();
+//! ```
+//!
+//! and call [`TrackingAllocator::reset_peak`] before / [`TrackingAllocator::peak_bytes`]
+//! after each run. The counters are lock-free atomics; the overhead is a
+//! few nanoseconds per allocation, irrelevant next to the allocation
+//! itself.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A byte-counting wrapper around the system allocator.
+#[derive(Debug, Default)]
+pub struct TrackingAllocator;
+
+impl TrackingAllocator {
+    /// Creates the allocator (const so it can be a `static`).
+    pub const fn new() -> Self {
+        Self
+    }
+
+    /// Currently outstanding heap bytes.
+    pub fn current_bytes() -> usize {
+        CURRENT.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since the last [`Self::reset_peak`].
+    pub fn peak_bytes() -> usize {
+        PEAK.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark in MiB.
+    pub fn peak_mib() -> f64 {
+        Self::peak_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Resets the peak to the current level (call between experiments).
+    pub fn reset_peak() {
+        PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+fn add(size: usize) {
+    let cur = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+    // Racy max update is fine: the peak is a diagnostic, not a ledger.
+    let mut peak = PEAK.load(Ordering::Relaxed);
+    while cur > peak {
+        match PEAK.compare_exchange_weak(peak, cur, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(p) => peak = p,
+        }
+    }
+}
+
+fn sub(size: usize) {
+    CURRENT.fetch_sub(size, Ordering::Relaxed);
+}
+
+// SAFETY: defers all allocation to `System`, only adjusting counters.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            add(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        sub(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            add(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            sub(layout.size());
+            add(new_size);
+        }
+        new_ptr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: the allocator is not installed as #[global_allocator] in unit
+    // tests (that would affect the whole test binary); we exercise the
+    // counter arithmetic directly through the GlobalAlloc interface.
+    // The counters are global statics, so everything lives in ONE test to
+    // avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn counters_track_alloc_dealloc_and_peak() {
+        let a = TrackingAllocator::new();
+        TrackingAllocator::reset_peak();
+        let before = TrackingAllocator::current_bytes();
+        let layout = Layout::from_size_align(4096, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            assert_eq!(TrackingAllocator::current_bytes(), before + 4096);
+            assert!(TrackingAllocator::peak_bytes() >= before + 4096);
+            let p2 = a.realloc(p, layout, 8192);
+            assert!(!p2.is_null());
+            assert_eq!(TrackingAllocator::current_bytes(), before + 8192);
+            let layout2 = Layout::from_size_align(8192, 8).unwrap();
+            a.dealloc(p2, layout2);
+        }
+        assert_eq!(TrackingAllocator::current_bytes(), before);
+
+        // Peak high-water mark + reset semantics.
+        let big = Layout::from_size_align(1 << 20, 8).unwrap();
+        unsafe {
+            let p = a.alloc(big);
+            a.dealloc(p, big);
+        }
+        assert!(TrackingAllocator::peak_bytes() >= 1 << 20);
+        TrackingAllocator::reset_peak();
+        assert_eq!(
+            TrackingAllocator::peak_bytes(),
+            TrackingAllocator::current_bytes()
+        );
+        assert!(TrackingAllocator::peak_mib() < 1.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Simulation outcome metrics: the quantities plotted in Figs. 6–8 and 10
+//! of the paper (Revenue, Time(secs), Memory(MB)) plus conservation
+//! counters used by the integration tests.
+
+/// Aggregate result of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Strategy display name ("MAPS", "BaseP", …).
+    pub strategy: String,
+    /// Total revenue over all `T` periods (the paper's Revenue axis).
+    pub total_revenue: f64,
+    /// Tasks issued (`|R|` actually materialized in the horizon).
+    pub issued_tasks: u64,
+    /// Tasks whose requesters accepted the posted price.
+    pub accepted_tasks: u64,
+    /// Accepted tasks actually served by a worker.
+    pub matched_tasks: u64,
+    /// Total wall-clock seconds spent inside `price_period` across all
+    /// periods (the paper's Time axis: strategy computation time).
+    pub pricing_secs: f64,
+    /// Wall-clock seconds spent clearing the market (matching accepted
+    /// tasks to workers) — identical work for every strategy, reported
+    /// separately for transparency.
+    pub clearing_secs: f64,
+    /// Wall-clock seconds spent in the one-off calibration phase
+    /// (Algorithm 1 probing), not included in `pricing_secs`.
+    pub calibration_secs: f64,
+    /// Peak heap usage in MiB if the tracking allocator was active
+    /// (the paper's Memory axis).
+    pub peak_memory_mib: Option<f64>,
+    /// Revenue per period (for time-series inspection; length `T`).
+    pub revenue_per_period: Vec<f64>,
+    /// Task-weighted mean of the prices posted to requesters.
+    pub mean_posted_price: f64,
+    /// Task-weighted standard deviation of posted prices — BaseP is 0 by
+    /// construction; dynamic strategies disperse.
+    pub posted_price_std: f64,
+    /// Total travel distance of served tasks (`Σ d_r` over matches).
+    pub matched_distance: f64,
+}
+
+impl Outcome {
+    /// Fraction of issued tasks that accepted their price.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.issued_tasks == 0 {
+            0.0
+        } else {
+            self.accepted_tasks as f64 / self.issued_tasks as f64
+        }
+    }
+
+    /// Fraction of accepted tasks that were served.
+    pub fn service_rate(&self) -> f64 {
+        if self.accepted_tasks == 0 {
+            0.0
+        } else {
+            self.matched_tasks as f64 / self.accepted_tasks as f64
+        }
+    }
+
+    /// Conservation invariant: matched ⊆ accepted ⊆ issued.
+    pub fn is_consistent(&self) -> bool {
+        self.matched_tasks <= self.accepted_tasks && self.accepted_tasks <= self.issued_tasks
+    }
+
+    /// Average revenue per served task (`0` when nothing matched).
+    pub fn revenue_per_match(&self) -> f64 {
+        if self.matched_tasks == 0 {
+            0.0
+        } else {
+            self.total_revenue / self.matched_tasks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> Outcome {
+        Outcome {
+            strategy: "MAPS".into(),
+            total_revenue: 100.0,
+            issued_tasks: 50,
+            accepted_tasks: 40,
+            matched_tasks: 30,
+            pricing_secs: 0.5,
+            clearing_secs: 0.1,
+            calibration_secs: 0.2,
+            peak_memory_mib: Some(12.5),
+            revenue_per_period: vec![50.0, 50.0],
+            mean_posted_price: 2.0,
+            posted_price_std: 0.4,
+            matched_distance: 60.0,
+        }
+    }
+
+    #[test]
+    fn rates() {
+        let o = outcome();
+        assert!((o.acceptance_rate() - 0.8).abs() < 1e-12);
+        assert!((o.service_rate() - 0.75).abs() < 1e-12);
+        assert!(o.is_consistent());
+    }
+
+    #[test]
+    fn degenerate_rates() {
+        let o = Outcome {
+            issued_tasks: 0,
+            accepted_tasks: 0,
+            matched_tasks: 0,
+            ..outcome()
+        };
+        assert_eq!(o.acceptance_rate(), 0.0);
+        assert_eq!(o.service_rate(), 0.0);
+    }
+
+    #[test]
+    fn inconsistency_detected() {
+        let o = Outcome {
+            matched_tasks: 99,
+            ..outcome()
+        };
+        assert!(!o.is_consistent());
+    }
+
+    #[test]
+    fn revenue_per_match() {
+        let o = outcome();
+        assert!((o.revenue_per_match() - 100.0 / 30.0).abs() < 1e-12);
+        let none = Outcome {
+            matched_tasks: 0,
+            ..outcome()
+        };
+        assert_eq!(none.revenue_per_match(), 0.0);
+    }
+}

@@ -1,0 +1,480 @@
+//! The per-period platform loop (Sec. 1 of the paper):
+//!
+//! 1. requesters submit tasks; the platform observes `R^t` and the
+//!    available workers `W^t`;
+//! 2. the pricing strategy posts one unit price per grid;
+//! 3. each requester accepts iff their private valuation exceeds the
+//!    price (`S(p) = Pr[v_r > p]`);
+//! 4. the platform assigns workers to accepting requesters — the
+//!    maximum-weight bipartite matching of Definition 5 — and collects
+//!    `d_r · p_r` per served task;
+//! 5. accept/reject outcomes are fed back to the strategy, and matched
+//!    workers follow the scenario's lifecycle policy.
+
+use crate::metrics::Outcome;
+use crate::probe::GroundTruthProbe;
+use crate::truth::{GroundTruth, MatchPolicy};
+use maps_core::{
+    build_period_graph_capped, realize_revenue, BasePStrategy, CappedUcbStrategy, MapsStrategy,
+    Observation, PeriodInput, PricingStrategy, SdeStrategy, SdrStrategy, StrategyKind, TaskInput,
+    WorkerInput,
+};
+use std::time::Instant;
+
+/// Options for one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Run the Algorithm-1 calibration phase before period 0 (learns the
+    /// base price and seeds the UCB statistics). On by default.
+    pub calibrate: bool,
+    /// Seed for the calibration probe (the world itself is already
+    /// materialized deterministically in [`GroundTruth`]).
+    pub probe_seed: u64,
+    /// Keep only each task's `k` nearest in-range workers when building
+    /// the per-period bipartite graph (see
+    /// [`maps_core::build_period_graph_capped`]); exact whenever fewer
+    /// workers are simultaneously available. Keeps the paper's
+    /// 500k-worker scalability run tractable.
+    pub max_edges_per_task: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            calibrate: true,
+            probe_seed: 0xCA11B,
+            max_edges_per_task: 64,
+        }
+    }
+}
+
+/// A worker currently known to the platform.
+#[derive(Debug, Clone, Copy)]
+struct ActiveWorker {
+    location: maps_spatial::Point,
+    radius: f64,
+    /// First period in which the worker is free again (relocation).
+    busy_until: u32,
+    /// Period at which the worker leaves the platform.
+    expires_at: u32,
+    /// Whether the worker left permanently (consumed).
+    gone: bool,
+}
+
+/// Drives one pricing strategy through a [`GroundTruth`] world.
+pub struct Simulation {
+    truth: GroundTruth,
+    strategy: Box<dyn PricingStrategy>,
+    options: SimOptions,
+}
+
+impl Simulation {
+    /// Creates a simulation for one of the five paper strategies with
+    /// paper-default parameters.
+    pub fn new(truth: GroundTruth, kind: StrategyKind) -> Self {
+        let cells = truth.grid.num_cells();
+        let strategy: Box<dyn PricingStrategy> = match kind {
+            StrategyKind::Maps => Box::new(MapsStrategy::paper_default(cells)),
+            StrategyKind::BaseP => Box::new(BasePStrategy::paper_default(cells)),
+            StrategyKind::Sdr => Box::new(SdrStrategy::paper_default(cells)),
+            StrategyKind::Sde => Box::new(SdeStrategy::paper_default(cells)),
+            StrategyKind::CappedUcb => Box::new(CappedUcbStrategy::paper_default(cells)),
+        };
+        Self {
+            truth,
+            strategy,
+            options: SimOptions::default(),
+        }
+    }
+
+    /// Creates a simulation with a custom strategy instance.
+    pub fn with_strategy(truth: GroundTruth, strategy: Box<dyn PricingStrategy>) -> Self {
+        Self {
+            truth,
+            strategy,
+            options: SimOptions::default(),
+        }
+    }
+
+    /// Overrides the run options.
+    pub fn with_options(mut self, options: SimOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the full horizon and returns the aggregate outcome.
+    pub fn run(mut self) -> Outcome {
+        let grid = self.truth.grid;
+        let t_total = self.truth.num_periods();
+        let mut outcome = Outcome {
+            strategy: self.strategy.name().to_string(),
+            total_revenue: 0.0,
+            issued_tasks: 0,
+            accepted_tasks: 0,
+            matched_tasks: 0,
+            pricing_secs: 0.0,
+            clearing_secs: 0.0,
+            calibration_secs: 0.0,
+            peak_memory_mib: None,
+            revenue_per_period: Vec::with_capacity(t_total),
+            mean_posted_price: 0.0,
+            posted_price_std: 0.0,
+            matched_distance: 0.0,
+        };
+        let mut price_sum = 0.0f64;
+        let mut price_sq_sum = 0.0f64;
+
+        if self.options.calibrate {
+            let start = Instant::now();
+            let mut probe = GroundTruthProbe::new(&self.truth.demands, self.options.probe_seed);
+            self.strategy.calibrate(&mut probe);
+            outcome.calibration_secs = start.elapsed().as_secs_f64();
+        }
+
+        let mut workers: Vec<ActiveWorker> = Vec::new();
+        // Reused scratch buffers.
+        let mut avail_idx: Vec<u32> = Vec::new();
+        let mut worker_inputs: Vec<WorkerInput> = Vec::new();
+        let mut task_inputs: Vec<TaskInput> = Vec::new();
+        let mut observations: Vec<Observation> = Vec::new();
+
+        for t in 0..t_total {
+            let period = &self.truth.periods[t];
+            // Admit arrivals.
+            for w in &period.workers {
+                workers.push(ActiveWorker {
+                    location: w.location,
+                    radius: w.radius,
+                    busy_until: t as u32,
+                    expires_at: (t as u32).saturating_add(w.duration),
+                    gone: false,
+                });
+            }
+            // Available = not gone, not busy, not expired.
+            avail_idx.clear();
+            worker_inputs.clear();
+            for (i, w) in workers.iter().enumerate() {
+                if !w.gone && w.busy_until <= t as u32 && (t as u32) < w.expires_at {
+                    avail_idx.push(i as u32);
+                    worker_inputs.push(WorkerInput {
+                        location: w.location,
+                        radius: w.radius,
+                        cell: grid.cell_of(w.location),
+                    });
+                }
+            }
+            task_inputs.clear();
+            task_inputs.extend(period.tasks.iter().map(|task| TaskInput {
+                origin: task.origin,
+                distance: task.distance,
+                cell: task.cell,
+            }));
+            outcome.issued_tasks += task_inputs.len() as u64;
+
+            let graph = build_period_graph_capped(
+                &grid,
+                &task_inputs,
+                &worker_inputs,
+                self.options.max_edges_per_task,
+            );
+            let input = PeriodInput {
+                grid: &grid,
+                tasks: &task_inputs,
+                workers: &worker_inputs,
+                graph: &graph,
+            };
+
+            let start = Instant::now();
+            let schedule = self.strategy.price_period(&input);
+            outcome.pricing_secs += start.elapsed().as_secs_f64();
+
+            // Requesters decide; the platform observes every decision.
+            observations.clear();
+            let mut keep = vec![false; task_inputs.len()];
+            for (i, (task, input_task)) in period.tasks.iter().zip(&task_inputs).enumerate() {
+                let price = schedule.price(input_task.cell);
+                let accepted = task.valuation > price;
+                keep[i] = accepted;
+                price_sum += price;
+                price_sq_sum += price * price;
+                observations.push(Observation {
+                    cell: input_task.cell,
+                    price,
+                    accepted,
+                });
+            }
+            outcome.accepted_tasks += keep.iter().filter(|&&k| k).count() as u64;
+
+            // Clear the market over the accepting subgraph.
+            let start = Instant::now();
+            let (sub, old_of_new) = graph.filter_left(&keep);
+            let weights: Vec<f64> = old_of_new
+                .iter()
+                .map(|&i| {
+                    let task = &task_inputs[i as usize];
+                    task.distance * schedule.price(task.cell)
+                })
+                .collect();
+            let (matching, revenue) = realize_revenue(&sub, &weights);
+            outcome.clearing_secs += start.elapsed().as_secs_f64();
+
+            outcome.total_revenue += revenue;
+            outcome.revenue_per_period.push(revenue);
+
+            // Worker lifecycle for matched pairs.
+            for (new_l, assigned) in matching.pairs.iter().enumerate() {
+                let Some(w_input_idx) = assigned else {
+                    continue;
+                };
+                outcome.matched_tasks += 1;
+                let task = &period.tasks[old_of_new[new_l] as usize];
+                outcome.matched_distance += task.distance;
+                let worker = &mut workers[avail_idx[*w_input_idx as usize] as usize];
+                match self.truth.match_policy {
+                    MatchPolicy::Consume => worker.gone = true,
+                    MatchPolicy::Relocate { speed } => {
+                        let travel = (task.distance / speed).ceil().max(1.0) as u32;
+                        worker.busy_until = (t as u32).saturating_add(travel);
+                        worker.location = task.destination;
+                    }
+                }
+            }
+
+            self.strategy.observe(&observations);
+        }
+
+        if outcome.issued_tasks > 0 {
+            let n = outcome.issued_tasks as f64;
+            outcome.mean_posted_price = price_sum / n;
+            outcome.posted_price_std =
+                (price_sq_sum / n - outcome.mean_posted_price * outcome.mean_posted_price)
+                    .max(0.0)
+                    .sqrt();
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+    use crate::truth::{GroundTask, GroundWorker, PeriodData};
+    use maps_market::Demand;
+    use maps_spatial::{GridSpec, Point, Rect};
+
+    fn small_world(seed: u64) -> GroundTruth {
+        SyntheticConfig {
+            num_workers: 150,
+            num_tasks: 600,
+            periods: 25,
+            grid_side: 4,
+            ..SyntheticConfig::paper_default()
+        }
+        .build(seed)
+    }
+
+    #[test]
+    fn all_strategies_run_and_conserve() {
+        let world = small_world(3);
+        for kind in StrategyKind::ALL {
+            let outcome = Simulation::new(world.clone(), kind).run();
+            assert!(outcome.is_consistent(), "{kind}: {outcome:?}");
+            assert_eq!(outcome.issued_tasks, 600, "{kind}");
+            assert!(outcome.total_revenue >= 0.0);
+            assert_eq!(outcome.revenue_per_period.len(), 25);
+            assert!(
+                (outcome.total_revenue
+                    - outcome.revenue_per_period.iter().sum::<f64>())
+                .abs()
+                    < 1e-9
+            );
+            assert_eq!(outcome.strategy, kind.name());
+        }
+    }
+
+    #[test]
+    fn consume_policy_bounds_matches_by_worker_count() {
+        let mut cfg = SyntheticConfig {
+            num_workers: 150,
+            num_tasks: 600,
+            periods: 25,
+            grid_side: 4,
+            ..SyntheticConfig::paper_default()
+        };
+        cfg.match_policy = MatchPolicy::Consume;
+        let outcome = Simulation::new(cfg.build(5), StrategyKind::BaseP).run();
+        assert!(outcome.matched_tasks <= 150);
+    }
+
+    #[test]
+    fn maps_beats_flat_base_price_on_default_world() {
+        // The paper's headline: MAPS yields the highest revenue. On a
+        // small but supply-constrained world MAPS must beat BaseP.
+        let world = small_world(11);
+        let maps = Simulation::new(world.clone(), StrategyKind::Maps).run();
+        let base = Simulation::new(world, StrategyKind::BaseP).run();
+        assert!(
+            maps.total_revenue > base.total_revenue * 0.95,
+            "MAPS {} vs BaseP {}",
+            maps.total_revenue,
+            base.total_revenue
+        );
+    }
+
+    #[test]
+    fn deterministic_given_same_world_and_seed() {
+        let a = Simulation::new(small_world(7), StrategyKind::Maps).run();
+        let b = Simulation::new(small_world(7), StrategyKind::Maps).run();
+        assert_eq!(a.total_revenue, b.total_revenue);
+        assert_eq!(a.matched_tasks, b.matched_tasks);
+    }
+
+    #[test]
+    fn no_calibration_option() {
+        let world = small_world(9);
+        let outcome = Simulation::new(world, StrategyKind::Maps)
+            .with_options(SimOptions {
+                calibrate: false,
+                ..SimOptions::default()
+            })
+            .run();
+        assert_eq!(outcome.calibration_secs, 0.0);
+        assert!(outcome.is_consistent());
+    }
+
+    /// Hand-built two-period world exercising the Relocate policy.
+    #[test]
+    fn relocate_policy_reuses_workers() {
+        let grid = GridSpec::square(Rect::square(10.0), 1);
+        let demands = vec![Demand::paper_normal(3.5, 0.5)]; // high valuations
+        let mk_task = |x: f64| {
+            let origin = Point::new(x, 1.0);
+            let destination = Point::new(x, 2.0);
+            GroundTask {
+                origin,
+                destination,
+                distance: 1.0,
+                valuation: 4.9, // accepts any ladder price
+                cell: grid.cell_of(origin),
+            }
+        };
+        let worker = GroundWorker {
+            location: Point::new(1.0, 1.0),
+            radius: 9.0,
+            duration: u32::MAX,
+        };
+        // Period 0: one task; at speed 0.5 the unit trip takes
+        // ⌈1.0/0.5⌉ = 2 periods, so the worker is busy through period 1
+        // and free again in period 2.
+        let truth = GroundTruth {
+            grid,
+            demands,
+            periods: vec![
+                PeriodData {
+                    tasks: vec![mk_task(1.0)],
+                    workers: vec![worker],
+                },
+                PeriodData {
+                    tasks: vec![mk_task(2.0)],
+                    workers: vec![],
+                },
+                PeriodData {
+                    tasks: vec![mk_task(3.0)],
+                    workers: vec![],
+                },
+            ],
+            match_policy: MatchPolicy::Relocate { speed: 0.5 },
+        };
+        let outcome = Simulation::new(truth, StrategyKind::BaseP)
+            .with_options(SimOptions {
+                calibrate: false,
+                ..SimOptions::default()
+            })
+            .run();
+        // Period 0 matched; period 1 the worker is busy; period 2 matched.
+        assert_eq!(outcome.matched_tasks, 2);
+        assert_eq!(outcome.accepted_tasks, 3);
+    }
+
+    #[test]
+    fn consume_policy_single_use() {
+        let grid = GridSpec::square(Rect::square(10.0), 1);
+        let demands = vec![Demand::paper_normal(3.5, 0.5)];
+        let origin = Point::new(1.0, 1.0);
+        let task = GroundTask {
+            origin,
+            destination: Point::new(1.0, 2.0),
+            distance: 1.0,
+            valuation: 4.9,
+            cell: grid.cell_of(origin),
+        };
+        let truth = GroundTruth {
+            grid,
+            demands,
+            periods: vec![
+                PeriodData {
+                    tasks: vec![task],
+                    workers: vec![GroundWorker {
+                        location: Point::new(1.0, 1.0),
+                        radius: 5.0,
+                        duration: u32::MAX,
+                    }],
+                },
+                PeriodData {
+                    tasks: vec![task],
+                    workers: vec![],
+                },
+            ],
+            match_policy: MatchPolicy::Consume,
+        };
+        let outcome = Simulation::new(truth, StrategyKind::BaseP)
+            .with_options(SimOptions {
+                calibrate: false,
+                ..SimOptions::default()
+            })
+            .run();
+        assert_eq!(outcome.matched_tasks, 1, "consumed worker cannot serve twice");
+    }
+
+    #[test]
+    fn worker_duration_expires() {
+        let grid = GridSpec::square(Rect::square(10.0), 1);
+        let demands = vec![Demand::paper_normal(3.5, 0.5)];
+        let origin = Point::new(1.0, 1.0);
+        let task = GroundTask {
+            origin,
+            destination: Point::new(1.0, 2.0),
+            distance: 1.0,
+            valuation: 4.9,
+            cell: grid.cell_of(origin),
+        };
+        let truth = GroundTruth {
+            grid,
+            demands,
+            periods: vec![
+                PeriodData {
+                    tasks: vec![],
+                    workers: vec![GroundWorker {
+                        location: Point::new(1.0, 1.0),
+                        radius: 5.0,
+                        duration: 2, // periods 0 and 1 only
+                    }],
+                },
+                PeriodData::default(),
+                PeriodData {
+                    tasks: vec![task],
+                    workers: vec![],
+                },
+            ],
+            match_policy: MatchPolicy::Consume,
+        };
+        let outcome = Simulation::new(truth, StrategyKind::BaseP)
+            .with_options(SimOptions {
+                calibrate: false,
+                ..SimOptions::default()
+            })
+            .run();
+        assert_eq!(outcome.matched_tasks, 0, "expired worker must not serve");
+    }
+}

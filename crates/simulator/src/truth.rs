@@ -1,0 +1,201 @@
+//! Ground-truth world model.
+//!
+//! Everything the *simulator* knows but the *platform* does not: private
+//! valuations `v_r` (Definition 2 — "private valuations are unknown to
+//! the platform"), the per-grid demand distributions behind them, and
+//! worker availability windows.
+
+use maps_market::Demand;
+use maps_spatial::{CellId, GridSpec, Point};
+
+/// A task with its hidden ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundTask {
+    /// Origin `ori_r`.
+    pub origin: Point,
+    /// Destination `des_r`.
+    pub destination: Point,
+    /// Travel distance `d_r` (already computed under the scenario's
+    /// distance metric).
+    pub distance: f64,
+    /// The requester's private valuation `v_r` (max unit price accepted).
+    pub valuation: f64,
+    /// Grid cell of the origin.
+    pub cell: CellId,
+}
+
+/// A worker with its availability window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundWorker {
+    /// Initial location `l_w`.
+    pub location: Point,
+    /// Range-constraint radius `a_w`.
+    pub radius: f64,
+    /// Number of periods the worker stays on the platform after arrival
+    /// (the real-data experiments vary this as `δ_w`; synthetic workers
+    /// use `u32::MAX`, i.e. until matched or the horizon ends).
+    pub duration: u32,
+}
+
+/// Arrivals for one time period.
+#[derive(Debug, Clone, Default)]
+pub struct PeriodData {
+    /// Tasks issued in this period.
+    pub tasks: Vec<GroundTask>,
+    /// Workers becoming available in this period.
+    pub workers: Vec<GroundWorker>,
+}
+
+/// What happens to a worker after completing a task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatchPolicy {
+    /// The worker leaves the platform (synthetic default; reproduces the
+    /// revenue saturation the paper reports as `|R|` grows with fixed
+    /// `|W|`).
+    Consume,
+    /// The worker is busy for `⌈d_r / speed⌉` periods and reappears at
+    /// the task's destination (Beijing-like scenarios; the paper notes
+    /// workers "tend to perform multiple tasks for a long time").
+    Relocate {
+        /// Travel speed in distance units per period.
+        speed: f64,
+    },
+}
+
+/// A full simulated world: grid, hidden demand, arrivals, lifecycle.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// The grid partitioning (Definition 1).
+    pub grid: GridSpec,
+    /// Hidden per-grid valuation distributions.
+    pub demands: Vec<Demand>,
+    /// Arrivals, indexed by period `0..T`.
+    pub periods: Vec<PeriodData>,
+    /// Worker lifecycle policy.
+    pub match_policy: MatchPolicy,
+}
+
+impl GroundTruth {
+    /// Number of time periods `T`.
+    pub fn num_periods(&self) -> usize {
+        self.periods.len()
+    }
+
+    /// Total number of issued tasks `|R|`.
+    pub fn total_tasks(&self) -> usize {
+        self.periods.iter().map(|p| p.tasks.len()).sum()
+    }
+
+    /// Total number of arriving workers `|W|`.
+    pub fn total_workers(&self) -> usize {
+        self.periods.iter().map(|p| p.workers.len()).sum()
+    }
+
+    /// Validates internal consistency (used by generator tests):
+    /// cells match origins, distances are positive, valuations lie in
+    /// the demand support.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.demands.len() != self.grid.num_cells() {
+            return Err(format!(
+                "expected {} demand distributions, got {}",
+                self.grid.num_cells(),
+                self.demands.len()
+            ));
+        }
+        for (t, period) in self.periods.iter().enumerate() {
+            for task in &period.tasks {
+                if self.grid.cell_of(task.origin) != task.cell {
+                    return Err(format!("period {t}: task cell mismatch"));
+                }
+                if !(task.distance.is_finite() && task.distance > 0.0) {
+                    return Err(format!("period {t}: bad distance {}", task.distance));
+                }
+                if !task.valuation.is_finite() {
+                    return Err(format!("period {t}: bad valuation {}", task.valuation));
+                }
+            }
+            for w in &period.workers {
+                if !(w.radius.is_finite() && w.radius >= 0.0) {
+                    return Err(format!("period {t}: bad radius {}", w.radius));
+                }
+                if w.duration == 0 {
+                    return Err(format!("period {t}: worker with zero duration"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_spatial::Rect;
+
+    fn tiny_truth() -> GroundTruth {
+        let grid = GridSpec::square(Rect::square(10.0), 2);
+        let demands = vec![Demand::paper_normal(2.0, 1.0); 4];
+        let origin = Point::new(1.0, 1.0);
+        let task = GroundTask {
+            origin,
+            destination: Point::new(9.0, 9.0),
+            distance: origin.euclidean(Point::new(9.0, 9.0)),
+            valuation: 2.5,
+            cell: grid.cell_of(origin),
+        };
+        let worker = GroundWorker {
+            location: Point::new(2.0, 2.0),
+            radius: 5.0,
+            duration: u32::MAX,
+        };
+        GroundTruth {
+            grid,
+            demands,
+            periods: vec![
+                PeriodData {
+                    tasks: vec![task],
+                    workers: vec![worker],
+                },
+                PeriodData::default(),
+            ],
+            match_policy: MatchPolicy::Consume,
+        }
+    }
+
+    #[test]
+    fn counters() {
+        let t = tiny_truth();
+        assert_eq!(t.num_periods(), 2);
+        assert_eq!(t.total_tasks(), 1);
+        assert_eq!(t.total_workers(), 1);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_cell_mismatch() {
+        let mut t = tiny_truth();
+        t.periods[0].tasks[0].cell = CellId(3);
+        assert!(t.validate().unwrap_err().contains("cell mismatch"));
+    }
+
+    #[test]
+    fn validate_catches_bad_distance() {
+        let mut t = tiny_truth();
+        t.periods[0].tasks[0].distance = 0.0;
+        assert!(t.validate().unwrap_err().contains("bad distance"));
+    }
+
+    #[test]
+    fn validate_catches_demand_count() {
+        let mut t = tiny_truth();
+        t.demands.pop();
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_zero_duration() {
+        let mut t = tiny_truth();
+        t.periods[0].workers[0].duration = 0;
+        assert!(t.validate().unwrap_err().contains("zero duration"));
+    }
+}

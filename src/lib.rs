@@ -1,0 +1,51 @@
+//! # maps
+//!
+//! Umbrella crate for **maps-rs**, a production-quality Rust reproduction of
+//!
+//! > Yongxin Tong, Libin Wang, Zimu Zhou, Lei Chen, Bowen Du, Jieping Ye.
+//! > *Dynamic Pricing in Spatial Crowdsourcing: A Matching-Based Approach.*
+//! > SIGMOD 2018.
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! * [`spatial`] — geometry, grid partitioning (Definition 1), spatial index.
+//! * [`matching`] — bipartite graphs, maximum(-weight) matching,
+//!   possible-world enumeration (Definitions 5–6).
+//! * [`market`] — MHR demand distributions, Myerson reserve prices,
+//!   acceptance-ratio estimators (sampling + UCB) and change detection.
+//! * [`core`] — the GDP problem and the pricing strategies:
+//!   `BasePricing` (Algorithm 1), `Maps` (Algorithms 2–3) and the
+//!   SDR / SDE / CappedUCB baselines.
+//! * [`simulator`] — synthetic (Table 3) and Beijing-like (Table 4)
+//!   workload generators plus the per-period platform simulator used by
+//!   the experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use maps::prelude::*;
+//!
+//! // Build the paper's Table-3 default synthetic market at a small scale,
+//! // run every pricing strategy for a few periods and compare revenue.
+//! let cfg = SyntheticConfig::paper_default()
+//!     .with_num_workers(200)
+//!     .with_num_tasks(800)
+//!     .with_periods(20);
+//! let outcome = Simulation::new(cfg.build(42), StrategyKind::Maps).run();
+//! assert!(outcome.total_revenue >= 0.0);
+//! ```
+
+pub use maps_core as core;
+pub use maps_market as market;
+pub use maps_matching as matching;
+pub use maps_simulator as simulator;
+pub use maps_spatial as spatial;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use maps_core::prelude::*;
+    pub use maps_market::prelude::*;
+    pub use maps_matching::prelude::*;
+    pub use maps_simulator::prelude::*;
+    pub use maps_spatial::{BucketIndex, CellId, GridSpec, Point, Rect};
+}

@@ -1,0 +1,262 @@
+//! Cross-crate property-based tests (proptest): the structural
+//! invariants DESIGN.md §7 commits to, on randomized instances.
+
+use maps::core::prelude::*;
+use maps::market::{Demand, DemandDistribution, PriceLadder, UcbStats};
+use maps::matching::prelude::*;
+use maps::prelude::{GroundTruth, MatchPolicy, SimOptions, Simulation, SyntheticConfig};
+use maps::spatial::{GridSpec, Point, Rect};
+use proptest::prelude::*;
+
+/// Strategy generating a random bipartite graph with ≤ 10×10 vertices.
+fn arb_graph() -> impl Strategy<Value = BipartiteGraph> {
+    (1usize..10, 1usize..10).prop_flat_map(|(n_left, n_right)| {
+        proptest::collection::vec(proptest::bool::weighted(0.3), n_left * n_right).prop_map(
+            move |mask| {
+                let mut b = BipartiteGraphBuilder::new(n_left, n_right);
+                for l in 0..n_left {
+                    for r in 0..n_right {
+                        if mask[l * n_right + r] {
+                            b.add_edge(l, r);
+                        }
+                    }
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Greedy transversal-matroid matching is exactly optimal: it matches
+    /// the Hungarian oracle's weight on every random instance.
+    #[test]
+    fn greedy_matches_hungarian(graph in arb_graph(), seed in 0u64..1000) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let weights: Vec<f64> = (0..graph.n_left())
+            .map(|_| (next() % 1000) as f64 / 100.0)
+            .collect();
+        let (mg, wg) = max_weight_matching_left_weights(&graph, &weights);
+        prop_assert!(mg.is_valid(&graph));
+        let (_, wh) = max_weight_matching_dense(graph.n_left(), graph.n_right(), |l, r| {
+            graph.has_edge(l, r).then_some(weights[l])
+        });
+        prop_assert!((wg - wh).abs() < 1e-9, "greedy {} vs hungarian {}", wg, wh);
+    }
+
+    /// Hopcroft–Karp reaches the same cardinality as repeated Kuhn
+    /// augmentation.
+    #[test]
+    fn hopcroft_karp_equals_kuhn(graph in arb_graph()) {
+        let hk = max_cardinality_matching(&graph).cardinality();
+        let mut inc = IncrementalMatching::new(&graph);
+        let mut kuhn = 0;
+        for l in 0..graph.n_left() {
+            if inc.try_augment(l) {
+                kuhn += 1;
+            }
+        }
+        prop_assert_eq!(hk, kuhn);
+    }
+
+    /// Possible-world probabilities always form a distribution and the
+    /// Monte-Carlo estimator agrees with exact enumeration.
+    #[test]
+    fn possible_worlds_are_a_distribution(
+        graph in arb_graph(),
+        probs_raw in proptest::collection::vec(0.0f64..=1.0, 10),
+        seed in 0u64..100,
+    ) {
+        let n = graph.n_left();
+        let probs: Vec<f64> = probs_raw.iter().take(n).copied().collect();
+        prop_assume!(probs.len() == n);
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let pw = PossibleWorlds::new(&graph, &weights, &probs);
+        let total: f64 = pw.worlds().map(|w| w.probability).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let exact = pw.expected_revenue();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let mc = monte_carlo_expected_revenue(&graph, &weights, &probs, 4000, &mut rng);
+        // MC error scales with total weight; keep a generous band.
+        let band = 0.1 * weights.iter().sum::<f64>().max(1.0);
+        prop_assert!((mc - exact).abs() < band, "mc {} exact {}", mc, exact);
+    }
+
+    /// Every strategy posts prices within [p_min, p_max] on random worlds.
+    #[test]
+    fn prices_stay_in_window(seed in 0u64..50, workers in 5usize..60, tasks in 5usize..120) {
+        let world = SyntheticConfig::paper_default()
+            .with_num_workers(workers)
+            .with_num_tasks(tasks)
+            .with_periods(8)
+            .with_grid_side(4)
+            .build(seed);
+        let grid = world.grid;
+        for kind in StrategyKind::ALL {
+            // Reach inside one period manually to inspect the schedule.
+            let mut strategy: Box<dyn PricingStrategy> = match kind {
+                StrategyKind::Maps => Box::new(MapsStrategy::paper_default(grid.num_cells())),
+                StrategyKind::BaseP => Box::new(BasePStrategy::paper_default(grid.num_cells())),
+                StrategyKind::Sdr => Box::new(SdrStrategy::paper_default(grid.num_cells())),
+                StrategyKind::Sde => Box::new(SdeStrategy::paper_default(grid.num_cells())),
+                StrategyKind::CappedUcb => {
+                    Box::new(CappedUcbStrategy::paper_default(grid.num_cells()))
+                }
+            };
+            let tasks: Vec<TaskInput> = world.periods[0]
+                .tasks
+                .iter()
+                .map(|t| TaskInput { origin: t.origin, distance: t.distance, cell: t.cell })
+                .collect();
+            let workers: Vec<WorkerInput> = world.periods[0]
+                .workers
+                .iter()
+                .map(|w| WorkerInput::new(&grid, w.location, w.radius))
+                .collect();
+            let graph = build_period_graph(&grid, &tasks, &workers);
+            let schedule = strategy.price_period(&PeriodInput {
+                grid: &grid,
+                tasks: &tasks,
+                workers: &workers,
+                graph: &graph,
+            });
+            for &p in &schedule.prices {
+                prop_assert!((1.0..=5.0).contains(&p), "{}: price {}", kind, p);
+            }
+        }
+    }
+
+    /// Simulator conservation: matched ≤ accepted ≤ issued, and with the
+    /// Consume policy matched ≤ |W|.
+    #[test]
+    fn simulation_conservation(seed in 0u64..30) {
+        let mut cfg = SyntheticConfig::paper_default()
+            .with_num_workers(40)
+            .with_num_tasks(200)
+            .with_periods(10)
+            .with_grid_side(4);
+        cfg.match_policy = MatchPolicy::Consume;
+        let world = cfg.build(seed);
+        let outcome = Simulation::new(world, StrategyKind::Maps)
+            .with_options(SimOptions { calibrate: false, ..SimOptions::default() })
+            .run();
+        prop_assert!(outcome.is_consistent());
+        prop_assert!(outcome.matched_tasks <= 40);
+    }
+
+    /// The Algorithm-3 maximizer never exceeds the exact L value taken at
+    /// its own choice, and L is monotone in supply (after lookahead this
+    /// is what Δ ≥ 0 rests on).
+    #[test]
+    fn lfunction_maximizer_consistency(
+        dists in proptest::collection::vec(0.1f64..10.0, 1..12),
+        s_hats in proptest::collection::vec(0.0f64..=1.0, 4),
+        n in 0usize..14,
+    ) {
+        let lf = LFunction::new(dists);
+        let ladder = PriceLadder::paper_default();
+        let mut stats = UcbStats::new(ladder.len());
+        for (idx, s) in s_hats.iter().enumerate() {
+            stats.observe_batch(idx, 10_000, (s * 10_000f64) as u64);
+        }
+        if let Some(m) = lf.maximize(n, &stats, &ladder, false) {
+            // l_hat equals the true L at the chosen price and supply.
+            let expect = lf.value(n, m.price, stats.s_hat(m.price_idx));
+            prop_assert!((m.l_hat - expect).abs() < 1e-9);
+            // And no other rung has a larger plain-mean L (no-UCB mode
+            // maximizes exactly this).
+            for (idx, p) in ladder.ascending() {
+                let v = lf.value(n, p, stats.s_hat(idx));
+                prop_assert!(v <= m.l_hat + 1e-9, "rung {} beats maximizer", p);
+            }
+        }
+        // Monotone in n for every rung.
+        for (idx, p) in ladder.ascending() {
+            let s = stats.s_hat(idx);
+            prop_assert!(lf.value(n, p, s) <= lf.value(n + 1, p, s) + 1e-12);
+        }
+    }
+
+    /// Demand distributions: survival is monotone non-increasing and
+    /// sampling stays within the window.
+    #[test]
+    fn demand_survival_monotone(mu in 1.0f64..3.5, sigma in 0.3f64..2.5, seed in 0u64..50) {
+        let d = Demand::paper_normal(mu, sigma);
+        let mut prev = f64::INFINITY;
+        for i in 0..=40 {
+            let p = 1.0 + 4.0 * i as f64 / 40.0;
+            let s = d.survival(p);
+            prop_assert!(s <= prev + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prev = s;
+        }
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let v = d.sample(&mut rng);
+            prop_assert!((1.0..=5.0).contains(&v));
+        }
+    }
+
+    /// Grid round-trip: every cell's centre maps back to the cell, and
+    /// every point maps into a cell whose rect contains it.
+    #[test]
+    fn grid_roundtrip(nx in 1u32..30, ny in 1u32..30, x in 0.0f64..100.0, y in 0.0f64..100.0) {
+        let grid = GridSpec::new(Rect::square(100.0), nx, ny);
+        {
+            let cell = grid.cell_of(Point::new(x, y));
+            prop_assert!(grid.cell_rect(cell).contains(Point::new(x, y)));
+        }
+        for cell in grid.cells().take(16) {
+            prop_assert_eq!(grid.cell_of(grid.cell_center(cell)), cell);
+        }
+    }
+}
+
+/// Non-proptest statistical check: valuations are drawn from a smooth
+/// spatial field while `GroundTruth::demands` holds each cell's
+/// cell-centre aggregate (the probe's view). On a grid finer than the
+/// field's correlation length the two must agree closely per cell.
+#[test]
+fn generated_valuations_match_declared_demand() {
+    let world: GroundTruth = SyntheticConfig::paper_default()
+        .with_num_workers(100)
+        .with_num_tasks(60_000)
+        .with_periods(20)
+        .with_grid_side(16) // 6.25-unit cells < 12.5-unit field lattice
+        .build(17);
+    world.validate().unwrap();
+    let mut checked = 0usize;
+    for cell in 0..world.grid.num_cells() {
+        let vals: Vec<f64> = world
+            .periods
+            .iter()
+            .flat_map(|p| &p.tasks)
+            .filter(|t| t.cell.index() == cell)
+            .map(|t| t.valuation)
+            .collect();
+        if vals.len() < 800 {
+            continue; // sparse peripheral cell: skip the statistical check
+        }
+        checked += 1;
+        for price in [1.5, 2.25, 3.0] {
+            let emp = vals.iter().filter(|&&v| v > price).count() as f64 / vals.len() as f64;
+            let want = world.demands[cell].survival(price);
+            // Within-cell field variation + sampling noise: a modest band.
+            assert!(
+                (emp - want).abs() < 0.12,
+                "cell {cell} price {price}: empirical {emp} vs declared {want}"
+            );
+        }
+    }
+    assert!(checked >= 10, "only {checked} cells had enough samples");
+}
