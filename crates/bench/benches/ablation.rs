@@ -47,11 +47,8 @@ fn bench_maps_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("maps_ablation_period");
     let fixture = PeriodFixture::new(200, 1000, 10, 29);
     for (name, cfg) in variants() {
-        let mut maps = MapsStrategy::new(
-            fixture.grid.num_cells(),
-            PriceLadder::paper_default(),
-            cfg,
-        );
+        let mut maps =
+            MapsStrategy::new(fixture.grid.num_cells(), PriceLadder::paper_default(), cfg);
         group.bench_with_input(BenchmarkId::from_parameter(name), &fixture, |b, f| {
             b.iter(|| black_box(maps.price_period(&f.input()).prices.len()))
         });
@@ -68,7 +65,7 @@ fn bounded() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = bounded();
     targets = bench_maps_variants

@@ -60,7 +60,7 @@ fn bounded() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = bounded();
     targets = bench_ucb, bench_freq, bench_change_detector

@@ -1,0 +1,122 @@
+//! Before/after benches for the PR-1 evaluation kernels:
+//!
+//! * possible-world expected revenue — naive enumeration (per-world
+//!   `filter_left` + re-solve) vs the Gray-code incremental walk;
+//! * masked market clearing — `filter_left` materialization vs the
+//!   [`MatchScratch`] masked kernel;
+//! * Monte-Carlo estimation — single-stream sequential vs the
+//!   deterministic block-seeded sequential and rayon-parallel engines.
+//!
+//! The machine-readable counterpart of these numbers is produced by
+//! the `bench_report` binary (`BENCH_PR1.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maps_bench::{random_graph, random_weights, XorShift};
+use maps_core::{
+    monte_carlo_expected_revenue, monte_carlo_expected_revenue_parallel,
+    monte_carlo_expected_revenue_seeded,
+};
+use maps_matching::{max_weight_matching_left_weights, MatchScratch, PossibleWorlds};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn accept_probs(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = XorShift(seed | 1);
+    (0..n).map(|_| 0.2 + 0.6 * rng.next_f64()).collect()
+}
+
+fn bench_possible_worlds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expected_revenue_exact");
+    for n in [10usize, 14] {
+        let graph = random_graph(n, n, 0.3, 21);
+        let weights = random_weights(n, 23);
+        let probs = accept_probs(n, 25);
+        let pw = PossibleWorlds::new(&graph, &weights, &probs);
+        group.bench_with_input(BenchmarkId::new("naive", n), &pw, |b, pw| {
+            b.iter(|| black_box(pw.expected_revenue_naive()))
+        });
+        group.bench_with_input(BenchmarkId::new("gray", n), &pw, |b, pw| {
+            b.iter(|| black_box(pw.expected_revenue()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_masked_clearing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("market_clearing");
+    for (tasks, workers) in [(200usize, 400usize), (1250, 5000)] {
+        let fixture = maps_bench::PeriodFixture::new(tasks, workers, 10, 3);
+        let weights = random_weights(tasks, 5);
+        let mut rng = XorShift(7);
+        let keep: Vec<bool> = (0..tasks).map(|_| rng.next_f64() < 0.6).collect();
+        group.bench_with_input(
+            BenchmarkId::new("filter_left", format!("{tasks}x{workers}")),
+            &(&fixture.graph, &weights, &keep),
+            |b, (g, w, keep)| {
+                b.iter(|| {
+                    let (sub, old_of_new) = g.filter_left(keep);
+                    let sub_weights: Vec<f64> = old_of_new.iter().map(|&l| w[l as usize]).collect();
+                    black_box(max_weight_matching_left_weights(&sub, &sub_weights).1)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("masked", format!("{tasks}x{workers}")),
+            &(&fixture.graph, &weights, &keep),
+            |b, (g, w, keep)| {
+                let mut scratch = MatchScratch::new();
+                b.iter(|| black_box(scratch.max_weight_value_masked(g, w, keep)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo_2k");
+    let n = 120usize;
+    let graph = random_graph(n, n, 0.1, 31);
+    let weights = random_weights(n, 33);
+    let probs = accept_probs(n, 35);
+    let samples = 2_000u32;
+    group.bench_function("single_stream", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            black_box(monte_carlo_expected_revenue(
+                &graph, &weights, &probs, samples, &mut rng,
+            ))
+        })
+    });
+    group.bench_function("seeded_sequential", |b| {
+        b.iter(|| {
+            black_box(monte_carlo_expected_revenue_seeded(
+                &graph, &weights, &probs, samples, 1,
+            ))
+        })
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            black_box(monte_carlo_expected_revenue_parallel(
+                &graph, &weights, &probs, samples, 1,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Keeps the full workspace bench run to minutes: short warm-up and
+/// measurement windows, few samples.
+fn bounded() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = bounded();
+    targets = bench_possible_worlds, bench_masked_clearing, bench_monte_carlo
+}
+criterion_main!(benches);

@@ -55,11 +55,9 @@ fn bench_by_grid(c: &mut Criterion) {
     for side in [5u32, 10, 25] {
         let fixture = PeriodFixture::new(50, 500, side, 17);
         let mut maps = MapsStrategy::paper_default(fixture.grid.num_cells());
-        group.bench_with_input(
-            BenchmarkId::new("MAPS", side * side),
-            &fixture,
-            |b, f| b.iter(|| black_box(maps.price_period(&f.input()).prices.len())),
-        );
+        group.bench_with_input(BenchmarkId::new("MAPS", side * side), &fixture, |b, f| {
+            b.iter(|| black_box(maps.price_period(&f.input()).prices.len()))
+        });
     }
     group.finish();
 }
@@ -68,18 +66,14 @@ fn bench_graph_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("build_period_graph");
     for workers in [500usize, 5000, 50_000] {
         let fixture = PeriodFixture::new(1250, workers, 10, 19);
-        group.bench_with_input(
-            BenchmarkId::new("capped_k64", workers),
-            &fixture,
-            |b, f| {
-                b.iter(|| {
-                    black_box(
-                        maps_core::build_period_graph_capped(&f.grid, &f.tasks, &f.workers, 64)
-                            .n_edges(),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("capped_k64", workers), &fixture, |b, f| {
+            b.iter(|| {
+                black_box(
+                    maps_core::build_period_graph_capped(&f.grid, &f.tasks, &f.workers, 64)
+                        .n_edges(),
+                )
+            })
+        });
     }
     group.finish();
 }
@@ -93,7 +87,7 @@ fn bounded() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = bounded();
     targets = bench_by_workers,

@@ -1,0 +1,252 @@
+//! Machine-readable perf trajectory: measures the PR-1 evaluation
+//! kernels against their naive baselines and writes `BENCH_PR1.json`.
+//!
+//! ```sh
+//! cargo run --release -p maps-bench --bin bench_report [-- OUT.json]
+//! ```
+//!
+//! Schema (`maps-bench-report/v1`, also documented in the README):
+//!
+//! ```json
+//! {
+//!   "schema": "maps-bench-report/v1",
+//!   "pr": 1,
+//!   "host": { "threads": 8 },
+//!   "kernels": {
+//!     "possible_worlds_n20": {
+//!       "n_tasks": 20.0, "worlds": 1048576.0,
+//!       "naive_ns": ..., "gray_ns": ..., "speedup": ...
+//!     },
+//!     "monte_carlo": {
+//!       "n_tasks": ..., "n_workers": ..., "samples": ...,
+//!       "sequential_ns": ..., "parallel_ns": ...,
+//!       "threads": ..., "speedup": ..., "bit_identical": true
+//!     },
+//!     "masked_clearing": {
+//!       "n_tasks": ..., "n_workers": ...,
+//!       "filter_left_ns": ..., "masked_ns": ..., "speedup": ...
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! Every entry reports the **median of repeated wall-clock runs** in
+//! nanoseconds for one full kernel invocation (not per sample/world).
+//! Later PRs append `BENCH_PR<N>.json` files so the perf trajectory of
+//! the repository stays diffable.
+
+use maps_bench::{random_graph, random_weights, XorShift};
+use maps_core::{monte_carlo_expected_revenue_parallel, monte_carlo_expected_revenue_seeded};
+use maps_matching::{max_weight_matching_left_weights, MatchScratch, PossibleWorlds};
+use serde::{Serialize, Value};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds of `runs` invocations of `f`.
+fn median_ns<O>(runs: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut samples: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn accept_probs(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = XorShift(seed | 1);
+    (0..n).map(|_| 0.2 + 0.6 * rng.next_f64()).collect()
+}
+
+fn format_ms(ns: f64) -> String {
+    format!("{:.2} ms", ns / 1e6)
+}
+
+/// Gray-code vs naive possible-world enumeration at the acceptance
+/// criterion's n = 20 (1,048,576 worlds per solve).
+fn possible_worlds_report() -> (Value, f64) {
+    let n = 20usize;
+    let graph = random_graph(n, n, 1.0 / 3.0, 42);
+    let weights = random_weights(n, 43);
+    let probs = accept_probs(n, 44);
+    let pw = PossibleWorlds::new(&graph, &weights, &probs);
+
+    // Correctness cross-check before timing anything.
+    let naive_value = pw.expected_revenue_naive();
+    let gray_value = pw.expected_revenue();
+    assert!(
+        (naive_value - gray_value).abs() < 1e-12 * naive_value.abs().max(1.0),
+        "gray {gray_value} disagrees with naive {naive_value}"
+    );
+
+    let gray_ns = median_ns(5, || pw.expected_revenue());
+    let naive_ns = median_ns(3, || pw.expected_revenue_naive());
+    let speedup = naive_ns / gray_ns;
+    println!(
+        "possible_worlds n={n}: naive {} | gray {} | speedup {speedup:.1}x",
+        format_ms(naive_ns),
+        format_ms(gray_ns),
+    );
+    (
+        serde::object([
+            ("n_tasks", (n as f64).to_value()),
+            ("worlds", ((1u64 << n) as f64).to_value()),
+            ("naive_ns", naive_ns.to_value()),
+            ("gray_ns", gray_ns.to_value()),
+            ("speedup", speedup.to_value()),
+        ]),
+        speedup,
+    )
+}
+
+/// Deterministic parallel Monte-Carlo vs its sequential twin.
+fn monte_carlo_report() -> (Value, f64) {
+    let (n_tasks, n_workers) = (400usize, 300usize);
+    let graph = random_graph(n_tasks, n_workers, 0.04, 51);
+    let weights = random_weights(n_tasks, 53);
+    let probs = accept_probs(n_tasks, 55);
+    let samples = 20_000u32;
+    let seed = 7u64;
+
+    let sequential_value =
+        monte_carlo_expected_revenue_seeded(&graph, &weights, &probs, samples, seed);
+    let parallel_value =
+        monte_carlo_expected_revenue_parallel(&graph, &weights, &probs, samples, seed);
+    let bit_identical = sequential_value.to_bits() == parallel_value.to_bits();
+    assert!(bit_identical, "parallel MC diverged from sequential");
+
+    let sequential_ns = median_ns(3, || {
+        monte_carlo_expected_revenue_seeded(&graph, &weights, &probs, samples, seed)
+    });
+    let parallel_ns = median_ns(5, || {
+        monte_carlo_expected_revenue_parallel(&graph, &weights, &probs, samples, seed)
+    });
+    let threads = rayon::current_num_threads();
+    let speedup = sequential_ns / parallel_ns;
+    // "Near-linear" is host-relative: efficiency ≈ 1.0 means the
+    // parallel engine scales linearly in the threads this host offers
+    // (on a 1-CPU container that is speedup ≈ 1.0 with no overhead).
+    let efficiency = speedup / threads as f64;
+    println!(
+        "monte_carlo {n_tasks}x{n_workers} x{samples}: sequential {} | parallel {} \
+         ({threads} threads) | speedup {speedup:.2}x | efficiency {efficiency:.2} \
+         | bit-identical {bit_identical}",
+        format_ms(sequential_ns),
+        format_ms(parallel_ns),
+    );
+    (
+        serde::object([
+            ("n_tasks", (n_tasks as f64).to_value()),
+            ("n_workers", (n_workers as f64).to_value()),
+            ("samples", (samples as f64).to_value()),
+            ("sequential_ns", sequential_ns.to_value()),
+            ("parallel_ns", parallel_ns.to_value()),
+            ("threads", (threads as f64).to_value()),
+            ("speedup", speedup.to_value()),
+            ("parallel_efficiency", efficiency.to_value()),
+            ("bit_identical", bit_identical.to_value()),
+        ]),
+        speedup,
+    )
+}
+
+/// Masked clearing kernel vs the `filter_left` materialization, in the
+/// shape the evaluation loops actually use it: weights fixed, the
+/// acceptance mask changing every round (so the masked path amortizes
+/// its weight order and buffers, exactly like the Monte-Carlo and
+/// possible-world engines do).
+fn masked_clearing_report() -> Value {
+    let (n_tasks, n_workers) = (1250usize, 5000usize);
+    let rounds = 100usize;
+    let fixture = maps_bench::PeriodFixture::new(n_tasks, n_workers, 10, 3);
+    let weights = random_weights(n_tasks, 5);
+    let masks: Vec<Vec<bool>> = (0..rounds)
+        .map(|round| {
+            let mut rng = XorShift(0x600D + round as u64);
+            (0..n_tasks).map(|_| rng.next_f64() < 0.6).collect()
+        })
+        .collect();
+
+    let filter_left_pass = || -> f64 {
+        masks
+            .iter()
+            .map(|keep| {
+                let (sub, old_of_new) = fixture.graph.filter_left(keep);
+                let sub_weights: Vec<f64> =
+                    old_of_new.iter().map(|&l| weights[l as usize]).collect();
+                max_weight_matching_left_weights(&sub, &sub_weights).1
+            })
+            .sum()
+    };
+    let mut scratch = MatchScratch::new();
+    let mut order = Vec::new();
+    maps_matching::sort_by_weight_desc(&weights, &mut order);
+    let mut masked_pass = || -> f64 {
+        masks
+            .iter()
+            .map(|keep| {
+                scratch.max_weight_value_ordered(&fixture.graph, &weights, &order, Some(keep))
+            })
+            .sum()
+    };
+    assert!(
+        (filter_left_pass() - masked_pass()).abs() < 1e-6,
+        "masked clearing disagrees with filter_left"
+    );
+
+    let filter_left_ns = median_ns(5, filter_left_pass);
+    let masked_ns = median_ns(5, &mut masked_pass);
+    let speedup = filter_left_ns / masked_ns;
+    println!(
+        "masked_clearing {n_tasks}x{n_workers} x{rounds} masks: filter_left {} | masked {} \
+         | speedup {speedup:.1}x",
+        format_ms(filter_left_ns),
+        format_ms(masked_ns),
+    );
+    serde::object([
+        ("n_tasks", (n_tasks as f64).to_value()),
+        ("n_workers", (n_workers as f64).to_value()),
+        ("rounds", (rounds as f64).to_value()),
+        ("filter_left_ns", filter_left_ns.to_value()),
+        ("masked_ns", masked_ns.to_value()),
+        ("speedup", speedup.to_value()),
+    ])
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+
+    println!("maps bench_report — PR 1 kernel trajectory");
+    println!("==========================================");
+    let (possible_worlds, pw_speedup) = possible_worlds_report();
+    let (monte_carlo, _mc_speedup) = monte_carlo_report();
+    let masked_clearing = masked_clearing_report();
+
+    if pw_speedup < 5.0 {
+        eprintln!("warning: gray-code speedup {pw_speedup:.1}x is below the 5x acceptance bar");
+    }
+
+    let report = serde::object([
+        ("schema", "maps-bench-report/v1".to_value()),
+        ("pr", 1.0f64.to_value()),
+        (
+            "host",
+            serde::object([("threads", (rayon::current_num_threads() as f64).to_value())]),
+        ),
+        (
+            "kernels",
+            serde::object([
+                ("possible_worlds_n20", possible_worlds),
+                ("monte_carlo", monte_carlo),
+                ("masked_clearing", masked_clearing),
+            ]),
+        ),
+    ]);
+    let text = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, format!("{text}\n")).expect("report written");
+    println!("wrote {out_path}");
+}

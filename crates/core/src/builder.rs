@@ -64,11 +64,9 @@ pub fn build_period_graph_capped(
         .map(|(i, w)| (w.location, i as u32))
         .collect();
     let index = BucketIndex::build(grid.region(), &items);
-    let max_radius = workers
-        .iter()
-        .map(|w| w.radius)
-        .fold(0.0f64, f64::max);
-    let mut builder = BipartiteGraphBuilder::with_capacity(tasks.len(), workers.len(), tasks.len() * k);
+    let max_radius = workers.iter().map(|w| w.radius).fold(0.0f64, f64::max);
+    let mut builder =
+        BipartiteGraphBuilder::with_capacity(tasks.len(), workers.len(), tasks.len() * k);
     for (t_idx, task) in tasks.iter().enumerate() {
         let near = index.k_nearest_within(task.origin, max_radius, k, |dist, w_idx| {
             dist <= workers[w_idx as usize].radius
@@ -133,9 +131,7 @@ mod tests {
             .map(|_| TaskInput::new(&grid, Point::new(next() * 100.0, next() * 100.0), 1.0))
             .collect();
         let workers: Vec<_> = (0..30)
-            .map(|_| {
-                WorkerInput::new(&grid, Point::new(next() * 100.0, next() * 100.0), 15.0)
-            })
+            .map(|_| WorkerInput::new(&grid, Point::new(next() * 100.0, next() * 100.0), 15.0))
             .collect();
         let full = build_period_graph(&grid, &tasks, &workers);
         let capped = build_period_graph_capped(&grid, &tasks, &workers, 30);

@@ -4,11 +4,40 @@
 //! available workers form an instantiated bipartite graph whose
 //! maximum-weight matching value is the platform's revenue. The exact
 //! expectation (Definition 6) is `Σ_world U(world)·Pr[world]`; here we
-//! provide the per-world clearing primitive and a Monte-Carlo estimator
+//! provide the per-world clearing primitive and Monte-Carlo estimators
 //! for instances too large for possible-world enumeration.
+//!
+//! # Estimator variants
+//!
+//! * [`monte_carlo_expected_revenue`] — classic single-stream sampler
+//!   over a caller-provided RNG. Since PR 1 each sample runs through
+//!   the zero-allocation masked kernel ([`MatchScratch`] +
+//!   [`BipartiteGraph::masked`]-style `keep` masks with a precomputed
+//!   weight order) instead of materializing a `filter_left` subgraph.
+//! * [`monte_carlo_expected_revenue_seeded`] — the deterministic
+//!   **block-seeded** sequential form: samples are grouped into fixed
+//!   blocks of [`MC_BLOCK`], each block draws from its own
+//!   `SmallRng` seeded by `(seed, block_index)`, and block sums are
+//!   reduced in block order.
+//! * [`monte_carlo_expected_revenue_parallel`] — the same computation
+//!   with blocks fanned out over rayon. Because block seeding and the
+//!   reduction order are fixed by construction, the result is
+//!   **bit-identical** to the seeded sequential form at any thread
+//!   count (enforced by `parallel_matches_sequential_bitwise`).
 
-use maps_matching::{max_weight_matching_left_weights, BipartiteGraph, Matching};
-use rand::Rng;
+use maps_matching::{
+    max_weight_matching_left_weights, sort_by_weight_desc, BipartiteGraph, MatchScratch, Matching,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Number of Monte-Carlo samples per deterministic seeding block.
+///
+/// Each block owns an independent RNG stream and a sequential in-block
+/// accumulator, so the estimate is invariant to how blocks are
+/// distributed over threads.
+pub const MC_BLOCK: u32 = 64;
 
 /// Clears the market: maximum-weight matching between (already accepted)
 /// tasks and workers, with task weights `d_r · p_r`.
@@ -18,8 +47,65 @@ pub fn realize_revenue(graph: &BipartiteGraph, weights: &[f64]) -> (Matching, f6
     max_weight_matching_left_weights(graph, weights)
 }
 
+/// Reusable workspace for the Monte-Carlo estimators: acceptance mask,
+/// weight-sorted task order and the matching scratch. Binding sorts
+/// the weights once; sampling then runs allocation-free. The parallel
+/// engine binds a single template and hands each block a clone, so no
+/// block ever re-sorts.
+#[derive(Debug, Clone, Default)]
+pub struct McScratch {
+    keep: Vec<bool>,
+    order: Vec<u32>,
+    matching: MatchScratch,
+}
+
+impl McScratch {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// (Re)binds the workspace to an instance: sizes the mask and
+    /// recomputes the weight order.
+    fn bind(&mut self, graph: &BipartiteGraph, weights: &[f64]) {
+        self.keep.clear();
+        self.keep.resize(graph.n_left(), false);
+        sort_by_weight_desc(weights, &mut self.order);
+    }
+
+    /// Draws one world from `rng` and returns its clearing revenue.
+    fn sample_once<R: Rng + ?Sized>(
+        &mut self,
+        graph: &BipartiteGraph,
+        weights: &[f64],
+        accept_probs: &[f64],
+        rng: &mut R,
+    ) -> f64 {
+        for (k, &q) in self.keep.iter_mut().zip(accept_probs) {
+            *k = rng.gen::<f64>() < q;
+        }
+        self.matching
+            .max_weight_value_ordered(graph, weights, &self.order, Some(&self.keep))
+    }
+}
+
+fn check_inputs(graph: &BipartiteGraph, weights: &[f64], accept_probs: &[f64], samples: u32) {
+    assert_eq!(weights.len(), graph.n_left(), "one weight per task");
+    assert_eq!(
+        accept_probs.len(),
+        graph.n_left(),
+        "one probability per task"
+    );
+    assert!(samples > 0, "need at least one sample");
+}
+
 /// Monte-Carlo estimate of the expected total revenue
-/// `E[U(B^t) | P^t]` for given per-task acceptance probabilities.
+/// `E[U(B^t) | P^t]` for given per-task acceptance probabilities,
+/// drawing all worlds from the caller's RNG stream.
+///
+/// Allocates a fresh workspace per call; strategies evaluating many
+/// candidate schedules should hold one [`McScratch`] and call
+/// [`monte_carlo_expected_revenue_with`] instead.
 ///
 /// # Panics
 /// Panics if slice lengths disagree with the graph or `samples == 0`.
@@ -30,21 +116,151 @@ pub fn monte_carlo_expected_revenue(
     samples: u32,
     rng: &mut impl Rng,
 ) -> f64 {
-    assert_eq!(weights.len(), graph.n_left(), "one weight per task");
-    assert_eq!(accept_probs.len(), graph.n_left(), "one probability per task");
-    assert!(samples > 0, "need at least one sample");
+    let mut scratch = McScratch::new();
+    monte_carlo_expected_revenue_with(graph, weights, accept_probs, samples, rng, &mut scratch)
+}
+
+/// [`monte_carlo_expected_revenue`] into a caller-owned workspace:
+/// after the first call at a given instance size, estimation performs
+/// no heap allocation (the weight order is still re-derived per call,
+/// since weights may change between calls).
+///
+/// # Panics
+/// Panics if slice lengths disagree with the graph or `samples == 0`.
+pub fn monte_carlo_expected_revenue_with(
+    graph: &BipartiteGraph,
+    weights: &[f64],
+    accept_probs: &[f64],
+    samples: u32,
+    rng: &mut impl Rng,
+    scratch: &mut McScratch,
+) -> f64 {
+    check_inputs(graph, weights, accept_probs, samples);
+    scratch.bind(graph, weights);
     let mut total = 0.0;
-    let mut keep = vec![false; graph.n_left()];
     for _ in 0..samples {
-        for (k, &q) in keep.iter_mut().zip(accept_probs) {
-            *k = rng.gen::<f64>() < q;
-        }
-        let (sub, old_of_new) = graph.filter_left(&keep);
-        let sub_weights: Vec<f64> = old_of_new.iter().map(|&l| weights[l as usize]).collect();
-        let (_, revenue) = max_weight_matching_left_weights(&sub, &sub_weights);
-        total += revenue;
+        total += scratch.sample_once(graph, weights, accept_probs, rng);
     }
     total / samples as f64
+}
+
+/// The RNG for one seeding block: every `(seed, block)` pair owns an
+/// independent, reproducible stream.
+fn block_rng(seed: u64, block: u32) -> SmallRng {
+    // SplitMix-style mixing so nearby blocks decorrelate fully; the
+    // vendored SmallRng expands this through SplitMix64 again.
+    SmallRng::seed_from_u64(seed ^ (block as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Sum of one block's samples, accumulated sequentially in sample
+/// order. Shared verbatim by the sequential and parallel front ends —
+/// this is what makes them bit-identical.
+fn block_sum(
+    graph: &BipartiteGraph,
+    weights: &[f64],
+    accept_probs: &[f64],
+    seed: u64,
+    block: u32,
+    block_len: u32,
+    scratch: &mut McScratch,
+) -> f64 {
+    let mut rng = block_rng(seed, block);
+    let mut acc = 0.0;
+    for _ in 0..block_len {
+        acc += scratch.sample_once(graph, weights, accept_probs, &mut rng);
+    }
+    acc
+}
+
+fn num_blocks(samples: u32) -> u32 {
+    samples.div_ceil(MC_BLOCK)
+}
+
+fn block_len(samples: u32, block: u32) -> u32 {
+    let start = block * MC_BLOCK;
+    MC_BLOCK.min(samples - start)
+}
+
+/// Deterministic block-seeded sequential Monte-Carlo estimate: the
+/// reference stream for [`monte_carlo_expected_revenue_parallel`].
+/// Same `seed` and `samples` ⇒ same result, always.
+///
+/// # Panics
+/// Panics if slice lengths disagree with the graph or `samples == 0`.
+pub fn monte_carlo_expected_revenue_seeded(
+    graph: &BipartiteGraph,
+    weights: &[f64],
+    accept_probs: &[f64],
+    samples: u32,
+    seed: u64,
+) -> f64 {
+    check_inputs(graph, weights, accept_probs, samples);
+    let mut scratch = McScratch::new();
+    scratch.bind(graph, weights);
+    let mut total = 0.0;
+    for block in 0..num_blocks(samples) {
+        total += block_sum(
+            graph,
+            weights,
+            accept_probs,
+            seed,
+            block,
+            block_len(samples, block),
+            &mut scratch,
+        );
+    }
+    total / samples as f64
+}
+
+/// Rayon-parallel Monte-Carlo estimate, bit-identical to
+/// [`monte_carlo_expected_revenue_seeded`] for the same `seed` at any
+/// thread count: blocks are seeded by index, sampled independently
+/// (one [`McScratch`] per block invocation, reused buffers inside) and
+/// reduced in block order.
+///
+/// # Panics
+/// Panics if slice lengths disagree with the graph or `samples == 0`.
+pub fn monte_carlo_expected_revenue_parallel(
+    graph: &BipartiteGraph,
+    weights: &[f64],
+    accept_probs: &[f64],
+    samples: u32,
+    seed: u64,
+) -> f64 {
+    check_inputs(graph, weights, accept_probs, samples);
+    // Bind (and weight-sort) once; each worker chunk clones the
+    // pre-bound workspace — O(threads) allocations per call, not
+    // O(blocks) — and walks its contiguous block range with it.
+    let mut template = McScratch::new();
+    template.bind(graph, weights);
+    let template = template;
+    let n_blocks = num_blocks(samples) as usize;
+    let chunk = n_blocks.div_ceil(rayon::current_num_threads().max(1));
+    let chunks: Vec<Vec<f64>> = (0..n_blocks.div_ceil(chunk))
+        .into_par_iter()
+        .map(|c| {
+            let mut scratch = template.clone();
+            (c * chunk..((c + 1) * chunk).min(n_blocks))
+                .map(|block| {
+                    let block = block as u32;
+                    block_sum(
+                        graph,
+                        weights,
+                        accept_probs,
+                        seed,
+                        block,
+                        block_len(samples, block),
+                        &mut scratch,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    // Ordered reduction: chunks are contiguous block ranges in chunk
+    // order, so flattening yields block order — the identical float
+    // summation order to the sequential path under any chunking or
+    // thread schedule.
+    chunks.iter().flatten().sum::<f64>() / samples as f64
 }
 
 #[cfg(test)]
@@ -83,6 +299,37 @@ mod tests {
     }
 
     #[test]
+    fn seeded_monte_carlo_matches_exact_enumeration() {
+        let g = running_example();
+        let weights = [3.9, 2.1, 2.0];
+        let probs = [0.5, 0.5, 0.8];
+        let exact = expected_total_revenue_exact(&g, &weights, &probs);
+        let mc = monte_carlo_expected_revenue_seeded(&g, &weights, &probs, 40_000, 7);
+        assert!((mc - exact).abs() < 0.05, "seeded MC {mc} vs exact {exact}");
+        let mc_par = monte_carlo_expected_revenue_parallel(&g, &weights, &probs, 40_000, 7);
+        assert!((mc_par - exact).abs() < 0.05, "parallel MC {mc_par}");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_workspace() {
+        let g = running_example();
+        let weights = [3.9, 2.1, 2.0];
+        let probs = [0.5, 0.5, 0.8];
+        let mut scratch = McScratch::new();
+        // Same rng stream ⇒ identical estimates, fresh or reused.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let reused_a =
+            monte_carlo_expected_revenue_with(&g, &weights, &probs, 200, &mut rng, &mut scratch);
+        let reused_b =
+            monte_carlo_expected_revenue_with(&g, &weights, &probs, 200, &mut rng, &mut scratch);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let fresh_a = monte_carlo_expected_revenue(&g, &weights, &probs, 200, &mut rng);
+        let fresh_b = monte_carlo_expected_revenue(&g, &weights, &probs, 200, &mut rng);
+        assert_eq!(reused_a.to_bits(), fresh_a.to_bits());
+        assert_eq!(reused_b.to_bits(), fresh_b.to_bits());
+    }
+
+    #[test]
     fn monte_carlo_degenerate_probs() {
         let g = running_example();
         let weights = [3.9, 2.1, 2.0];
@@ -93,11 +340,77 @@ mod tests {
         assert_eq!(none, 0.0);
     }
 
+    /// The acceptance criterion for this PR's parallel engine: the
+    /// parallel estimator returns bit-identical results to the seeded
+    /// sequential path for the same seed, at every thread count.
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        // A bigger pseudorandom instance so blocks are non-trivial.
+        let mut s = 99u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let (n_left, n_right) = (40usize, 25usize);
+        let mut b = BipartiteGraphBuilder::new(n_left, n_right);
+        for l in 0..n_left {
+            for r in 0..n_right {
+                if next() % 4 == 0 {
+                    b.add_edge(l, r);
+                }
+            }
+        }
+        let g = b.build();
+        let weights: Vec<f64> = (0..n_left).map(|_| (next() % 900) as f64 / 100.0).collect();
+        let probs: Vec<f64> = (0..n_left).map(|_| (next() % 100) as f64 / 100.0).collect();
+
+        for &(samples, seed) in &[(1u32, 3u64), (63, 5), (64, 7), (65, 11), (1000, 13)] {
+            let sequential =
+                monte_carlo_expected_revenue_seeded(&g, &weights, &probs, samples, seed);
+            for threads in [1usize, 2, 3, 8] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let parallel = pool.install(|| {
+                    monte_carlo_expected_revenue_parallel(&g, &weights, &probs, samples, seed)
+                });
+                assert_eq!(
+                    sequential.to_bits(),
+                    parallel.to_bits(),
+                    "samples {samples} seed {seed} threads {threads}: \
+                     {sequential} vs {parallel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_is_reproducible_and_seed_sensitive() {
+        let g = running_example();
+        let weights = [3.9, 2.1, 2.0];
+        let probs = [0.5, 0.5, 0.8];
+        let a = monte_carlo_expected_revenue_seeded(&g, &weights, &probs, 500, 42);
+        let b = monte_carlo_expected_revenue_seeded(&g, &weights, &probs, 500, 42);
+        assert_eq!(a.to_bits(), b.to_bits());
+        let c = monte_carlo_expected_revenue_seeded(&g, &weights, &probs, 500, 43);
+        assert_ne!(a.to_bits(), c.to_bits(), "different seeds must differ");
+    }
+
     #[test]
     #[should_panic(expected = "at least one sample")]
     fn rejects_zero_samples() {
         let g = running_example();
         let mut rng = SmallRng::seed_from_u64(1);
         let _ = monte_carlo_expected_revenue(&g, &[1.0; 3], &[0.5; 3], 0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn parallel_rejects_zero_samples() {
+        let g = running_example();
+        let _ = monte_carlo_expected_revenue_parallel(&g, &[1.0; 3], &[0.5; 3], 0, 1);
     }
 }

@@ -73,10 +73,9 @@ impl Formula {
     /// Evaluates the formula under a truth assignment.
     pub fn is_satisfied(&self, assignment: &[bool]) -> bool {
         assert_eq!(assignment.len(), self.num_vars);
-        self.clauses.iter().all(|c| {
-            c.iter()
-                .any(|l| assignment[l.var] == l.positive)
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| assignment[l.var] == l.positive))
     }
 
     /// Exhaustive satisfiability check (test-sized formulas only).
@@ -166,7 +165,10 @@ impl GdpHardnessInstance {
     /// The decision problem: does any price assignment reach revenue `m`?
     /// (Exhaustive over `2^num_grids` — test-sized instances only.)
     pub fn max_revenue_reaches_m(&self) -> bool {
-        assert!(self.num_grids <= 20, "exhaustive search limited to 20 grids");
+        assert!(
+            self.num_grids <= 20,
+            "exhaustive search limited to 20 grids"
+        );
         let m = self.num_clauses as f64;
         (0u64..(1 << self.num_grids)).any(|mask| {
             let assignment: Vec<bool> = (0..self.num_grids).map(|v| mask >> v & 1 == 1).collect();

@@ -418,10 +418,7 @@ mod tests {
                 for s in [0.0, 0.1, 0.5, 0.9, 1.0] {
                     let l = lf.value(n, p, s);
                     let lt = lf.value_tilde(n, p, s);
-                    assert!(
-                        lt <= l + 1e-12,
-                        "L̃({n},{p},{s})={lt} exceeds L={l}"
-                    );
+                    assert!(lt <= l + 1e-12, "L̃({n},{p},{s})={lt} exceeds L={l}");
                     assert!(lt >= 0.0);
                 }
             }

@@ -46,12 +46,16 @@ pub mod smoothing;
 pub use base::{BasePriceResult, BasePricing};
 pub use baselines::{BasePStrategy, CappedUcbStrategy, SdeStrategy, SdrStrategy};
 pub use builder::{build_period_graph, build_period_graph_capped};
-pub use evaluate::{monte_carlo_expected_revenue, realize_revenue};
+pub use evaluate::{
+    monte_carlo_expected_revenue, monte_carlo_expected_revenue_parallel,
+    monte_carlo_expected_revenue_seeded, monte_carlo_expected_revenue_with, realize_revenue,
+    McScratch, MC_BLOCK,
+};
 pub use lfunc::{ApproxKind, DeltaRule, LFunction};
 pub use maps_strategy::{MapsConfig, MapsStrategy};
 pub use problem::{
-    DemandProbe, Observation, PeriodInput, PriceSchedule, PricingStrategy, StrategyKind,
-    TaskInput, WorkerInput,
+    DemandProbe, Observation, PeriodInput, PriceSchedule, PricingStrategy, StrategyKind, TaskInput,
+    WorkerInput,
 };
 
 /// Commonly used items.
@@ -59,7 +63,11 @@ pub mod prelude {
     pub use crate::base::{BasePriceResult, BasePricing};
     pub use crate::baselines::{BasePStrategy, CappedUcbStrategy, SdeStrategy, SdrStrategy};
     pub use crate::builder::{build_period_graph, build_period_graph_capped};
-    pub use crate::evaluate::{monte_carlo_expected_revenue, realize_revenue};
+    pub use crate::evaluate::{
+        monte_carlo_expected_revenue, monte_carlo_expected_revenue_parallel,
+        monte_carlo_expected_revenue_seeded, monte_carlo_expected_revenue_with, realize_revenue,
+        McScratch, MC_BLOCK,
+    };
     pub use crate::lfunc::{ApproxKind, DeltaRule, LFunction};
     pub use crate::maps_strategy::{MapsConfig, MapsStrategy};
     pub use crate::problem::{

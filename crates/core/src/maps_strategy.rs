@@ -179,7 +179,11 @@ impl MapsStrategy {
 
     /// Paper-default MAPS over the default ladder.
     pub fn paper_default(num_cells: usize) -> Self {
-        Self::new(num_cells, PriceLadder::paper_default(), MapsConfig::default())
+        Self::new(
+            num_cells,
+            PriceLadder::paper_default(),
+            MapsConfig::default(),
+        )
     }
 
     /// The learned/base price `p_b` currently in use for empty grids.
@@ -242,9 +246,7 @@ impl MapsStrategy {
             l_hat: state.cur_l,
             revenue_hat: state.cur_rev,
         };
-        if state.n >= state.lf.num_tasks()
-            || Self::next_augmentable(matching, state).is_none()
-        {
+        if state.n >= state.lf.num_tasks() || Self::next_augmentable(matching, state).is_none() {
             heap.push(finalizer);
             return;
         }
@@ -279,8 +281,8 @@ impl MapsStrategy {
                             &self.ladder,
                             self.cfg.use_ucb,
                         ) {
-                            let amortized = (value_of(&mx) - cur_value)
-                                / (m_level - state.n) as f64;
+                            let amortized =
+                                (value_of(&mx) - cur_value) / (m_level - state.n) as f64;
                             delta = delta.max(amortized);
                         }
                     }
@@ -620,7 +622,8 @@ mod tests {
         let s = [0.99, 0.6, 0.35];
         for (idx, s) in s.iter().enumerate() {
             let n = 1_000_000u64;
-            maps.stats_mut(0).observe_batch(idx, n, (s * n as f64) as u64);
+            maps.stats_mut(0)
+                .observe_batch(idx, n, (s * n as f64) as u64);
         }
         maps.set_base_price(2.0);
         let graph = build_period_graph(&grid, &tasks, &workers);

@@ -83,8 +83,14 @@ fn main() {
         },
     };
 
-    println!("== MAPS ablation on the Table-3 default world ({scale:?}, {} seeds) ==", seeds.len());
-    println!("{:<30}{:>14}{:>12}{:>12}", "variant", "revenue", "time(s)", "mem(MiB)");
+    println!(
+        "== MAPS ablation on the Table-3 default world ({scale:?}, {} seeds) ==",
+        seeds.len()
+    );
+    println!(
+        "{:<30}{:>14}{:>12}{:>12}",
+        "variant", "revenue", "time(s)", "mem(MiB)"
+    );
 
     for (name, maps_cfg) in variants() {
         let mut revenue = 0.0;
@@ -120,7 +126,9 @@ fn main() {
     let mut base_rev = 0.0;
     for &seed in &seeds {
         let truth = cfg.build(seed);
-        base_rev += Simulation::new(truth, StrategyKind::BaseP).run().total_revenue;
+        base_rev += Simulation::new(truth, StrategyKind::BaseP)
+            .run()
+            .total_revenue;
     }
     println!(
         "{:<30}{:>14.1}",

@@ -62,7 +62,11 @@ impl CliArgs {
     /// The corresponding [`RunOptions`].
     pub fn run_options(&self) -> RunOptions {
         RunOptions {
-            scale: if self.quick { Scale::Quick } else { Scale::Full },
+            scale: if self.quick {
+                Scale::Quick
+            } else {
+                Scale::Full
+            },
             num_seeds: self.seeds,
             parallel: self.parallel,
             track_memory: !self.no_memory && !self.parallel,
@@ -108,7 +112,9 @@ pub fn run_figure(figure: &str, args: &CliArgs) {
         let rows = run_panel(&spec, options);
         eprintln!("  done in {:.1}s", start.elapsed().as_secs_f64());
         print_metric_tables(&rows);
-        let path = args.out_dir.join(format!("{}_{}.jsonl", spec.figure, spec.panel));
+        let path = args
+            .out_dir
+            .join(format!("{}_{}.jsonl", spec.figure, spec.panel));
         if let Err(e) = write_jsonl(&rows, &path) {
             eprintln!("warning: could not write {}: {e}", path.display());
         }

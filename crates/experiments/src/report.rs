@@ -1,11 +1,14 @@
 //! Result rows, paper-style tables and JSON-lines output.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::io::Write;
 use std::path::Path;
 
 /// One aggregated experiment cell (a point in one of the paper's plots).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are implemented by hand below: the
+/// offline vendored `serde` has no derive macro.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Figure id (`fig6` … `fig10`).
     pub figure: String,
@@ -35,6 +38,48 @@ pub struct Row {
     pub accepted: f64,
     /// Average matched tasks.
     pub matched: f64,
+}
+
+impl Serialize for Row {
+    fn to_value(&self) -> Value {
+        serde::object([
+            ("figure", self.figure.to_value()),
+            ("panel", self.panel.to_value()),
+            ("paper_ref", self.paper_ref.to_value()),
+            ("x_name", self.x_name.to_value()),
+            ("x", self.x.to_value()),
+            ("strategy", self.strategy.to_value()),
+            ("revenue", self.revenue.to_value()),
+            ("pricing_secs", self.pricing_secs.to_value()),
+            ("clearing_secs", self.clearing_secs.to_value()),
+            ("calibration_secs", self.calibration_secs.to_value()),
+            ("memory_mib", self.memory_mib.to_value()),
+            ("issued", self.issued.to_value()),
+            ("accepted", self.accepted.to_value()),
+            ("matched", self.matched.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Row {
+    fn from_value(value: &Value) -> Result<Self, serde::DeError> {
+        Ok(Row {
+            figure: serde::field(value, "figure")?,
+            panel: serde::field(value, "panel")?,
+            paper_ref: serde::field(value, "paper_ref")?,
+            x_name: serde::field(value, "x_name")?,
+            x: serde::field(value, "x")?,
+            strategy: serde::field(value, "strategy")?,
+            revenue: serde::field(value, "revenue")?,
+            pricing_secs: serde::field(value, "pricing_secs")?,
+            clearing_secs: serde::field(value, "clearing_secs")?,
+            calibration_secs: serde::field(value, "calibration_secs")?,
+            memory_mib: serde::field(value, "memory_mib")?,
+            issued: serde::field(value, "issued")?,
+            accepted: serde::field(value, "accepted")?,
+            matched: serde::field(value, "matched")?,
+        })
+    }
 }
 
 /// The strategy ordering used by the paper's legends.

@@ -38,7 +38,14 @@ impl Default for RunOptions {
 }
 
 /// Runs one simulation cell, with optional peak-memory accounting.
-fn run_cell(spec: &PanelSpec, x: f64, kind: StrategyKind, scale: Scale, seed: u64, track: bool) -> Outcome {
+fn run_cell(
+    spec: &PanelSpec,
+    x: f64,
+    kind: StrategyKind,
+    scale: Scale,
+    seed: u64,
+    track: bool,
+) -> Outcome {
     let truth = (spec.build)(x, scale, seed);
     if track {
         TrackingAllocator::reset_peak();

@@ -163,7 +163,8 @@ mod tests {
         // A batch with the same per-window acceptance count behaves like
         // the sequential feed for flagging purposes.
         let mut det = ChangeDetector::new(1, 10);
-        assert!(!det.observe_batch(0, 10, 9)); // baseline window: Ŝ=0.9
+        // Baseline window: Ŝ=0.9.
+        assert!(!det.observe_batch(0, 10, 9));
         // Next window with 1/10 accepted: |1 − 9| = 8 > 2√(10·0.9·0.1)=1.9.
         assert!(det.observe_batch(0, 10, 1));
     }

@@ -319,6 +319,9 @@ mod tests {
                 violations += 1;
             }
         }
-        assert!(violations <= 1, "{violations} of 40 trials violated the bound");
+        assert!(
+            violations <= 1,
+            "{violations} of 40 trials violated the bound"
+        );
     }
 }

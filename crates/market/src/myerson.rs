@@ -63,7 +63,11 @@ pub fn myerson_reserve_on_ladder<D: DemandDistribution + ?Sized>(
     demand: &D,
     ladder: &PriceLadder,
 ) -> (usize, f64, f64) {
-    let mut best = (0usize, ladder.price(0), demand.revenue_curve(ladder.price(0)));
+    let mut best = (
+        0usize,
+        ladder.price(0),
+        demand.revenue_curve(ladder.price(0)),
+    );
     for (i, p) in ladder.ascending().skip(1) {
         let v = demand.revenue_curve(p);
         // Strictly greater: equal values keep the earlier (smaller) price.

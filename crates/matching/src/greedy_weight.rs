@@ -13,7 +13,7 @@
 //! paper's 500k × 500k scalability experiment (Fig. 8, column 2) feasible.
 
 use crate::graph::BipartiteGraph;
-use crate::incremental::IncrementalMatching;
+use crate::scratch::MatchScratch;
 use crate::Matching;
 
 /// Computes a maximum-weight matching of `graph` where the weight of every
@@ -22,7 +22,10 @@ use crate::Matching;
 /// Tasks with non-positive weight are skipped: they cannot increase the
 /// total, and the paper's weights `d_r · p_r` are strictly positive anyway.
 ///
-/// Returns the matching and its total weight.
+/// Returns the matching and its total weight. Hot loops that only need
+/// the value should call [`MatchScratch::max_weight_value`] on a
+/// reused workspace instead: this convenience wrapper allocates a
+/// fresh workspace and a result `Matching` per call.
 ///
 /// # Panics
 /// Panics if `weights.len() != graph.n_left()` or any weight is NaN.
@@ -30,34 +33,9 @@ pub fn max_weight_matching_left_weights(
     graph: &BipartiteGraph,
     weights: &[f64],
 ) -> (Matching, f64) {
-    assert_eq!(
-        weights.len(),
-        graph.n_left(),
-        "one weight per left vertex required"
-    );
-    let mut order: Vec<u32> = (0..graph.n_left() as u32)
-        .filter(|&l| {
-            let w = weights[l as usize];
-            assert!(!w.is_nan(), "weight for left vertex {l} is NaN");
-            w > 0.0
-        })
-        .collect();
-    // Decreasing weight; ties broken by index for determinism.
-    order.sort_unstable_by(|&a, &b| {
-        weights[b as usize]
-            .partial_cmp(&weights[a as usize])
-            .expect("weights are not NaN")
-            .then(a.cmp(&b))
-    });
-
-    let mut matching = IncrementalMatching::new(graph);
-    let mut total = 0.0;
-    for &l in &order {
-        if matching.try_augment(l as usize) {
-            total += weights[l as usize];
-        }
-    }
-    (matching.into_matching(), total)
+    let mut scratch = MatchScratch::with_capacity(graph.n_left(), graph.n_right());
+    let total = scratch.max_weight_value(graph, weights);
+    (scratch.to_matching(), total)
 }
 
 #[cfg(test)]
@@ -141,7 +119,9 @@ mod tests {
                 }
             }
             let g = b.build();
-            let weights: Vec<f64> = (0..n_left).map(|_| (next() % 1000) as f64 / 100.0).collect();
+            let weights: Vec<f64> = (0..n_left)
+                .map(|_| (next() % 1000) as f64 / 100.0)
+                .collect();
             let (mg, wg) = max_weight_matching_left_weights(&g, &weights);
             let (_, wh) = max_weight_matching_dense(n_left, n_right, |l, r| {
                 g.has_edge(l, r).then_some(weights[l])

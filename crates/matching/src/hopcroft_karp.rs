@@ -49,8 +49,7 @@ pub fn max_cardinality_matching(graph: &BipartiteGraph) -> Matching {
         // DFS phase: vertex-disjoint shortest augmenting paths.
         let mut augmented = 0usize;
         for l in 0..n_left {
-            if match_left[l] == INF && dfs(graph, l, &mut match_left, &mut match_right, &mut dist)
-            {
+            if match_left[l] == INF && dfs(graph, l, &mut match_left, &mut match_right, &mut dist) {
                 augmented += 1;
             }
         }

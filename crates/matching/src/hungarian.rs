@@ -192,9 +192,8 @@ mod tests {
         // Edges: r1-{w1}, r2-{w1}, r3-{w1,w2,w3}. Optimal: r1·w1 + r3·w2 = 5.9.
         let wts = [3.9, 2.1, 2.0];
         let edges = [(0usize, 0usize), (1, 0), (2, 0), (2, 1), (2, 2)];
-        let (m, w) = max_weight_matching_dense(3, 3, |l, r| {
-            edges.contains(&(l, r)).then_some(wts[l])
-        });
+        let (m, w) =
+            max_weight_matching_dense(3, 3, |l, r| edges.contains(&(l, r)).then_some(wts[l]));
         assert!((w - 5.9).abs() < 1e-9);
         assert_eq!(m.pairs[0], Some(0));
         assert_eq!(m.pairs[1], None);

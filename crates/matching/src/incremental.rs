@@ -5,11 +5,16 @@
 //! the algorithm must "find an augmenting path for r ∈ R^tg and add the
 //! match into M′" (line 10), and the feasibility test in line 16 asks
 //! whether *any* unassigned task of the grid admits an augmenting path.
-//! [`IncrementalMatching`] supports exactly these two operations with
-//! epoch-stamped visited marks so repeated probes do not pay `O(V)`
-//! clearing costs.
+//! [`IncrementalMatching`] supports exactly these two operations.
+//!
+//! Since PR 1 the search state lives in a [`MatchScratch`], the shared
+//! zero-allocation kernel workspace: the DFS, the epoch-stamped visited
+//! marks and the packed match arrays are one implementation reused by
+//! the batch kernels, and [`IncrementalMatching::reuse`] lets callers
+//! re-seat an existing matching on a fresh graph without reallocating.
 
 use crate::graph::BipartiteGraph;
+use crate::scratch::MatchScratch;
 use crate::Matching;
 
 /// A mutable matching over a borrowed bipartite graph supporting Kuhn-style
@@ -17,24 +22,37 @@ use crate::Matching;
 #[derive(Debug, Clone)]
 pub struct IncrementalMatching<'g> {
     graph: &'g BipartiteGraph,
-    match_left: Vec<Option<u32>>,
-    match_right: Vec<Option<u32>>,
-    /// Epoch stamps replacing a `visited: Vec<bool>` that would need
-    /// clearing before every augmentation attempt.
-    visited_right: Vec<u32>,
-    epoch: u32,
+    core: MatchScratch,
 }
 
 impl<'g> IncrementalMatching<'g> {
     /// Starts from the empty matching.
     pub fn new(graph: &'g BipartiteGraph) -> Self {
+        let mut core = MatchScratch::with_capacity(graph.n_left(), graph.n_right());
+        core.reset(graph.n_left(), graph.n_right());
+        Self { graph, core }
+    }
+
+    /// Starts from the empty matching inside a recycled scratch: no
+    /// allocation happens if `scratch` has already served a graph at
+    /// least this large.
+    pub fn with_scratch(graph: &'g BipartiteGraph, mut scratch: MatchScratch) -> Self {
+        scratch.reset(graph.n_left(), graph.n_right());
         Self {
             graph,
-            match_left: vec![None; graph.n_left()],
-            match_right: vec![None; graph.n_right()],
-            visited_right: vec![0; graph.n_right()],
-            epoch: 0,
+            core: scratch,
         }
+    }
+
+    /// Re-seats this matcher on a new graph, clearing the matching but
+    /// keeping every buffer.
+    pub fn reuse<'h>(self, graph: &'h BipartiteGraph) -> IncrementalMatching<'h> {
+        IncrementalMatching::with_scratch(graph, self.core)
+    }
+
+    /// Decomposes into the underlying scratch for further reuse.
+    pub fn into_scratch(self) -> MatchScratch {
+        self.core
     }
 
     /// The graph this matching lives on.
@@ -45,24 +63,24 @@ impl<'g> IncrementalMatching<'g> {
     /// Current assignment of left vertex `l`.
     #[inline]
     pub fn matched_right(&self, l: usize) -> Option<u32> {
-        self.match_left[l]
+        self.core.matched_right(l)
     }
 
     /// Current assignment of right vertex `r`.
     #[inline]
     pub fn matched_left(&self, r: usize) -> Option<u32> {
-        self.match_right[r]
+        self.core.matched_left(r)
     }
 
     /// Whether left vertex `l` is currently matched.
     #[inline]
     pub fn is_left_matched(&self, l: usize) -> bool {
-        self.match_left[l].is_some()
+        self.core.matched_right(l).is_some()
     }
 
     /// Number of matched pairs.
     pub fn cardinality(&self) -> usize {
-        self.match_left.iter().filter(|m| m.is_some()).count()
+        self.core.cardinality()
     }
 
     /// Tries to match the currently-unmatched left vertex `l` by finding an
@@ -73,80 +91,29 @@ impl<'g> IncrementalMatching<'g> {
     /// Panics if `l` is already matched (augmenting from a matched vertex
     /// would corrupt the matching).
     pub fn try_augment(&mut self, l: usize) -> bool {
-        assert!(
-            self.match_left[l].is_none(),
-            "augmenting from already-matched left vertex {l}"
-        );
-        self.bump_epoch();
-        self.dfs(l, true)
+        self.core.try_augment(self.graph, l)
     }
 
     /// Like [`Self::try_augment`] but never modifies the matching; returns
     /// whether an augmenting path from `l` exists right now.
     pub fn can_augment(&mut self, l: usize) -> bool {
-        if self.match_left[l].is_some() {
-            return false;
-        }
-        self.bump_epoch();
-        self.dfs(l, false)
+        self.core.can_augment(self.graph, l)
     }
 
     /// Removes the assignment of left vertex `l` (if any), freeing its
     /// worker. Used by simulators when a task is cancelled.
     pub fn unmatch_left(&mut self, l: usize) {
-        if let Some(r) = self.match_left[l].take() {
-            self.match_right[r as usize] = None;
-        }
+        self.core.unmatch_left(l);
     }
 
     /// Freezes into a plain [`Matching`].
     pub fn into_matching(self) -> Matching {
-        Matching {
-            pairs: self.match_left,
-        }
+        self.core.to_matching()
     }
 
     /// A snapshot of the current assignment.
     pub fn to_matching(&self) -> Matching {
-        Matching {
-            pairs: self.match_left.clone(),
-        }
-    }
-
-    fn bump_epoch(&mut self) {
-        self.epoch = self.epoch.checked_add(1).unwrap_or_else(|| {
-            self.visited_right.fill(0);
-            1
-        });
-    }
-
-    /// Kuhn's DFS. When `apply` is false the assignments are not written;
-    /// the reachability computed is identical because assignment writes
-    /// only happen on the success path, after all recursion has resolved.
-    fn dfs(&mut self, l: usize, apply: bool) -> bool {
-        // Recursion depth is bounded by the matching cardinality, which is
-        // small for the per-period graphs this system builds.
-        let graph = self.graph;
-        for &r in graph.neighbors(l) {
-            let r = r as usize;
-            if self.visited_right[r] == self.epoch {
-                continue;
-            }
-            self.visited_right[r] = self.epoch;
-            let occupant = self.match_right[r];
-            let free = match occupant {
-                None => true,
-                Some(l2) => self.dfs(l2 as usize, apply),
-            };
-            if free {
-                if apply {
-                    self.match_right[r] = Some(l as u32);
-                    self.match_left[l] = Some(r as u32);
-                }
-                return true;
-            }
-        }
-        false
+        self.core.to_matching()
     }
 }
 
@@ -248,5 +215,21 @@ mod tests {
         let mut m = IncrementalMatching::new(&g);
         assert!(m.try_augment(0));
         let _ = m.try_augment(0);
+    }
+
+    #[test]
+    fn reuse_carries_buffers_not_state() {
+        let g1 = chain_graph();
+        let mut m = IncrementalMatching::new(&g1);
+        assert!(m.try_augment(0));
+        assert!(m.try_augment(1));
+        let g2 = BipartiteGraphBuilder::new(2, 2)
+            .with_edges([(0, 1), (1, 0)])
+            .build();
+        let mut m = m.reuse(&g2);
+        assert_eq!(m.cardinality(), 0, "reuse clears the matching");
+        assert!(m.try_augment(0));
+        assert!(m.try_augment(1));
+        assert!(m.to_matching().is_valid(&g2));
     }
 }

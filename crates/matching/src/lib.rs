@@ -22,9 +22,14 @@
 //!   form a transversal matroid, so greedy-by-weight with augmenting paths
 //!   is optimal; this is what lets the simulator run the paper's
 //!   `|R| = |W| = 500 000` scalability experiment.
-//! * [`possible_worlds`] — exact expected total revenue by enumerating the
-//!   `2^|R|` possible worlds of Definition 6 (small instances / test
-//!   oracle; reproduces Example 3's expected revenue).
+//! * [`possible_worlds`] — exact expected total revenue over the `2^|R|`
+//!   possible worlds of Definition 6: a Gray-code fast path with O(1)
+//!   probability updates plus the naive enumerator kept as test oracle
+//!   (reproduces Example 3's expected revenue).
+//! * [`scratch`] — [`MatchScratch`], the reusable zero-allocation
+//!   workspace behind every matching kernel, and the
+//!   [`graph::MaskedGraph`] view that replaces `filter_left` copies in
+//!   hot loops.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,22 +40,25 @@ pub mod hopcroft_karp;
 pub mod hungarian;
 pub mod incremental;
 pub mod possible_worlds;
+pub mod scratch;
 
-pub use graph::{BipartiteGraph, BipartiteGraphBuilder};
+pub use graph::{BipartiteGraph, BipartiteGraphBuilder, MaskedGraph};
 pub use greedy_weight::max_weight_matching_left_weights;
 pub use hopcroft_karp::max_cardinality_matching;
 pub use hungarian::max_weight_matching_dense;
 pub use incremental::IncrementalMatching;
 pub use possible_worlds::{expected_total_revenue_exact, PossibleWorlds};
+pub use scratch::{sort_by_weight_desc, MatchScratch};
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::graph::{BipartiteGraph, BipartiteGraphBuilder};
+    pub use crate::graph::{BipartiteGraph, BipartiteGraphBuilder, MaskedGraph};
     pub use crate::greedy_weight::max_weight_matching_left_weights;
     pub use crate::hopcroft_karp::max_cardinality_matching;
     pub use crate::hungarian::max_weight_matching_dense;
     pub use crate::incremental::IncrementalMatching;
     pub use crate::possible_worlds::{expected_total_revenue_exact, PossibleWorlds};
+    pub use crate::scratch::{sort_by_weight_desc, MatchScratch};
     pub use crate::Matching;
 }
 

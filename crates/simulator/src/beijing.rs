@@ -241,8 +241,8 @@ fn sample_mixture(
 fn sample_trip(rng: &mut impl Rng, origin: Point, region: Rect) -> (Point, f64) {
     let len = (5.0 * (0.6 * gaussian(rng)).exp()).clamp(0.5, 20.0);
     let theta = rng.gen_range(0.0..std::f64::consts::TAU);
-    let dest = Point::new(origin.x + len * theta.cos(), origin.y + len * theta.sin())
-        .clamped(region);
+    let dest =
+        Point::new(origin.x + len * theta.cos(), origin.y + len * theta.sin()).clamped(region);
     let mut distance = origin.euclidean(dest);
     if distance < 0.1 {
         distance = 0.1; // clipped into a corner; keep trips non-degenerate

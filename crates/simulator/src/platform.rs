@@ -15,10 +15,10 @@ use crate::metrics::Outcome;
 use crate::probe::GroundTruthProbe;
 use crate::truth::{GroundTruth, MatchPolicy};
 use maps_core::{
-    build_period_graph_capped, realize_revenue, BasePStrategy, CappedUcbStrategy, MapsStrategy,
-    Observation, PeriodInput, PricingStrategy, SdeStrategy, SdrStrategy, StrategyKind, TaskInput,
-    WorkerInput,
+    build_period_graph_capped, BasePStrategy, CappedUcbStrategy, MapsStrategy, Observation,
+    PeriodInput, PricingStrategy, SdeStrategy, SdrStrategy, StrategyKind, TaskInput, WorkerInput,
 };
+use maps_matching::MatchScratch;
 use std::time::Instant;
 
 /// Options for one simulation run.
@@ -132,11 +132,15 @@ impl Simulation {
         }
 
         let mut workers: Vec<ActiveWorker> = Vec::new();
-        // Reused scratch buffers.
+        // Reused scratch buffers: everything the per-period loop needs
+        // is allocated once here and recycled across the horizon.
         let mut avail_idx: Vec<u32> = Vec::new();
         let mut worker_inputs: Vec<WorkerInput> = Vec::new();
         let mut task_inputs: Vec<TaskInput> = Vec::new();
         let mut observations: Vec<Observation> = Vec::new();
+        let mut keep: Vec<bool> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        let mut clearing = MatchScratch::new();
 
         for t in 0..t_total {
             let period = &self.truth.periods[t];
@@ -190,11 +194,15 @@ impl Simulation {
 
             // Requesters decide; the platform observes every decision.
             observations.clear();
-            let mut keep = vec![false; task_inputs.len()];
+            keep.clear();
+            keep.resize(task_inputs.len(), false);
+            weights.clear();
+            weights.resize(task_inputs.len(), 0.0);
             for (i, (task, input_task)) in period.tasks.iter().zip(&task_inputs).enumerate() {
                 let price = schedule.price(input_task.cell);
                 let accepted = task.valuation > price;
                 keep[i] = accepted;
+                weights[i] = input_task.distance * price;
                 price_sum += price;
                 price_sq_sum += price * price;
                 observations.push(Observation {
@@ -205,31 +213,25 @@ impl Simulation {
             }
             outcome.accepted_tasks += keep.iter().filter(|&&k| k).count() as u64;
 
-            // Clear the market over the accepting subgraph.
+            // Clear the market over the accepting subgraph, through the
+            // masked zero-allocation kernel (no `filter_left` copy).
             let start = Instant::now();
-            let (sub, old_of_new) = graph.filter_left(&keep);
-            let weights: Vec<f64> = old_of_new
-                .iter()
-                .map(|&i| {
-                    let task = &task_inputs[i as usize];
-                    task.distance * schedule.price(task.cell)
-                })
-                .collect();
-            let (matching, revenue) = realize_revenue(&sub, &weights);
+            let revenue = graph
+                .masked(&keep)
+                .max_weight_value(&weights, &mut clearing);
             outcome.clearing_secs += start.elapsed().as_secs_f64();
 
             outcome.total_revenue += revenue;
             outcome.revenue_per_period.push(revenue);
 
-            // Worker lifecycle for matched pairs.
-            for (new_l, assigned) in matching.pairs.iter().enumerate() {
-                let Some(w_input_idx) = assigned else {
-                    continue;
-                };
+            // Worker lifecycle for matched pairs (task indices are the
+            // original period indices — the masked kernel does not
+            // renumber).
+            for (l, w_input_idx) in clearing.matched_pairs() {
                 outcome.matched_tasks += 1;
-                let task = &period.tasks[old_of_new[new_l] as usize];
+                let task = &period.tasks[l];
                 outcome.matched_distance += task.distance;
-                let worker = &mut workers[avail_idx[*w_input_idx as usize] as usize];
+                let worker = &mut workers[avail_idx[w_input_idx as usize] as usize];
                 match self.truth.match_policy {
                     MatchPolicy::Consume => worker.gone = true,
                     MatchPolicy::Relocate { speed } => {
@@ -246,10 +248,10 @@ impl Simulation {
         if outcome.issued_tasks > 0 {
             let n = outcome.issued_tasks as f64;
             outcome.mean_posted_price = price_sum / n;
-            outcome.posted_price_std =
-                (price_sq_sum / n - outcome.mean_posted_price * outcome.mean_posted_price)
-                    .max(0.0)
-                    .sqrt();
+            outcome.posted_price_std = (price_sq_sum / n
+                - outcome.mean_posted_price * outcome.mean_posted_price)
+                .max(0.0)
+                .sqrt();
         }
         outcome
     }
@@ -284,9 +286,7 @@ mod tests {
             assert!(outcome.total_revenue >= 0.0);
             assert_eq!(outcome.revenue_per_period.len(), 25);
             assert!(
-                (outcome.total_revenue
-                    - outcome.revenue_per_period.iter().sum::<f64>())
-                .abs()
+                (outcome.total_revenue - outcome.revenue_per_period.iter().sum::<f64>()).abs()
                     < 1e-9
             );
             assert_eq!(outcome.strategy, kind.name());
@@ -434,7 +434,10 @@ mod tests {
                 ..SimOptions::default()
             })
             .run();
-        assert_eq!(outcome.matched_tasks, 1, "consumed worker cannot serve twice");
+        assert_eq!(
+            outcome.matched_tasks, 1,
+            "consumed worker cannot serve twice"
+        );
     }
 
     #[test]

@@ -92,6 +92,9 @@ mod tests {
         let demands = vec![Demand::paper_normal(2.0, 1.0)];
         let mut a = GroundTruthProbe::new(&demands, 42);
         let mut b = GroundTruthProbe::new(&demands, 42);
-        assert_eq!(a.probe(0usize.into(), 2.0, 500), b.probe(0usize.into(), 2.0, 500));
+        assert_eq!(
+            a.probe(0usize.into(), 2.0, 500),
+            b.probe(0usize.into(), 2.0, 500)
+        );
     }
 }

@@ -166,7 +166,10 @@ impl<T: Copy> BucketIndex<T> {
             if ring_lb > radius || (best.len() == k && kth.is_some_and(|d| ring_lb > d)) {
                 break;
             }
-            let visit = |x: i64, y: i64, best: &mut Vec<(f64, T)>, accept: &mut dyn FnMut(f64, T) -> bool| {
+            let visit = |x: i64,
+                         y: i64,
+                         best: &mut Vec<(f64, T)>,
+                         accept: &mut dyn FnMut(f64, T) -> bool| {
                 if x < 0 || x >= nx || y < 0 || y >= ny {
                     return;
                 }
@@ -218,7 +221,10 @@ mod tests {
     fn empty_index() {
         let idx: BucketIndex<usize> = BucketIndex::build(Rect::square(10.0), &[]);
         assert!(idx.is_empty());
-        assert_eq!(idx.within_disc(Point::new(5.0, 5.0), 100.0), Vec::<usize>::new());
+        assert_eq!(
+            idx.within_disc(Point::new(5.0, 5.0), 100.0),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]
@@ -227,7 +233,10 @@ mod tests {
         let idx = BucketIndex::build(Rect::square(10.0), &items);
         assert_eq!(idx.len(), 1);
         assert_eq!(idx.within_disc(Point::new(3.0, 4.0), 1.0), vec![7]);
-        assert_eq!(idx.within_disc(Point::new(3.0, 4.5), 1.0), Vec::<usize>::new());
+        assert_eq!(
+            idx.within_disc(Point::new(3.0, 4.5), 1.0),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]
@@ -320,7 +329,9 @@ mod tests {
     fn k_nearest_zero_k() {
         let items = [(Point::new(1.0, 1.0), 0usize)];
         let idx = BucketIndex::build(Rect::square(10.0), &items);
-        assert!(idx.k_nearest_within(Point::ORIGIN, 10.0, 0, |_, _| true).is_empty());
+        assert!(idx
+            .k_nearest_within(Point::ORIGIN, 10.0, 0, |_, _| true)
+            .is_empty());
     }
 
     #[test]

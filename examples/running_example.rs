@@ -6,8 +6,8 @@
 //! ```
 
 use maps::core::prelude::*;
-use maps::matching::{expected_total_revenue_exact, max_cardinality_matching};
 use maps::market::PriceLadder;
+use maps::matching::{expected_total_revenue_exact, max_cardinality_matching};
 
 fn main() {
     let ex = RunningExample::new();
@@ -89,7 +89,8 @@ fn main() {
     for cell in 0..ex.grid.num_cells() {
         for (idx, s) in [0.9, 0.8, 0.5].iter().enumerate() {
             let n = 1_000_000u64;
-            maps.stats_mut(cell).observe_batch(idx, n, (s * n as f64) as u64);
+            maps.stats_mut(cell)
+                .observe_batch(idx, n, (s * n as f64) as u64);
         }
     }
     maps.set_base_price(2.0);

@@ -13,11 +13,11 @@ use maps::core::{
     build_period_graph_capped, MapsStrategy, PeriodInput, PricingStrategy, TaskInput, WorkerInput,
 };
 use maps::market::Demand;
+use maps::market::DemandDistribution;
 use maps::prelude::*;
 use maps::spatial::{GridSpec, Point, Rect};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use maps::market::DemandDistribution;
 
 const T: usize = 120;
 const SURGE_START: usize = 50;
@@ -45,7 +45,12 @@ fn build_world(seed: u64) -> GroundTruth {
         .collect();
 
     let mut periods = vec![PeriodData::default(); T];
-    let push_task = |periods: &mut Vec<PeriodData>, t: usize, origin: Point, rng: &mut SmallRng, demands: &[Demand], grid: &GridSpec| {
+    let push_task = |periods: &mut Vec<PeriodData>,
+                     t: usize,
+                     origin: Point,
+                     rng: &mut SmallRng,
+                     demands: &[Demand],
+                     grid: &GridSpec| {
         let destination = Point::new(rng.gen_range(0.0..60.0), rng.gen_range(0.0..60.0));
         let distance = origin.euclidean(destination).max(0.5);
         let cell = grid.cell_of(origin);

@@ -64,11 +64,10 @@ fn revenue_increases_with_supply() {
             .with_num_tasks(1_200)
             .with_periods(60)
             .build(3);
-        let revenue = Simulation::new(world, StrategyKind::Maps).run().total_revenue;
-        assert!(
-            revenue > prev * 1.02,
-            "|W|={workers}: {revenue} ≤ {prev}"
-        );
+        let revenue = Simulation::new(world, StrategyKind::Maps)
+            .run()
+            .total_revenue;
+        assert!(revenue > prev * 1.02, "|W|={workers}: {revenue} ≤ {prev}");
         prev = revenue;
     }
 }
@@ -82,7 +81,9 @@ fn revenue_saturates_in_demand() {
             .with_num_tasks(tasks)
             .with_periods(60)
             .build(5);
-        Simulation::new(world, StrategyKind::BaseP).run().total_revenue
+        Simulation::new(world, StrategyKind::BaseP)
+            .run()
+            .total_revenue
     };
     let r1 = rev(300);
     let r2 = rev(1200);
@@ -102,7 +103,9 @@ fn wider_worker_radius_increases_revenue() {
             .with_periods(60)
             .with_worker_radius(aw)
             .build(9);
-        Simulation::new(world, StrategyKind::Maps).run().total_revenue
+        Simulation::new(world, StrategyKind::Maps)
+            .run()
+            .total_revenue
     };
     assert!(rev(10.0) > rev(2.0));
 }
@@ -125,7 +128,9 @@ fn longer_worker_duration_increases_beijing_revenue() {
     // Fig. 8(c,d): revenue grows with δ_w, then saturates.
     let rev = |delta: u32| {
         let world = BeijingConfig::rush_hour(delta).with_scale(0.02).build(4);
-        Simulation::new(world, StrategyKind::BaseP).run().total_revenue
+        Simulation::new(world, StrategyKind::BaseP)
+            .run()
+            .total_revenue
     };
     assert!(rev(25) > rev(5));
 }

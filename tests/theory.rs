@@ -5,9 +5,7 @@
 //! `S(p_m) ≥ 1/e` the Theorem-4 proof leans on (Fact 2).
 
 use maps::core::prelude::*;
-use maps::market::{
-    myerson_reserve_continuous, Demand, DemandDistribution, PriceLadder, UcbStats,
-};
+use maps::market::{myerson_reserve_continuous, Demand, DemandDistribution, PriceLadder, UcbStats};
 use maps::matching::expected_total_revenue_exact;
 
 /// Fact 2 (Appendix B.3): for MHR demand, the survival probability at the
@@ -183,7 +181,9 @@ fn change_detection_helps_after_demand_shift() {
                 ..MapsConfig::default()
             },
         );
-        Simulation::with_strategy(world, Box::new(maps)).run().total_revenue
+        Simulation::with_strategy(world, Box::new(maps))
+            .run()
+            .total_revenue
     };
 
     let mut with_det = 0.0;

@@ -1,0 +1,289 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API used by the
+//! workspace's benches: `Criterion` with `bench_function` /
+//! `benchmark_group` / `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!` / `criterion_main!` macros and a `Bencher` whose
+//! `iter` auto-calibrates iteration counts. There is no statistical
+//! model — each benchmark reports the median and min of `sample_size`
+//! wall-clock samples, which is plenty to compare kernels in CI logs.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measurement configuration plus result sink.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets how many samples to take.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for CLI compatibility (`cargo bench -- <filter>` is not
+    /// implemented in this shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_benchmark(self, name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &full, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &full, |b| f(b, input));
+        self
+    }
+
+    /// Overrides the sample count for subsequent benches in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Ends the group (formatting no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Drives the closure under measurement.
+pub struct Bencher<'m> {
+    /// Nanoseconds per iteration of each sample (output).
+    samples_ns: &'m mut Vec<f64>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, auto-calibrating the per-sample iteration
+    /// count from the warm-up phase.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, recording the
+        // iteration rate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Split the measurement budget into `sample_size` samples.
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = (per_sample / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples_ns
+                .push(elapsed * 1e9 / iters_per_sample as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:8.2} ns")
+    } else if ns < 1e6 {
+        format!("{:8.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:8.2} ms", ns / 1e6)
+    } else {
+        format!("{:8.2} s ", ns / 1e9)
+    }
+}
+
+fn run_benchmark<F>(criterion: &Criterion, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher<'_>),
+{
+    let mut samples_ns = Vec::with_capacity(criterion.sample_size);
+    let mut bencher = Bencher {
+        samples_ns: &mut samples_ns,
+        warm_up: criterion.warm_up,
+        measurement: criterion.measurement,
+        sample_size: criterion.sample_size,
+    };
+    f(&mut bencher);
+    if samples_ns.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    samples_ns.sort_by(f64::total_cmp);
+    let median = samples_ns[samples_ns.len() / 2];
+    let min = samples_ns[0];
+    let max = samples_ns[samples_ns.len() - 1];
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{name:<50} median {}   [min {} .. max {}]",
+        format_ns(median),
+        format_ns(min),
+        format_ns(max),
+    );
+    println!("{line}");
+}
+
+/// Declares a group of benchmark functions; supports both the plain
+/// form `criterion_group!(benches, f, g)` and the struct form with
+/// `name = …; config = …; targets = …`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_samples() {
+        let mut criterion = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(4);
+        // Must not panic and must run the routine.
+        let mut runs = 0u64;
+        criterion.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("50x500").to_string(), "50x500");
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline vendored stand-in for the `rand_chacha` crate.
+//!
+//! Provides [`ChaCha12Rng`]: a real ChaCha stream cipher core with 12
+//! rounds driving a counter-mode keystream. Like the sibling vendored
+//! `rand` crate, streams are deterministic per seed for *this*
+//! implementation but are not byte-compatible with upstream
+//! `rand_chacha` (the upstream crate pins word order / nonce layout
+//! details this subset does not replicate).
+
+#![warn(missing_docs)]
+
+pub use rand_core;
+
+use rand_core::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 12;
+
+/// A ChaCha-based deterministic generator with 12 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha12Rng {
+    /// Cipher input state: constants, 256-bit key, 64-bit counter,
+    /// 64-bit nonce.
+    state: [u32; 16],
+    /// Buffered keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means "exhausted".
+    cursor: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12–13.
+        let counter = (self.state[12] as u64 | (self.state[13] as u64) << 32).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let v = self.block[self.cursor];
+        self.cursor += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | hi << 32
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // Counter and nonce start at zero.
+        Self {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(123);
+        let mut b = ChaCha12Rng::seed_from_u64(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha12Rng::seed_from_u64(124);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        let first_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+    }
+
+    #[test]
+    fn words_look_uniform() {
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let n = 50_000;
+        let mut ones = 0u64;
+        for _ in 0..n {
+            ones += rng.next_u64().count_ones() as u64;
+        }
+        let rate = ones as f64 / (64.0 * n as f64);
+        assert!((rate - 0.5).abs() < 0.005, "bit rate {rate}");
+    }
+}

@@ -1,0 +1,435 @@
+//! Offline vendored stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this crate
+//! implements the subset of rayon's data-parallel API the workspace
+//! uses — `par_iter()` / `into_par_iter()` over slices and ranges,
+//! `map` / `for_each` / `collect` / `sum` — on top of
+//! [`std::thread::scope`]. There is no persistent work-stealing pool:
+//! each parallel consumption splits the index space into contiguous
+//! chunks, spawns one scoped thread per chunk and concatenates results
+//! **in index order** (so `collect` preserves ordering exactly like
+//! upstream rayon).
+//!
+//! [`ThreadPoolBuilder`] is supported in the one shape the workspace
+//! needs — `ThreadPoolBuilder::new().num_threads(n).build()?.install(f)`
+//! — by overriding the thread count for the duration of `f` on the
+//! calling thread.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+/// Everything needed to use the parallel iterator API.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<NonZeroUsize>> = const { Cell::new(None) };
+}
+
+/// The number of threads parallel consumptions on this thread will use.
+pub fn current_num_threads() -> usize {
+    THREAD_OVERRIDE.with(|o| match o.get() {
+        Some(n) => n.get(),
+        None => std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the supported
+/// `num_threads → build → install` flow.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<NonZeroUsize>,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; construction cannot
+/// actually fail in this vendored implementation.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (available parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the number of threads; `0` means "use the default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = NonZeroUsize::new(n);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A configured "pool": in this shim, a thread-count override scope.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<NonZeroUsize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing every parallel
+    /// consumption started (on this thread) inside it.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        THREAD_OVERRIDE.with(|o| {
+            let prev = o.replace(self.num_threads);
+            let out = f();
+            o.set(prev);
+            out
+        })
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+            .map_or_else(crate::current_num_threads, NonZeroUsize::get)
+    }
+}
+
+/// Splits `len` items into per-thread contiguous chunks, runs `work`
+/// on each chunk concurrently and returns the per-chunk outputs in
+/// chunk order. `work` receives `(chunk_start, chunk_end)`.
+fn run_chunked<O, F>(len: usize, work: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize, usize) -> O + Sync,
+{
+    let threads = current_num_threads().min(len).max(1);
+    if threads <= 1 || len <= 1 {
+        return if len == 0 {
+            Vec::new()
+        } else {
+            vec![work(0, len)]
+        };
+    }
+    let chunk = len.div_ceil(threads);
+    let bounds: Vec<(usize, usize)> = (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(len)))
+        .filter(|(s, e)| s < e)
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(s, e)| {
+                scope.spawn({
+                    let work = &work;
+                    move || work(s, e)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// An indexed parallel iterator: a length plus random access to each
+/// item. All sources in this shim are indexed, which is what lets
+/// `collect` preserve order deterministically.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item produced for each index.
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produces the item at `index` (called once per index).
+    fn par_get(&self, index: usize) -> Self::Item;
+
+    /// Maps each item through `f` in parallel.
+    fn map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Runs `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_chunked(self.par_len(), |s, e| {
+            for i in s..e {
+                f(self.par_get(i));
+            }
+        });
+    }
+
+    /// Collects all items, preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums all items. Note: the reduction is chunked, so for floats
+    /// the result depends on the thread count; use a fixed-block scheme
+    /// at the call site when bit-stability across thread counts is
+    /// required.
+    fn sum<S>(self) -> S
+    where
+        S: ParallelSum<Self::Item>,
+    {
+        S::par_sum(self)
+    }
+
+    /// Accepted for API compatibility; chunking ignores the hint.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Map adaptor.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, O, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    O: Send,
+    F: Fn(B::Item) -> O + Sync,
+{
+    type Item = O;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_get(&self, index: usize) -> O {
+        (self.f)(self.base.par_get(index))
+    }
+}
+
+/// Collection types `collect` can target.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection from a parallel iterator.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self {
+        let chunks = run_chunked(par.par_len(), |s, e| {
+            (s..e).map(|i| par.par_get(i)).collect::<Vec<T>>()
+        });
+        let mut out = Vec::with_capacity(par.par_len());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+/// Sum reductions `sum` can target.
+pub trait ParallelSum<T: Send>: Send {
+    /// Chunked parallel sum.
+    fn par_sum<P: ParallelIterator<Item = T>>(par: P) -> Self;
+}
+
+macro_rules! impl_parallel_sum {
+    ($($t:ty),*) => {$(
+        impl ParallelSum<$t> for $t {
+            fn par_sum<P: ParallelIterator<Item = $t>>(par: P) -> Self {
+                run_chunked(par.par_len(), |s, e| {
+                    let mut acc: $t = Default::default();
+                    for i in s..e {
+                        acc += par.par_get(i);
+                    }
+                    acc
+                })
+                .into_iter()
+                .fold(Default::default(), |a, b| a + b)
+            }
+        }
+    )*};
+}
+
+impl_parallel_sum!(f64, f32, u64, u32, usize, i64, i32);
+
+/// Owned conversion into a parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts self.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` over `&self`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// `par_iter_mut()` over `&mut self` (chunked mutable slice access).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+/// Parallel iterator over a slice.
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn par_get(&self, index: usize) -> &'a T {
+        &self.items[index]
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+
+    fn into_par_iter(self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+
+    fn into_par_iter(self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// Parallel iterator over `usize` / integer ranges.
+pub struct ParRange {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn par_len(&self) -> usize {
+        self.len
+    }
+
+    fn par_get(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), 10_000);
+        for (i, &d) in doubled.iter().enumerate() {
+            assert_eq!(d, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn range_sum_matches_sequential() {
+        let par: u64 = (0..1_000usize).into_par_iter().map(|i| i as u64).sum();
+        assert_eq!(par, 499_500);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        (0..5_000usize).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 5_000);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(nested.install(current_num_threads), 1);
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let s: f64 = (0..0usize).into_par_iter().map(|_| 1.0f64).sum();
+        assert_eq!(s, 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! No registry access means no real serde (and no proc-macro derive),
+//! so this crate provides a much smaller contract that the workspace's
+//! data types implement **manually**: serialization to / from an
+//! in-memory JSON-like [`Value`] tree. The sibling vendored
+//! `serde_json` crate renders and parses that tree as JSON text.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// An in-memory JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any JSON number (always an `f64`; the workspace's numeric fields
+    /// are floats or small counters that fit exactly).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; ordered map so output is deterministic.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Looks a key up in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(DeError(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_number!(f64, f32, u64, u32, usize, i64, i32);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+/// Convenience for building object values from field lists.
+pub fn object<const N: usize>(fields: [(&str, Value); N]) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Fetches and deserializes a required object field.
+pub fn field<T: Deserialize>(value: &Value, key: &str) -> Result<T, DeError> {
+    let v = value
+        .get(key)
+        .ok_or_else(|| DeError(format!("missing field `{key}`")))?;
+    T::from_value(v).map_err(|e| DeError(format!("field `{key}`: {}", e.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::from_value(&2.0f64.to_value()).unwrap(),
+            Some(2.0)
+        );
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn object_and_field_helpers() {
+        let obj = object([("a", 1.0f64.to_value()), ("b", Value::Null)]);
+        assert_eq!(field::<f64>(&obj, "a").unwrap(), 1.0);
+        assert_eq!(field::<Option<f64>>(&obj, "b").unwrap(), None);
+        assert!(field::<f64>(&obj, "missing").is_err());
+    }
+}
