@@ -1,20 +1,24 @@
-//! Before/after benches for the PR-1 evaluation kernels:
+//! Before/after benches for the PR-1/PR-2 evaluation kernels:
 //!
 //! * possible-world expected revenue — naive enumeration (per-world
 //!   `filter_left` + re-solve) vs the Gray-code incremental walk;
 //! * masked market clearing — `filter_left` materialization vs the
 //!   [`MatchScratch`] masked kernel;
 //! * Monte-Carlo estimation — single-stream sequential vs the
-//!   deterministic block-seeded sequential and rayon-parallel engines.
+//!   deterministic block-seeded sequential and rayon-parallel engines;
+//! * MAPS `price_period` — the retained sequential on-demand path vs
+//!   the rayon table-driven path (PR 2), on the plateau-worst-case
+//!   statistics where the on-demand path re-scans supply levels.
 //!
 //! The machine-readable counterpart of these numbers is produced by
-//! the `bench_report` binary (`BENCH_PR1.json`).
+//! the `bench_report` binary (`BENCH_PR<N>.json`, gated in CI by
+//! `bench_gate`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use maps_bench::{random_graph, random_weights, XorShift};
+use maps_bench::{plateau_maps, random_graph, random_weights, PeriodFixture, XorShift};
 use maps_core::{
     monte_carlo_expected_revenue, monte_carlo_expected_revenue_parallel,
-    monte_carlo_expected_revenue_seeded,
+    monte_carlo_expected_revenue_seeded, PricingStrategy,
 };
 use maps_matching::{max_weight_matching_left_weights, MatchScratch, PossibleWorlds};
 use rand::rngs::SmallRng;
@@ -105,6 +109,32 @@ fn bench_monte_carlo(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pricing_period(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pricing_period");
+    for (n_tasks, n_workers, side) in [(1000usize, 1250usize, 6u32), (4000, 5000, 8)] {
+        let grids = (side * side) as usize;
+        let fixture = PeriodFixture::new(n_tasks, n_workers, side, 11);
+        let label = format!("{grids}g_{n_tasks}x{n_workers}");
+        group.bench_with_input(
+            BenchmarkId::new("sequential", &label),
+            &fixture,
+            |b, fixture| {
+                let mut maps = plateau_maps(grids, false);
+                b.iter(|| black_box(maps.price_period(&fixture.input())))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel_tables", &label),
+            &fixture,
+            |b, fixture| {
+                let mut maps = plateau_maps(grids, true);
+                b.iter(|| black_box(maps.price_period(&fixture.input())))
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Keeps the full workspace bench run to minutes: short warm-up and
 /// measurement windows, few samples.
 fn bounded() -> Criterion {
@@ -117,6 +147,6 @@ fn bounded() -> Criterion {
 criterion_group! {
     name = benches;
     config = bounded();
-    targets = bench_possible_worlds, bench_masked_clearing, bench_monte_carlo
+    targets = bench_possible_worlds, bench_masked_clearing, bench_monte_carlo, bench_pricing_period
 }
 criterion_main!(benches);

@@ -1,0 +1,226 @@
+//! CI trend gate over the `BENCH_PR*.json` perf reports.
+//!
+//! ```sh
+//! cargo run --release -p maps-bench --bin bench_gate -- CANDIDATE.json [BASELINE.json]
+//! ```
+//!
+//! Compares a freshly generated report (`CANDIDATE`) against a baseline
+//! (by default the highest-numbered committed `BENCH_PR*.json` in the
+//! working directory other than the candidate itself) and **exits
+//! non-zero when any kernel row regressed more than 2x**: for every
+//! kernel present in both reports and every `*_ns` timing field present
+//! in both rows, `candidate / baseline` must stay ≤ 2.0. A kernel or
+//! field present only on one side is reported as a note, not a failure
+//! (kernels are added and retired across PRs); a candidate kernel whose
+//! `bit_identical` flag is `false` fails the gate outright — a perf win
+//! that breaks the determinism contract is a regression by definition.
+//!
+//! The 2x threshold is deliberately loose: CI hosts are noisy and the
+//! medians come from few runs. The gate exists to catch order-of-
+//! magnitude accidents (a kernel silently falling back to a naive
+//! path), not single-digit-percent drift.
+
+use serde::Value;
+
+/// One gate violation, human-readable.
+#[derive(Debug, PartialEq)]
+struct Regression(String);
+
+/// Compares two reports; returns (regressions, notes).
+fn compare_reports(baseline: &Value, candidate: &Value) -> (Vec<Regression>, Vec<String>) {
+    let mut regressions = Vec::new();
+    let mut notes = Vec::new();
+    let (Some(Value::Object(base_kernels)), Some(Value::Object(cand_kernels))) =
+        (baseline.get("kernels"), candidate.get("kernels"))
+    else {
+        regressions.push(Regression(
+            "a report has no `kernels` object — wrong schema?".to_string(),
+        ));
+        return (regressions, notes);
+    };
+    for (name, base_row) in base_kernels {
+        let Some(cand_row) = cand_kernels.get(name) else {
+            notes.push(format!("kernel `{name}` retired (in baseline only)"));
+            continue;
+        };
+        let Value::Object(base_fields) = base_row else {
+            continue;
+        };
+        for (field, base_value) in base_fields {
+            if !field.ends_with("_ns") {
+                continue;
+            }
+            let (Value::Number(base_ns), Some(Value::Number(cand_ns))) =
+                (base_value, cand_row.get(field))
+            else {
+                notes.push(format!("field `{name}.{field}` missing from candidate"));
+                continue;
+            };
+            if *base_ns <= 0.0 {
+                continue;
+            }
+            let ratio = cand_ns / base_ns;
+            if ratio > 2.0 {
+                regressions.push(Regression(format!(
+                    "{name}.{field}: {base_ns:.0} ns -> {cand_ns:.0} ns ({ratio:.2}x > 2x)"
+                )));
+            }
+        }
+        if let Some(Value::Bool(false)) = cand_row.get("bit_identical") {
+            regressions.push(Regression(format!(
+                "{name}: bit_identical is false — determinism contract broken"
+            )));
+        }
+    }
+    for name in cand_kernels.keys() {
+        if base_kernels.get(name).is_none() {
+            notes.push(format!("kernel `{name}` is new (no baseline)"));
+        }
+    }
+    (regressions, notes)
+}
+
+/// The highest-numbered `BENCH_PR*.json` in the working directory whose
+/// path differs from `candidate`.
+fn default_baseline(candidate: &std::path::Path) -> Option<std::path::PathBuf> {
+    let cand = candidate.canonicalize().ok();
+    let mut best: Option<(u32, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(".").ok()?.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(number) = name
+            .strip_prefix("BENCH_PR")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|digits| digits.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        if path.canonicalize().ok() == cand && cand.is_some() {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(n, _)| number > *n) {
+            best = Some((number, path));
+        }
+    }
+    best.map(|(_, path)| path)
+}
+
+fn load(path: &std::path::Path) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let candidate_path = std::path::PathBuf::from(
+        args.next()
+            .expect("usage: bench_gate CANDIDATE.json [BASELINE.json]"),
+    );
+    let baseline_path = match args.next() {
+        Some(p) => std::path::PathBuf::from(p),
+        None => match default_baseline(&candidate_path) {
+            Some(p) => p,
+            None => {
+                println!("bench_gate: no BENCH_PR*.json baseline found — nothing to gate");
+                return;
+            }
+        },
+    };
+    println!(
+        "bench_gate: {} vs baseline {}",
+        candidate_path.display(),
+        baseline_path.display()
+    );
+    let (regressions, notes) = compare_reports(&load(&baseline_path), &load(&candidate_path));
+    for note in &notes {
+        println!("note: {note}");
+    }
+    if regressions.is_empty() {
+        println!("bench_gate: OK — no kernel regressed more than 2x");
+        return;
+    }
+    for Regression(r) in &regressions {
+        eprintln!("REGRESSION: {r}");
+    }
+    eprintln!(
+        "bench_gate: {} regression(s) beyond the 2x bar",
+        regressions.len()
+    );
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    fn obj(fields: &[(&str, Value)]) -> Value {
+        Value::Object(
+            fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    fn report(kernel: &str, fields: &[(&str, Value)]) -> Value {
+        obj(&[("kernels", obj(&[(kernel, obj(fields))]))])
+    }
+
+    #[test]
+    fn within_budget_passes() {
+        let base = report("mc", &[("sequential_ns", 100.0.to_value())]);
+        let cand = report("mc", &[("sequential_ns", 199.0.to_value())]);
+        let (regressions, _) = compare_reports(&base, &cand);
+        assert!(regressions.is_empty());
+    }
+
+    #[test]
+    fn beyond_2x_fails() {
+        let base = report("mc", &[("sequential_ns", 100.0.to_value())]);
+        let cand = report("mc", &[("sequential_ns", 201.0.to_value())]);
+        let (regressions, _) = compare_reports(&base, &cand);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].0.contains("mc.sequential_ns"));
+    }
+
+    #[test]
+    fn non_timing_fields_are_ignored() {
+        let base = report("mc", &[("speedup", 10.0.to_value())]);
+        let cand = report("mc", &[("speedup", 1.0.to_value())]);
+        let (regressions, _) = compare_reports(&base, &cand);
+        assert!(regressions.is_empty(), "speedup is derived, not gated");
+    }
+
+    #[test]
+    fn retired_and_new_kernels_are_notes_not_failures() {
+        let base = report("old_kernel", &[("x_ns", 50.0.to_value())]);
+        let cand = report("new_kernel", &[("x_ns", 50_000.0.to_value())]);
+        let (regressions, notes) = compare_reports(&base, &cand);
+        assert!(regressions.is_empty());
+        assert_eq!(notes.len(), 2, "one retired + one new note: {notes:?}");
+    }
+
+    #[test]
+    fn broken_determinism_flag_fails() {
+        let base = report("pricing_period", &[("sequential_ns", 10.0.to_value())]);
+        let cand = report(
+            "pricing_period",
+            &[
+                ("sequential_ns", 10.0.to_value()),
+                ("bit_identical", false.to_value()),
+            ],
+        );
+        let (regressions, _) = compare_reports(&base, &cand);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].0.contains("determinism"));
+    }
+
+    #[test]
+    fn missing_kernels_object_is_a_failure() {
+        let (regressions, _) = compare_reports(&Value::Null, &Value::Null);
+        assert_eq!(regressions.len(), 1);
+    }
+}

@@ -1,45 +1,47 @@
 //! Machine-readable perf trajectory: measures the PR-1 evaluation
-//! kernels against their naive baselines and writes `BENCH_PR1.json`.
+//! kernels and the PR-2 parallel pricing/runner paths against their
+//! retained baselines and writes `BENCH_PR2.json`.
 //!
 //! ```sh
 //! cargo run --release -p maps-bench --bin bench_report [-- OUT.json]
 //! ```
 //!
-//! Schema (`maps-bench-report/v1`, also documented in the README):
+//! Schema (`maps-bench-report/v1`, also documented in the README): a
+//! `kernels` object with one row per kernel; every `*_ns` field is the
+//! **median of repeated wall-clock runs** in nanoseconds for one full
+//! kernel invocation (not per sample/world). PR 2 adds:
 //!
 //! ```json
 //! {
-//!   "schema": "maps-bench-report/v1",
-//!   "pr": 1,
-//!   "host": { "threads": 8 },
 //!   "kernels": {
-//!     "possible_worlds_n20": {
-//!       "n_tasks": 20.0, "worlds": 1048576.0,
-//!       "naive_ns": ..., "gray_ns": ..., "speedup": ...
-//!     },
-//!     "monte_carlo": {
-//!       "n_tasks": ..., "n_workers": ..., "samples": ...,
+//!     "pricing_period": {
+//!       "grids": ..., "n_tasks": ..., "n_workers": ...,
 //!       "sequential_ns": ..., "parallel_ns": ...,
 //!       "threads": ..., "speedup": ..., "bit_identical": true
 //!     },
-//!     "masked_clearing": {
-//!       "n_tasks": ..., "n_workers": ...,
-//!       "filter_left_ns": ..., "masked_ns": ..., "speedup": ...
+//!     "seed_runner": {
+//!       "cells": ..., "num_seeds": ...,
+//!       "serial_ns": ..., "parallel_ns": ...,
+//!       "threads": ..., "speedup": ..., "bit_identical": true
 //!     }
 //!   }
 //! }
 //! ```
 //!
-//! Every entry reports the **median of repeated wall-clock runs** in
-//! nanoseconds for one full kernel invocation (not per sample/world).
-//! Later PRs append `BENCH_PR<N>.json` files so the perf trajectory of
-//! the repository stays diffable.
+//! Each PR appends its own `BENCH_PR<N>.json` so the perf trajectory
+//! stays diffable; the `bench_gate` binary fails CI when a fresh run
+//! regresses >2x against the last committed report.
 
-use maps_bench::{random_graph, random_weights, XorShift};
-use maps_core::{monte_carlo_expected_revenue_parallel, monte_carlo_expected_revenue_seeded};
+use maps_bench::{plateau_maps, random_graph, random_weights, PeriodFixture, XorShift};
+use maps_core::{
+    monte_carlo_expected_revenue_parallel, monte_carlo_expected_revenue_seeded, PricingStrategy,
+};
+use maps_experiments::{run_panel, PanelSpec, RunOptions, Scale};
 use maps_matching::{max_weight_matching_left_weights, MatchScratch, PossibleWorlds};
+use maps_simulator::SyntheticConfig;
 use serde::{Serialize, Value};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Median wall-clock nanoseconds of `runs` invocations of `f`.
@@ -215,24 +217,148 @@ fn masked_clearing_report() -> Value {
     ])
 }
 
+/// PR-2 tentpole row: the rayon table-driven `price_period` vs the
+/// retained sequential on-demand path, on a 64-grid (≥32 per the
+/// acceptance bar) panel with abundant supply and plateau-worst-case
+/// acceptance statistics (see [`plateau_maps`]) — the regime where the
+/// on-demand path degenerates to `O(n²·|ladder|)` re-scans per grid.
+fn pricing_period_report() -> (Value, f64) {
+    let (n_tasks, n_workers, side) = (4000usize, 5000usize, 8u32);
+    let grids = (side * side) as usize;
+    let fixture = PeriodFixture::new(n_tasks, n_workers, side, 11);
+
+    let mut sequential_maps = plateau_maps(grids, false);
+    let mut parallel_maps = plateau_maps(grids, true);
+    let sequential_prices = sequential_maps.price_period(&fixture.input()).prices;
+    let parallel_prices = parallel_maps.price_period(&fixture.input()).prices;
+    let bit_identical = sequential_prices.len() == parallel_prices.len()
+        && sequential_prices
+            .iter()
+            .zip(&parallel_prices)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(bit_identical, "parallel pricing diverged from sequential");
+
+    let sequential_ns = median_ns(5, || sequential_maps.price_period(&fixture.input()));
+    let parallel_ns = median_ns(5, || parallel_maps.price_period(&fixture.input()));
+    let threads = rayon::current_num_threads();
+    let speedup = sequential_ns / parallel_ns;
+    println!(
+        "pricing_period {grids} grids, {n_tasks}x{n_workers}: sequential {} | parallel {} \
+         ({threads} threads) | speedup {speedup:.2}x | bit-identical {bit_identical}",
+        format_ms(sequential_ns),
+        format_ms(parallel_ns),
+    );
+    (
+        serde::object([
+            ("grids", (grids as f64).to_value()),
+            ("n_tasks", (n_tasks as f64).to_value()),
+            ("n_workers", (n_workers as f64).to_value()),
+            ("sequential_ns", sequential_ns.to_value()),
+            ("parallel_ns", parallel_ns.to_value()),
+            ("threads", (threads as f64).to_value()),
+            ("speedup", speedup.to_value()),
+            ("bit_identical", bit_identical.to_value()),
+        ]),
+        speedup,
+    )
+}
+
+/// PR-2 runner row: the seed-parallel `(cell × seed)` fan-out vs the
+/// serial runner on a small two-x panel.
+fn seed_runner_report() -> Value {
+    let spec = PanelSpec {
+        figure: "bench",
+        panel: "seed_runner",
+        x_name: "|W|",
+        paper_ref: "bench_report",
+        xs: vec![30.0, 60.0],
+        build: Arc::new(|x, _scale, seed| {
+            SyntheticConfig::paper_default()
+                .with_num_workers(x as usize)
+                .with_num_tasks(150)
+                .with_periods(8)
+                .with_grid_side(4)
+                .build(seed)
+        }),
+    };
+    let num_seeds = 4u64;
+    let options = RunOptions {
+        scale: Scale::Quick,
+        num_seeds,
+        parallel: true,
+        track_memory: false,
+    };
+    let serial_options = RunOptions {
+        parallel: false,
+        ..options
+    };
+    // Schedule-independent columns must agree bitwise (timing columns
+    // are wall-clock readings and legitimately differ).
+    let canon = |rows: &[maps_experiments::Row]| -> Vec<u64> {
+        rows.iter()
+            .flat_map(|r| {
+                [
+                    r.x.to_bits(),
+                    r.revenue.to_bits(),
+                    r.issued.to_bits(),
+                    r.accepted.to_bits(),
+                    r.matched.to_bits(),
+                ]
+            })
+            .collect()
+    };
+    let serial_rows = run_panel(&spec, serial_options);
+    let parallel_rows = run_panel(&spec, options);
+    let bit_identical = canon(&serial_rows) == canon(&parallel_rows);
+    assert!(bit_identical, "seed-parallel rows diverged from serial");
+
+    let serial_ns = median_ns(3, || run_panel(&spec, serial_options));
+    let parallel_ns = median_ns(3, || run_panel(&spec, options));
+    let threads = rayon::current_num_threads();
+    let speedup = serial_ns / parallel_ns;
+    println!(
+        "seed_runner {} cells x {num_seeds} seeds: serial {} | parallel {} \
+         ({threads} threads) | speedup {speedup:.2}x | bit-identical {bit_identical}",
+        serial_rows.len(),
+        format_ms(serial_ns),
+        format_ms(parallel_ns),
+    );
+    serde::object([
+        ("cells", (serial_rows.len() as f64).to_value()),
+        ("num_seeds", (num_seeds as f64).to_value()),
+        ("serial_ns", serial_ns.to_value()),
+        ("parallel_ns", parallel_ns.to_value()),
+        ("threads", (threads as f64).to_value()),
+        ("speedup", speedup.to_value()),
+        ("bit_identical", bit_identical.to_value()),
+    ])
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
 
-    println!("maps bench_report — PR 1 kernel trajectory");
+    println!("maps bench_report — PR 2 kernel trajectory");
     println!("==========================================");
     let (possible_worlds, pw_speedup) = possible_worlds_report();
     let (monte_carlo, _mc_speedup) = monte_carlo_report();
     let masked_clearing = masked_clearing_report();
+    let (pricing_period, pricing_speedup) = pricing_period_report();
+    let seed_runner = seed_runner_report();
 
     if pw_speedup < 5.0 {
         eprintln!("warning: gray-code speedup {pw_speedup:.1}x is below the 5x acceptance bar");
     }
+    if pricing_speedup < 1.0 {
+        eprintln!(
+            "warning: parallel pricing speedup {pricing_speedup:.2}x shows no wall-clock win"
+        );
+    }
 
     let report = serde::object([
         ("schema", "maps-bench-report/v1".to_value()),
-        ("pr", 1.0f64.to_value()),
+        ("pr", 2.0f64.to_value()),
         (
             "host",
             serde::object([("threads", (rayon::current_num_threads() as f64).to_value())]),
@@ -243,6 +369,8 @@ fn main() {
                 ("possible_worlds_n20", possible_worlds),
                 ("monte_carlo", monte_carlo),
                 ("masked_clearing", masked_clearing),
+                ("pricing_period", pricing_period),
+                ("seed_runner", seed_runner),
             ]),
         ),
     ]);

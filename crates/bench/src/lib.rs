@@ -9,7 +9,8 @@
 
 #![warn(missing_docs)]
 
-use maps_core::{PeriodInput, TaskInput, WorkerInput};
+use maps_core::{MapsConfig, MapsStrategy, PeriodInput, TaskInput, WorkerInput};
+use maps_market::PriceLadder;
 use maps_matching::{BipartiteGraph, BipartiteGraphBuilder};
 use maps_spatial::{GridSpec, Point, Rect};
 
@@ -87,6 +88,66 @@ impl PeriodFixture {
             graph: &self.graph,
         }
     }
+}
+
+/// A MAPS strategy over the paper-default ladder with coarse
+/// pseudorandom acceptance statistics (multiples of 1/8): plateau- and
+/// tie-heavy, the hard case for the pricing heap and the shape where
+/// the precomputed maximizer tables matter most. `parallel` selects the
+/// rayon table path vs the retained sequential on-demand path.
+pub fn seeded_maps(num_cells: usize, parallel: bool, seed: u64) -> MapsStrategy {
+    let mut maps = MapsStrategy::new(
+        num_cells,
+        PriceLadder::paper_default(),
+        MapsConfig {
+            parallel,
+            ..MapsConfig::default()
+        },
+    );
+    let mut rng = XorShift(seed | 1);
+    for cell in 0..num_cells {
+        for idx in 0..maps.ladder().len() {
+            maps.stats_mut(cell)
+                .observe_batch(idx, 8, rng.next_u64() % 9);
+        }
+    }
+    maps
+}
+
+/// A MAPS strategy seeded with the **plateau worst case** for the
+/// sequential pricing path: the lowest rung has near-full acceptance
+/// (`Ŝ = 0.95`, the global revenue maximum) while every other rung's
+/// product `p·Ŝ(p)` is pinned at 0.8. Once the top rung's index is
+/// demand-capped at 0.8, the lowest rung stays supply-capped (and
+/// therefore better only at depth) until the supply ratio reaches 0.8 —
+/// so the heap crosses a long `Δ = 0` plateau where the on-demand path
+/// re-scans all remaining supply levels per admission (`O(n²·|ladder|)`)
+/// and the precomputed table pays for itself even single-threaded.
+/// Sample counts are large so UCB radii are negligible.
+pub fn plateau_maps(num_cells: usize, parallel: bool) -> MapsStrategy {
+    let mut maps = MapsStrategy::new(
+        num_cells,
+        PriceLadder::paper_default(),
+        MapsConfig {
+            parallel,
+            ..MapsConfig::default()
+        },
+    );
+    let n = 1_000_000u64;
+    let ratios: Vec<f64> = maps
+        .ladder()
+        .prices()
+        .iter()
+        .enumerate()
+        .map(|(idx, &p)| if idx == 0 { 0.95 } else { 0.8 / p })
+        .collect();
+    for cell in 0..num_cells {
+        for (idx, &s) in ratios.iter().enumerate() {
+            maps.stats_mut(cell)
+                .observe_batch(idx, n, (s * n as f64) as u64);
+        }
+    }
+    maps
 }
 
 /// Random bipartite graph with the given density (`0..=1`).

@@ -369,21 +369,16 @@ mod tests {
         for &(samples, seed) in &[(1u32, 3u64), (63, 5), (64, 7), (65, 11), (1000, 13)] {
             let sequential =
                 monte_carlo_expected_revenue_seeded(&g, &weights, &probs, samples, seed);
-            for threads in [1usize, 2, 3, 8] {
-                let pool = rayon::ThreadPoolBuilder::new()
-                    .num_threads(threads)
-                    .build()
-                    .unwrap();
-                let parallel = pool.install(|| {
-                    monte_carlo_expected_revenue_parallel(&g, &weights, &probs, samples, seed)
-                });
-                assert_eq!(
-                    sequential.to_bits(),
-                    parallel.to_bits(),
-                    "samples {samples} seed {seed} threads {threads}: \
-                     {sequential} vs {parallel}"
-                );
-            }
+            // 1/2/3/8-thread sweep + bitwise comparison via the shared
+            // determinism harness.
+            let parallel = maps_testkit::assert_deterministic(|| {
+                monte_carlo_expected_revenue_parallel(&g, &weights, &probs, samples, seed)
+            });
+            assert_eq!(
+                sequential.to_bits(),
+                parallel.to_bits(),
+                "samples {samples} seed {seed}: {sequential} vs {parallel}"
+            );
         }
     }
 

@@ -29,13 +29,28 @@
 //! * Admissions with `Δ = 0` are skipped: they cannot change any price or
 //!   the approximation value, only burn a worker inside the throw-away
 //!   pre-matching.
+//!
+//! ## Parallel per-grid table builds (PR 2)
+//!
+//! With [`MapsConfig::parallel`] (the default), step 2 precomputes each
+//! grid's full maximizer table `max_p L̂(n, p)` for `n = 1..=|R^tg|` and
+//! fans the per-grid builds out over rayon. Grids are independent, every
+//! table entry is a pure function of `(L^g, Ŝ^g, ladder)`, and the
+//! per-cell results are collected in cell order, so the schedule is
+//! **bit-identical** to the retained sequential path (which computes the
+//! same maximizers on demand inside the heap loop) at any thread count —
+//! enforced by `price_period_bitwise_deterministic_across_threads` here
+//! and the cross-crate proptest oracle in `tests/proptest_invariants.rs`.
+//! The table also removes the per-pop plateau-lookahead rescans, an
+//! `O(n² · |ladder|)` worst case on plateau-heavy grids.
 
 use crate::base::BasePricing;
-use crate::lfunc::{ApproxKind, DeltaRule, LFunction};
+use crate::lfunc::{ApproxKind, DeltaRule, LFunction, Maximizer};
 use crate::problem::{DemandProbe, Observation, PeriodInput, PriceSchedule, PricingStrategy};
 use crate::smoothing::smooth_prices;
 use maps_market::{ChangeDetector, PriceLadder, UcbStats};
 use maps_matching::IncrementalMatching;
+use rayon::prelude::*;
 use std::collections::BinaryHeap;
 
 /// Tunables for [`MapsStrategy`].
@@ -71,6 +86,12 @@ pub struct MapsConfig {
     /// Myerson regime under abundant supply. Disable to reproduce the
     /// pseudocode literally (ablation `A1`).
     pub plateau_lookahead: bool,
+    /// Precompute each grid's maximizer table `max_p L̂(n, p)` for
+    /// `n = 1..=|R^tg|` and fan the per-grid builds out over rayon
+    /// (bit-identical to the sequential on-demand path at any thread
+    /// count). Disable to run the retained sequential reference, the
+    /// oracle for the determinism tests.
+    pub parallel: bool,
 }
 
 impl Default for MapsConfig {
@@ -84,6 +105,7 @@ impl Default for MapsConfig {
             smoothing: None,
             approx: ApproxKind::MinCurves,
             plateau_lookahead: true,
+            parallel: true,
         }
     }
 }
@@ -140,6 +162,10 @@ struct CellState {
     cur_price_idx: u32,
     /// Whether the final price was already fixed by a Δ=0 pop.
     finalized: bool,
+    /// Precomputed `table[n-1] = maximize_kind(n)` for `n = 1..=|R^tg|`
+    /// ([`MapsConfig::parallel`]); `None` on the sequential reference
+    /// path, which computes the same maximizers on demand.
+    table: Option<Vec<Option<Maximizer>>>,
 }
 
 /// The MAPS pricing strategy.
@@ -212,6 +238,79 @@ impl MapsStrategy {
         &self.ladder
     }
 
+    /// Builds one grid's working state: sorts its task indices by
+    /// decreasing distance, derives the demand/supply curves and (when
+    /// `table_depth > 0`) the Algorithm-3 maximizer table for supply
+    /// levels `1..=min(|R^tg|, table_depth)`. Pure in `(cell, list)`
+    /// given frozen statistics, which is what makes the rayon fan-out
+    /// in [`PricingStrategy::price_period`] bit-identical to the
+    /// sequential path.
+    ///
+    /// The depth cap keeps worker-scarce periods cheap: a grid can
+    /// never admit more than `|W|` workers, so the heap only ever reads
+    /// levels `≤ |W| + 1` directly; the rarer deep plateau-lookahead
+    /// reads fall back to the identical on-demand computation in
+    /// [`Self::maximizer_at`].
+    fn build_cell_state(
+        &self,
+        cell: usize,
+        mut list: Vec<u32>,
+        tasks: &[crate::problem::TaskInput],
+        table_depth: usize,
+    ) -> Option<CellState> {
+        if list.is_empty() {
+            return None;
+        }
+        list.sort_unstable_by(|&a, &b| {
+            tasks[b as usize]
+                .distance
+                .total_cmp(&tasks[a as usize].distance)
+                .then(a.cmp(&b))
+        });
+        let dists: Vec<f64> = list.iter().map(|&i| tasks[i as usize].distance).collect();
+        let lf = LFunction::new(dists);
+        let table = (table_depth > 0).then(|| {
+            let stats = &self.stats[cell];
+            (1..=lf.num_tasks().min(table_depth))
+                .map(|n| {
+                    lf.maximize_kind(self.cfg.approx, n, stats, &self.ladder, self.cfg.use_ucb)
+                })
+                .collect()
+        });
+        Some(CellState {
+            lf,
+            tasks_desc: list,
+            cursor: 0,
+            n: 0,
+            cur_l: 0.0,
+            cur_rev: 0.0,
+            cur_price: self.base_price,
+            cur_price_idx: self.ladder.nearest_index(self.base_price) as u32,
+            finalized: false,
+            table,
+        })
+    }
+
+    /// The Algorithm-3 maximizer of `cell` at supply level `n`
+    /// (`1 ..= |R^tg|`): a table lookup where the precomputed table
+    /// covers `n`, otherwise the identical pure on-demand computation
+    /// (the sequential reference path, and lookahead levels beyond the
+    /// parallel table's depth cap).
+    fn maximizer_at(&self, cell: u32, state: &CellState, n: usize) -> Option<Maximizer> {
+        if let Some(table) = &state.table {
+            if n <= table.len() {
+                return table[n - 1];
+            }
+        }
+        state.lf.maximize_kind(
+            self.cfg.approx,
+            n,
+            &self.stats[cell as usize],
+            &self.ladder,
+            self.cfg.use_ucb,
+        )
+    }
+
     /// Advances `state.cursor` past dead tasks and returns the next task
     /// with an augmenting path, without applying it.
     fn next_augmentable(
@@ -250,8 +349,7 @@ impl MapsStrategy {
             heap.push(finalizer);
             return;
         }
-        let stats = &self.stats[cell as usize];
-        let value_of = |m: &crate::lfunc::Maximizer| match self.cfg.delta_rule {
+        let value_of = |m: &Maximizer| match self.cfg.delta_rule {
             DeltaRule::LDifference => m.l_hat,
             DeltaRule::ScaledShorthand => m.revenue_hat,
         };
@@ -259,13 +357,7 @@ impl MapsStrategy {
             DeltaRule::LDifference => state.cur_l,
             DeltaRule::ScaledShorthand => state.cur_rev,
         };
-        match state.lf.maximize_kind(
-            self.cfg.approx,
-            state.n + 1,
-            stats,
-            &self.ladder,
-            self.cfg.use_ucb,
-        ) {
+        match self.maximizer_at(cell, state, state.n + 1) {
             Some(m) => {
                 let mut delta = (value_of(&m) - cur_value).max(0.0);
                 if delta <= 1e-12 && self.cfg.plateau_lookahead {
@@ -274,13 +366,7 @@ impl MapsStrategy {
                     // function plateaus between ladder rungs). Credit this
                     // admission with the best amortized future gain.
                     for m_level in (state.n + 2)..=state.lf.num_tasks() {
-                        if let Some(mx) = state.lf.maximize_kind(
-                            self.cfg.approx,
-                            m_level,
-                            stats,
-                            &self.ladder,
-                            self.cfg.use_ucb,
-                        ) {
+                        if let Some(mx) = self.maximizer_at(cell, state, m_level) {
                             let amortized =
                                 (value_of(&mx) - cur_value) / (m_level - state.n) as f64;
                             delta = delta.max(amortized);
@@ -326,34 +412,30 @@ impl PricingStrategy for MapsStrategy {
         for (i, t) in input.tasks.iter().enumerate() {
             cell_tasks[t.cell.index()].push(i as u32);
         }
-        let mut states: Vec<Option<CellState>> = Vec::with_capacity(g);
-        for list in &mut cell_tasks {
-            if list.is_empty() {
-                states.push(None);
-                continue;
-            }
-            list.sort_unstable_by(|&a, &b| {
-                input.tasks[b as usize]
-                    .distance
-                    .total_cmp(&input.tasks[a as usize].distance)
-                    .then(a.cmp(&b))
-            });
-            let dists: Vec<f64> = list
-                .iter()
-                .map(|&i| input.tasks[i as usize].distance)
-                .collect();
-            states.push(Some(CellState {
-                lf: LFunction::new(dists),
-                tasks_desc: std::mem::take(list),
-                cursor: 0,
-                n: 0,
-                cur_l: 0.0,
-                cur_rev: 0.0,
-                cur_price: self.base_price,
-                cur_price_idx: self.ladder.nearest_index(self.base_price) as u32,
-                finalized: false,
-            }));
-        }
+        // Per-grid curve (and maximizer-table) builds. Grids are
+        // independent and the computation is pure per grid, so the rayon
+        // fan-out with index-ordered collect is bit-identical to the
+        // sequential on-demand path.
+        let mut states: Vec<Option<CellState>> = if self.cfg.parallel {
+            // A grid can never admit more workers than exist, so the
+            // heap reads levels ≤ |W| + 1; deeper lookahead levels fall
+            // back to on-demand computation inside `maximizer_at`.
+            let table_depth = input.workers.len().saturating_add(1);
+            (0..g)
+                .into_par_iter()
+                .map(|cell| {
+                    self.build_cell_state(cell, cell_tasks[cell].clone(), input.tasks, table_depth)
+                })
+                .collect()
+        } else {
+            cell_tasks
+                .iter_mut()
+                .enumerate()
+                .map(|(cell, list)| {
+                    self.build_cell_state(cell, std::mem::take(list), input.tasks, 0)
+                })
+                .collect()
+        };
 
         // Greedy supply distribution over the shared pre-matching M′.
         let mut matching = IncrementalMatching::new(input.graph);
@@ -668,5 +750,137 @@ mod tests {
         let a = maps.price_period(&input);
         let b = maps.price_period(&input);
         assert_eq!(a, b);
+    }
+
+    /// A many-grid pseudorandom period: `side²` grids over the 100×100
+    /// region with clustered tasks/workers and tie-heavy distances, the
+    /// shape where the parallel table path and the sequential heap path
+    /// could plausibly diverge.
+    fn random_period(
+        side: u32,
+        n_tasks: usize,
+        n_workers: usize,
+        seed: u64,
+    ) -> (GridSpec, Vec<TaskInput>, Vec<WorkerInput>) {
+        let grid = GridSpec::square(Rect::square(100.0), side);
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        // Distances from a coarse 0.5-step set: plateaus + cross-grid Δ
+        // ties are the hard case for heap-order-sensitive divergence.
+        let tasks: Vec<TaskInput> = (0..n_tasks)
+            .map(|_| {
+                let x = (next() % 10_000) as f64 / 100.0;
+                let y = (next() % 10_000) as f64 / 100.0;
+                let d = 0.5 * (1 + next() % 8) as f64;
+                TaskInput::new(&grid, Point::new(x, y), d)
+            })
+            .collect();
+        let workers: Vec<WorkerInput> = (0..n_workers)
+            .map(|_| {
+                let x = (next() % 10_000) as f64 / 100.0;
+                let y = (next() % 10_000) as f64 / 100.0;
+                WorkerInput::new(&grid, Point::new(x, y), 15.0)
+            })
+            .collect();
+        (grid, tasks, workers)
+    }
+
+    fn seeded_maps(num_cells: usize, parallel: bool, seed: u64) -> MapsStrategy {
+        let mut maps = MapsStrategy::new(
+            num_cells,
+            PriceLadder::paper_default(),
+            MapsConfig {
+                parallel,
+                ..MapsConfig::default()
+            },
+        );
+        let mut s = seed | 1;
+        for cell in 0..num_cells {
+            for idx in 0..maps.ladder().len() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                // Coarse acceptance ratios (multiples of 1/8) maximize ties.
+                maps.stats_mut(cell).observe_batch(idx, 8, s % 9);
+            }
+        }
+        maps
+    }
+
+    /// PR-2 acceptance: the parallel table-driven `price_period` is
+    /// bit-identical to the retained sequential on-demand path.
+    #[test]
+    fn parallel_tables_match_sequential_oracle() {
+        for seed in [3u64, 17, 99] {
+            let (grid, tasks, workers, _) = running_example_strategy();
+            let graph = build_period_graph(&grid, &tasks, &workers);
+            let input = PeriodInput {
+                grid: &grid,
+                tasks: &tasks,
+                workers: &workers,
+                graph: &graph,
+            };
+            let (_, _, _, mut maps) = running_example_strategy();
+            maps.cfg.parallel = false;
+            let sequential = maps.price_period(&input);
+            let (_, _, _, mut maps) = running_example_strategy();
+            maps.cfg.parallel = true;
+            let parallel = maps.price_period(&input);
+            assert_eq!(sequential, parallel);
+
+            let (grid, tasks, workers) = random_period(8, 400, 250, seed);
+            let graph = build_period_graph(&grid, &tasks, &workers);
+            let input = PeriodInput {
+                grid: &grid,
+                tasks: &tasks,
+                workers: &workers,
+                graph: &graph,
+            };
+            let sequential = seeded_maps(grid.num_cells(), false, seed).price_period(&input);
+            let parallel = seeded_maps(grid.num_cells(), true, seed).price_period(&input);
+            for (cell, (s, p)) in sequential.prices.iter().zip(&parallel.prices).enumerate() {
+                assert_eq!(
+                    s.to_bits(),
+                    p.to_bits(),
+                    "seed {seed} cell {cell}: sequential {s} vs parallel {p}"
+                );
+            }
+        }
+    }
+
+    /// PR-2 acceptance: the parallel `price_period` is bit-identical to
+    /// itself (and to the sequential oracle) at 1/2/3/8 threads.
+    #[test]
+    fn price_period_bitwise_deterministic_across_threads() {
+        let (grid, tasks, workers) = random_period(8, 500, 300, 0xA11CE);
+        let graph = build_period_graph(&grid, &tasks, &workers);
+        let prices = maps_testkit::assert_deterministic(|| {
+            let input = PeriodInput {
+                grid: &grid,
+                tasks: &tasks,
+                workers: &workers,
+                graph: &graph,
+            };
+            seeded_maps(grid.num_cells(), true, 0xA11CE)
+                .price_period(&input)
+                .prices
+        });
+        let input = PeriodInput {
+            grid: &grid,
+            tasks: &tasks,
+            workers: &workers,
+            graph: &graph,
+        };
+        let oracle = seeded_maps(grid.num_cells(), false, 0xA11CE).price_period(&input);
+        assert_eq!(
+            maps_testkit::BitPattern::bits(&prices),
+            maps_testkit::BitPattern::bits(&oracle.prices),
+            "parallel family diverged from the sequential oracle"
+        );
     }
 }

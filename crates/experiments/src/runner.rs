@@ -1,5 +1,16 @@
 //! Sweep execution: runs every (x, strategy) cell of a panel, optionally
 //! in parallel, and aggregates seeds into [`Row`]s.
+//!
+//! ## Determinism contract (PR 2)
+//!
+//! Parallel mode fans out over the full `(cell × seed)` job grid — not
+//! just cells — so `num_seeds`-fold averaging parallelizes too. Every
+//! job is seeded by its own `(x, strategy, seed)` coordinates (never by
+//! anything schedule-dependent), jobs are collected in job order, and
+//! each cell's seeds are aggregated sequentially in seed order. Rows are
+//! therefore **bit-identical** to the serial path (modulo the serial-only
+//! memory/timing columns) at any rayon thread count — enforced by
+//! `seed_parallel_rows_bitwise_deterministic` below.
 
 use crate::panels::{PanelSpec, Scale};
 use crate::report::Row;
@@ -91,17 +102,41 @@ pub fn run_panel(spec: &PanelSpec, options: RunOptions) -> Vec<Row> {
         .iter()
         .flat_map(|&x| StrategyKind::ALL.into_iter().map(move |k| (x, k)))
         .collect();
-    let track = options.track_memory && !options.parallel;
-    let run_one = |&(x, kind): &(f64, StrategyKind)| -> Row {
-        let outcomes: Vec<Outcome> = (0..options.num_seeds.max(1))
-            .map(|seed| run_cell(spec, x, kind, options.scale, seed, track))
-            .collect();
-        aggregate(spec, x, kind, &outcomes)
-    };
+    let seeds = options.num_seeds.max(1);
     if options.parallel {
-        cells.par_iter().map(run_one).collect()
+        // Seed-parallel fan-out over the (cell × seed) job grid. Each
+        // job is a pure function of its coordinates, `collect` preserves
+        // job order, and the per-cell aggregation below walks seeds in
+        // seed order — so the rows are bit-identical at any thread count.
+        let jobs: Vec<(usize, u64)> = (0..cells.len())
+            .flat_map(|c| (0..seeds).map(move |s| (c, s)))
+            .collect();
+        let outcomes: Vec<Outcome> = jobs
+            .par_iter()
+            .map(|&(c, seed)| {
+                let (x, kind) = cells[c];
+                run_cell(spec, x, kind, options.scale, seed, false)
+            })
+            .collect();
+        cells
+            .iter()
+            .enumerate()
+            .map(|(c, &(x, kind))| {
+                let block = &outcomes[c * seeds as usize..(c + 1) * seeds as usize];
+                aggregate(spec, x, kind, block)
+            })
+            .collect()
     } else {
-        cells.iter().map(run_one).collect()
+        let track = options.track_memory;
+        cells
+            .iter()
+            .map(|&(x, kind)| {
+                let outcomes: Vec<Outcome> = (0..seeds)
+                    .map(|seed| run_cell(spec, x, kind, options.scale, seed, track))
+                    .collect();
+                aggregate(spec, x, kind, &outcomes)
+            })
+            .collect()
     }
 }
 
@@ -109,6 +144,78 @@ pub fn run_panel(spec: &PanelSpec, options: RunOptions) -> Vec<Row> {
 mod tests {
     use super::*;
     use crate::panels::fig6_w;
+    use maps_simulator::SyntheticConfig;
+    use maps_testkit::BitPattern;
+    use std::sync::Arc;
+
+    /// A deliberately tiny two-x panel so the thread-sweep regression
+    /// tests stay fast even at `num_seeds = 8`.
+    fn tiny_panel() -> PanelSpec {
+        PanelSpec {
+            figure: "test",
+            panel: "tiny",
+            x_name: "|W|",
+            paper_ref: "determinism regression",
+            xs: vec![20.0, 35.0],
+            build: Arc::new(|x, _scale, seed| {
+                SyntheticConfig::paper_default()
+                    .with_num_workers(x as usize)
+                    .with_num_tasks(90)
+                    .with_periods(5)
+                    .with_grid_side(3)
+                    .build(seed)
+            }),
+        }
+    }
+
+    /// Canonical bit-level encoding of a row set (floats via `to_bits`).
+    fn rows_canon(rows: &[Row]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for r in rows {
+            r.figure.bit_pattern(&mut out);
+            r.panel.bit_pattern(&mut out);
+            r.x.bit_pattern(&mut out);
+            r.strategy.bit_pattern(&mut out);
+            r.revenue.bit_pattern(&mut out);
+            r.memory_mib.bit_pattern(&mut out);
+            r.issued.bit_pattern(&mut out);
+            r.accepted.bit_pattern(&mut out);
+            r.matched.bit_pattern(&mut out);
+            // pricing/clearing/calibration secs are wall-clock readings,
+            // legitimately thread- and load-dependent: excluded.
+        }
+        out
+    }
+
+    /// PR-2 acceptance: seed-parallel rows are bit-identical across
+    /// 1/2/3/8-thread pools for `num_seeds ∈ {1, 3, 8}`, and match the
+    /// serial path.
+    #[test]
+    fn seed_parallel_rows_bitwise_deterministic() {
+        let spec = tiny_panel();
+        for num_seeds in [1u64, 3, 8] {
+            let options = RunOptions {
+                scale: Scale::Quick,
+                num_seeds,
+                parallel: true,
+                track_memory: false,
+            };
+            let parallel =
+                maps_testkit::assert_deterministic(|| rows_canon(&run_panel(&spec, options)));
+            let serial = run_panel(
+                &spec,
+                RunOptions {
+                    parallel: false,
+                    ..options
+                },
+            );
+            assert_eq!(
+                parallel,
+                rows_canon(&serial),
+                "num_seeds {num_seeds}: parallel rows diverged from the serial path"
+            );
+        }
+    }
 
     #[test]
     fn quick_panel_produces_all_rows() {

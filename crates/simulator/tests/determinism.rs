@@ -1,0 +1,45 @@
+//! End-to-end determinism: a whole simulation (calibration probing,
+//! per-period MAPS pricing with its rayon table fan-out, acceptance
+//! sampling, market clearing) must produce bit-identical outcomes at
+//! any thread count. This is the integration-level counterpart of the
+//! kernel-level checks in `maps-core`.
+
+use maps_core::StrategyKind;
+use maps_simulator::{Simulation, SyntheticConfig};
+use maps_testkit::BitPattern;
+
+/// Canonical bit pattern of an outcome, excluding the wall-clock
+/// columns (legitimately thread- and load-dependent).
+fn outcome_canon(strategy: StrategyKind, seed: u64) -> Vec<u64> {
+    let world = SyntheticConfig::paper_default()
+        .with_num_workers(40)
+        .with_num_tasks(150)
+        .with_periods(6)
+        .with_grid_side(4)
+        .build(seed);
+    let outcome = Simulation::new(world, strategy).run();
+    let mut out = Vec::new();
+    outcome.strategy.bit_pattern(&mut out);
+    outcome.total_revenue.bit_pattern(&mut out);
+    outcome.issued_tasks.bit_pattern(&mut out);
+    outcome.accepted_tasks.bit_pattern(&mut out);
+    outcome.matched_tasks.bit_pattern(&mut out);
+    outcome.revenue_per_period.bit_pattern(&mut out);
+    outcome.mean_posted_price.bit_pattern(&mut out);
+    outcome.posted_price_std.bit_pattern(&mut out);
+    out
+}
+
+#[test]
+fn maps_simulation_bitwise_deterministic_across_threads() {
+    maps_testkit::assert_deterministic(|| outcome_canon(StrategyKind::Maps, 11));
+}
+
+#[test]
+fn all_strategies_deterministic_at_mixed_thread_counts() {
+    // One seed per strategy keeps the sweep quick; MAPS gets the full
+    // default 1/2/3/8 sweep above.
+    for (i, kind) in StrategyKind::ALL.into_iter().enumerate() {
+        maps_testkit::assert_deterministic_across(&[1, 3], || outcome_canon(kind, 20 + i as u64));
+    }
+}

@@ -1,0 +1,245 @@
+//! # maps-testkit
+//!
+//! Cross-crate test support for the workspace's determinism contract:
+//! every rayon-parallel kernel (Monte-Carlo revenue estimation, the
+//! per-grid MAPS pricing tables, the seed-parallel experiment runner)
+//! must produce **bit-identical** output at any thread count.
+//!
+//! The harness has two halves:
+//!
+//! * [`BitPattern`] — a canonical bit-level encoding of a result value.
+//!   Floats are compared through [`f64::to_bits`], so `0.0 != -0.0` and
+//!   two NaNs with different payloads differ: if a parallel schedule
+//!   changes even the rounding of one float, the harness sees it.
+//! * [`assert_deterministic`] / [`assert_deterministic_across`] — run a
+//!   closure under rayon pools of 1/2/3/8 threads (or a caller-chosen
+//!   set) and assert that every run's bit pattern equals the 1-thread
+//!   baseline.
+//!
+//! Used by `maps-core` (pricing + Monte-Carlo), `maps-experiments`
+//! (seed-parallel runner) and `maps-simulator` (whole-simulation runs).
+
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+
+/// Thread counts exercised by [`assert_deterministic`]: the serial
+/// baseline, both parities, and an oversubscribed pool (8 threads on a
+/// 1-CPU host still reorders chunk scheduling).
+pub const DEFAULT_THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// Canonical bit-level encoding of a value, for exact comparison of
+/// results that contain floats.
+pub trait BitPattern {
+    /// Appends this value's canonical encoding to `out`.
+    ///
+    /// Implementations must be injective enough that two values with
+    /// equal encodings are observably identical (length prefixes guard
+    /// nested containers against concatenation ambiguity).
+    fn bit_pattern(&self, out: &mut Vec<u64>);
+
+    /// This value's canonical encoding as an owned vector.
+    fn bits(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.bit_pattern(&mut out);
+        out
+    }
+}
+
+impl BitPattern for f64 {
+    fn bit_pattern(&self, out: &mut Vec<u64>) {
+        out.push(self.to_bits());
+    }
+}
+
+impl BitPattern for f32 {
+    fn bit_pattern(&self, out: &mut Vec<u64>) {
+        out.push(self.to_bits() as u64);
+    }
+}
+
+macro_rules! impl_bitpattern_int {
+    ($($t:ty),*) => {$(
+        impl BitPattern for $t {
+            fn bit_pattern(&self, out: &mut Vec<u64>) {
+                out.push(*self as u64);
+            }
+        }
+    )*};
+}
+
+impl_bitpattern_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl BitPattern for bool {
+    fn bit_pattern(&self, out: &mut Vec<u64>) {
+        out.push(*self as u64);
+    }
+}
+
+impl BitPattern for String {
+    fn bit_pattern(&self, out: &mut Vec<u64>) {
+        self.as_str().bit_pattern(out);
+    }
+}
+
+impl BitPattern for &str {
+    fn bit_pattern(&self, out: &mut Vec<u64>) {
+        out.push(self.len() as u64);
+        for b in self.bytes() {
+            out.push(b as u64);
+        }
+    }
+}
+
+impl<T: BitPattern> BitPattern for Option<T> {
+    fn bit_pattern(&self, out: &mut Vec<u64>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.bit_pattern(out);
+            }
+        }
+    }
+}
+
+impl<T: BitPattern> BitPattern for Vec<T> {
+    fn bit_pattern(&self, out: &mut Vec<u64>) {
+        self.as_slice().bit_pattern(out);
+    }
+}
+
+impl<T: BitPattern> BitPattern for [T] {
+    fn bit_pattern(&self, out: &mut Vec<u64>) {
+        out.push(self.len() as u64);
+        for v in self {
+            v.bit_pattern(out);
+        }
+    }
+}
+
+impl<T: BitPattern + ?Sized> BitPattern for &T {
+    fn bit_pattern(&self, out: &mut Vec<u64>) {
+        (*self).bit_pattern(out);
+    }
+}
+
+macro_rules! impl_bitpattern_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: BitPattern),+> BitPattern for ($($name,)+) {
+            fn bit_pattern(&self, out: &mut Vec<u64>) {
+                $(self.$idx.bit_pattern(out);)+
+            }
+        }
+    };
+}
+
+impl_bitpattern_tuple!(A: 0);
+impl_bitpattern_tuple!(A: 0, B: 1);
+impl_bitpattern_tuple!(A: 0, B: 1, C: 2);
+impl_bitpattern_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Runs `f` inside a rayon pool of `threads` threads and returns its
+/// result. Convenience wrapper over `ThreadPoolBuilder… .install`.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool builds")
+        .install(f)
+}
+
+/// Runs `f` once under each thread count in `counts` and asserts every
+/// result's [`BitPattern`] is identical to the first count's.
+///
+/// Returns the baseline result so callers can chain further checks
+/// (e.g. compare the parallel family against a sequential oracle).
+///
+/// # Panics
+/// Panics with both values' `Debug` rendering when any run diverges,
+/// or when `counts` is empty.
+pub fn assert_deterministic_across<T, F>(counts: &[usize], f: F) -> T
+where
+    T: BitPattern + Debug,
+    F: Fn() -> T,
+{
+    assert!(!counts.is_empty(), "need at least one thread count");
+    let baseline = with_threads(counts[0], &f);
+    let expect = baseline.bits();
+    for &threads in &counts[1..] {
+        let got = with_threads(threads, &f);
+        assert_eq!(
+            expect,
+            got.bits(),
+            "result diverged at {threads} threads (baseline {} threads):\n\
+             baseline: {baseline:?}\n\
+             at {threads} threads: {got:?}",
+            counts[0],
+        );
+    }
+    baseline
+}
+
+/// [`assert_deterministic_across`] under the workspace's canonical
+/// thread counts [`DEFAULT_THREAD_COUNTS`] (1/2/3/8).
+pub fn assert_deterministic<T, F>(f: F) -> T
+where
+    T: BitPattern + Debug,
+    F: Fn() -> T,
+{
+    assert_deterministic_across(&DEFAULT_THREAD_COUNTS, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn floats_compare_bitwise() {
+        assert_ne!(0.0f64.bits(), (-0.0f64).bits());
+        assert_eq!(1.5f64.bits(), 1.5f64.bits());
+        let quiet = f64::NAN;
+        assert_eq!(quiet.bits(), quiet.bits(), "same NaN payload is equal");
+    }
+
+    #[test]
+    fn containers_are_length_prefixed() {
+        // Without prefixes [[1],[2]] and [[1,2]] would collide.
+        let a: Vec<Vec<u64>> = vec![vec![1], vec![2]];
+        let b: Vec<Vec<u64>> = vec![vec![1, 2]];
+        assert_ne!(a.bits(), b.bits());
+        let s1 = ("ab", 1u32);
+        let s2 = ("a", 98u32); // 'b' == 98
+        assert_ne!(s1.bits(), s2.bits());
+    }
+
+    #[test]
+    fn option_disambiguates() {
+        assert_ne!(Some(0u64).bits(), None::<u64>.bits());
+    }
+
+    #[test]
+    fn deterministic_parallel_sum_passes() {
+        // Ordered collect + sequential reduction: bit-stable by design.
+        let result = assert_deterministic(|| {
+            let parts: Vec<f64> = (0..1000usize)
+                .into_par_iter()
+                .map(|i| (i as f64).sqrt())
+                .collect();
+            parts.iter().sum::<f64>()
+        });
+        assert!(result > 0.0);
+    }
+
+    #[test]
+    fn with_threads_overrides_pool_size() {
+        assert_eq!(with_threads(3, rayon::current_num_threads), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged at")]
+    fn thread_dependent_result_is_caught() {
+        assert_deterministic(rayon::current_num_threads);
+    }
+}

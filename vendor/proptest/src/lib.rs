@@ -6,8 +6,22 @@
 //! `prop_map` / `prop_flat_map` combinators and the `prop_assert*` /
 //! `prop_assume!` macros. Cases are generated from a deterministic
 //! per-test seed (the hash of the test name), so failures reproduce
-//! exactly. **There is no shrinking**: a failing case reports its
-//! values via the assertion message only.
+//! exactly.
+//!
+//! ## Shrinking
+//!
+//! A failing case is **shrunk** before being reported: the runner asks
+//! the strategy for simpler candidate values ([`strategy::Strategy::shrink`]),
+//! re-runs the test on each, adopts the first candidate that still
+//! fails and repeats until no candidate fails. Scalars shrink by
+//! binary search toward the range minimum (for a monotone predicate
+//! this converges to the exact failure boundary in `O(log²)` runs);
+//! vectors shrink by length (cut to the minimum, halve, drop single
+//! elements) and then element-wise; tuples shrink component-wise.
+//! `prop_map` / `prop_flat_map` outputs do not shrink (the combinator
+//! cannot invert the mapping), so a mapped failure is reported as
+//! generated. The final panic message contains the minimal failing
+//! case and the number of shrink steps taken.
 
 #![warn(missing_docs)]
 
@@ -23,7 +37,18 @@ pub mod strategy {
         /// Draws one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+        /// Proposes simpler values derived from a failing `value`,
+        /// boldest simplification first. The runner adopts the first
+        /// candidate that still fails and calls `shrink` again on it;
+        /// returning an empty vector (the default) ends shrinking.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
+
         /// Maps generated values through `f`.
+        ///
+        /// Mapped values do not shrink: the combinator cannot invert
+        /// `f` to recover the base value a candidate came from.
         fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
         where
             Self: Sized,
@@ -32,7 +57,8 @@ pub mod strategy {
         }
 
         /// Generates a value, then generates from the strategy `f`
-        /// builds out of it.
+        /// builds out of it. Like [`Strategy::prop_map`], the result
+        /// does not shrink.
         fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
         where
             Self: Sized,
@@ -70,8 +96,35 @@ pub mod strategy {
         }
     }
 
+    /// Binary-search shrink kernel for integers: candidates from
+    /// `value` toward `min` are `[min, v − d/2, v − d/4, …, v − 1]`
+    /// for `d = v − min` — bold jumps first. For a monotone predicate,
+    /// adopting the first still-failing candidate each round converges
+    /// to the exact failure boundary in `O(log² d)` runs.
+    mod int_shrink {
+        macro_rules! impl_shrink_toward {
+            ($($name:ident : $t:ty),*) => {$(
+                pub(crate) fn $name(min: $t, value: $t) -> Vec<$t> {
+                    if value <= min {
+                        return Vec::new();
+                    }
+                    let mut out = vec![min];
+                    let mut jump = (value - min) / 2;
+                    while jump > 0 {
+                        out.push(value - jump);
+                        jump /= 2;
+                    }
+                    out
+                }
+            )*};
+        }
+        impl_shrink_toward!(
+            u8s: u8, u16s: u16, u32s: u32, u64s: u64, usizes: usize, i32s: i32
+        );
+    }
+
     macro_rules! impl_int_range {
-        ($($t:ty),*) => {$(
+        ($($t:ty => $helper:ident),*) => {$(
             impl Strategy for std::ops::Range<$t> {
                 type Value = $t;
 
@@ -79,6 +132,12 @@ pub mod strategy {
                     assert!(self.start < self.end, "empty range strategy");
                     let span = (self.end - self.start) as u64;
                     self.start + (rng.next_u64() % span) as $t
+                }
+
+                /// Binary-search candidates toward the range start:
+                /// `[start, v − d/2, v − d/4, …, v − 1]`.
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink::$helper(self.start, *value)
                 }
             }
             impl Strategy for std::ops::RangeInclusive<$t> {
@@ -90,11 +149,37 @@ pub mod strategy {
                     let span = (end - start) as u64 + 1;
                     start + (rng.next_u64() % span) as $t
                 }
+
+                /// Binary-search candidates toward the range start.
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink::$helper(*self.start(), *value)
+                }
             }
         )*};
     }
 
-    impl_int_range!(u8, u16, u32, u64, usize, i32);
+    impl_int_range!(u8 => u8s, u16 => u16s, u32 => u32s, u64 => u64s, usize => usizes, i32 => i32s);
+
+    /// Binary-search float candidates from `value` toward `start`,
+    /// stopping once the step no longer changes the value.
+    fn shrink_f64_toward(start: f64, value: f64) -> Vec<f64> {
+        let d = value - start;
+        // NaN distances fall through to the empty candidate list too.
+        if d <= 0.0 || !d.is_finite() {
+            return Vec::new();
+        }
+        let mut out = vec![start];
+        let mut jump = d / 2.0;
+        for _ in 0..32 {
+            let cand = value - jump;
+            if cand <= start || cand >= value {
+                break;
+            }
+            out.push(cand);
+            jump /= 2.0;
+        }
+        out
+    }
 
     impl Strategy for std::ops::Range<f64> {
         type Value = f64;
@@ -102,6 +187,10 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> f64 {
             assert!(self.start < self.end, "empty range strategy");
             self.start + rng.next_f64() * (self.end - self.start)
+        }
+
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            shrink_f64_toward(self.start, *value)
         }
     }
 
@@ -113,15 +202,36 @@ pub mod strategy {
             assert!(start <= end, "empty range strategy");
             start + rng.next_f64() * (end - start)
         }
+
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            shrink_f64_toward(*self.start(), *value)
+        }
     }
 
     macro_rules! impl_tuple {
         ($($name:ident : $idx:tt),+) => {
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone,)+
+            {
                 type Value = ($($name::Value,)+);
 
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.generate(rng),)+)
+                }
+
+                /// Component-wise shrinking: each component proposes
+                /// its candidates with the others held fixed.
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         };
@@ -132,7 +242,8 @@ pub mod strategy {
     impl_tuple!(A: 0, B: 1, C: 2);
     impl_tuple!(A: 0, B: 1, C: 2, D: 3);
 
-    /// `Just`-style constant strategy.
+    /// `Just`-style constant strategy (no shrinking: the constant is
+    /// already minimal).
     pub struct Just<T: Clone>(pub T);
 
     impl<T: Clone> Strategy for Just<T> {
@@ -154,10 +265,18 @@ pub mod collection {
     pub trait SizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
+
+        /// The smallest admissible length (shrinking never goes below
+        /// it, so shrunk cases stay inside the strategy's domain).
+        fn min_len(&self) -> usize;
     }
 
     impl SizeRange for usize {
         fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+
+        fn min_len(&self) -> usize {
             *self
         }
     }
@@ -167,12 +286,20 @@ pub mod collection {
             assert!(self.start < self.end, "empty size range");
             self.start + (rng.next_u64() as usize) % (self.end - self.start)
         }
+
+        fn min_len(&self) -> usize {
+            self.start
+        }
     }
 
     impl SizeRange for std::ops::RangeInclusive<usize> {
         fn pick(&self, rng: &mut TestRng) -> usize {
             let (start, end) = (*self.start(), *self.end());
             start + (rng.next_u64() as usize) % (end - start + 1)
+        }
+
+        fn min_len(&self) -> usize {
+            *self.start()
         }
     }
 
@@ -188,12 +315,44 @@ pub mod collection {
         len: L,
     }
 
-    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = self.len.pick(rng);
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Length shrinks first (cut to the minimum length, halve the
+        /// removable suffix, drop each single element), then element
+        /// shrinks (a few boldest candidates per position).
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.len.min_len();
+            let n = value.len();
+            let mut out = Vec::new();
+            if n > min {
+                out.push(value[..min].to_vec());
+                let half = min + (n - min) / 2;
+                if half > min && half < n {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..n {
+                    let mut next = value.clone();
+                    next.remove(i);
+                    out.push(next);
+                }
+            }
+            for (i, element) in value.iter().enumerate() {
+                for cand in self.element.shrink(element).into_iter().take(4) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -220,28 +379,146 @@ pub mod bool {
         fn generate(&self, rng: &mut TestRng) -> bool {
             rng.next_f64() < self.p
         }
+
+        /// `false` is the canonical simpler value.
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
     }
 }
 
-/// Test-runner plumbing: config and deterministic RNG.
+/// Test-runner plumbing: config, deterministic RNG, case execution and
+/// failure shrinking.
 pub mod test_runner {
+    use crate::strategy::Strategy;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
     /// Per-invocation configuration.
     #[derive(Debug, Clone, Copy)]
     pub struct ProptestConfig {
         /// Number of cases generated per test.
         pub cases: u32,
+        /// Upper bound on candidate evaluations while shrinking one
+        /// failure (a safety stop for pathological strategies).
+        pub max_shrink_iters: u32,
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            Self { cases: 64 }
+            Self {
+                cases: 64,
+                max_shrink_iters: 4096,
+            }
         }
     }
 
     impl ProptestConfig {
         /// Config with an explicit case count.
         pub fn with_cases(cases: u32) -> Self {
-            Self { cases }
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// Why one test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// A `prop_assume!` premise was unmet: skip the case.
+        Reject,
+        /// An assertion failed (or the body panicked) with this message.
+        Fail(String),
+    }
+
+    /// Outcome of running the test body on one case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runs the test body on one case, converting raw panics (plain
+    /// `assert!` or a panicking library call) into
+    /// [`TestCaseError::Fail`] so shrinking also works for them.
+    pub fn run_protected<V, F>(run: &F, value: &V) -> TestCaseResult
+    where
+        F: Fn(&V) -> TestCaseResult,
+    {
+        match catch_unwind(AssertUnwindSafe(|| run(value))) {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "panic with non-string payload".to_string());
+                Err(TestCaseError::Fail(format!("panic: {msg}")))
+            }
+        }
+    }
+
+    /// Shrinks a failing `value`: repeatedly asks the strategy for
+    /// candidates, adopts the first one that still fails and restarts
+    /// from it; stops when no candidate fails (a local minimum) or the
+    /// attempt budget runs out. Returns the minimal value, its failure
+    /// message and the number of adopted shrink steps.
+    pub fn shrink_failure<S, F>(
+        strategy: &S,
+        mut value: S::Value,
+        mut message: String,
+        run: &F,
+        max_attempts: u32,
+    ) -> (S::Value, String, u32)
+    where
+        S: Strategy,
+        S::Value: Clone,
+        F: Fn(&S::Value) -> TestCaseResult,
+    {
+        let mut steps = 0u32;
+        let mut attempts = 0u32;
+        'adopt: loop {
+            for cand in strategy.shrink(&value) {
+                if attempts >= max_attempts {
+                    break 'adopt;
+                }
+                attempts += 1;
+                if let Err(TestCaseError::Fail(msg)) = run_protected(run, &cand) {
+                    value = cand;
+                    message = msg;
+                    steps += 1;
+                    continue 'adopt;
+                }
+            }
+            break;
+        }
+        (value, message, steps)
+    }
+
+    /// Generates and runs `config.cases` cases of `run` against
+    /// `strategy`; on the first failure, shrinks it and panics with the
+    /// minimal failing case. The [`crate::proptest!`] macro expands to
+    /// a call of this function.
+    pub fn run_cases<S, F>(config: &ProptestConfig, name: &str, strategy: &S, run: F)
+    where
+        S: Strategy,
+        S::Value: Clone + std::fmt::Debug,
+        F: Fn(&S::Value) -> TestCaseResult,
+    {
+        let mut rng = TestRng::deterministic(fnv1a(name));
+        for case in 0..config.cases {
+            let value = strategy.generate(&mut rng);
+            match run_protected(&run, &value) {
+                Ok(()) | Err(TestCaseError::Reject) => {}
+                Err(TestCaseError::Fail(message)) => {
+                    let (minimal, message, steps) =
+                        shrink_failure(strategy, value, message, &run, config.max_shrink_iters);
+                    panic!(
+                        "proptest {name}: case {case} failed; \
+                         minimal failing case after {steps} shrink steps: {minimal:?}\n{message}"
+                    );
+                }
+            }
         }
     }
 
@@ -293,36 +570,86 @@ pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
 
-/// Asserts inside a property (plain `assert!` without shrinking).
+/// Asserts inside a property; failures are shrunk to a minimal case.
+///
+/// Expands to an early `Err(TestCaseError::Fail)` return, so it may
+/// only be used inside a [`proptest!`] body (or any closure returning
+/// [`test_runner::TestCaseResult`]).
 #[macro_export]
 macro_rules! prop_assert {
-    ($($tt:tt)*) => { assert!($($tt)*) };
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
 }
 
 /// Equality assert inside a property.
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?} == {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{}: `{:?} == {:?}`",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
 }
 
 /// Inequality assert inside a property.
 #[macro_export]
 macro_rules! prop_assert_ne {
-    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?} != {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "{}: `{:?} != {:?}`",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
 }
 
 /// Skips the current case when its inputs don't satisfy a premise.
 #[macro_export]
 macro_rules! prop_assume {
-    ($cond:expr) => {
+    ($cond:expr $(,)?) => {
         if !($cond) {
-            continue;
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
         }
     };
 }
 
 /// Declares property tests: each `fn name(arg in strategy, …) { … }`
-/// item becomes a `#[test]` running `cases` deterministic cases.
+/// item becomes a `#[test]` running `cases` deterministic cases, with
+/// failures shrunk to a minimal case before reporting.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -349,15 +676,17 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $config;
-            let mut rng = $crate::test_runner::TestRng::deterministic(
-                $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name))),
+            let __strategy = ($(($strategy),)*);
+            $crate::test_runner::run_cases(
+                &config,
+                concat!(module_path!(), "::", stringify!($name)),
+                &__strategy,
+                |__case| {
+                    let ($($arg,)*) = ::std::clone::Clone::clone(__case);
+                    { $body }
+                    ::std::result::Result::Ok(())
+                },
             );
-            for _case in 0..config.cases {
-                $(
-                    let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
-                )*
-                $body
-            }
         }
         $crate::__proptest_items! { ($config); $($rest)* }
     };
@@ -366,6 +695,8 @@ macro_rules! __proptest_items {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::test_runner::{shrink_failure, TestCaseError, TestCaseResult};
+    use std::cell::Cell;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
@@ -400,5 +731,141 @@ mod tests {
             .count();
         let rate = hits as f64 / 20_000.0;
         assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    /// Fails iff `v >= threshold`; counts how many times it ran.
+    fn boundary_pred(threshold: u32, counter: &Cell<u32>) -> impl Fn(&u32) -> TestCaseResult + '_ {
+        move |&v| {
+            counter.set(counter.get() + 1);
+            if v >= threshold {
+                Err(TestCaseError::Fail(format!("{v} >= {threshold}")))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn int_shrink_candidates_are_bold_to_timid() {
+        use crate::strategy::Strategy;
+        let cands = (0u32..1000).shrink(&100);
+        assert_eq!(cands.first(), Some(&0), "boldest jump first");
+        assert_eq!(cands.last(), Some(&99), "v-1 last");
+        assert!(cands.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert!((0u32..1000).shrink(&0).is_empty(), "minimum is terminal");
+    }
+
+    #[test]
+    fn int_shrink_binary_searches_to_the_boundary() {
+        // Monotone predicate with boundary 57: shrinking from 923 must
+        // land exactly on 57 in O(log²) runs, not the ~866 a linear
+        // descent would take.
+        let runs = Cell::new(0);
+        let pred = boundary_pred(57, &runs);
+        let (min, msg, steps) = shrink_failure(&(0u32..1000), 923, "seed".into(), &pred, 4096);
+        assert_eq!(min, 57);
+        assert!(msg.contains("57 >= 57"));
+        assert!(steps >= 1);
+        assert!(
+            runs.get() < 120,
+            "binary search took {} runs (linear would be ~866)",
+            runs.get()
+        );
+    }
+
+    #[test]
+    fn f64_shrink_converges_toward_start() {
+        let runs = Cell::new(0);
+        let pred = |v: &f64| -> TestCaseResult {
+            runs.set(runs.get() + 1);
+            if *v >= 2.5 {
+                Err(TestCaseError::Fail(format!("{v} >= 2.5")))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) = shrink_failure(&(0.0f64..10.0), 9.75, "seed".into(), &pred, 4096);
+        assert!(min >= 2.5, "shrunk value must still fail");
+        assert!(min - 2.5 < 1e-6, "converged to the boundary, got {min}");
+    }
+
+    #[test]
+    fn vec_shrink_minimizes_length_and_elements() {
+        use crate::collection::vec;
+        // Fails iff any element ≥ 10: minimal case is the single
+        // element [10].
+        let pred = |v: &Vec<u32>| -> TestCaseResult {
+            if v.iter().any(|&x| x >= 10) {
+                Err(TestCaseError::Fail("has a big element".into()))
+            } else {
+                Ok(())
+            }
+        };
+        let strat = vec(0u32..100, 0usize..=8);
+        let start = std::vec![55, 3, 97, 12, 4];
+        let (min, _, _) = shrink_failure(&strat, start, "seed".into(), &pred, 4096);
+        assert_eq!(min, std::vec![10]);
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len() {
+        use crate::collection::vec;
+        let pred = |_: &Vec<u32>| -> TestCaseResult { Err(TestCaseError::Fail("always".into())) };
+        let strat = vec(0u32..100, 3usize..=8);
+        let (min, _, _) = shrink_failure(&strat, std::vec![9, 8, 7, 6, 5], "s".into(), &pred, 4096);
+        assert_eq!(min.len(), 3, "never shrinks below the length spec");
+        assert!(
+            min.iter().all(|&x| x == 0),
+            "elements shrink to the range start"
+        );
+    }
+
+    #[test]
+    fn tuple_shrink_is_componentwise() {
+        // Fails iff a + b >= 30; the minimum is on the boundary.
+        let pred = |&(a, b): &(u32, u32)| -> TestCaseResult {
+            if a + b >= 30 {
+                Err(TestCaseError::Fail(format!("{a}+{b}")))
+            } else {
+                Ok(())
+            }
+        };
+        let strat = (0u32..100, 0u32..100);
+        let (min, _, _) = shrink_failure(&strat, (80, 90), "seed".into(), &pred, 4096);
+        assert_eq!(min.0 + min.1, 30, "landed on the boundary: {min:?}");
+    }
+
+    #[test]
+    fn raw_panics_are_caught_and_shrunk() {
+        // The body panics (no prop_assert); shrinking must still work.
+        let pred = |&v: &u32| -> TestCaseResult {
+            if v >= 21 {
+                panic!("boom at {v}");
+            }
+            Ok(())
+        };
+        let run = |v: &u32| crate::test_runner::run_protected(&pred, v);
+        let (min, msg, _) = shrink_failure(&(0u32..1000), 800, "seed".into(), &run, 4096);
+        assert_eq!(min, 21);
+        assert!(msg.contains("boom at 21"), "message: {msg}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// End-to-end: the macro reports the *minimal* failing case.
+        /// The predicate fails for v ≥ 57, so the shrunk report must
+        /// name exactly `(57,)`.
+        #[test]
+        #[should_panic(expected = "minimal failing case")]
+        fn macro_reports_minimal_case(v in 0u32..1000) {
+            prop_assert!(v < 57, "too big: {}", v);
+        }
+
+        #[test]
+        #[should_panic(expected = "(57,)")]
+        fn macro_shrinks_to_the_boundary(v in 0u32..1000) {
+            prop_assert!(v < 57);
+        }
     }
 }
