@@ -19,8 +19,33 @@
 //! medians come from few runs. The gate exists to catch order-of-
 //! magnitude accidents (a kernel silently falling back to a naive
 //! path), not single-digit-percent drift.
+//!
+//! Beyond the trend comparison, a small set of kernels is **required**:
+//! the `graph_build_{scratch,incremental}` pair (PR 3) must be present
+//! in every candidate report. Most kernels may come and go as they are
+//! added and retired, but the incremental-vs-scratch pairing is the
+//! evidence for the churn-driven period engine — a candidate that
+//! silently dropped it would leave the engine unbenchmarked, so a
+//! missing required row fails the gate outright.
 
 use serde::Value;
+
+/// Kernels every candidate report must contain (missing row = fail).
+const REQUIRED_KERNELS: &[&str] = &["graph_build_scratch", "graph_build_incremental"];
+
+/// Checks that `candidate` carries every required kernel row.
+fn check_required(candidate: &Value) -> Vec<Regression> {
+    let Some(Value::Object(kernels)) = candidate.get("kernels") else {
+        return vec![Regression(
+            "candidate has no `kernels` object — wrong schema?".to_string(),
+        )];
+    };
+    REQUIRED_KERNELS
+        .iter()
+        .filter(|name| kernels.get(**name).is_none())
+        .map(|name| Regression(format!("required kernel `{name}` missing from candidate")))
+        .collect()
+}
 
 /// One gate violation, human-readable.
 #[derive(Debug, PartialEq)]
@@ -118,27 +143,33 @@ fn main() {
         args.next()
             .expect("usage: bench_gate CANDIDATE.json [BASELINE.json]"),
     );
+    let candidate = load(&candidate_path);
+    // Required rows are gated even without a baseline to compare against.
+    let mut regressions = check_required(&candidate);
     let baseline_path = match args.next() {
-        Some(p) => std::path::PathBuf::from(p),
-        None => match default_baseline(&candidate_path) {
-            Some(p) => p,
-            None => {
-                println!("bench_gate: no BENCH_PR*.json baseline found — nothing to gate");
-                return;
-            }
-        },
+        Some(p) => Some(std::path::PathBuf::from(p)),
+        None => default_baseline(&candidate_path),
     };
-    println!(
-        "bench_gate: {} vs baseline {}",
-        candidate_path.display(),
-        baseline_path.display()
-    );
-    let (regressions, notes) = compare_reports(&load(&baseline_path), &load(&candidate_path));
+    let mut notes = Vec::new();
+    match baseline_path {
+        None => println!("bench_gate: no BENCH_PR*.json baseline found — nothing to trend-gate"),
+        Some(baseline_path) => {
+            println!(
+                "bench_gate: {} vs baseline {}",
+                candidate_path.display(),
+                baseline_path.display()
+            );
+            let (trend_regressions, trend_notes) =
+                compare_reports(&load(&baseline_path), &candidate);
+            regressions.extend(trend_regressions);
+            notes = trend_notes;
+        }
+    }
     for note in &notes {
         println!("note: {note}");
     }
     if regressions.is_empty() {
-        println!("bench_gate: OK — no kernel regressed more than 2x");
+        println!("bench_gate: OK — required rows present, no kernel regressed more than 2x");
         return;
     }
     for Regression(r) in &regressions {
@@ -222,5 +253,44 @@ mod tests {
     fn missing_kernels_object_is_a_failure() {
         let (regressions, _) = compare_reports(&Value::Null, &Value::Null);
         assert_eq!(regressions.len(), 1);
+    }
+
+    fn report_with_kernels(names: &[&str]) -> Value {
+        obj(&[(
+            "kernels",
+            Value::Object(
+                names
+                    .iter()
+                    .map(|n| (n.to_string(), obj(&[("build_ns", 1.0.to_value())])))
+                    .collect(),
+            ),
+        )])
+    }
+
+    #[test]
+    fn candidate_missing_required_graph_build_rows_fails() {
+        let regressions = check_required(&report_with_kernels(&["monte_carlo"]));
+        assert_eq!(regressions.len(), 2, "{regressions:?}");
+        assert!(regressions[0].0.contains("graph_build_scratch"));
+        assert!(regressions[1].0.contains("graph_build_incremental"));
+        // One present, one dropped: still a failure.
+        let regressions = check_required(&report_with_kernels(&["graph_build_scratch"]));
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].0.contains("graph_build_incremental"));
+    }
+
+    #[test]
+    fn candidate_with_required_rows_passes() {
+        let regressions = check_required(&report_with_kernels(&[
+            "graph_build_scratch",
+            "graph_build_incremental",
+            "monte_carlo",
+        ]));
+        assert!(regressions.is_empty(), "{regressions:?}");
+    }
+
+    #[test]
+    fn required_check_rejects_missing_kernels_object() {
+        assert_eq!(check_required(&Value::Null).len(), 1);
     }
 }

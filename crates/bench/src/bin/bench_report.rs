@@ -1,6 +1,7 @@
 //! Machine-readable perf trajectory: measures the PR-1 evaluation
-//! kernels and the PR-2 parallel pricing/runner paths against their
-//! retained baselines and writes `BENCH_PR2.json`.
+//! kernels, the PR-2 parallel pricing/runner paths and the PR-3
+//! incremental graph-build engine against their retained baselines and
+//! writes `BENCH_PR3.json`.
 //!
 //! ```sh
 //! cargo run --release -p maps-bench --bin bench_report [-- OUT.json]
@@ -9,20 +10,19 @@
 //! Schema (`maps-bench-report/v1`, also documented in the README): a
 //! `kernels` object with one row per kernel; every `*_ns` field is the
 //! **median of repeated wall-clock runs** in nanoseconds for one full
-//! kernel invocation (not per sample/world). PR 2 adds:
+//! kernel invocation (not per sample/world). PR 3 adds the paired rows:
 //!
 //! ```json
 //! {
 //!   "kernels": {
-//!     "pricing_period": {
-//!       "grids": ..., "n_tasks": ..., "n_workers": ...,
-//!       "sequential_ns": ..., "parallel_ns": ...,
-//!       "threads": ..., "speedup": ..., "bit_identical": true
+//!     "graph_build_scratch": {
+//!       "n_workers": ..., "n_tasks": ..., "churn_per_period": ...,
+//!       "k": ..., "periods": ..., "build_ns": ...
 //!     },
-//!     "seed_runner": {
-//!       "cells": ..., "num_seeds": ...,
-//!       "serial_ns": ..., "parallel_ns": ...,
-//!       "threads": ..., "speedup": ..., "bit_identical": true
+//!     "graph_build_incremental": {
+//!       "n_workers": ..., "n_tasks": ..., "churn_per_period": ...,
+//!       "k": ..., "periods": ..., "build_ns": ...,
+//!       "speedup": ..., "bit_identical": true
 //!     }
 //!   }
 //! }
@@ -30,15 +30,20 @@
 //!
 //! Each PR appends its own `BENCH_PR<N>.json` so the perf trajectory
 //! stays diffable; the `bench_gate` binary fails CI when a fresh run
-//! regresses >2x against the last committed report.
+//! regresses >2x against the last committed report **or when either
+//! `graph_build_*` row goes missing** (so a refactor cannot silently
+//! drop the incremental-path benchmark).
 
 use maps_bench::{plateau_maps, random_graph, random_weights, PeriodFixture, XorShift};
 use maps_core::{
-    monte_carlo_expected_revenue_parallel, monte_carlo_expected_revenue_seeded, PricingStrategy,
+    build_period_graph_capped, monte_carlo_expected_revenue_parallel,
+    monte_carlo_expected_revenue_seeded, PeriodGraphCache, PricingStrategy, TaskInput, WorkerChurn,
+    WorkerInput,
 };
 use maps_experiments::{run_panel, PanelSpec, RunOptions, Scale};
 use maps_matching::{max_weight_matching_left_weights, MatchScratch, PossibleWorlds};
 use maps_simulator::SyntheticConfig;
+use maps_spatial::{GridSpec, Point, Rect};
 use serde::{Serialize, Value};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -287,6 +292,7 @@ fn seed_runner_report() -> Value {
         num_seeds,
         parallel: true,
         track_memory: false,
+        ..RunOptions::default()
     };
     let serial_options = RunOptions {
         parallel: false,
@@ -334,18 +340,137 @@ fn seed_runner_report() -> Value {
     ])
 }
 
+/// PR-3 tentpole rows: per-period capped-graph construction on a
+/// 100k-worker pool with low churn (1% arrivals + 1% departures per
+/// period, within the ≤5% acceptance band) — the from-scratch pipeline
+/// (materialize the live worker list + `build_period_graph_capped`, a
+/// full index rebuild) vs `PeriodGraphCache::advance_capped` (apply the
+/// churn to the dynamic index, then the same output-sensitive queries).
+/// Both paths are cross-checked for exact graph equality every period
+/// before anything is timed; `bit_identical` records the check.
+fn graph_build_report() -> (Value, Value, f64) {
+    let n_workers = 100_000usize;
+    let n_tasks = 128usize;
+    let churn = n_workers / 100;
+    let k = 16usize;
+    let periods = 15usize;
+    let grid = GridSpec::square(Rect::square(100.0), 16);
+    let mut rng = XorShift(0xC0FFEE);
+    let random_worker = |rng: &mut XorShift| {
+        WorkerInput::new(
+            &grid,
+            Point::new(rng.next_f64() * 100.0, rng.next_f64() * 100.0),
+            5.0 + rng.next_f64() * 10.0,
+        )
+    };
+    let mut cache = PeriodGraphCache::new(&grid, n_workers);
+    let seed_arrivals: Vec<(u32, WorkerInput)> = (0..n_workers)
+        .map(|id| (id as u32, random_worker(&mut rng)))
+        .collect();
+    cache.apply(WorkerChurn {
+        arrivals: &seed_arrivals,
+        ..WorkerChurn::default()
+    });
+    drop(seed_arrivals);
+    let mut next_id = n_workers as u32;
+
+    let mut scratch_samples = Vec::with_capacity(periods);
+    let mut incremental_samples = Vec::with_capacity(periods);
+    let mut workers: Vec<WorkerInput> = Vec::new();
+    let mut bit_identical = true;
+    for _ in 0..periods {
+        // Low churn: a deterministic sample of live ids departs, the same
+        // number of fresh workers arrives.
+        let live = cache.live_ids();
+        let mut departures: Vec<u32> = (0..churn * 2)
+            .map(|_| live[(rng.next_u64() as usize) % live.len()])
+            .collect();
+        departures.sort_unstable();
+        departures.dedup();
+        departures.truncate(churn);
+        let arrivals: Vec<(u32, WorkerInput)> = (0..churn)
+            .map(|_| {
+                let id = next_id;
+                next_id += 1;
+                (id, random_worker(&mut rng))
+            })
+            .collect();
+        let tasks: Vec<TaskInput> = (0..n_tasks)
+            .map(|_| {
+                TaskInput::new(
+                    &grid,
+                    Point::new(rng.next_f64() * 100.0, rng.next_f64() * 100.0),
+                    0.5 + rng.next_f64() * 3.0,
+                )
+            })
+            .collect();
+
+        let start = Instant::now();
+        let incremental = black_box(cache.advance_capped(
+            WorkerChurn {
+                arrivals: &arrivals,
+                departures: &departures,
+                relocations: &[],
+            },
+            &tasks,
+            k,
+        ));
+        incremental_samples.push(start.elapsed().as_secs_f64() * 1e9);
+
+        // The from-scratch pipeline on the identical post-churn live set.
+        let start = Instant::now();
+        cache.fill_worker_inputs(&mut workers);
+        let scratch = black_box(build_period_graph_capped(&grid, &tasks, &workers, k));
+        scratch_samples.push(start.elapsed().as_secs_f64() * 1e9);
+
+        bit_identical &= incremental == scratch;
+    }
+    assert!(bit_identical, "incremental graph diverged from scratch");
+    scratch_samples.sort_by(f64::total_cmp);
+    incremental_samples.sort_by(f64::total_cmp);
+    let scratch_ns = scratch_samples[scratch_samples.len() / 2];
+    let incremental_ns = incremental_samples[incremental_samples.len() / 2];
+    let speedup = scratch_ns / incremental_ns;
+    println!(
+        "graph_build {n_workers} workers, {n_tasks} tasks, churn {churn}+{churn}/period, k={k}: \
+         scratch {} | incremental {} | speedup {speedup:.2}x | bit-identical {bit_identical}",
+        format_ms(scratch_ns),
+        format_ms(incremental_ns),
+    );
+    let scratch_row = serde::object([
+        ("n_workers", (n_workers as f64).to_value()),
+        ("n_tasks", (n_tasks as f64).to_value()),
+        ("churn_per_period", ((churn * 2) as f64).to_value()),
+        ("k", (k as f64).to_value()),
+        ("periods", (periods as f64).to_value()),
+        ("build_ns", scratch_ns.to_value()),
+    ]);
+    let incremental_row = serde::object([
+        ("n_workers", (n_workers as f64).to_value()),
+        ("n_tasks", (n_tasks as f64).to_value()),
+        ("churn_per_period", ((churn * 2) as f64).to_value()),
+        ("k", (k as f64).to_value()),
+        ("periods", (periods as f64).to_value()),
+        ("build_ns", incremental_ns.to_value()),
+        ("speedup", speedup.to_value()),
+        ("bit_identical", bit_identical.to_value()),
+    ]);
+    (scratch_row, incremental_row, speedup)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
 
-    println!("maps bench_report — PR 2 kernel trajectory");
+    println!("maps bench_report — PR 3 kernel trajectory");
     println!("==========================================");
     let (possible_worlds, pw_speedup) = possible_worlds_report();
     let (monte_carlo, _mc_speedup) = monte_carlo_report();
     let masked_clearing = masked_clearing_report();
     let (pricing_period, pricing_speedup) = pricing_period_report();
     let seed_runner = seed_runner_report();
+    let (graph_build_scratch, graph_build_incremental, graph_speedup) = graph_build_report();
 
     if pw_speedup < 5.0 {
         eprintln!("warning: gray-code speedup {pw_speedup:.1}x is below the 5x acceptance bar");
@@ -355,10 +480,16 @@ fn main() {
             "warning: parallel pricing speedup {pricing_speedup:.2}x shows no wall-clock win"
         );
     }
+    if graph_speedup < 3.0 {
+        eprintln!(
+            "warning: incremental graph-build speedup {graph_speedup:.2}x is below the 3x \
+             acceptance bar"
+        );
+    }
 
     let report = serde::object([
         ("schema", "maps-bench-report/v1".to_value()),
-        ("pr", 2.0f64.to_value()),
+        ("pr", 3.0f64.to_value()),
         (
             "host",
             serde::object([("threads", (rayon::current_num_threads() as f64).to_value())]),
@@ -371,6 +502,8 @@ fn main() {
                 ("masked_clearing", masked_clearing),
                 ("pricing_period", pricing_period),
                 ("seed_runner", seed_runner),
+                ("graph_build_scratch", graph_build_scratch),
+                ("graph_build_incremental", graph_build_incremental),
             ]),
         ),
     ]);

@@ -14,25 +14,7 @@ use maps_market::PriceLadder;
 use maps_matching::{BipartiteGraph, BipartiteGraphBuilder};
 use maps_spatial::{GridSpec, Point, Rect};
 
-/// Deterministic xorshift for fixture construction (no rand dependency
-/// needed in the hot path).
-#[derive(Debug, Clone)]
-pub struct XorShift(pub u64);
-
-impl XorShift {
-    /// Next raw value.
-    pub fn next_u64(&mut self) -> u64 {
-        self.0 ^= self.0 << 13;
-        self.0 ^= self.0 >> 7;
-        self.0 ^= self.0 << 17;
-        self.0
-    }
-
-    /// Uniform f64 in [0, 1).
-    pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
+pub use maps_testkit::XorShift;
 
 /// A ready-to-price period fixture.
 pub struct PeriodFixture {

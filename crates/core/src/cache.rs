@@ -1,0 +1,583 @@
+//! Reusable per-period graph construction: the incremental counterpart
+//! of [`crate::builder`].
+//!
+//! The paper's 500k×500k scalability claim rests on per-period work
+//! being proportional to *churn* — the workers arriving, expiring or
+//! relocating between periods — not to the standing pool.
+//! [`crate::build_period_graph_capped`] rebuilds the full spatial index
+//! from scratch every period; [`PeriodGraphCache`] instead owns a
+//! [`DynamicBucketIndex`] over the live workers and mutates it by churn,
+//! so a period with `c` worker events costs `O(c · log bucket)` index
+//! maintenance plus the output-sensitive query work.
+//!
+//! ## Determinism contract (the scratch-rebuild oracle)
+//!
+//! [`PeriodGraphCache::advance`] and [`PeriodGraphCache::advance_capped`]
+//! are **bit-identical** to [`crate::build_period_graph`] /
+//! [`crate::build_period_graph_capped`] called on the *materialized live
+//! set*: the live workers listed in ascending id order. The from-scratch
+//! builders are retained as the oracle (per the workspace's standing
+//! bit-determinism invariant) and the equivalence is enforced by unit
+//! tests here plus the cross-crate proptest churn oracle
+//! (`incremental_graph_matches_scratch_rebuild`). The identity holds
+//! because the dynamic index keeps bucket slots sorted by id (matching a
+//! fresh build's stable counting sort over the id-sorted live set) and
+//! capped queries use the total `(distance, id)` order, which is
+//! independent of either index's bucket grid.
+
+use crate::problem::{TaskInput, WorkerInput};
+use maps_matching::{BipartiteGraph, BipartiteGraphBuilder};
+use maps_spatial::{BucketIndex, DynamicBucketIndex, GridSpec, Point};
+
+/// One period's worth of worker-set changes, referenced by worker id.
+///
+/// Ids are caller-assigned `u32`s, unique among live workers; the
+/// ascending id order defines the materialized worker list (and thus the
+/// graph's right-side numbering). Re-using the id of a *departed* worker
+/// is allowed — the simulator does exactly that when a busy worker
+/// re-enters after relocating — and keeps the worker's position in the
+/// materialized order stable across its whole lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerChurn<'a> {
+    /// Workers entering the live set this period.
+    pub arrivals: &'a [(u32, WorkerInput)],
+    /// Ids leaving the live set this period (must be live).
+    pub departures: &'a [u32],
+    /// Live workers moving to a new location this period.
+    pub relocations: &'a [(u32, Point)],
+}
+
+/// Incremental per-period task–worker graph builder.
+///
+/// Owns the dynamic spatial index over live workers plus the edge arena
+/// (via [`BipartiteGraphBuilder`]); see the module docs for the
+/// oracle contract.
+#[derive(Debug, Clone)]
+pub struct PeriodGraphCache {
+    grid: GridSpec,
+    index: DynamicBucketIndex<u32>,
+    /// Worker state by id; `None` = not live. Grows to the largest id
+    /// ever seen (append-only — departures only clear the slot).
+    slots: Vec<Option<WorkerInput>>,
+    /// Live ids, ascending. Maintained by a single merge pass per
+    /// [`PeriodGraphCache::apply`] call.
+    live_ids: Vec<u32>,
+    /// Lazily maintained maximum live radius (`-0.0` normalized to
+    /// `0.0`): inserts update it in O(1); removing the last max-radius
+    /// holder marks the tracker dirty and the next capped build rescans
+    /// the live set once. Radii are effectively continuous, so the max
+    /// departs with probability `churn/live` per period and the rescan
+    /// is O(churn) amortized.
+    max_radius: f64,
+    /// How many live workers carry exactly `max_radius`.
+    max_radius_count: usize,
+    /// Whether the tracked max was invalidated by a removal (updates are
+    /// suspended until the next rescan).
+    max_radius_dirty: bool,
+    /// Scratch for the live-id merge (swapped with `live_ids`).
+    merged: Vec<u32>,
+    /// Scratch for sorting churn id lists.
+    sorted_ids: Vec<u32>,
+    /// Recycled edge arena threaded through every
+    /// [`BipartiteGraphBuilder`] this cache creates, so per-period graph
+    /// construction stops allocating edge storage once warm.
+    edge_arena: Vec<(u32, u32)>,
+}
+
+impl PeriodGraphCache {
+    /// An empty cache over the pricing `grid`, with the spatial index
+    /// sized for `expected_workers` simultaneously live workers.
+    pub fn new(grid: &GridSpec, expected_workers: usize) -> Self {
+        Self {
+            grid: *grid,
+            index: DynamicBucketIndex::with_expected_len(grid.region(), expected_workers),
+            slots: Vec::new(),
+            live_ids: Vec::new(),
+            max_radius: 0.0,
+            max_radius_count: 0,
+            max_radius_dirty: false,
+            merged: Vec::new(),
+            sorted_ids: Vec::new(),
+            edge_arena: Vec::new(),
+        }
+    }
+
+    /// The pricing grid this cache builds graphs for.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    /// Number of live workers.
+    pub fn live_count(&self) -> usize {
+        self.live_ids.len()
+    }
+
+    /// Live worker ids, ascending. `live_ids()[j]` is the id of the
+    /// graph's right-side vertex `j` in the most recently built graph.
+    pub fn live_ids(&self) -> &[u32] {
+        &self.live_ids
+    }
+
+    /// The live worker with `id`, if any.
+    pub fn worker(&self, id: u32) -> Option<&WorkerInput> {
+        self.slots.get(id as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Writes the materialized live worker list (ascending id) into
+    /// `out` — exactly the `workers` argument the from-scratch oracle
+    /// would receive, and what a [`crate::PeriodInput`] needs.
+    pub fn fill_worker_inputs(&self, out: &mut Vec<WorkerInput>) {
+        out.clear();
+        out.reserve(self.live_ids.len());
+        out.extend(
+            self.live_ids
+                .iter()
+                .map(|&id| self.slots[id as usize].expect("live id has a slot")),
+        );
+    }
+
+    /// Inserts one worker immediately (id must not be live).
+    pub fn insert(&mut self, id: u32, worker: WorkerInput) {
+        self.insert_slot(id, worker);
+        match self.live_ids.binary_search(&id) {
+            Ok(_) => unreachable!("insert_slot rejects live ids"),
+            Err(pos) => self.live_ids.insert(pos, id),
+        }
+    }
+
+    /// Removes one live worker immediately, returning its state.
+    ///
+    /// # Panics
+    /// Panics if `id` is not live.
+    pub fn remove(&mut self, id: u32) -> WorkerInput {
+        let w = self.remove_slot(id);
+        let pos = self
+            .live_ids
+            .binary_search(&id)
+            .expect("live id is in live_ids");
+        self.live_ids.remove(pos);
+        w
+    }
+
+    /// Moves one live worker to a new location immediately.
+    ///
+    /// # Panics
+    /// Panics if `id` is not live.
+    pub fn relocate(&mut self, id: u32, to: Point) {
+        let slot = self.slots[id as usize]
+            .as_mut()
+            .expect("relocation of a non-live worker");
+        let from = slot.location;
+        slot.location = to;
+        slot.cell = self.grid.cell_of(to);
+        self.index.relocate(from, to, id);
+    }
+
+    /// Applies one period's churn: departures, then relocations, then
+    /// arrivals, then a single merge pass over the live-id list (so bulk
+    /// churn does not pay a per-event `O(live)` shift).
+    pub fn apply(&mut self, churn: WorkerChurn<'_>) {
+        for &id in churn.departures {
+            self.remove_slot(id);
+        }
+        for &(id, to) in churn.relocations {
+            self.relocate(id, to);
+        }
+        for &(id, w) in churn.arrivals {
+            self.insert_slot(id, w);
+        }
+        self.merge_live_ids(churn.departures, churn.arrivals);
+    }
+
+    /// Applies `churn` and builds the complete task–worker graph of the
+    /// resulting live set — bit-identical to
+    /// [`crate::build_period_graph`] on the materialized live workers.
+    pub fn advance(&mut self, churn: WorkerChurn<'_>, tasks: &[TaskInput]) -> BipartiteGraph {
+        self.apply(churn);
+        self.build_graph(tasks)
+    }
+
+    /// Applies `churn` and builds the capped graph (each task's `k`
+    /// nearest in-range workers) — bit-identical to
+    /// [`crate::build_period_graph_capped`] on the materialized live
+    /// workers.
+    pub fn advance_capped(
+        &mut self,
+        churn: WorkerChurn<'_>,
+        tasks: &[TaskInput],
+        k: usize,
+    ) -> BipartiteGraph {
+        self.apply(churn);
+        self.build_graph_capped(tasks, k)
+    }
+
+    /// Builds the complete graph of the current live set (no churn).
+    ///
+    /// Tasks change wholesale every period, so (like the oracle) this
+    /// builds a fresh throwaway index over *task origins* and queries it
+    /// once per live worker — the cached index only ever holds workers.
+    pub fn build_graph(&mut self, tasks: &[TaskInput]) -> BipartiteGraph {
+        let items: Vec<_> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.origin, i as u32))
+            .collect();
+        let task_index = BucketIndex::build(self.grid.region(), &items);
+        let mut builder = BipartiteGraphBuilder::with_arena(
+            tasks.len(),
+            self.live_ids.len(),
+            self.live_ids.len() * 4,
+            std::mem::take(&mut self.edge_arena),
+        );
+        for (dense, &id) in self.live_ids.iter().enumerate() {
+            let w = &self.slots[id as usize].expect("live id has a slot");
+            task_index.for_each_within_disc(w.location, w.radius, |_, t_idx| {
+                builder.add_edge(t_idx as usize, dense);
+            });
+        }
+        let (graph, arena) = builder.build_recycling();
+        self.edge_arena = arena;
+        graph
+    }
+
+    /// Builds the capped graph of the current live set (no churn).
+    pub fn build_graph_capped(&mut self, tasks: &[TaskInput], k: usize) -> BipartiteGraph {
+        if self.live_ids.len() <= k {
+            return self.build_graph(tasks);
+        }
+        let max_radius = self.current_max_radius();
+        let mut builder = BipartiteGraphBuilder::with_arena(
+            tasks.len(),
+            self.live_ids.len(),
+            tasks.len() * k,
+            std::mem::take(&mut self.edge_arena),
+        );
+        let (index, slots, live_ids) = (&self.index, &self.slots, &self.live_ids);
+        for (t_idx, task) in tasks.iter().enumerate() {
+            let near = index.k_nearest_within(task.origin, max_radius, k, |dist, id| {
+                dist <= slots[id as usize].expect("live id has a slot").radius
+            });
+            for (_, id) in near {
+                let dense = live_ids.binary_search(&id).expect("queried id is live");
+                builder.add_edge(t_idx, dense);
+            }
+        }
+        let (graph, arena) = builder.build_recycling();
+        self.edge_arena = arena;
+        graph
+    }
+
+    fn insert_slot(&mut self, id: u32, worker: WorkerInput) {
+        assert!(
+            worker.radius.is_finite() && worker.radius >= 0.0,
+            "worker radius must be non-negative, got {}",
+            worker.radius
+        );
+        let idx = id as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        assert!(
+            self.slots[idx].is_none(),
+            "arrival of an already-live worker id {id}"
+        );
+        self.slots[idx] = Some(worker);
+        self.index.insert(worker.location, id);
+        if !self.max_radius_dirty {
+            let radius = normalize_radius(worker.radius);
+            if self.max_radius_count == 0 || radius > self.max_radius {
+                self.max_radius = radius;
+                self.max_radius_count = 1;
+            } else if radius == self.max_radius {
+                self.max_radius_count += 1;
+            }
+        }
+    }
+
+    fn remove_slot(&mut self, id: u32) -> WorkerInput {
+        let w = self
+            .slots
+            .get_mut(id as usize)
+            .and_then(Option::take)
+            .expect("departure of a non-live worker");
+        assert!(
+            self.index.remove(w.location, id),
+            "live worker missing from the spatial index"
+        );
+        if !self.max_radius_dirty && normalize_radius(w.radius) == self.max_radius {
+            self.max_radius_count -= 1;
+            if self.max_radius_count == 0 {
+                self.max_radius_dirty = true;
+            }
+        }
+        w
+    }
+
+    /// The maximum live radius (0.0 when empty) — the capped oracle's
+    /// `fold(0.0, f64::max)` over the materialized worker list.
+    /// Rescans the live set if a removal invalidated the tracked max.
+    fn current_max_radius(&mut self) -> f64 {
+        if self.max_radius_dirty {
+            self.max_radius = 0.0;
+            self.max_radius_count = 0;
+            for &id in &self.live_ids {
+                let radius = normalize_radius(self.slots[id as usize].expect("live").radius);
+                if self.max_radius_count == 0 || radius > self.max_radius {
+                    self.max_radius = radius;
+                    self.max_radius_count = 1;
+                } else if radius == self.max_radius {
+                    self.max_radius_count += 1;
+                }
+            }
+            self.max_radius_dirty = false;
+        }
+        if self.max_radius_count == 0 {
+            0.0
+        } else {
+            self.max_radius
+        }
+    }
+
+    /// Rewrites `live_ids` as `(live_ids \ departures) ∪ arrivals` in one
+    /// ordered merge pass. Departed ids are guaranteed present and
+    /// arrival ids absent (checked by the slot ops above).
+    fn merge_live_ids(&mut self, departures: &[u32], arrivals: &[(u32, WorkerInput)]) {
+        if departures.is_empty() && arrivals.is_empty() {
+            return;
+        }
+        self.sorted_ids.clear();
+        self.sorted_ids.extend(departures.iter().copied());
+        let dep_count = self.sorted_ids.len();
+        self.sorted_ids.extend(arrivals.iter().map(|&(id, _)| id));
+        self.sorted_ids[..dep_count].sort_unstable();
+        self.sorted_ids[dep_count..].sort_unstable();
+        let (dep, arr) = self.sorted_ids.split_at(dep_count);
+        self.merged.clear();
+        self.merged
+            .reserve(self.live_ids.len() + arr.len() - dep.len());
+        let (mut ai, mut di) = (0, 0);
+        for &id in &self.live_ids {
+            while ai < arr.len() && arr[ai] < id {
+                self.merged.push(arr[ai]);
+                ai += 1;
+            }
+            if di < dep.len() && dep[di] == id {
+                di += 1;
+                continue;
+            }
+            self.merged.push(id);
+        }
+        self.merged.extend_from_slice(&arr[ai..]);
+        debug_assert_eq!(di, dep.len(), "every departure id must be live");
+        std::mem::swap(&mut self.live_ids, &mut self.merged);
+    }
+}
+
+/// Canonical form of a non-negative radius (`-0.0` → `0.0`), so equality
+/// comparisons in the max tracker are bit-stable.
+fn normalize_radius(radius: f64) -> f64 {
+    radius + 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_period_graph, build_period_graph_capped};
+    use maps_spatial::{Point, Rect};
+
+    use maps_testkit::XorShift;
+
+    fn grid() -> GridSpec {
+        GridSpec::square(Rect::square(100.0), 5)
+    }
+
+    fn random_worker(grid: &GridSpec, rng: &mut XorShift) -> WorkerInput {
+        WorkerInput::new(
+            grid,
+            Point::new(rng.next_f64() * 100.0, rng.next_f64() * 100.0),
+            2.0 + rng.next_f64() * 20.0,
+        )
+    }
+
+    fn random_tasks(grid: &GridSpec, rng: &mut XorShift, n: usize) -> Vec<TaskInput> {
+        (0..n)
+            .map(|_| {
+                TaskInput::new(
+                    grid,
+                    Point::new(rng.next_f64() * 100.0, rng.next_f64() * 100.0),
+                    0.5 + rng.next_f64() * 3.0,
+                )
+            })
+            .collect()
+    }
+
+    /// Mirror of the cache's live set for the from-scratch oracle.
+    struct Mirror {
+        live: Vec<(u32, WorkerInput)>, // ascending id
+    }
+    impl Mirror {
+        fn workers(&self) -> Vec<WorkerInput> {
+            self.live.iter().map(|&(_, w)| w).collect()
+        }
+    }
+
+    /// Random churn over several periods: advance must equal the
+    /// from-scratch oracle bitwise (structural equality of the CSR graph
+    /// is exactly bit equality — all fields are integers).
+    #[test]
+    fn advance_matches_scratch_oracle_under_churn() {
+        let grid = grid();
+        for (seed, k) in [(1u64, 4usize), (2, 1), (3, 13), (4, 200)] {
+            let mut rng = XorShift(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+            let mut cache = PeriodGraphCache::new(&grid, 64);
+            let mut mirror = Mirror { live: Vec::new() };
+            let mut next_id = 0u32;
+            for period in 0..12 {
+                let mut departures = Vec::new();
+                let mut survivors = Vec::new();
+                for &(id, w) in &mirror.live {
+                    if rng.next_u64().is_multiple_of(5) {
+                        departures.push(id);
+                    } else {
+                        survivors.push((id, w));
+                    }
+                }
+                mirror.live = survivors;
+                let mut relocations = Vec::new();
+                for entry in mirror.live.iter_mut() {
+                    if rng.next_u64().is_multiple_of(6) {
+                        let to =
+                            Point::new(rng.next_f64() * 110.0 - 5.0, rng.next_f64() * 110.0 - 5.0);
+                        entry.1.location = to;
+                        entry.1.cell = grid.cell_of(to);
+                        relocations.push((entry.0, to));
+                    }
+                }
+                let arrivals: Vec<(u32, WorkerInput)> = (0..(rng.next_u64() % 20))
+                    .map(|_| {
+                        let id = next_id;
+                        next_id += 1;
+                        (id, random_worker(&grid, &mut rng))
+                    })
+                    .collect();
+                mirror.live.extend(arrivals.iter().copied());
+                let n_tasks = (rng.next_u64() % 25) as usize;
+                let tasks = random_tasks(&grid, &mut rng, n_tasks);
+                let churn = WorkerChurn {
+                    arrivals: &arrivals,
+                    departures: &departures,
+                    relocations: &relocations,
+                };
+                let incremental = cache.advance_capped(churn, &tasks, k);
+                let scratch = build_period_graph_capped(&grid, &tasks, &mirror.workers(), k);
+                assert_eq!(
+                    incremental, scratch,
+                    "seed {seed} k {k} period {period}: capped graph diverged"
+                );
+                let full = cache.build_graph(&tasks);
+                let full_oracle = build_period_graph(&grid, &tasks, &mirror.workers());
+                assert_eq!(
+                    full, full_oracle,
+                    "seed {seed} k {k} period {period}: full graph diverged"
+                );
+                assert_eq!(cache.live_count(), mirror.live.len());
+            }
+        }
+    }
+
+    /// Departed-id reuse (the simulator's busy-release pattern) keeps the
+    /// worker at its original position in the materialized order.
+    #[test]
+    fn departed_ids_can_be_reused() {
+        let grid = grid();
+        let mut rng = XorShift(77);
+        let mut cache = PeriodGraphCache::new(&grid, 8);
+        let w0 = random_worker(&grid, &mut rng);
+        let w1 = random_worker(&grid, &mut rng);
+        let w2 = random_worker(&grid, &mut rng);
+        cache.apply(WorkerChurn {
+            arrivals: &[(0, w0), (1, w1), (2, w2)],
+            ..WorkerChurn::default()
+        });
+        let gone = cache.remove(1);
+        assert_eq!(gone, w1);
+        assert_eq!(cache.live_ids(), &[0, 2]);
+        // Same period: departure of 0 and re-arrival of 1 elsewhere.
+        let w1b = random_worker(&grid, &mut rng);
+        cache.apply(WorkerChurn {
+            arrivals: &[(1, w1b)],
+            departures: &[0],
+            relocations: &[],
+        });
+        assert_eq!(cache.live_ids(), &[1, 2]);
+        let mut out = Vec::new();
+        cache.fill_worker_inputs(&mut out);
+        assert_eq!(out, vec![w1b, w2]);
+    }
+
+    #[test]
+    fn empty_cache_builds_empty_graphs() {
+        let grid = grid();
+        let mut cache = PeriodGraphCache::new(&grid, 4);
+        let mut rng = XorShift(5);
+        let tasks = random_tasks(&grid, &mut rng, 3);
+        let g = cache.advance_capped(WorkerChurn::default(), &tasks, 4);
+        assert_eq!(g.n_left(), 3);
+        assert_eq!(g.n_right(), 0);
+        assert_eq!(g.n_edges(), 0);
+        let g = cache.advance(WorkerChurn::default(), &[]);
+        assert_eq!(g.n_left(), 0);
+    }
+
+    #[test]
+    fn max_radius_tracks_removals() {
+        // Regression shape: the k-nearest query radius must shrink when
+        // the widest worker departs, exactly as the oracle's fold does.
+        let grid = grid();
+        let near = WorkerInput::new(&grid, Point::new(10.0, 10.0), 3.0);
+        let wide = WorkerInput::new(&grid, Point::new(90.0, 90.0), 80.0);
+        let tied = WorkerInput::new(&grid, Point::new(20.0, 10.0), 3.0);
+        let mut cache = PeriodGraphCache::new(&grid, 4);
+        cache.apply(WorkerChurn {
+            arrivals: &[(0, near), (1, wide), (2, tied)],
+            ..WorkerChurn::default()
+        });
+        let tasks = [TaskInput::new(&grid, Point::new(50.0, 50.0), 1.0)];
+        // k=2 < live: the capped path queries with max radius 80 and the
+        // wide worker is the only one in range.
+        let g = cache.build_graph_capped(&tasks, 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        cache.remove(1);
+        cache.insert(3, WorkerInput::new(&grid, Point::new(52.0, 50.0), 2.5));
+        let g = cache.build_graph_capped(&tasks, 2);
+        let oracle = {
+            let mut out = Vec::new();
+            cache.fill_worker_inputs(&mut out);
+            build_period_graph_capped(cache.grid(), &tasks, &out, 2)
+        };
+        assert_eq!(g, oracle);
+        assert_eq!(g.neighbors(0), &[2], "only the new near worker reaches");
+    }
+
+    #[test]
+    #[should_panic(expected = "already-live")]
+    fn duplicate_live_id_panics() {
+        let grid = grid();
+        let mut rng = XorShift(9);
+        let mut cache = PeriodGraphCache::new(&grid, 4);
+        let w = random_worker(&grid, &mut rng);
+        cache.insert(0, w);
+        cache.insert(0, w);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-live")]
+    fn departure_of_dead_id_panics() {
+        let grid = grid();
+        let mut cache = PeriodGraphCache::new(&grid, 4);
+        cache.apply(WorkerChurn {
+            departures: &[3],
+            ..WorkerChurn::default()
+        });
+    }
+}

@@ -35,6 +35,7 @@
 pub mod base;
 pub mod baselines;
 pub mod builder;
+pub mod cache;
 pub mod evaluate;
 pub mod hardness;
 pub mod lfunc;
@@ -46,6 +47,7 @@ pub mod smoothing;
 pub use base::{BasePriceResult, BasePricing};
 pub use baselines::{BasePStrategy, CappedUcbStrategy, SdeStrategy, SdrStrategy};
 pub use builder::{build_period_graph, build_period_graph_capped};
+pub use cache::{PeriodGraphCache, WorkerChurn};
 pub use evaluate::{
     monte_carlo_expected_revenue, monte_carlo_expected_revenue_parallel,
     monte_carlo_expected_revenue_seeded, monte_carlo_expected_revenue_with, realize_revenue,
@@ -63,6 +65,7 @@ pub mod prelude {
     pub use crate::base::{BasePriceResult, BasePricing};
     pub use crate::baselines::{BasePStrategy, CappedUcbStrategy, SdeStrategy, SdrStrategy};
     pub use crate::builder::{build_period_graph, build_period_graph_capped};
+    pub use crate::cache::{PeriodGraphCache, WorkerChurn};
     pub use crate::evaluate::{
         monte_carlo_expected_revenue, monte_carlo_expected_revenue_parallel,
         monte_carlo_expected_revenue_seeded, monte_carlo_expected_revenue_with, realize_revenue,

@@ -22,11 +22,21 @@ pub struct CliArgs {
     pub out_dir: PathBuf,
     /// `--no-memory`: skip peak-heap tracking.
     pub no_memory: bool,
+    /// `--max-edges K`: per-task edge cap of the period graph builder
+    /// (default 64; use a huge value for the exact uncapped graph).
+    pub max_edges: usize,
+    /// `--no-incremental`: drive simulations through the retained
+    /// rescan-and-rebuild oracle instead of the incremental period
+    /// engine (`--incremental`, the default). Revenue/count columns are
+    /// bit-identical either way (timing and peak-memory columns reflect
+    /// each engine's own cost); the toggle exists for A/B timing.
+    pub incremental: bool,
 }
 
 impl CliArgs {
     /// Parses `std::env::args`, exiting with usage on error.
     pub fn parse(bin: &str) -> Self {
+        let defaults = RunOptions::default();
         let mut args = CliArgs {
             panel: None,
             quick: false,
@@ -34,6 +44,8 @@ impl CliArgs {
             seeds: 1,
             out_dir: PathBuf::from("results"),
             no_memory: false,
+            max_edges: defaults.max_edges_per_task,
+            incremental: defaults.incremental,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -42,6 +54,15 @@ impl CliArgs {
                 "--quick" => args.quick = true,
                 "--parallel" => args.parallel = true,
                 "--no-memory" => args.no_memory = true,
+                "--incremental" => args.incremental = true,
+                "--no-incremental" => args.incremental = false,
+                "--max-edges" => {
+                    args.max_edges = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&k| k > 0)
+                        .unwrap_or_else(|| usage(bin))
+                }
                 "--seeds" => {
                     args.seeds = it
                         .next()
@@ -70,6 +91,8 @@ impl CliArgs {
             num_seeds: self.seeds,
             parallel: self.parallel,
             track_memory: !self.no_memory && !self.parallel,
+            max_edges_per_task: self.max_edges,
+            incremental: self.incremental,
         }
     }
 }
@@ -77,8 +100,12 @@ impl CliArgs {
 fn usage(bin: &str) -> ! {
     eprintln!(
         "usage: {bin} [--panel KEY] [--quick] [--parallel] [--seeds N] \
-         [--out DIR] [--no-memory]\n\
-         panels: w r mu-t mean-s | mu-v sigma-v t g | aw scale beijing1 beijing2 | alpha"
+         [--out DIR] [--no-memory] [--max-edges K] [--incremental|--no-incremental]\n\
+         panels: w r mu-t mean-s | mu-v sigma-v t g | aw scale beijing1 beijing2 | alpha\n\
+         --max-edges K       per-task edge cap of the period graph (default 64)\n\
+         --no-incremental    use the retained rescan-and-rebuild period engine\n\
+                             (bit-identical revenue/count columns; for A/B\n\
+                             timing of the incremental cache)"
     );
     std::process::exit(2)
 }

@@ -16,7 +16,7 @@ use crate::panels::{PanelSpec, Scale};
 use crate::report::Row;
 use maps_core::StrategyKind;
 use maps_simulator::alloc::TrackingAllocator;
-use maps_simulator::{Outcome, Simulation};
+use maps_simulator::{Outcome, SimOptions, Simulation};
 use rayon::prelude::*;
 
 /// Options controlling a panel run.
@@ -35,15 +35,38 @@ pub struct RunOptions {
     /// to install [`TrackingAllocator`] as the global allocator, and
     /// implies serial execution).
     pub track_memory: bool,
+    /// Per-task edge cap of the period graph builder, forwarded to
+    /// [`SimOptions::max_edges_per_task`].
+    pub max_edges_per_task: usize,
+    /// Drive simulations through the incremental period engine,
+    /// forwarded to [`SimOptions::incremental`]. Either value produces
+    /// bit-identical revenue/count columns (the wall-clock and
+    /// peak-memory columns reflect each engine's own cost); `false`
+    /// selects the retained rescan-and-rebuild oracle for A/B timing.
+    pub incremental: bool,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
+        let sim = SimOptions::default();
         Self {
             scale: Scale::Full,
             num_seeds: 1,
             parallel: false,
             track_memory: true,
+            max_edges_per_task: sim.max_edges_per_task,
+            incremental: sim.incremental,
+        }
+    }
+}
+
+impl RunOptions {
+    /// The per-simulation options this panel run induces.
+    fn sim_options(&self) -> SimOptions {
+        SimOptions {
+            max_edges_per_task: self.max_edges_per_task,
+            incremental: self.incremental,
+            ..SimOptions::default()
         }
     }
 }
@@ -53,15 +76,17 @@ fn run_cell(
     spec: &PanelSpec,
     x: f64,
     kind: StrategyKind,
-    scale: Scale,
+    options: RunOptions,
     seed: u64,
     track: bool,
 ) -> Outcome {
-    let truth = (spec.build)(x, scale, seed);
+    let truth = (spec.build)(x, options.scale, seed);
     if track {
         TrackingAllocator::reset_peak();
     }
-    let mut outcome = Simulation::new(truth, kind).run();
+    let mut outcome = Simulation::new(truth, kind)
+        .with_options(options.sim_options())
+        .run();
     if track {
         outcome.peak_memory_mib = Some(TrackingAllocator::peak_mib());
     }
@@ -115,7 +140,7 @@ pub fn run_panel(spec: &PanelSpec, options: RunOptions) -> Vec<Row> {
             .par_iter()
             .map(|&(c, seed)| {
                 let (x, kind) = cells[c];
-                run_cell(spec, x, kind, options.scale, seed, false)
+                run_cell(spec, x, kind, options, seed, false)
             })
             .collect();
         cells
@@ -132,7 +157,7 @@ pub fn run_panel(spec: &PanelSpec, options: RunOptions) -> Vec<Row> {
             .iter()
             .map(|&(x, kind)| {
                 let outcomes: Vec<Outcome> = (0..seeds)
-                    .map(|seed| run_cell(spec, x, kind, options.scale, seed, track))
+                    .map(|seed| run_cell(spec, x, kind, options, seed, track))
                     .collect();
                 aggregate(spec, x, kind, &outcomes)
             })
@@ -199,6 +224,7 @@ mod tests {
                 num_seeds,
                 parallel: true,
                 track_memory: false,
+                ..RunOptions::default()
             };
             let parallel =
                 maps_testkit::assert_deterministic(|| rows_canon(&run_panel(&spec, options)));
@@ -217,6 +243,36 @@ mod tests {
         }
     }
 
+    /// The `incremental` toggle must not change any row: the event-queue
+    /// engine and the rescan oracle are bit-identical per simulation, so
+    /// they are bit-identical per panel.
+    #[test]
+    fn incremental_toggle_rows_are_bit_identical() {
+        let spec = tiny_panel();
+        let base = RunOptions {
+            scale: Scale::Quick,
+            num_seeds: 2,
+            parallel: true,
+            track_memory: false,
+            ..RunOptions::default()
+        };
+        let incremental = run_panel(
+            &spec,
+            RunOptions {
+                incremental: true,
+                ..base
+            },
+        );
+        let scan = run_panel(
+            &spec,
+            RunOptions {
+                incremental: false,
+                ..base
+            },
+        );
+        assert_eq!(rows_canon(&incremental), rows_canon(&scan));
+    }
+
     #[test]
     fn quick_panel_produces_all_rows() {
         let spec = fig6_w();
@@ -227,6 +283,7 @@ mod tests {
                 num_seeds: 1,
                 parallel: true,
                 track_memory: false,
+                ..RunOptions::default()
             },
         );
         assert_eq!(rows.len(), 5 * 5);
@@ -256,6 +313,7 @@ mod tests {
                 num_seeds: 1,
                 parallel: true,
                 track_memory: false,
+                ..RunOptions::default()
             },
         );
         let three = run_panel(
@@ -265,6 +323,7 @@ mod tests {
                 num_seeds: 3,
                 parallel: true,
                 track_memory: false,
+                ..RunOptions::default()
             },
         );
         // Same shape, (almost surely) different values.

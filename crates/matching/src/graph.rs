@@ -228,6 +228,26 @@ impl BipartiteGraphBuilder {
         }
     }
 
+    /// Starts a builder over a recycled edge arena (cleared, then grown
+    /// to at least `capacity`): repeated per-period graph construction
+    /// (the `maps-core` graph cache's main loop) reuses one allocation
+    /// instead of paying `with_capacity` every period. Recover the arena
+    /// with [`BipartiteGraphBuilder::build_recycling`].
+    pub fn with_arena(
+        n_left: usize,
+        n_right: usize,
+        capacity: usize,
+        mut arena: Vec<(u32, u32)>,
+    ) -> Self {
+        arena.clear();
+        arena.reserve(capacity);
+        Self {
+            n_left,
+            n_right,
+            edges: arena,
+        }
+    }
+
     /// Adds one edge.
     ///
     /// # Panics
@@ -254,7 +274,14 @@ impl BipartiteGraphBuilder {
 
     /// Freezes into a [`BipartiteGraph`]. Duplicate edges are collapsed;
     /// neighbour lists come out sorted (required by `has_edge`).
-    pub fn build(mut self) -> BipartiteGraph {
+    pub fn build(self) -> BipartiteGraph {
+        self.build_recycling().0
+    }
+
+    /// [`BipartiteGraphBuilder::build`], additionally handing the edge
+    /// arena back for reuse via
+    /// [`BipartiteGraphBuilder::with_arena`].
+    pub fn build_recycling(mut self) -> (BipartiteGraph, Vec<(u32, u32)>) {
         // Counting-sort by left vertex, then sort+dedup each row.
         self.edges.sort_unstable();
         self.edges.dedup();
@@ -266,12 +293,15 @@ impl BipartiteGraphBuilder {
             starts[l + 1] += starts[l];
         }
         let adj = self.edges.iter().map(|&(_, r)| r).collect();
-        BipartiteGraph {
-            n_left: self.n_left,
-            n_right: self.n_right,
-            starts,
-            adj,
-        }
+        (
+            BipartiteGraph {
+                n_left: self.n_left,
+                n_right: self.n_right,
+                starts,
+                adj,
+            },
+            self.edges,
+        )
     }
 }
 

@@ -16,6 +16,9 @@
 //! * [`platform`] — the per-period simulation loop: price → requesters
 //!   accept/reject against their private valuations → maximum-weight
 //!   market clearing → feedback to the strategy → worker lifecycle.
+//! * [`lifecycle`] — the event-queue worker engine behind the default
+//!   incremental platform path (arrive/expire/busy-release events
+//!   feeding [`maps_core::PeriodGraphCache`]).
 //! * [`probe`] — the ground-truth [`maps_core::DemandProbe`] used by the
 //!   Algorithm-1 calibration phase.
 //! * [`metrics`] — revenue / time / memory accounting (Figs. 6–8, 10).
@@ -26,6 +29,7 @@
 
 pub mod alloc;
 pub mod beijing;
+pub mod lifecycle;
 pub mod metrics;
 pub mod platform;
 pub mod probe;
@@ -33,6 +37,7 @@ pub mod synthetic;
 pub mod truth;
 
 pub use beijing::{BeijingConfig, BeijingWindow};
+pub use lifecycle::WorkerLifecycle;
 pub use metrics::Outcome;
 pub use platform::{SimOptions, Simulation};
 pub use probe::GroundTruthProbe;

@@ -1,0 +1,373 @@
+//! Event-driven worker lifecycle feeding the incremental graph cache.
+//!
+//! The original platform loop kept every worker ever admitted in one
+//! growing `Vec` and rescanned it each period to find the available set
+//! — `O(all workers ever seen)` per period, with departed (`gone`)
+//! workers never reclaimed. [`WorkerLifecycle`] replaces the rescan with
+//! an explicit event queue: each worker's state transitions
+//! (**arrive → available**, **match → busy → release**, **expire**) are
+//! scheduled into per-period buckets when they become known, and a
+//! period only touches the events that fire in it plus that period's
+//! arrivals. The resulting churn feeds a [`PeriodGraphCache`], so the
+//! spatial index is mutated, never rebuilt.
+//!
+//! Per-period event flow:
+//!
+//! ```text
+//! arrivals ─────────────┐
+//! expiries (events) ────┼─► staged churn ─► PeriodGraphCache::advance
+//! busy releases (events)┘                   │ (dynamic index, id-stable)
+//!                                           ▼
+//!                          bipartite graph, bit-identical to the
+//!                          from-scratch build on the live set
+//! ```
+//!
+//! Worker ids are the admission order (`0, 1, 2, …` across the whole
+//! horizon), and a busy worker re-enters under its *original* id, so the
+//! materialized live set is always ordered exactly like the retained
+//! rescan oracle's available list — which is what makes the incremental
+//! simulation bit-identical to the scan path (`SimOptions::incremental =
+//! false`).
+
+use crate::truth::GroundWorker;
+use maps_core::{PeriodGraphCache, TaskInput, WorkerChurn, WorkerInput};
+use maps_matching::BipartiteGraph;
+use maps_spatial::{GridSpec, Point};
+
+/// Where a worker currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// In the live set (spatial index) — can be matched.
+    Available,
+    /// Matched under the relocate policy; re-enters at `busy_until`.
+    Busy,
+    /// Left permanently (consumed, expired, or released past horizon).
+    Gone,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Record {
+    /// First period in which the worker no longer exists (`t <
+    /// expires_at` ⇔ within the availability window).
+    expires_at: u32,
+    status: Status,
+}
+
+/// A scheduled lifecycle transition.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// The worker's availability window ends this period.
+    Expire(u32),
+    /// A busy worker re-enters this period at its relocation target.
+    Release(u32, WorkerInput),
+}
+
+/// The event-queue worker engine of the incremental simulation path.
+#[derive(Debug)]
+pub struct WorkerLifecycle {
+    cache: PeriodGraphCache,
+    /// Per-worker state, indexed by id (admission order).
+    records: Vec<Record>,
+    /// `buckets[t]` holds the events firing at period `t`. Events past
+    /// the horizon are unobservable and never scheduled.
+    buckets: Vec<Vec<Event>>,
+    /// Staged churn, applied by the next [`WorkerLifecycle::build_graph_capped`].
+    arrivals: Vec<(u32, WorkerInput)>,
+    departures: Vec<u32>,
+    horizon: u32,
+}
+
+impl WorkerLifecycle {
+    /// An empty lifecycle over `grid` for a `horizon`-period run,
+    /// with the spatial index sized for `expected_workers`.
+    pub fn new(grid: &GridSpec, horizon: usize, expected_workers: usize) -> Self {
+        Self {
+            cache: PeriodGraphCache::new(grid, expected_workers),
+            records: Vec::new(),
+            buckets: (0..horizon).map(|_| Vec::new()).collect(),
+            arrivals: Vec::new(),
+            departures: Vec::new(),
+            horizon: horizon as u32,
+        }
+    }
+
+    /// Starts period `t`: fires the period's scheduled events and admits
+    /// this period's arrivals, staging the resulting churn. Call once
+    /// per period, in order, followed by
+    /// [`WorkerLifecycle::build_graph_capped`].
+    pub fn begin_period(&mut self, t: u32, arrivals: &[GroundWorker]) {
+        let mut events = std::mem::take(&mut self.buckets[t as usize]);
+        for event in events.drain(..) {
+            match event {
+                Event::Expire(id) => {
+                    let record = &mut self.records[id as usize];
+                    if record.status == Status::Available {
+                        self.departures.push(id);
+                    }
+                    record.status = Status::Gone;
+                }
+                Event::Release(id, input) => {
+                    let record = &mut self.records[id as usize];
+                    if record.status == Status::Busy && t < record.expires_at {
+                        record.status = Status::Available;
+                        self.arrivals.push((id, input));
+                    } else {
+                        record.status = Status::Gone;
+                    }
+                }
+            }
+        }
+        // Hand the emptied bucket back so its allocation is reused by
+        // events scheduled for later periods.
+        self.buckets[t as usize] = events;
+        for w in arrivals {
+            let id = self.records.len() as u32;
+            let expires_at = t.saturating_add(w.duration);
+            // A worker whose window is already over (duration 0 —
+            // rejected by `GroundTruth::validate`, but hand-built worlds
+            // can carry it) still consumes an id so later ids keep their
+            // scan-path positions, yet never enters the live set: the
+            // scan oracle's `t < expires_at` check never admits it.
+            if expires_at <= t {
+                self.records.push(Record {
+                    expires_at,
+                    status: Status::Gone,
+                });
+                continue;
+            }
+            self.records.push(Record {
+                expires_at,
+                status: Status::Available,
+            });
+            self.schedule(expires_at, Event::Expire(id));
+            self.arrivals.push((
+                id,
+                WorkerInput {
+                    location: w.location,
+                    radius: w.radius,
+                    cell: self.cache.grid().cell_of(w.location),
+                },
+            ));
+        }
+    }
+
+    /// Schedules `event` unless it fires past the horizon (then it is
+    /// unobservable).
+    fn schedule(&mut self, period: u32, event: Event) {
+        if period < self.horizon {
+            self.buckets[period as usize].push(event);
+        }
+    }
+
+    /// Applies the staged churn and builds the period's capped graph
+    /// through the cache (`k = max_edges_per_task`).
+    pub fn build_graph_capped(&mut self, tasks: &[TaskInput], k: usize) -> BipartiteGraph {
+        let graph = self.cache.advance_capped(
+            WorkerChurn {
+                arrivals: &self.arrivals,
+                departures: &self.departures,
+                relocations: &[],
+            },
+            tasks,
+            k,
+        );
+        self.arrivals.clear();
+        self.departures.clear();
+        graph
+    }
+
+    /// Materializes the live worker list (ascending id — the graph's
+    /// right-side order) into `out`.
+    pub fn fill_worker_inputs(&self, out: &mut Vec<WorkerInput>) {
+        self.cache.fill_worker_inputs(out);
+    }
+
+    /// Number of workers currently in the live set (staged churn from
+    /// matches in the current period applies at the next build).
+    pub fn live_count(&self) -> usize {
+        self.cache.live_count()
+    }
+
+    /// Total workers ever admitted.
+    pub fn admitted(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The id of the `dense`-th right-side vertex of the last built
+    /// graph.
+    pub fn id_of_dense(&self, dense: usize) -> u32 {
+        self.cache.live_ids()[dense]
+    }
+
+    /// A matched worker leaves permanently (`MatchPolicy::Consume`).
+    /// Staged as a departure for the next period's build.
+    pub fn consume(&mut self, id: u32) {
+        self.records[id as usize].status = Status::Gone;
+        self.departures.push(id);
+    }
+
+    /// A matched worker travels to `destination` for `travel ≥ 1`
+    /// periods (`MatchPolicy::Relocate`), re-entering at `t + travel`
+    /// under the same id — or leaving for good when that lands past its
+    /// expiry or the horizon.
+    pub fn dispatch(&mut self, t: u32, id: u32, destination: Point, travel: u32) {
+        debug_assert!(travel >= 1, "relocation travel takes at least one period");
+        let radius = self
+            .cache
+            .worker(id)
+            .expect("dispatched worker is live")
+            .radius;
+        self.departures.push(id);
+        let busy_until = t.saturating_add(travel);
+        let record = &mut self.records[id as usize];
+        if busy_until < self.horizon && busy_until < record.expires_at {
+            record.status = Status::Busy;
+            let input = WorkerInput {
+                location: destination,
+                radius,
+                cell: self.cache.grid().cell_of(destination),
+            };
+            self.buckets[busy_until as usize].push(Event::Release(id, input));
+        } else {
+            record.status = Status::Gone;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_spatial::{Point, Rect};
+
+    fn grid() -> GridSpec {
+        GridSpec::square(Rect::square(10.0), 2)
+    }
+
+    fn worker(x: f64, duration: u32) -> GroundWorker {
+        GroundWorker {
+            location: Point::new(x, 5.0),
+            radius: 3.0,
+            duration,
+        }
+    }
+
+    /// The satellite's live-count assertion: expired workers leave the
+    /// live set (no `gone`-flag leak), and the count matches a
+    /// brute-force recomputation of the availability windows each
+    /// period.
+    #[test]
+    fn live_count_matches_availability_windows() {
+        let grid = grid();
+        let horizon = 10usize;
+        // Worker i arrives at period i with duration i+1 (alive over
+        // [i, 2i+1)), so the live set both grows and drains.
+        let mut engine = WorkerLifecycle::new(&grid, horizon, 8);
+        for t in 0..horizon as u32 {
+            let arrivals = vec![worker(1.0 + t as f64 * 0.5, t + 1)];
+            engine.begin_period(t, &arrivals);
+            let _ = engine.build_graph_capped(&[], 4);
+            let expect = (0..=t).filter(|&i| t < i + i + 1).count();
+            assert_eq!(engine.live_count(), expect, "period {t}");
+        }
+        assert_eq!(engine.admitted(), horizon);
+        // Horizon end: everything with expiry ≤ 9 is already out.
+        assert_eq!(engine.live_count(), 5);
+    }
+
+    /// A zero-duration arrival (`expires_at == t`) must never enter the
+    /// live set — the scan oracle's `t < expires_at` check never admits
+    /// it — while still consuming an id so later workers keep their
+    /// scan-path positions.
+    #[test]
+    fn zero_duration_arrival_never_becomes_live() {
+        let grid = grid();
+        let mut engine = WorkerLifecycle::new(&grid, 4, 4);
+        engine.begin_period(0, &[worker(1.0, 0), worker(2.0, u32::MAX)]);
+        let _ = engine.build_graph_capped(&[], 4);
+        assert_eq!(engine.live_count(), 1);
+        assert_eq!(engine.admitted(), 2, "dead arrival still takes an id");
+        assert_eq!(engine.id_of_dense(0), 1, "live worker keeps scan id");
+        for t in 1..4 {
+            engine.begin_period(t, &[]);
+            let _ = engine.build_graph_capped(&[], 4);
+            assert_eq!(engine.live_count(), 1, "period {t}");
+        }
+    }
+
+    #[test]
+    fn consume_departs_at_next_build() {
+        let grid = grid();
+        let mut engine = WorkerLifecycle::new(&grid, 4, 4);
+        engine.begin_period(0, &[worker(1.0, u32::MAX), worker(2.0, u32::MAX)]);
+        let _ = engine.build_graph_capped(&[], 4);
+        assert_eq!(engine.live_count(), 2);
+        engine.consume(engine.id_of_dense(0));
+        // Still live until the next period's build applies the churn.
+        assert_eq!(engine.live_count(), 2);
+        engine.begin_period(1, &[]);
+        let _ = engine.build_graph_capped(&[], 4);
+        assert_eq!(engine.live_count(), 1);
+        assert_eq!(engine.id_of_dense(0), 1);
+    }
+
+    #[test]
+    fn dispatch_releases_at_destination_under_original_id() {
+        let grid = grid();
+        let mut engine = WorkerLifecycle::new(&grid, 6, 4);
+        engine.begin_period(0, &[worker(1.0, u32::MAX)]);
+        let _ = engine.build_graph_capped(&[], 4);
+        engine.dispatch(0, 0, Point::new(9.0, 9.0), 2);
+        engine.begin_period(1, &[worker(2.0, u32::MAX)]);
+        let _ = engine.build_graph_capped(&[], 4);
+        assert_eq!(engine.live_count(), 1, "worker 0 is busy in period 1");
+        engine.begin_period(2, &[]);
+        let _ = engine.build_graph_capped(&[], 4);
+        assert_eq!(engine.live_count(), 2);
+        let mut out = Vec::new();
+        engine.fill_worker_inputs(&mut out);
+        assert_eq!(out[0].location, Point::new(9.0, 9.0), "id 0 relocated");
+        assert_eq!(out[0].cell, grid.cell_of(Point::new(9.0, 9.0)));
+        assert_eq!(out[1].location, Point::new(2.0, 5.0));
+    }
+
+    #[test]
+    fn release_past_expiry_or_horizon_is_dropped() {
+        let grid = grid();
+        let mut engine = WorkerLifecycle::new(&grid, 6, 4);
+        // Expires at period 3; travel lands exactly on the expiry.
+        engine.begin_period(0, &[worker(1.0, 3)]);
+        let _ = engine.build_graph_capped(&[], 4);
+        engine.dispatch(0, 0, Point::new(9.0, 9.0), 3);
+        for t in 1..6 {
+            engine.begin_period(t, &[]);
+            let _ = engine.build_graph_capped(&[], 4);
+            assert_eq!(engine.live_count(), 0, "period {t}");
+        }
+        // Travel past the horizon: never re-enters either.
+        let mut engine = WorkerLifecycle::new(&grid, 3, 4);
+        engine.begin_period(0, &[worker(1.0, u32::MAX)]);
+        let _ = engine.build_graph_capped(&[], 4);
+        engine.dispatch(0, 0, Point::new(9.0, 9.0), 5);
+        for t in 1..3 {
+            engine.begin_period(t, &[]);
+            let _ = engine.build_graph_capped(&[], 4);
+            assert_eq!(engine.live_count(), 0, "period {t}");
+        }
+    }
+
+    #[test]
+    fn expiry_of_busy_worker_cancels_release() {
+        let grid = grid();
+        let mut engine = WorkerLifecycle::new(&grid, 8, 4);
+        // Expires at 2, dispatched at 0 with travel 4 (> expiry): the
+        // expire event fires while busy and the release must be dropped.
+        engine.begin_period(0, &[worker(1.0, 2)]);
+        let _ = engine.build_graph_capped(&[], 4);
+        engine.dispatch(0, 0, Point::new(9.0, 9.0), 4);
+        for t in 1..8 {
+            engine.begin_period(t, &[]);
+            let _ = engine.build_graph_capped(&[], 4);
+            assert_eq!(engine.live_count(), 0, "period {t}");
+        }
+    }
+}

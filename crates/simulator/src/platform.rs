@@ -11,14 +11,16 @@
 //! 5. accept/reject outcomes are fed back to the strategy, and matched
 //!    workers follow the scenario's lifecycle policy.
 
+use crate::lifecycle::WorkerLifecycle;
 use crate::metrics::Outcome;
 use crate::probe::GroundTruthProbe;
-use crate::truth::{GroundTruth, MatchPolicy};
+use crate::truth::{GroundTruth, GroundWorker, MatchPolicy};
 use maps_core::{
     build_period_graph_capped, BasePStrategy, CappedUcbStrategy, MapsStrategy, Observation,
     PeriodInput, PricingStrategy, SdeStrategy, SdrStrategy, StrategyKind, TaskInput, WorkerInput,
 };
-use maps_matching::MatchScratch;
+use maps_matching::{BipartiteGraph, MatchScratch};
+use maps_spatial::{GridSpec, Point};
 use std::time::Instant;
 
 /// Options for one simulation run.
@@ -36,6 +38,14 @@ pub struct SimOptions {
     /// workers are simultaneously available. Keeps the paper's
     /// 500k-worker scalability run tractable.
     pub max_edges_per_task: usize,
+    /// Drive the period loop through the event-queue worker lifecycle
+    /// and the incremental [`maps_core::PeriodGraphCache`] (on by
+    /// default): per-period cost scales with worker *churn* instead of
+    /// with every worker ever admitted. The retained rescan-and-rebuild
+    /// path (`incremental = false`) is the oracle — both produce
+    /// bit-identical outcomes (wall-clock columns aside), enforced by
+    /// `incremental_run_matches_scan_oracle` below.
+    pub incremental: bool,
 }
 
 impl Default for SimOptions {
@@ -44,11 +54,12 @@ impl Default for SimOptions {
             calibrate: true,
             probe_seed: 0xCA11B,
             max_edges_per_task: 64,
+            incremental: true,
         }
     }
 }
 
-/// A worker currently known to the platform.
+/// A worker currently known to the scan-path platform.
 #[derive(Debug, Clone, Copy)]
 struct ActiveWorker {
     location: maps_spatial::Point,
@@ -59,6 +70,136 @@ struct ActiveWorker {
     expires_at: u32,
     /// Whether the worker left permanently (consumed).
     gone: bool,
+}
+
+/// How the period loop materializes the available workers, builds the
+/// graph, and applies post-match lifecycle transitions. Two engines share
+/// the loop in [`Simulation::drive`]:
+///
+/// * [`ScanEngine`] — the retained from-scratch oracle: rescans every
+///   admitted worker each period and rebuilds the spatial index.
+/// * [`IncrementalEngine`] — the event-queue lifecycle feeding the
+///   [`maps_core::PeriodGraphCache`].
+trait PeriodEngine {
+    /// Starts period `t` and admits its arrivals.
+    fn begin_period(&mut self, t: u32, arrivals: &[GroundWorker]);
+    /// Builds the period's capped bipartite graph over the available
+    /// workers and leaves the matching worker list readable through
+    /// [`PeriodEngine::worker_inputs`].
+    fn build_graph(&mut self, tasks: &[TaskInput], k: usize) -> BipartiteGraph;
+    /// The available workers, in the graph's right-side order.
+    fn worker_inputs(&self) -> &[WorkerInput];
+    /// Right-side vertex `dense` was matched and leaves permanently.
+    fn consume(&mut self, dense: usize);
+    /// Right-side vertex `dense` was matched and relocates to
+    /// `destination`, busy for `travel ≥ 1` periods.
+    fn dispatch(&mut self, t: u32, dense: usize, destination: Point, travel: u32);
+}
+
+/// The original rescan path: every admitted worker is kept (and scanned)
+/// forever, the graph is rebuilt from scratch per period.
+struct ScanEngine {
+    grid: GridSpec,
+    workers: Vec<ActiveWorker>,
+    avail_idx: Vec<u32>,
+    worker_inputs: Vec<WorkerInput>,
+}
+
+impl ScanEngine {
+    fn new(grid: GridSpec) -> Self {
+        Self {
+            grid,
+            workers: Vec::new(),
+            avail_idx: Vec::new(),
+            worker_inputs: Vec::new(),
+        }
+    }
+}
+
+impl PeriodEngine for ScanEngine {
+    fn begin_period(&mut self, t: u32, arrivals: &[GroundWorker]) {
+        for w in arrivals {
+            self.workers.push(ActiveWorker {
+                location: w.location,
+                radius: w.radius,
+                busy_until: t,
+                expires_at: t.saturating_add(w.duration),
+                gone: false,
+            });
+        }
+        // Available = not gone, not busy, not expired.
+        self.avail_idx.clear();
+        self.worker_inputs.clear();
+        for (i, w) in self.workers.iter().enumerate() {
+            if !w.gone && w.busy_until <= t && t < w.expires_at {
+                self.avail_idx.push(i as u32);
+                self.worker_inputs.push(WorkerInput {
+                    location: w.location,
+                    radius: w.radius,
+                    cell: self.grid.cell_of(w.location),
+                });
+            }
+        }
+    }
+
+    fn build_graph(&mut self, tasks: &[TaskInput], k: usize) -> BipartiteGraph {
+        build_period_graph_capped(&self.grid, tasks, &self.worker_inputs, k)
+    }
+
+    fn worker_inputs(&self) -> &[WorkerInput] {
+        &self.worker_inputs
+    }
+
+    fn consume(&mut self, dense: usize) {
+        self.workers[self.avail_idx[dense] as usize].gone = true;
+    }
+
+    fn dispatch(&mut self, t: u32, dense: usize, destination: Point, travel: u32) {
+        let worker = &mut self.workers[self.avail_idx[dense] as usize];
+        worker.busy_until = t.saturating_add(travel);
+        worker.location = destination;
+    }
+}
+
+/// The churn-driven path: [`WorkerLifecycle`] events feed the
+/// incremental graph cache.
+struct IncrementalEngine {
+    lifecycle: WorkerLifecycle,
+    worker_inputs: Vec<WorkerInput>,
+}
+
+impl IncrementalEngine {
+    fn new(grid: &GridSpec, horizon: usize, expected_workers: usize) -> Self {
+        Self {
+            lifecycle: WorkerLifecycle::new(grid, horizon, expected_workers),
+            worker_inputs: Vec::new(),
+        }
+    }
+}
+
+impl PeriodEngine for IncrementalEngine {
+    fn begin_period(&mut self, t: u32, arrivals: &[GroundWorker]) {
+        self.lifecycle.begin_period(t, arrivals);
+    }
+
+    fn build_graph(&mut self, tasks: &[TaskInput], k: usize) -> BipartiteGraph {
+        let graph = self.lifecycle.build_graph_capped(tasks, k);
+        self.lifecycle.fill_worker_inputs(&mut self.worker_inputs);
+        graph
+    }
+
+    fn worker_inputs(&self) -> &[WorkerInput] {
+        &self.worker_inputs
+    }
+
+    fn consume(&mut self, dense: usize) {
+        self.lifecycle.consume(self.lifecycle.id_of_dense(dense));
+    }
+
+    fn dispatch(&mut self, t: u32, dense: usize, destination: Point, travel: u32) {
+        self.lifecycle
+            .dispatch(t, self.lifecycle.id_of_dense(dense), destination, travel);
+    }
 }
 
 /// Drives one pricing strategy through a [`GroundTruth`] world.
@@ -103,8 +244,25 @@ impl Simulation {
     }
 
     /// Runs the full horizon and returns the aggregate outcome.
-    pub fn run(mut self) -> Outcome {
+    ///
+    /// Dispatches on [`SimOptions::incremental`]: the event-queue
+    /// lifecycle + graph cache (default), or the retained
+    /// rescan-and-rebuild oracle. Both paths produce bit-identical
+    /// outcomes (wall-clock columns aside).
+    pub fn run(self) -> Outcome {
         let grid = self.truth.grid;
+        if self.options.incremental {
+            let engine =
+                IncrementalEngine::new(&grid, self.truth.num_periods(), self.truth.total_workers());
+            self.drive(engine)
+        } else {
+            self.drive(ScanEngine::new(grid))
+        }
+    }
+
+    /// The shared period loop: price → accept/reject → clear → feedback
+    /// → lifecycle, with worker materialization delegated to `engine`.
+    fn drive(mut self, mut engine: impl PeriodEngine) -> Outcome {
         let t_total = self.truth.num_periods();
         let mut outcome = Outcome {
             strategy: self.strategy.name().to_string(),
@@ -131,11 +289,8 @@ impl Simulation {
             outcome.calibration_secs = start.elapsed().as_secs_f64();
         }
 
-        let mut workers: Vec<ActiveWorker> = Vec::new();
         // Reused scratch buffers: everything the per-period loop needs
         // is allocated once here and recycled across the horizon.
-        let mut avail_idx: Vec<u32> = Vec::new();
-        let mut worker_inputs: Vec<WorkerInput> = Vec::new();
         let mut task_inputs: Vec<TaskInput> = Vec::new();
         let mut observations: Vec<Observation> = Vec::new();
         let mut keep: Vec<bool> = Vec::new();
@@ -144,29 +299,7 @@ impl Simulation {
 
         for t in 0..t_total {
             let period = &self.truth.periods[t];
-            // Admit arrivals.
-            for w in &period.workers {
-                workers.push(ActiveWorker {
-                    location: w.location,
-                    radius: w.radius,
-                    busy_until: t as u32,
-                    expires_at: (t as u32).saturating_add(w.duration),
-                    gone: false,
-                });
-            }
-            // Available = not gone, not busy, not expired.
-            avail_idx.clear();
-            worker_inputs.clear();
-            for (i, w) in workers.iter().enumerate() {
-                if !w.gone && w.busy_until <= t as u32 && (t as u32) < w.expires_at {
-                    avail_idx.push(i as u32);
-                    worker_inputs.push(WorkerInput {
-                        location: w.location,
-                        radius: w.radius,
-                        cell: grid.cell_of(w.location),
-                    });
-                }
-            }
+            engine.begin_period(t as u32, &period.workers);
             task_inputs.clear();
             task_inputs.extend(period.tasks.iter().map(|task| TaskInput {
                 origin: task.origin,
@@ -175,16 +308,11 @@ impl Simulation {
             }));
             outcome.issued_tasks += task_inputs.len() as u64;
 
-            let graph = build_period_graph_capped(
-                &grid,
-                &task_inputs,
-                &worker_inputs,
-                self.options.max_edges_per_task,
-            );
+            let graph = engine.build_graph(&task_inputs, self.options.max_edges_per_task);
             let input = PeriodInput {
-                grid: &grid,
+                grid: &self.truth.grid,
                 tasks: &task_inputs,
-                workers: &worker_inputs,
+                workers: engine.worker_inputs(),
                 graph: &graph,
             };
 
@@ -227,17 +355,15 @@ impl Simulation {
             // Worker lifecycle for matched pairs (task indices are the
             // original period indices — the masked kernel does not
             // renumber).
-            for (l, w_input_idx) in clearing.matched_pairs() {
+            for (l, dense) in clearing.matched_pairs() {
                 outcome.matched_tasks += 1;
                 let task = &period.tasks[l];
                 outcome.matched_distance += task.distance;
-                let worker = &mut workers[avail_idx[w_input_idx as usize] as usize];
                 match self.truth.match_policy {
-                    MatchPolicy::Consume => worker.gone = true,
+                    MatchPolicy::Consume => engine.consume(dense as usize),
                     MatchPolicy::Relocate { speed } => {
                         let travel = (task.distance / speed).ceil().max(1.0) as u32;
-                        worker.busy_until = (t as u32).saturating_add(travel);
-                        worker.location = task.destination;
+                        engine.dispatch(t as u32, dense as usize, task.destination, travel);
                     }
                 }
             }
@@ -328,6 +454,66 @@ mod tests {
         let b = Simulation::new(small_world(7), StrategyKind::Maps).run();
         assert_eq!(a.total_revenue, b.total_revenue);
         assert_eq!(a.matched_tasks, b.matched_tasks);
+    }
+
+    /// Canonical bit pattern of an outcome, excluding the wall-clock
+    /// columns (legitimately schedule-dependent).
+    fn outcome_canon(o: &Outcome) -> Vec<u64> {
+        use maps_testkit::BitPattern;
+        let mut out = Vec::new();
+        o.strategy.bit_pattern(&mut out);
+        o.total_revenue.bit_pattern(&mut out);
+        o.issued_tasks.bit_pattern(&mut out);
+        o.accepted_tasks.bit_pattern(&mut out);
+        o.matched_tasks.bit_pattern(&mut out);
+        o.revenue_per_period.bit_pattern(&mut out);
+        o.mean_posted_price.bit_pattern(&mut out);
+        o.posted_price_std.bit_pattern(&mut out);
+        o.matched_distance.bit_pattern(&mut out);
+        out
+    }
+
+    /// The tentpole oracle at the whole-simulation level: the
+    /// event-queue + graph-cache path must reproduce the retained
+    /// rescan-and-rebuild path bit for bit, on every strategy and both
+    /// lifecycle policies (synthetic Consume and Beijing-like Relocate
+    /// with finite worker durations).
+    #[test]
+    fn incremental_run_matches_scan_oracle() {
+        let mut consume_cfg = SyntheticConfig {
+            num_workers: 120,
+            num_tasks: 500,
+            periods: 20,
+            grid_side: 4,
+            ..SyntheticConfig::paper_default()
+        };
+        consume_cfg.match_policy = MatchPolicy::Consume;
+        let worlds = [
+            small_world(3),
+            consume_cfg.build(5),
+            crate::beijing::BeijingConfig::rush_hour(10)
+                .with_scale(0.01)
+                .build(2),
+        ];
+        for (wi, world) in worlds.iter().enumerate() {
+            for kind in StrategyKind::ALL {
+                let run = |incremental: bool| {
+                    Simulation::new(world.clone(), kind)
+                        .with_options(SimOptions {
+                            incremental,
+                            ..SimOptions::default()
+                        })
+                        .run()
+                };
+                let incremental = run(true);
+                let scan = run(false);
+                assert_eq!(
+                    outcome_canon(&incremental),
+                    outcome_canon(&scan),
+                    "world {wi} strategy {kind}: incremental diverged from the scan oracle"
+                );
+            }
+        }
     }
 
     #[test]

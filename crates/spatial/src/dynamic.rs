@@ -1,0 +1,336 @@
+//! Incremental bucket index for churn-driven workloads.
+//!
+//! [`crate::BucketIndex`] is rebuilt from scratch every time period, which
+//! makes per-period cost proportional to the standing point set. In the
+//! paper's 500k-worker scalability setting the set barely changes between
+//! periods (a few percent of workers arrive, expire or relocate), so the
+//! rebuild dominates. [`DynamicBucketIndex`] keeps the same bucketed
+//! layout mutable: `insert` / `remove` / `relocate` cost one binary
+//! search plus a slot shift in a single bucket, turning per-period index
+//! maintenance into `O(churn · log bucket)`.
+//!
+//! ## Stable iteration order
+//!
+//! Each bucket keeps its slots **sorted by payload**. A fresh
+//! [`crate::BucketIndex::build_with_grid`] over the same live set listed
+//! in ascending payload order buckets points with a stable counting sort,
+//! so its per-cell order is also ascending payload — both stores answer
+//! disc queries through the same shared core in the same order, making
+//! their results bit-identical. `k_nearest_within` additionally orders by
+//! the total `(distance, payload)` key, so capped queries agree even
+//! between *differently sized* grids (the dynamic grid is fixed at
+//! creation while a fresh build sizes its grid by `√n`).
+
+use crate::geom::{Point, Rect};
+use crate::grid::GridSpec;
+use crate::index::{for_each_within_disc_impl, k_nearest_within_impl, BucketStore};
+
+/// A mutable bucket index over a changing set of points.
+///
+/// Payloads must be unique while live (they identify the point for
+/// `remove` / `relocate`); the index panics on a duplicate insert into
+/// the same bucket, the cheapest detectable violation.
+#[derive(Debug, Clone)]
+pub struct DynamicBucketIndex<T> {
+    grid: GridSpec,
+    /// `buckets[c]` holds the live points of cell `c`, sorted by payload.
+    buckets: Vec<Vec<(Point, T)>>,
+    len: usize,
+    /// Number of live points outside the grid region (disables the
+    /// ring-search early termination while non-zero, exactly like the
+    /// static index's `any_outside` flag).
+    outside: usize,
+}
+
+impl<T: Copy + Ord> DynamicBucketIndex<T> {
+    /// An empty index bucketed by `grid`. The grid is fixed for the
+    /// index's lifetime; pick a resolution for the *expected* population
+    /// (see [`DynamicBucketIndex::with_expected_len`]).
+    pub fn new(grid: GridSpec) -> Self {
+        let cells = grid.num_cells();
+        Self {
+            grid,
+            buckets: vec![Vec::new(); cells],
+            len: 0,
+            outside: 0,
+        }
+    }
+
+    /// An empty index over `region` with the bucket resolution the static
+    /// index would pick for `expected_len` points (`√n × √n`, clamped to
+    /// ≤ 256 per side).
+    pub fn with_expected_len(region: Rect, expected_len: usize) -> Self {
+        let n = expected_len.max(1);
+        let side = ((n as f64).sqrt().ceil() as u32).clamp(1, 256);
+        Self::new(GridSpec::new(region, side, side))
+    }
+
+    /// The bucketing grid.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a point.
+    ///
+    /// # Panics
+    /// Panics if `payload` is already live in the same bucket.
+    pub fn insert(&mut self, p: Point, payload: T) {
+        let bucket = &mut self.buckets[self.grid.cell_of(p).index()];
+        match bucket.binary_search_by(|&(_, t)| t.cmp(&payload)) {
+            Ok(_) => panic!("duplicate payload inserted into dynamic index"),
+            Err(pos) => bucket.insert(pos, (p, payload)),
+        }
+        self.len += 1;
+        if !self.grid.region().contains(p) {
+            self.outside += 1;
+        }
+    }
+
+    /// Removes the point previously inserted at `p` with `payload`.
+    /// Returns whether it was present (callers enforcing a stricter
+    /// contract can treat `false` as a bug).
+    pub fn remove(&mut self, p: Point, payload: T) -> bool {
+        let bucket = &mut self.buckets[self.grid.cell_of(p).index()];
+        match bucket.binary_search_by(|&(_, t)| t.cmp(&payload)) {
+            Ok(pos) => {
+                bucket.remove(pos);
+                self.len -= 1;
+                if !self.grid.region().contains(p) {
+                    self.outside -= 1;
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Moves the point with `payload` from `from` to `to` — the
+    /// relocation of a worker that finished a task. Equivalent to
+    /// `remove(from, payload)` + `insert(to, payload)`.
+    ///
+    /// # Panics
+    /// Panics if the point was not present at `from`.
+    pub fn relocate(&mut self, from: Point, to: Point, payload: T) {
+        assert!(
+            self.remove(from, payload),
+            "relocate of a payload that is not live at `from`"
+        );
+        self.insert(to, payload);
+    }
+
+    /// Calls `f(point, payload)` for every live point within the closed
+    /// disc of `radius` around `center`, in the same order as a fresh
+    /// [`crate::BucketIndex`] built over the live set in ascending
+    /// payload order.
+    pub fn for_each_within_disc(&self, center: Point, radius: f64, f: impl FnMut(Point, T)) {
+        for_each_within_disc_impl(self, center, radius, f);
+    }
+
+    /// Collects all payloads within the closed disc around `center`.
+    pub fn within_disc(&self, center: Point, radius: f64) -> Vec<T> {
+        let mut out = Vec::new();
+        self.for_each_within_disc(center, radius, |_, t| out.push(t));
+        out
+    }
+
+    /// The `k` nearest qualifying points within `radius` of `center`
+    /// under the total `(distance, payload)` order — identical results
+    /// to [`crate::BucketIndex::k_nearest_within`] on the same live set,
+    /// whatever grid either index uses.
+    pub fn k_nearest_within(
+        &self,
+        center: Point,
+        radius: f64,
+        k: usize,
+        accept: impl FnMut(f64, T) -> bool,
+    ) -> Vec<(f64, T)> {
+        k_nearest_within_impl(self, center, radius, k, accept)
+    }
+}
+
+impl<T: Copy> BucketStore<T> for DynamicBucketIndex<T> {
+    fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    fn any_outside(&self) -> bool {
+        self.outside > 0
+    }
+
+    fn cell_entries(&self, cell: usize) -> &[(Point, T)] {
+        &self.buckets[cell]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::BucketIndex;
+
+    use maps_testkit::XorShift;
+
+    /// Fresh static index over `live` (ascending payload), same grid.
+    fn rebuild(grid: GridSpec, live: &[(Point, u32)]) -> BucketIndex<u32> {
+        let mut sorted = live.to_vec();
+        sorted.sort_by_key(|&(_, t)| t);
+        BucketIndex::build_with_grid(grid, &sorted)
+    }
+
+    fn disc_trace(
+        q: impl Fn(Point, f64, &mut dyn FnMut(Point, u32)),
+        c: Point,
+        r: f64,
+    ) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        q(c, r, &mut |p, t| {
+            out.push((p.x.to_bits(), p.y.to_bits(), t))
+        });
+        out
+    }
+
+    /// Random insert/remove/relocate churn: every query result (order
+    /// included) must equal a fresh static rebuild of the live set.
+    #[test]
+    fn queries_match_fresh_rebuild_under_churn() {
+        let grid = GridSpec::square(Rect::square(100.0), 9);
+        let mut dynamic = DynamicBucketIndex::new(grid);
+        let mut live: Vec<(Point, u32)> = Vec::new();
+        let mut rng = XorShift(0x5EED);
+        let mut next_id = 0u32;
+        for step in 0..400 {
+            let op = rng.next_u64() % 4;
+            if op == 0 || live.len() < 4 {
+                // ~8% of points land outside the region to exercise the
+                // clamped-bucket bookkeeping.
+                let scale = if rng.next_u64().is_multiple_of(12) {
+                    130.0
+                } else {
+                    100.0
+                };
+                let p = Point::new(rng.next_f64() * scale - 10.0, rng.next_f64() * scale - 10.0);
+                dynamic.insert(p, next_id);
+                live.push((p, next_id));
+                next_id += 1;
+            } else if op == 1 {
+                let victim = (rng.next_u64() as usize) % live.len();
+                let (p, id) = live.swap_remove(victim);
+                assert!(dynamic.remove(p, id));
+            } else if op == 2 {
+                let mover = (rng.next_u64() as usize) % live.len();
+                let to = Point::new(rng.next_f64() * 100.0, rng.next_f64() * 100.0);
+                let (from, id) = live[mover];
+                dynamic.relocate(from, to, id);
+                live[mover].0 = to;
+            }
+            if step % 13 != 0 {
+                continue;
+            }
+            assert_eq!(dynamic.len(), live.len());
+            let fresh = rebuild(grid, &live);
+            let c = Point::new(rng.next_f64() * 110.0 - 5.0, rng.next_f64() * 110.0 - 5.0);
+            let r = rng.next_f64() * 40.0;
+            assert_eq!(
+                disc_trace(|c, r, f| dynamic.for_each_within_disc(c, r, f), c, r),
+                disc_trace(|c, r, f| fresh.for_each_within_disc(c, r, f), c, r),
+                "disc trace diverged at step {step}"
+            );
+            let k = 1 + (rng.next_u64() as usize) % 8;
+            let got = dynamic.k_nearest_within(c, r, k, |_, t| t % 3 != 0);
+            let want = fresh.k_nearest_within(c, r, k, |_, t| t % 3 != 0);
+            assert_eq!(got.len(), want.len(), "k-nearest count at step {step}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.0.to_bits(), w.0.to_bits(), "distance bits at step {step}");
+                assert_eq!(g.1, w.1, "payload at step {step}");
+            }
+        }
+    }
+
+    /// The `(distance, payload)` order makes k-nearest independent of
+    /// the bucketing grid, including between dynamic and static stores.
+    #[test]
+    fn k_nearest_is_grid_independent_under_ties() {
+        // Four points exactly equidistant from the query centre.
+        let items = [
+            (Point::new(5.0, 7.0), 3u32),
+            (Point::new(5.0, 3.0), 0),
+            (Point::new(3.0, 5.0), 2),
+            (Point::new(7.0, 5.0), 1),
+        ];
+        let ids = |v: Vec<(f64, u32)>| v.into_iter().map(|(_, t)| t).collect::<Vec<_>>();
+        for side in [1u32, 2, 5, 16] {
+            let grid = GridSpec::square(Rect::square(10.0), side);
+            let mut dynamic = DynamicBucketIndex::new(grid);
+            for &(p, t) in &items {
+                dynamic.insert(p, t);
+            }
+            let fresh = BucketIndex::build_with_grid(grid, &items);
+            let c = Point::new(5.0, 5.0);
+            assert_eq!(
+                ids(dynamic.k_nearest_within(c, 5.0, 2, |_, _| true)),
+                vec![0, 1],
+                "side {side}"
+            );
+            assert_eq!(
+                ids(fresh.k_nearest_within(c, 5.0, 2, |_, _| true)),
+                vec![0, 1],
+                "static side {side}"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_of_absent_payload_returns_false() {
+        let mut idx = DynamicBucketIndex::new(GridSpec::square(Rect::square(10.0), 4));
+        idx.insert(Point::new(1.0, 1.0), 7u32);
+        assert!(!idx.remove(Point::new(1.0, 1.0), 8));
+        // Wrong bucket: same payload, different cell.
+        assert!(!idx.remove(Point::new(9.0, 9.0), 7));
+        assert_eq!(idx.len(), 1);
+        assert!(idx.remove(Point::new(1.0, 1.0), 7));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate payload")]
+    fn duplicate_insert_in_same_bucket_panics() {
+        let mut idx = DynamicBucketIndex::new(GridSpec::square(Rect::square(10.0), 2));
+        idx.insert(Point::new(1.0, 1.0), 7u32);
+        idx.insert(Point::new(1.5, 1.5), 7u32);
+    }
+
+    #[test]
+    fn outside_points_keep_queries_exact() {
+        let grid = GridSpec::square(Rect::square(10.0), 4);
+        let mut idx = DynamicBucketIndex::new(grid);
+        idx.insert(Point::new(12.0, 12.0), 0u32);
+        idx.insert(Point::new(9.0, 9.0), 1);
+        let got: Vec<u32> = idx
+            .k_nearest_within(Point::new(11.0, 11.0), 5.0, 2, |_, _| true)
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(got, vec![0, 1]);
+        // Removing the outside point re-enables ring termination; results
+        // stay exact either way.
+        assert!(idx.remove(Point::new(12.0, 12.0), 0));
+        assert_eq!(idx.within_disc(Point::new(9.0, 9.0), 0.5), vec![1]);
+    }
+
+    #[test]
+    fn expected_len_sizing_matches_static_heuristic() {
+        let idx = DynamicBucketIndex::<u32>::with_expected_len(Rect::square(100.0), 10_000);
+        assert_eq!(idx.grid().nx(), 100);
+        let idx = DynamicBucketIndex::<u32>::with_expected_len(Rect::square(100.0), 1_000_000);
+        assert_eq!(idx.grid().nx(), 256, "clamped at 256 per side");
+    }
+}

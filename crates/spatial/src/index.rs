@@ -11,6 +11,134 @@
 use crate::geom::{Point, Rect};
 use crate::grid::GridSpec;
 
+/// Internal abstraction over bucketed point storage: the static
+/// [`BucketIndex`] keeps one CSR arena, the incremental
+/// [`crate::DynamicBucketIndex`] keeps one sorted slot vector per cell.
+/// Both answer queries through the shared [`for_each_within_disc_impl`] /
+/// [`k_nearest_within_impl`] cores below, which is what makes their query
+/// results bit-identical on the same point set.
+pub(crate) trait BucketStore<T> {
+    /// The bucketing grid.
+    fn grid(&self) -> &GridSpec;
+    /// Whether any stored point lies outside the grid region (disables
+    /// the ring-search early termination of `k_nearest_within_impl`).
+    fn any_outside(&self) -> bool;
+    /// The points bucketed into `cell`, in the store's iteration order.
+    fn cell_entries(&self, cell: usize) -> &[(Point, T)];
+}
+
+/// Calls `f(point, payload)` for every stored point within the closed
+/// disc of `radius` around `center`.
+///
+/// Points are bucketed by their *clamped* position. Clamping is a
+/// contraction (1-Lipschitz), so every point within `radius` of `center`
+/// has a clamped position within `radius` of the clamped centre —
+/// pruning on the clamped disc is therefore sound even for points (or
+/// centres) outside the region.
+pub(crate) fn for_each_within_disc_impl<T: Copy>(
+    store: &impl BucketStore<T>,
+    center: Point,
+    radius: f64,
+    mut f: impl FnMut(Point, T),
+) {
+    let r2 = radius * radius;
+    let grid = store.grid();
+    let bucket_center = center.clamped(grid.region());
+    for cell in grid.cells_intersecting_disc(bucket_center, radius) {
+        for &(p, t) in store.cell_entries(cell.index()) {
+            if p.euclidean_sq(center) <= r2 {
+                f(p, t);
+            }
+        }
+    }
+}
+
+/// The `k` nearest qualifying points within `radius` of `center` under
+/// the total order `(distance, payload)` — see
+/// [`BucketIndex::k_nearest_within`] for the full contract. Because the
+/// order is total, the result is independent of bucket layout and visit
+/// order: two stores holding the same point set return the same `k`
+/// pairs even when their grids differ.
+pub(crate) fn k_nearest_within_impl<T: Copy + Ord>(
+    store: &impl BucketStore<T>,
+    center: Point,
+    radius: f64,
+    k: usize,
+    mut accept: impl FnMut(f64, T) -> bool,
+) -> Vec<(f64, T)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let grid = store.grid();
+    let mut best: Vec<(f64, T)> = Vec::with_capacity(k + 1);
+    // Keeps `best` sorted ascending by (distance, payload) and capped at
+    // k entries; inserting every candidate yields the k smallest under
+    // the total order regardless of visit order.
+    let push = |d: f64, t: T, best: &mut Vec<(f64, T)>| {
+        let pos = best.partition_point(|&(bd, bt)| bd < d || (bd == d && bt <= t));
+        best.insert(pos, (d, t));
+        if best.len() > k {
+            best.pop();
+        }
+    };
+    if store.any_outside() {
+        for_each_within_disc_impl(store, center, radius, |p, t| {
+            let d = p.euclidean(center);
+            if accept(d, t) {
+                push(d, t, &mut best);
+            }
+        });
+        return best;
+    }
+    let (cx, cy) = grid.cell_coords(center.clamped(grid.region()));
+    let (cx, cy) = (cx as i64, cy as i64);
+    let nx = grid.nx() as i64;
+    let ny = grid.ny() as i64;
+    let min_side = grid.cell_width().min(grid.cell_height());
+    let max_ring = (grid.nx().max(grid.ny())) as i64;
+    let r2 = radius * radius;
+    for ring in 0..=max_ring {
+        // Nothing in ring `d` can be closer than (d-1)·min_side. The
+        // break is strict, so rings that could still hold an equal
+        // distance (smaller payload) are always visited — required for
+        // the (distance, payload) order to be exact.
+        let ring_lb = ((ring - 1).max(0) as f64) * min_side;
+        let kth = best.last().map(|&(d, _)| d);
+        if ring_lb > radius || (best.len() == k && kth.is_some_and(|d| ring_lb > d)) {
+            break;
+        }
+        let visit =
+            |x: i64, y: i64, best: &mut Vec<(f64, T)>, accept: &mut dyn FnMut(f64, T) -> bool| {
+                if x < 0 || x >= nx || y < 0 || y >= ny {
+                    return;
+                }
+                let cell = (y * nx + x) as usize;
+                for &(p, t) in store.cell_entries(cell) {
+                    let d2 = p.euclidean_sq(center);
+                    if d2 <= r2 {
+                        let d = d2.sqrt();
+                        if accept(d, t) {
+                            push(d, t, best);
+                        }
+                    }
+                }
+            };
+        if ring == 0 {
+            visit(cx, cy, &mut best, &mut accept);
+        } else {
+            for dx in -ring..=ring {
+                visit(cx + dx, cy - ring, &mut best, &mut accept);
+                visit(cx + dx, cy + ring, &mut best, &mut accept);
+            }
+            for dy in (-ring + 1)..ring {
+                visit(cx - ring, cy + dy, &mut best, &mut accept);
+                visit(cx + ring, cy + dy, &mut best, &mut accept);
+            }
+        }
+    }
+    best
+}
+
 /// A static bucket index over a set of points.
 ///
 /// Generic over the payload `T` carried with each point (typically a task
@@ -83,23 +211,8 @@ impl<T: Copy> BucketIndex<T> {
 
     /// Calls `f(point, payload)` for every indexed point within the closed
     /// disc of `radius` around `center`.
-    pub fn for_each_within_disc(&self, center: Point, radius: f64, mut f: impl FnMut(Point, T)) {
-        let r2 = radius * radius;
-        // Points are bucketed by their *clamped* position. Clamping is a
-        // contraction (1-Lipschitz), so every point within `radius` of
-        // `center` has a clamped position within `radius` of the clamped
-        // centre — pruning on the clamped disc is therefore sound even for
-        // points (or centres) outside the region.
-        let bucket_center = center.clamped(self.grid.region());
-        for cell in self.grid.cells_intersecting_disc(bucket_center, radius) {
-            let lo = self.starts[cell.index()] as usize;
-            let hi = self.starts[cell.index() + 1] as usize;
-            for &(p, t) in &self.entries[lo..hi] {
-                if p.euclidean_sq(center) <= r2 {
-                    f(p, t);
-                }
-            }
-        }
+    pub fn for_each_within_disc(&self, center: Point, radius: f64, f: impl FnMut(Point, T)) {
+        for_each_within_disc_impl(self, center, radius, f);
     }
 
     /// Collects all payloads within the closed disc around `center`.
@@ -108,10 +221,20 @@ impl<T: Copy> BucketIndex<T> {
         self.for_each_within_disc(center, radius, |_, t| out.push(t));
         out
     }
+}
 
+impl<T: Copy + Ord> BucketIndex<T> {
     /// The `k` nearest qualifying points within `radius` of `center`,
-    /// sorted by increasing distance. `accept(distance, payload)` lets the
-    /// caller impose extra constraints (e.g. a per-worker range limit).
+    /// sorted ascending by `(distance, payload)`. `accept(distance,
+    /// payload)` lets the caller impose extra constraints (e.g. a
+    /// per-worker range limit).
+    ///
+    /// Equal distances are broken by the smaller payload, which makes the
+    /// result a pure function of the *point set* — independent of the
+    /// bucketing grid and of insertion order. This is what lets the
+    /// incremental [`crate::DynamicBucketIndex`] (whose grid is fixed at
+    /// creation) reproduce a fresh build's capped-graph queries
+    /// bit-for-bit.
     ///
     /// Buckets are visited in concentric Chebyshev rings around the
     /// centre cell and the search stops as soon as the next ring cannot
@@ -130,76 +253,25 @@ impl<T: Copy> BucketIndex<T> {
         center: Point,
         radius: f64,
         k: usize,
-        mut accept: impl FnMut(f64, T) -> bool,
+        accept: impl FnMut(f64, T) -> bool,
     ) -> Vec<(f64, T)> {
-        if k == 0 {
-            return Vec::new();
-        }
-        let mut best: Vec<(f64, T)> = Vec::with_capacity(k + 1);
-        let push = |d: f64, t: T, best: &mut Vec<(f64, T)>| {
-            let pos = best.partition_point(|&(bd, _)| bd <= d);
-            best.insert(pos, (d, t));
-            if best.len() > k {
-                best.pop();
-            }
-        };
-        if self.any_outside {
-            self.for_each_within_disc(center, radius, |p, t| {
-                let d = p.euclidean(center);
-                if accept(d, t) {
-                    push(d, t, &mut best);
-                }
-            });
-            return best;
-        }
-        let (cx, cy) = self.grid.cell_coords(center.clamped(self.grid.region()));
-        let (cx, cy) = (cx as i64, cy as i64);
-        let nx = self.grid.nx() as i64;
-        let ny = self.grid.ny() as i64;
-        let min_side = self.grid.cell_width().min(self.grid.cell_height());
-        let max_ring = (self.grid.nx().max(self.grid.ny())) as i64;
-        let r2 = radius * radius;
-        for ring in 0..=max_ring {
-            // Nothing in ring `d` can be closer than (d-1)·min_side.
-            let ring_lb = ((ring - 1).max(0) as f64) * min_side;
-            let kth = best.last().map(|&(d, _)| d);
-            if ring_lb > radius || (best.len() == k && kth.is_some_and(|d| ring_lb > d)) {
-                break;
-            }
-            let visit = |x: i64,
-                         y: i64,
-                         best: &mut Vec<(f64, T)>,
-                         accept: &mut dyn FnMut(f64, T) -> bool| {
-                if x < 0 || x >= nx || y < 0 || y >= ny {
-                    return;
-                }
-                let cell = (y * nx + x) as usize;
-                let lo = self.starts[cell] as usize;
-                let hi = self.starts[cell + 1] as usize;
-                for &(p, t) in &self.entries[lo..hi] {
-                    let d2 = p.euclidean_sq(center);
-                    if d2 <= r2 {
-                        let d = d2.sqrt();
-                        if accept(d, t) {
-                            push(d, t, best);
-                        }
-                    }
-                }
-            };
-            if ring == 0 {
-                visit(cx, cy, &mut best, &mut accept);
-            } else {
-                for dx in -ring..=ring {
-                    visit(cx + dx, cy - ring, &mut best, &mut accept);
-                    visit(cx + dx, cy + ring, &mut best, &mut accept);
-                }
-                for dy in (-ring + 1)..ring {
-                    visit(cx - ring, cy + dy, &mut best, &mut accept);
-                    visit(cx + ring, cy + dy, &mut best, &mut accept);
-                }
-            }
-        }
-        best
+        k_nearest_within_impl(self, center, radius, k, accept)
+    }
+}
+
+impl<T: Copy> BucketStore<T> for BucketIndex<T> {
+    fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    fn any_outside(&self) -> bool {
+        self.any_outside
+    }
+
+    fn cell_entries(&self, cell: usize) -> &[(Point, T)] {
+        let lo = self.starts[cell] as usize;
+        let hi = self.starts[cell + 1] as usize;
+        &self.entries[lo..hi]
     }
 }
 

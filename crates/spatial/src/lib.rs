@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod dynamic;
 pub mod geom;
 pub mod grid;
 pub mod index;
 
+pub use dynamic::DynamicBucketIndex;
 pub use geom::{Circle, DistanceMetric, Point, Rect};
 pub use grid::{CellId, GridSpec};
 pub use index::BucketIndex;

@@ -28,6 +28,27 @@ use std::fmt::Debug;
 /// 1-CPU host still reorders chunk scheduling).
 pub const DEFAULT_THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
 
+/// Deterministic xorshift64 for test fixtures and churn scripts — one
+/// shared generator so fixture distributions cannot silently diverge
+/// between crates (no `rand` dependency needed in test hot paths).
+#[derive(Debug, Clone)]
+pub struct XorShift(pub u64);
+
+impl XorShift {
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
 /// Canonical bit-level encoding of a value, for exact comparison of
 /// results that contain floats.
 pub trait BitPattern {

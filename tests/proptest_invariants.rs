@@ -266,6 +266,117 @@ proptest! {
         }
     }
 
+    /// PR-3 oracle: the incremental `PeriodGraphCache` replayed over a
+    /// random arrival/departure/relocation churn script is bit-identical
+    /// to the retained from-scratch builders on the materialized live
+    /// set, every period — capped (`advance_capped`, odd periods) and
+    /// complete (`advance`, even periods) — under the 1/2/3/8-thread
+    /// `assert_deterministic` harness. Scripts start with 1–200 workers
+    /// and include out-of-region relocations (the clamped-bucket path).
+    #[test]
+    fn incremental_graph_matches_scratch_rebuild(
+        seed in 0u64..10_000,
+        initial in 1usize..=200,
+        periods in 1usize..=6,
+        k in 1usize..=24,
+    ) {
+        fn graph_canon(g: &BipartiteGraph, out: &mut Vec<u64>) {
+            out.push(g.n_left() as u64);
+            out.push(g.n_right() as u64);
+            for l in 0..g.n_left() {
+                let ns = g.neighbors(l);
+                out.push(ns.len() as u64);
+                out.extend(ns.iter().map(|&r| r as u64));
+            }
+        }
+        let grid = GridSpec::square(Rect::square(100.0), 5);
+        // Replays the whole script from scratch on each invocation, so
+        // the thread-sweep harness sees a pure function.
+        let replay = || {
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let point = |next: &mut dyn FnMut() -> u64| {
+                // ~6% of points land outside the region.
+                let scale = if next().is_multiple_of(16) { 120.0 } else { 100.0 };
+                Point::new(
+                    (next() % 10_000) as f64 / 10_000.0 * scale - 5.0,
+                    (next() % 10_000) as f64 / 10_000.0 * scale - 5.0,
+                )
+            };
+            let mut cache = PeriodGraphCache::new(&grid, 64);
+            let mut live: Vec<(u32, WorkerInput)> = Vec::new(); // ascending id
+            let mut next_id = 0u32;
+            let mut incremental_bits = Vec::new();
+            let mut scratch_bits = Vec::new();
+            for period in 0..periods {
+                let mut departures = Vec::new();
+                if period > 0 {
+                    live.retain(|&(id, _)| {
+                        let stays = next() % 5 != 0;
+                        if !stays {
+                            departures.push(id);
+                        }
+                        stays
+                    });
+                }
+                let mut relocations = Vec::new();
+                for entry in live.iter_mut() {
+                    if next() % 6 == 0 {
+                        let to = point(&mut next);
+                        entry.1.location = to;
+                        entry.1.cell = grid.cell_of(to);
+                        relocations.push((entry.0, to));
+                    }
+                }
+                let n_arrivals = if period == 0 { initial as u64 } else { next() % 20 };
+                let arrivals: Vec<(u32, WorkerInput)> = (0..n_arrivals)
+                    .map(|_| {
+                        let id = next_id;
+                        next_id += 1;
+                        let location = point(&mut next);
+                        let radius = (next() % 2_000) as f64 / 100.0;
+                        (id, WorkerInput::new(&grid, location, radius))
+                    })
+                    .collect();
+                live.extend(arrivals.iter().copied());
+                let tasks: Vec<TaskInput> = (0..next() % 20)
+                    .map(|_| {
+                        let origin = point(&mut next);
+                        let distance = 0.5 + (next() % 300) as f64 / 100.0;
+                        TaskInput::new(&grid, origin, distance)
+                    })
+                    .collect();
+                let churn = WorkerChurn {
+                    arrivals: &arrivals,
+                    departures: &departures,
+                    relocations: &relocations,
+                };
+                let workers: Vec<WorkerInput> = live.iter().map(|&(_, w)| w).collect();
+                let (incremental, scratch) = if period % 2 == 1 {
+                    (
+                        cache.advance_capped(churn, &tasks, k),
+                        build_period_graph_capped(&grid, &tasks, &workers, k),
+                    )
+                } else {
+                    (
+                        cache.advance(churn, &tasks),
+                        build_period_graph(&grid, &tasks, &workers),
+                    )
+                };
+                graph_canon(&incremental, &mut incremental_bits);
+                graph_canon(&scratch, &mut scratch_bits);
+            }
+            (incremental_bits, scratch_bits)
+        };
+        let (incremental, scratch) = maps_testkit::assert_deterministic(replay);
+        prop_assert_eq!(incremental, scratch, "incremental advance diverged from the oracle");
+    }
+
     /// Demand distributions: survival is monotone non-increasing and
     /// sampling stays within the window.
     #[test]
