@@ -21,17 +21,23 @@
 //! path), not single-digit-percent drift.
 //!
 //! Beyond the trend comparison, a small set of kernels is **required**:
-//! the `graph_build_{scratch,incremental}` pair (PR 3) must be present
-//! in every candidate report. Most kernels may come and go as they are
-//! added and retired, but the incremental-vs-scratch pairing is the
-//! evidence for the churn-driven period engine — a candidate that
-//! silently dropped it would leave the engine unbenchmarked, so a
+//! the `graph_build_{scratch,incremental}` pair (PR 3) and the
+//! `service_throughput` row (PR 4) must be present in every candidate
+//! report. Most kernels may come and go as they are added and retired,
+//! but these are the standing evidence for the churn-driven period
+//! engine and the sharded online service — a candidate that silently
+//! dropped one would leave that subsystem unbenchmarked (and, for the
+//! service row, un-cross-checked against the batch simulator), so a
 //! missing required row fails the gate outright.
 
 use serde::Value;
 
 /// Kernels every candidate report must contain (missing row = fail).
-const REQUIRED_KERNELS: &[&str] = &["graph_build_scratch", "graph_build_incremental"];
+const REQUIRED_KERNELS: &[&str] = &[
+    "graph_build_scratch",
+    "graph_build_incremental",
+    "service_throughput",
+];
 
 /// Checks that `candidate` carries every required kernel row.
 fn check_required(candidate: &Value) -> Vec<Regression> {
@@ -270,13 +276,29 @@ mod tests {
     #[test]
     fn candidate_missing_required_graph_build_rows_fails() {
         let regressions = check_required(&report_with_kernels(&["monte_carlo"]));
-        assert_eq!(regressions.len(), 2, "{regressions:?}");
+        assert_eq!(regressions.len(), 3, "{regressions:?}");
         assert!(regressions[0].0.contains("graph_build_scratch"));
         assert!(regressions[1].0.contains("graph_build_incremental"));
-        // One present, one dropped: still a failure.
-        let regressions = check_required(&report_with_kernels(&["graph_build_scratch"]));
+        assert!(regressions[2].0.contains("service_throughput"));
+        // Some present, one dropped: still a failure.
+        let regressions = check_required(&report_with_kernels(&[
+            "graph_build_scratch",
+            "service_throughput",
+        ]));
         assert_eq!(regressions.len(), 1);
         assert!(regressions[0].0.contains("graph_build_incremental"));
+    }
+
+    /// The PR-4 required row: a candidate that silently dropped the
+    /// sharded-service benchmark must fail the gate.
+    #[test]
+    fn candidate_missing_service_throughput_fails() {
+        let regressions = check_required(&report_with_kernels(&[
+            "graph_build_scratch",
+            "graph_build_incremental",
+        ]));
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].0.contains("service_throughput"));
     }
 
     #[test]
@@ -284,6 +306,7 @@ mod tests {
         let regressions = check_required(&report_with_kernels(&[
             "graph_build_scratch",
             "graph_build_incremental",
+            "service_throughput",
             "monte_carlo",
         ]));
         assert!(regressions.is_empty(), "{regressions:?}");

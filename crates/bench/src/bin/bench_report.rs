@@ -1,7 +1,7 @@
 //! Machine-readable perf trajectory: measures the PR-1 evaluation
-//! kernels, the PR-2 parallel pricing/runner paths and the PR-3
-//! incremental graph-build engine against their retained baselines and
-//! writes `BENCH_PR3.json`.
+//! kernels, the PR-2 parallel pricing/runner paths, the PR-3
+//! incremental graph-build engine and the PR-4 sharded online service
+//! against their retained baselines and writes `BENCH_PR4.json`.
 //!
 //! ```sh
 //! cargo run --release -p maps-bench --bin bench_report [-- OUT.json]
@@ -10,29 +10,30 @@
 //! Schema (`maps-bench-report/v1`, also documented in the README): a
 //! `kernels` object with one row per kernel; every `*_ns` field is the
 //! **median of repeated wall-clock runs** in nanoseconds for one full
-//! kernel invocation (not per sample/world). PR 3 adds the paired rows:
+//! kernel invocation (not per sample/world). PR 4 adds the service row:
 //!
 //! ```json
 //! {
 //!   "kernels": {
-//!     "graph_build_scratch": {
-//!       "n_workers": ..., "n_tasks": ..., "churn_per_period": ...,
-//!       "k": ..., "periods": ..., "build_ns": ...
-//!     },
-//!     "graph_build_incremental": {
-//!       "n_workers": ..., "n_tasks": ..., "churn_per_period": ...,
-//!       "k": ..., "periods": ..., "build_ns": ...,
-//!       "speedup": ..., "bit_identical": true
+//!     "service_throughput": {
+//!       "n_workers": ..., "n_tasks": ..., "periods": ..., "shards": ...,
+//!       "events": ..., "replay_ns": ..., "events_per_sec": ...,
+//!       "threads": ..., "bit_identical": true
 //!     }
 //!   }
 //! }
 //! ```
 //!
+//! `events_per_sec` is the service's end-to-end ingest rate on a
+//! 100k-worker stream (arrivals + task requests + ticks over the
+//! replay wall-clock); `bit_identical` records the cross-check of the
+//! replayed outcome against `Simulation::run` before anything is timed.
+//!
 //! Each PR appends its own `BENCH_PR<N>.json` so the perf trajectory
 //! stays diffable; the `bench_gate` binary fails CI when a fresh run
-//! regresses >2x against the last committed report **or when either
-//! `graph_build_*` row goes missing** (so a refactor cannot silently
-//! drop the incremental-path benchmark).
+//! regresses >2x against the last committed report **or when a required
+//! row (`graph_build_*`, `service_throughput`) goes missing** (so a
+//! refactor cannot silently drop a standing subsystem benchmark).
 
 use maps_bench::{plateau_maps, random_graph, random_weights, PeriodFixture, XorShift};
 use maps_core::{
@@ -458,12 +459,66 @@ fn graph_build_report() -> (Value, Value, f64) {
     (scratch_row, incremental_row, speedup)
 }
 
+/// PR-4 tentpole row: end-to-end event throughput of the grid-sharded
+/// online service on a 100k-worker stream (every worker arrival, task
+/// request and period tick is one event). The replayed outcome is
+/// cross-checked bit-for-bit against `Simulation::run` before anything
+/// is timed — a throughput number for a service that diverges from the
+/// batch oracle would be meaningless.
+fn service_throughput_report() -> Value {
+    let n_workers = 100_000usize;
+    let n_tasks = 2_000usize;
+    let periods = 10usize;
+    let shards = 4usize;
+    let truth = SyntheticConfig::paper_default()
+        .with_num_workers(n_workers)
+        .with_num_tasks(n_tasks)
+        .with_periods(periods)
+        .build(0x5E41);
+    let options = maps_simulator::SimOptions {
+        calibrate: false,
+        ..maps_simulator::SimOptions::default()
+    };
+    let events = (truth.total_workers() + truth.total_tasks() + truth.num_periods()) as f64;
+    let kind = maps_core::StrategyKind::Maps;
+
+    let batch = maps_simulator::Simulation::new(truth.clone(), kind)
+        .with_options(options)
+        .run();
+    let online = maps_service::replay_with_options(&truth, kind, shards, options);
+    let bit_identical = online.deterministic_bits() == batch.deterministic_bits();
+    assert!(bit_identical, "service replay diverged from the batch run");
+
+    let replay_ns = median_ns(3, || {
+        maps_service::replay_with_options(&truth, kind, shards, options)
+    });
+    let events_per_sec = events / (replay_ns / 1e9);
+    let threads = rayon::current_num_threads();
+    println!(
+        "service_throughput {n_workers} workers, {n_tasks} tasks, {periods} periods, \
+         {shards} shards: replay {} | {events_per_sec:.0} events/s ({threads} threads) \
+         | bit-identical {bit_identical}",
+        format_ms(replay_ns),
+    );
+    serde::object([
+        ("n_workers", (n_workers as f64).to_value()),
+        ("n_tasks", (n_tasks as f64).to_value()),
+        ("periods", (periods as f64).to_value()),
+        ("shards", (shards as f64).to_value()),
+        ("events", events.to_value()),
+        ("replay_ns", replay_ns.to_value()),
+        ("events_per_sec", events_per_sec.to_value()),
+        ("threads", (threads as f64).to_value()),
+        ("bit_identical", bit_identical.to_value()),
+    ])
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
 
-    println!("maps bench_report — PR 3 kernel trajectory");
+    println!("maps bench_report — PR 4 kernel trajectory");
     println!("==========================================");
     let (possible_worlds, pw_speedup) = possible_worlds_report();
     let (monte_carlo, _mc_speedup) = monte_carlo_report();
@@ -471,6 +526,7 @@ fn main() {
     let (pricing_period, pricing_speedup) = pricing_period_report();
     let seed_runner = seed_runner_report();
     let (graph_build_scratch, graph_build_incremental, graph_speedup) = graph_build_report();
+    let service_throughput = service_throughput_report();
 
     if pw_speedup < 5.0 {
         eprintln!("warning: gray-code speedup {pw_speedup:.1}x is below the 5x acceptance bar");
@@ -489,7 +545,7 @@ fn main() {
 
     let report = serde::object([
         ("schema", "maps-bench-report/v1".to_value()),
-        ("pr", 3.0f64.to_value()),
+        ("pr", 4.0f64.to_value()),
         (
             "host",
             serde::object([("threads", (rayon::current_num_threads() as f64).to_value())]),
@@ -504,6 +560,7 @@ fn main() {
                 ("seed_runner", seed_runner),
                 ("graph_build_scratch", graph_build_scratch),
                 ("graph_build_incremental", graph_build_incremental),
+                ("service_throughput", service_throughput),
             ]),
         ),
     ]);

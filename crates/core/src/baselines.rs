@@ -291,6 +291,24 @@ impl PricingStrategy for CappedUcbStrategy {
     }
 }
 
+/// Builds the paper-default instance of `kind` for a `num_cells`-cell
+/// grid — the one factory shared by every driver (the batch simulator
+/// and the sharded online service), so the two can never drift apart in
+/// strategy parameterization.
+pub fn paper_default_strategy(
+    kind: crate::problem::StrategyKind,
+    num_cells: usize,
+) -> Box<dyn PricingStrategy> {
+    use crate::problem::StrategyKind;
+    match kind {
+        StrategyKind::Maps => Box::new(crate::MapsStrategy::paper_default(num_cells)),
+        StrategyKind::BaseP => Box::new(BasePStrategy::paper_default(num_cells)),
+        StrategyKind::Sdr => Box::new(SdrStrategy::paper_default(num_cells)),
+        StrategyKind::Sde => Box::new(SdeStrategy::paper_default(num_cells)),
+        StrategyKind::CappedUcb => Box::new(CappedUcbStrategy::paper_default(num_cells)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

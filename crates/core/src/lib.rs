@@ -45,7 +45,9 @@ pub mod running_example;
 pub mod smoothing;
 
 pub use base::{BasePriceResult, BasePricing};
-pub use baselines::{BasePStrategy, CappedUcbStrategy, SdeStrategy, SdrStrategy};
+pub use baselines::{
+    paper_default_strategy, BasePStrategy, CappedUcbStrategy, SdeStrategy, SdrStrategy,
+};
 pub use builder::{build_period_graph, build_period_graph_capped};
 pub use cache::{PeriodGraphCache, WorkerChurn};
 pub use evaluate::{
@@ -63,7 +65,9 @@ pub use problem::{
 /// Commonly used items.
 pub mod prelude {
     pub use crate::base::{BasePriceResult, BasePricing};
-    pub use crate::baselines::{BasePStrategy, CappedUcbStrategy, SdeStrategy, SdrStrategy};
+    pub use crate::baselines::{
+        paper_default_strategy, BasePStrategy, CappedUcbStrategy, SdeStrategy, SdrStrategy,
+    };
     pub use crate::builder::{build_period_graph, build_period_graph_capped};
     pub use crate::cache::{PeriodGraphCache, WorkerChurn};
     pub use crate::evaluate::{

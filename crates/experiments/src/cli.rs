@@ -7,7 +7,7 @@ use crate::runner::{run_panel, RunOptions};
 use std::path::PathBuf;
 
 /// Parsed command-line options for a figure binary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliArgs {
     /// Restrict to one panel (e.g. `--panel w`); `None` = all panels of
     /// the figure.
@@ -16,7 +16,9 @@ pub struct CliArgs {
     pub quick: bool,
     /// `--parallel`: rayon over cells (disables memory tracking).
     pub parallel: bool,
-    /// `--seeds N`: average over N seeds (default 1).
+    /// `--seeds N`: average over N ≥ 1 seeds (default 1). `--seeds 0`
+    /// is rejected at parse time — it used to be accepted here and then
+    /// silently clamped to 1 deep inside the runner.
     pub seeds: u64,
     /// `--out DIR`: JSONL output directory (default `results/`).
     pub out_dir: PathBuf,
@@ -31,13 +33,59 @@ pub struct CliArgs {
     /// bit-identical either way (timing and peak-memory columns reflect
     /// each engine's own cost); the toggle exists for A/B timing.
     pub incremental: bool,
+    /// `--shards N`: route every simulation through the grid-sharded
+    /// online service (`maps-service`) with N ≥ 1 shards instead of the
+    /// in-process batch loop. Revenue/count columns are bit-identical
+    /// to the batch path at any N (the shard-count-invariance
+    /// contract); `0` (the default) keeps the batch simulator.
+    pub shards: usize,
+}
+
+/// Why [`CliArgs::try_parse`] refused an argument list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help`/`-h`: print the usage text and exit — not a complaint,
+    /// so no error line precedes it.
+    HelpRequested,
+    /// A real parse problem, with the message to print before the
+    /// usage text.
+    Invalid(String),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Invalid(message)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::HelpRequested => f.write_str("help requested"),
+            CliError::Invalid(message) => f.write_str(message),
+        }
+    }
 }
 
 impl CliArgs {
-    /// Parses `std::env::args`, exiting with usage on error.
+    /// Parses `std::env::args`, exiting with the usage message on error.
     pub fn parse(bin: &str) -> Self {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(CliError::HelpRequested) => usage(bin),
+            Err(CliError::Invalid(e)) => {
+                eprintln!("{e}");
+                usage(bin)
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (testable core of
+    /// [`CliArgs::parse`]). Flags that take a value error out when the
+    /// value is missing or malformed instead of being silently ignored.
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, CliError> {
         let defaults = RunOptions::default();
-        let mut args = CliArgs {
+        let mut parsed = CliArgs {
             panel: None,
             quick: false,
             parallel: false,
@@ -46,38 +94,56 @@ impl CliArgs {
             no_memory: false,
             max_edges: defaults.max_edges_per_task,
             incremental: defaults.incremental,
+            shards: defaults.shards,
         };
-        let mut it = std::env::args().skip(1);
+        let mut it = args.into_iter();
+        // A flag's value: present, non-flag-shaped, and parseable.
+        fn value_of<T: std::str::FromStr>(flag: &str, next: Option<String>) -> Result<T, String> {
+            let raw = next.ok_or_else(|| format!("{flag} requires a value"))?;
+            if raw.starts_with("--") {
+                return Err(format!("{flag} requires a value, got flag '{raw}'"));
+            }
+            raw.parse()
+                .map_err(|_| format!("{flag}: invalid value '{raw}'"))
+        }
         while let Some(a) = it.next() {
             match a.as_str() {
-                "--panel" => args.panel = it.next(),
-                "--quick" => args.quick = true,
-                "--parallel" => args.parallel = true,
-                "--no-memory" => args.no_memory = true,
-                "--incremental" => args.incremental = true,
-                "--no-incremental" => args.incremental = false,
+                "--panel" => parsed.panel = Some(value_of("--panel", it.next())?),
+                "--quick" => parsed.quick = true,
+                "--parallel" => parsed.parallel = true,
+                "--no-memory" => parsed.no_memory = true,
+                "--incremental" => parsed.incremental = true,
+                "--no-incremental" => parsed.incremental = false,
                 "--max-edges" => {
-                    args.max_edges = it
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .filter(|&k| k > 0)
-                        .unwrap_or_else(|| usage(bin))
+                    parsed.max_edges = value_of("--max-edges", it.next())?;
+                    if parsed.max_edges == 0 {
+                        return Err("--max-edges must be at least 1".to_string().into());
+                    }
                 }
                 "--seeds" => {
-                    args.seeds = it
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| usage(bin))
+                    parsed.seeds = value_of("--seeds", it.next())?;
+                    if parsed.seeds == 0 {
+                        return Err("--seeds must be at least 1 (0 would average over nothing)"
+                            .to_string()
+                            .into());
+                    }
                 }
-                "--out" => args.out_dir = PathBuf::from(it.next().unwrap_or_else(|| usage(bin))),
-                "--help" | "-h" => usage(bin),
-                other => {
-                    eprintln!("unknown argument: {other}");
-                    usage(bin)
+                "--shards" => {
+                    parsed.shards = value_of("--shards", it.next())?;
+                    if parsed.shards == 0 {
+                        return Err(
+                            "--shards must be at least 1 (omit the flag for the batch loop)"
+                                .to_string()
+                                .into(),
+                        );
+                    }
                 }
+                "--out" => parsed.out_dir = PathBuf::from(value_of::<String>("--out", it.next())?),
+                "--help" | "-h" => return Err(CliError::HelpRequested),
+                other => return Err(format!("unknown argument: {other}").into()),
             }
         }
-        args
+        Ok(parsed)
     }
 
     /// The corresponding [`RunOptions`].
@@ -93,6 +159,7 @@ impl CliArgs {
             track_memory: !self.no_memory && !self.parallel,
             max_edges_per_task: self.max_edges,
             incremental: self.incremental,
+            shards: self.shards,
         }
     }
 }
@@ -100,9 +167,14 @@ impl CliArgs {
 fn usage(bin: &str) -> ! {
     eprintln!(
         "usage: {bin} [--panel KEY] [--quick] [--parallel] [--seeds N] \
-         [--out DIR] [--no-memory] [--max-edges K] [--incremental|--no-incremental]\n\
+         [--out DIR] [--no-memory] [--max-edges K] [--shards N] \
+         [--incremental|--no-incremental]\n\
          panels: w r mu-t mean-s | mu-v sigma-v t g | aw scale beijing1 beijing2 | alpha\n\
+         --seeds N           average over N >= 1 seeds (default 1)\n\
          --max-edges K       per-task edge cap of the period graph (default 64)\n\
+         --shards N          drive runs through the sharded online service\n\
+                             (N >= 1 shards; rows bit-identical to the batch\n\
+                             loop at any N — omit for the in-process loop)\n\
          --no-incremental    use the retained rescan-and-rebuild period engine\n\
                              (bit-identical revenue/count columns; for A/B\n\
                              timing of the incremental cache)"
@@ -144,6 +216,121 @@ pub fn run_figure(figure: &str, args: &CliArgs) {
             .join(format!("{}_{}.jsonl", spec.figure, spec.panel));
         if let Err(e) = write_jsonl(&rows, &path) {
             eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliArgs, String> {
+        CliArgs::try_parse(args.iter().map(|s| s.to_string())).map_err(|e| match e {
+            CliError::HelpRequested => "HELP".to_string(),
+            CliError::Invalid(message) => message,
+        })
+    }
+
+    #[test]
+    fn defaults_parse_empty() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.seeds, 1);
+        assert_eq!(args.shards, 0, "batch loop by default");
+        assert!(args.incremental);
+        assert!(args.panel.is_none());
+    }
+
+    #[test]
+    fn full_flag_set_round_trips() {
+        let args = parse(&[
+            "--panel",
+            "w",
+            "--quick",
+            "--parallel",
+            "--seeds",
+            "3",
+            "--out",
+            "tmp",
+            "--no-memory",
+            "--max-edges",
+            "16",
+            "--shards",
+            "4",
+            "--no-incremental",
+        ])
+        .unwrap();
+        assert_eq!(args.panel.as_deref(), Some("w"));
+        assert!(args.quick && args.parallel && args.no_memory);
+        assert_eq!(args.seeds, 3);
+        assert_eq!(args.max_edges, 16);
+        assert_eq!(args.shards, 4);
+        assert!(!args.incremental);
+        let options = args.run_options();
+        assert_eq!(options.num_seeds, 3);
+        assert_eq!(options.shards, 4);
+        assert!(!options.track_memory, "parallel disables memory tracking");
+    }
+
+    /// The satellite regression: `--seeds 0` used to parse fine and get
+    /// silently clamped to 1 deep inside `run_panel`.
+    #[test]
+    fn zero_seeds_rejected_at_parse_time() {
+        let err = parse(&["--seeds", "0"]).unwrap_err();
+        assert!(err.contains("--seeds"), "{err}");
+    }
+
+    #[test]
+    fn zero_shards_and_zero_max_edges_rejected() {
+        assert!(parse(&["--shards", "0"]).unwrap_err().contains("--shards"));
+        assert!(parse(&["--max-edges", "0"])
+            .unwrap_err()
+            .contains("--max-edges"));
+    }
+
+    /// The satellite regression: value-taking flags at the end of the
+    /// line (or followed by another flag) used to be silently ignored —
+    /// `--panel` most prominently.
+    #[test]
+    fn missing_values_are_errors_not_ignored() {
+        for flags in [
+            &["--panel"][..],
+            &["--seeds"],
+            &["--max-edges"],
+            &["--shards"],
+            &["--out"],
+            &["--panel", "--quick"],
+            &["--seeds", "--parallel"],
+        ] {
+            let err = parse(flags).unwrap_err();
+            assert!(err.contains("requires a value"), "{flags:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_numbers_are_errors() {
+        assert!(parse(&["--seeds", "three"])
+            .unwrap_err()
+            .contains("invalid"));
+        assert!(parse(&["--max-edges", "-1"])
+            .unwrap_err()
+            .contains("invalid"));
+    }
+
+    #[test]
+    fn unknown_arguments_are_errors() {
+        assert!(parse(&["--bogus"]).unwrap_err().contains("unknown"));
+    }
+
+    /// `--help` is a usage request, not a parse complaint: it must not
+    /// surface an error message of its own.
+    #[test]
+    fn help_is_distinguished_from_errors() {
+        for flags in [&["--help"][..], &["-h"], &["--quick", "--help"]] {
+            assert_eq!(
+                CliArgs::try_parse(flags.iter().map(|s| s.to_string())),
+                Err(CliError::HelpRequested),
+                "{flags:?}"
+            );
         }
     }
 }

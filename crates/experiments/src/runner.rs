@@ -44,6 +44,14 @@ pub struct RunOptions {
     /// peak-memory columns reflect each engine's own cost); `false`
     /// selects the retained rescan-and-rebuild oracle for A/B timing.
     pub incremental: bool,
+    /// With `shards ≥ 1`, replay every run through the grid-sharded
+    /// online service (`maps-service`) with that many shards instead of
+    /// the in-process batch loop; `0` (default) keeps the batch
+    /// simulator. Schedule-independent row columns are bit-identical
+    /// either way and at any shard count — the service's
+    /// shard-count-invariance contract, enforced by
+    /// `sharded_service_rows_match_batch_rows` below.
+    pub shards: usize,
 }
 
 impl Default for RunOptions {
@@ -56,6 +64,7 @@ impl Default for RunOptions {
             track_memory: true,
             max_edges_per_task: sim.max_edges_per_task,
             incremental: sim.incremental,
+            shards: 0,
         }
     }
 }
@@ -84,9 +93,13 @@ fn run_cell(
     if track {
         TrackingAllocator::reset_peak();
     }
-    let mut outcome = Simulation::new(truth, kind)
-        .with_options(options.sim_options())
-        .run();
+    let mut outcome = if options.shards >= 1 {
+        maps_service::replay_with_options(&truth, kind, options.shards, options.sim_options())
+    } else {
+        Simulation::new(truth, kind)
+            .with_options(options.sim_options())
+            .run()
+    };
     if track {
         outcome.peak_memory_mib = Some(TrackingAllocator::peak_mib());
     }
@@ -239,6 +252,31 @@ mod tests {
                 parallel,
                 rows_canon(&serial),
                 "num_seeds {num_seeds}: parallel rows diverged from the serial path"
+            );
+        }
+    }
+
+    /// Routing a panel through the sharded online service must leave
+    /// every schedule-independent row column bitwise unchanged, at any
+    /// shard count — the service's shard-count-invariance contract
+    /// observed at the experiment-harness level.
+    #[test]
+    fn sharded_service_rows_match_batch_rows() {
+        let spec = tiny_panel();
+        let base = RunOptions {
+            scale: Scale::Quick,
+            num_seeds: 2,
+            parallel: true,
+            track_memory: false,
+            ..RunOptions::default()
+        };
+        let batch = rows_canon(&run_panel(&spec, base));
+        for shards in [1usize, 4] {
+            let service_rows = run_panel(&spec, RunOptions { shards, ..base });
+            assert_eq!(
+                rows_canon(&service_rows),
+                batch,
+                "{shards}-shard service rows diverged from the batch loop"
             );
         }
     }

@@ -1,0 +1,818 @@
+//! The sharded service engine: event ingestion, per-shard state, and
+//! the deterministic tick reducer.
+//!
+//! See the crate docs for the architecture picture. The inline comments
+//! here focus on the invariants each step must preserve for the
+//! replay-equals-batch contract (`replay` module) to hold bitwise.
+
+use maps_core::{
+    paper_default_strategy, Observation, PeriodGraphCache, PeriodInput, PricingStrategy,
+    StrategyKind, TaskInput, WorkerChurn, WorkerInput,
+};
+use maps_matching::{BipartiteGraph, BipartiteGraphBuilder, MatchScratch};
+use maps_simulator::{
+    settle_period, GroundTask, GroundWorker, MatchPolicy, Outcome, RunningMoments,
+};
+use maps_spatial::{BucketIndex, GridSpec, ShardMap};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One event of the online stream.
+#[derive(Debug, Clone, Copy)]
+pub enum ServiceEvent {
+    /// A worker comes online. Ids are assigned by the service in stream
+    /// order (global admission order — the same numbering the batch
+    /// simulator uses), and the worker's `duration` schedules its own
+    /// expiry; send [`ServiceEvent::WorkerDepart`] for earlier exits.
+    WorkerArrive {
+        /// Location, range radius and availability window.
+        worker: GroundWorker,
+    },
+    /// The worker with the given admission id leaves the platform now
+    /// (takes effect at the next tick, like all staged churn). A no-op
+    /// for workers already gone or ids never admitted.
+    WorkerDepart {
+        /// Admission id (position in the arrival stream).
+        id: u32,
+    },
+    /// A requester submits a task for the current period. Carries the
+    /// ground-truth task because the service also simulates the
+    /// requester's accept/reject decision against the posted price.
+    TaskRequest {
+        /// The task, including its private valuation.
+        task: GroundTask,
+    },
+    /// Closes the current period: applies staged churn, prices, clears
+    /// the market and advances the period counter.
+    PeriodTick,
+}
+
+/// Configuration of a [`ShardedService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Number of shards (≥ 1). Any value yields bit-identical outcomes;
+    /// it only controls how the per-tick spatial work is partitioned.
+    pub shards: usize,
+    /// Per-task edge cap of the period graph (the batch simulator's
+    /// [`maps_simulator::SimOptions::max_edges_per_task`]).
+    pub max_edges_per_task: usize,
+    /// Sizing hint for the per-shard spatial indexes.
+    pub expected_workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let sim = maps_simulator::SimOptions::default();
+        Self {
+            shards: 4,
+            max_edges_per_task: sim.max_edges_per_task,
+            expected_workers: 1024,
+        }
+    }
+}
+
+/// Where a worker currently is in its lifecycle (mirrors the batch
+/// simulator's event-queue engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// In its owning shard's live set — can be matched.
+    Available,
+    /// Matched under the relocate policy; re-enters at its scheduled
+    /// release.
+    Busy,
+    /// Left permanently (consumed, expired, departed).
+    Gone,
+}
+
+/// Global per-worker record. The spatial state lives in the owning
+/// shard's cache; this is the routing + lifecycle view.
+#[derive(Debug, Clone, Copy)]
+struct Record {
+    /// First period in which the worker no longer exists.
+    expires_at: u32,
+    status: Status,
+    /// Shard currently owning the worker's location. Updated when a
+    /// relocation release lands the worker in another shard's cells.
+    shard: u32,
+}
+
+/// A scheduled lifecycle transition, fired at the start of its tick.
+#[derive(Debug, Clone, Copy)]
+enum Timed {
+    /// The worker's availability window ends this period.
+    Expire(u32),
+    /// A busy worker re-enters this period at its relocation target.
+    Release(u32, WorkerInput),
+}
+
+/// One shard: the spatial state for its cells plus the churn staged
+/// since the last tick. All mutation between ticks is staging; the
+/// cache is only touched inside the tick's parallel phases, which also
+/// fill the per-tick scratch buffers below (reused across the stream,
+/// so the hot path stops allocating once warm).
+#[derive(Debug)]
+struct Shard {
+    cache: PeriodGraphCache,
+    arrivals: Vec<(u32, WorkerInput)>,
+    departures: Vec<u32>,
+    /// Capped path: this tick's candidate lists, flattened;
+    /// `candidate_starts[t]..candidate_starts[t+1]` indexes task `t`'s.
+    candidates: Vec<(f64, u32)>,
+    candidate_starts: Vec<u32>,
+    /// Uncapped fallback: this tick's `(task, worker-id)` edge slice.
+    edges: Vec<(u32, u32)>,
+    /// Per-query scratch for the k-nearest candidate queries.
+    query: Vec<(f64, u32)>,
+}
+
+impl Shard {
+    fn new(cache: PeriodGraphCache) -> Self {
+        Self {
+            cache,
+            arrivals: Vec::new(),
+            departures: Vec::new(),
+            candidates: Vec::new(),
+            candidate_starts: Vec::new(),
+            edges: Vec::new(),
+            query: Vec::new(),
+        }
+    }
+
+    /// Applies the staged churn and reports `(live_count, max_radius)`
+    /// for the global reduction. Pure per-shard work: safe to run on
+    /// any thread.
+    fn apply_staged(&mut self) -> (usize, f64) {
+        self.cache.apply(WorkerChurn {
+            arrivals: &self.arrivals,
+            departures: &self.departures,
+            relocations: &[],
+        });
+        self.arrivals.clear();
+        self.departures.clear();
+        (self.cache.live_count(), self.cache.max_live_radius())
+    }
+
+    /// Capped path: answers every task's k-nearest query against this
+    /// shard's index into the reused flat buffers.
+    fn collect_candidates(&mut self, tasks: &[TaskInput], max_radius: f64, k: usize) {
+        self.candidates.clear();
+        self.candidate_starts.clear();
+        self.candidate_starts.reserve(tasks.len() + 1);
+        self.candidate_starts.push(0);
+        for task in tasks {
+            self.cache
+                .k_nearest_candidates_into(task.origin, max_radius, k, &mut self.query);
+            self.candidates.extend_from_slice(&self.query);
+            self.candidate_starts.push(self.candidates.len() as u32);
+        }
+    }
+
+    /// This tick's candidates for task `t_idx` (after
+    /// [`Shard::collect_candidates`]), sorted by `(distance, id)`.
+    fn task_candidates(&self, t_idx: usize) -> &[(f64, u32)] {
+        let lo = self.candidate_starts[t_idx] as usize;
+        let hi = self.candidate_starts[t_idx + 1] as usize;
+        &self.candidates[lo..hi]
+    }
+
+    /// Uncapped fallback: enumerates this shard's slice of the full
+    /// edge set into the reused buffer.
+    fn collect_edges(&mut self, task_index: &BucketIndex<u32>) {
+        self.edges.clear();
+        let edges = &mut self.edges;
+        self.cache
+            .for_each_task_edge(task_index, |t_idx, id| edges.push((t_idx, id)));
+    }
+}
+
+/// The grid-sharded online pricing engine.
+///
+/// Feed it [`ServiceEvent`]s via [`ShardedService::push`]; read the
+/// accumulated [`Outcome`] any time via [`ShardedService::outcome`] (or
+/// consume it with [`ShardedService::into_outcome`]).
+pub struct ShardedService {
+    grid: GridSpec,
+    router: ShardMap,
+    match_policy: MatchPolicy,
+    strategy: Box<dyn PricingStrategy>,
+    shards: Vec<Shard>,
+    /// Per-worker lifecycle records, indexed by admission id.
+    records: Vec<Record>,
+    /// Scheduled expiries/releases, keyed by the period they fire in.
+    /// A `BTreeMap` (not per-period buckets) because the service has no
+    /// horizon: a `u32::MAX` expiry must be schedulable without
+    /// allocating 2³² buckets — it simply never fires.
+    schedule: BTreeMap<u32, Vec<Timed>>,
+    /// Tasks submitted since the last tick, in stream order (the order
+    /// pricing feedback and price moments are fed in — load-bearing for
+    /// bit-identity with the batch loop).
+    pending_tasks: Vec<GroundTask>,
+    /// Current period (number of ticks processed so far).
+    period: u32,
+    k: usize,
+    // ---- tick scratch, reused across the stream ----
+    task_inputs: Vec<TaskInput>,
+    live_ids: Vec<u32>,
+    worker_inputs: Vec<WorkerInput>,
+    observations: Vec<Observation>,
+    keep: Vec<bool>,
+    weights: Vec<f64>,
+    clearing: MatchScratch,
+    /// Per-task cross-shard candidate merge scratch (capped path).
+    merge_scratch: Vec<(f64, u32)>,
+    /// Recycled edge arena threaded through every graph build.
+    edge_arena: Vec<(u32, u32)>,
+    // ---- outcome accumulation ----
+    outcome: Outcome,
+    price_moments: RunningMoments,
+}
+
+impl ShardedService {
+    /// A service for one of the five paper strategies with paper-default
+    /// parameters (same factory as the batch simulator).
+    pub fn new(
+        grid: GridSpec,
+        match_policy: MatchPolicy,
+        kind: StrategyKind,
+        config: ServiceConfig,
+    ) -> Self {
+        Self::with_strategy(
+            grid,
+            match_policy,
+            paper_default_strategy(kind, grid.num_cells()),
+            config,
+        )
+    }
+
+    /// A service around a custom strategy instance.
+    pub fn with_strategy(
+        grid: GridSpec,
+        match_policy: MatchPolicy,
+        strategy: Box<dyn PricingStrategy>,
+        config: ServiceConfig,
+    ) -> Self {
+        let router = ShardMap::new(config.shards);
+        let per_shard = config.expected_workers.div_ceil(config.shards).max(16);
+        let shards = (0..config.shards)
+            .map(|_| Shard::new(PeriodGraphCache::new(&grid, per_shard)))
+            .collect();
+        let outcome = Outcome {
+            strategy: strategy.name().to_string(),
+            total_revenue: 0.0,
+            issued_tasks: 0,
+            accepted_tasks: 0,
+            matched_tasks: 0,
+            pricing_secs: 0.0,
+            clearing_secs: 0.0,
+            calibration_secs: 0.0,
+            peak_memory_mib: None,
+            revenue_per_period: Vec::new(),
+            mean_posted_price: 0.0,
+            posted_price_std: 0.0,
+            matched_distance: 0.0,
+        };
+        Self {
+            grid,
+            router,
+            match_policy,
+            strategy,
+            shards,
+            records: Vec::new(),
+            schedule: BTreeMap::new(),
+            pending_tasks: Vec::new(),
+            period: 0,
+            k: config.max_edges_per_task,
+            task_inputs: Vec::new(),
+            live_ids: Vec::new(),
+            worker_inputs: Vec::new(),
+            observations: Vec::new(),
+            keep: Vec::new(),
+            weights: Vec::new(),
+            clearing: MatchScratch::new(),
+            merge_scratch: Vec::new(),
+            edge_arena: Vec::new(),
+            outcome,
+            price_moments: RunningMoments::new(),
+        }
+    }
+
+    /// Runs the strategy's one-off Algorithm-1 calibration against
+    /// `probe` (before the first tick, like the batch simulator).
+    pub fn calibrate(&mut self, probe: &mut dyn maps_core::DemandProbe) {
+        let start = Instant::now();
+        self.strategy.calibrate(probe);
+        self.outcome.calibration_secs += start.elapsed().as_secs_f64();
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Periods closed so far.
+    pub fn periods_served(&self) -> u32 {
+        self.period
+    }
+
+    /// Workers admitted over the service's lifetime.
+    pub fn admitted_workers(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Workers currently in the live (matchable) set, summed over
+    /// shards. Staged churn applies at the next tick.
+    pub fn live_workers(&self) -> usize {
+        self.shards.iter().map(|s| s.cache.live_count()).sum()
+    }
+
+    /// Ingests one event. Arrivals, departures and task requests stage
+    /// state; [`ServiceEvent::PeriodTick`] closes the period.
+    pub fn push(&mut self, event: ServiceEvent) {
+        match event {
+            ServiceEvent::WorkerArrive { worker } => self.worker_arrive(worker),
+            ServiceEvent::WorkerDepart { id } => self.worker_depart(id),
+            ServiceEvent::TaskRequest { task } => self.pending_tasks.push(task),
+            ServiceEvent::PeriodTick => self.run_tick(),
+        }
+    }
+
+    /// The outcome accumulated so far (price moments finalized).
+    pub fn outcome(&self) -> Outcome {
+        let mut out = self.outcome.clone();
+        out.mean_posted_price = self.price_moments.mean();
+        out.posted_price_std = self.price_moments.population_std();
+        out
+    }
+
+    /// Consumes the service, returning the final outcome.
+    pub fn into_outcome(self) -> Outcome {
+        self.outcome()
+    }
+
+    fn worker_arrive(&mut self, worker: GroundWorker) {
+        let id = self.records.len() as u32;
+        let t = self.period;
+        let expires_at = t.saturating_add(worker.duration);
+        // Mirrors the batch lifecycle: a worker whose window is already
+        // over still consumes an id (so later ids keep their batch-path
+        // positions) but never enters any live set.
+        if expires_at <= t {
+            self.records.push(Record {
+                expires_at,
+                status: Status::Gone,
+                shard: 0,
+            });
+            return;
+        }
+        let input = WorkerInput::new(&self.grid, worker.location, worker.radius);
+        let shard = self.router.shard_of(input.cell) as u32;
+        self.records.push(Record {
+            expires_at,
+            status: Status::Available,
+            shard,
+        });
+        self.schedule
+            .entry(expires_at)
+            .or_default()
+            .push(Timed::Expire(id));
+        self.shards[shard as usize].arrivals.push((id, input));
+    }
+
+    fn worker_depart(&mut self, id: u32) {
+        // Unknown ids are ignored like already-gone workers: an online
+        // stream can carry duplicate or stale departure events, and one
+        // bad client event must not take the whole service down.
+        let Some(record) = self.records.get_mut(id as usize) else {
+            return;
+        };
+        if record.status == Status::Available {
+            let shard = &mut self.shards[record.shard as usize];
+            // A worker departing in the same inter-tick window it
+            // arrived in is still a staged arrival: cancel it instead
+            // of staging a departure the cache has never seen.
+            if let Some(pos) = shard.arrivals.iter().position(|&(aid, _)| aid == id) {
+                shard.arrivals.swap_remove(pos);
+            } else {
+                shard.departures.push(id);
+            }
+        }
+        record.status = Status::Gone;
+    }
+
+    /// Fires the lifecycle events scheduled for period `t`, staging the
+    /// resulting churn into the owning shards.
+    fn fire_scheduled(&mut self, t: u32) {
+        let Some(events) = self.schedule.remove(&t) else {
+            return;
+        };
+        for event in events {
+            match event {
+                Timed::Expire(id) => {
+                    let record = &mut self.records[id as usize];
+                    if record.status == Status::Available {
+                        self.shards[record.shard as usize].departures.push(id);
+                    }
+                    record.status = Status::Gone;
+                }
+                Timed::Release(id, input) => {
+                    let record = &mut self.records[id as usize];
+                    if record.status == Status::Busy && t < record.expires_at {
+                        record.status = Status::Available;
+                        // Relocation can migrate the worker to another
+                        // shard's cells: re-route by the new location.
+                        let shard = self.router.shard_of(input.cell) as u32;
+                        record.shard = shard;
+                        self.shards[shard as usize].arrivals.push((id, input));
+                    } else {
+                        record.status = Status::Gone;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the period's capped bipartite graph from the per-shard
+    /// caches, bit-identical to the batch builder on the merged live
+    /// set. `stats` are the shards' post-churn `(live, max_radius)`.
+    fn build_graph(&mut self, stats: &[(usize, f64)]) -> BipartiteGraph {
+        let live_total: usize = stats.iter().map(|s| s.0).sum();
+        // Merge the shards' ascending (and mutually disjoint) live-id
+        // lists into the global ascending order — identical to the
+        // batch engine's single live list because ids are global
+        // admission order regardless of shard.
+        self.live_ids.clear();
+        self.live_ids.reserve(live_total);
+        {
+            let mut cursors: Vec<(&[u32], usize)> = self
+                .shards
+                .iter()
+                .map(|s| (s.cache.live_ids(), 0))
+                .collect();
+            loop {
+                let mut best: Option<(u32, usize)> = None;
+                for (si, &(ids, pos)) in cursors.iter().enumerate() {
+                    if pos < ids.len() && best.is_none_or(|(b, _)| ids[pos] < b) {
+                        best = Some((ids[pos], si));
+                    }
+                }
+                let Some((id, si)) = best else { break };
+                cursors[si].1 += 1;
+                self.live_ids.push(id);
+            }
+        }
+        self.worker_inputs.clear();
+        self.worker_inputs.reserve(live_total);
+        for &id in &self.live_ids {
+            let shard = self.records[id as usize].shard as usize;
+            self.worker_inputs.push(
+                *self.shards[shard]
+                    .cache
+                    .worker(id)
+                    .expect("live id is in its owning shard"),
+            );
+        }
+
+        let k = self.k;
+        let mut builder = BipartiteGraphBuilder::with_arena(
+            self.task_inputs.len(),
+            live_total,
+            self.task_inputs.len() * k.min(live_total.max(1)),
+            std::mem::take(&mut self.edge_arena),
+        );
+        if live_total <= k {
+            // Fallback mirror of the batch builder: with no cap to
+            // enforce, enumerate every in-range (task, worker) pair.
+            // Shards emit their slices of the edge set in parallel; the
+            // builder canonicalizes order, so a union is enough.
+            let items: Vec<(maps_spatial::Point, u32)> = self
+                .task_inputs
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.origin, i as u32))
+                .collect();
+            let task_index = BucketIndex::build(self.grid.region(), &items);
+            self.shards
+                .par_iter_mut()
+                .for_each(|shard| shard.collect_edges(&task_index));
+            let live_ids = &self.live_ids;
+            for shard in &self.shards {
+                for &(t_idx, id) in &shard.edges {
+                    let dense = live_ids.binary_search(&id).expect("edge worker is live");
+                    builder.add_edge(t_idx as usize, dense);
+                }
+            }
+        } else {
+            // Capped path: every task takes its k nearest in-range
+            // workers under the total (distance, id) order. Each shard
+            // answers from its own index with the *global* max radius
+            // into reused flat buffers; merging the per-shard top-k
+            // lists and truncating to k is exactly the one-index query
+            // (the order is total and layout-independent).
+            let max_radius = stats.iter().map(|s| s.1).fold(0.0f64, f64::max);
+            let tasks = &self.task_inputs;
+            self.shards
+                .par_iter_mut()
+                .for_each(|shard| shard.collect_candidates(tasks, max_radius, k));
+            let live_ids = &self.live_ids;
+            let merged = &mut self.merge_scratch;
+            for t_idx in 0..tasks.len() {
+                merged.clear();
+                for shard in &self.shards {
+                    merged.extend_from_slice(shard.task_candidates(t_idx));
+                }
+                merged.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                for &(_, id) in merged.iter().take(k) {
+                    let dense = live_ids.binary_search(&id).expect("candidate is live");
+                    builder.add_edge(t_idx, dense);
+                }
+            }
+        }
+        let (graph, arena) = builder.build_recycling();
+        self.edge_arena = arena;
+        graph
+    }
+
+    /// Closes the current period: the deterministic reduce step.
+    fn run_tick(&mut self) {
+        let t = self.period;
+        // 1. Scheduled lifecycle transitions stage their churn.
+        self.fire_scheduled(t);
+
+        // 2. Materialize the period's task list in stream order.
+        self.task_inputs.clear();
+        self.task_inputs
+            .extend(self.pending_tasks.iter().map(|task| TaskInput {
+                origin: task.origin,
+                distance: task.distance,
+                cell: task.cell,
+            }));
+        self.outcome.issued_tasks += self.task_inputs.len() as u64;
+
+        // 3. Parallel shard phase: apply staged churn, report live
+        //    counts and radii. `collect` preserves shard-id order.
+        let stats: Vec<(usize, f64)> = self
+            .shards
+            .par_iter_mut()
+            .map(Shard::apply_staged)
+            .collect();
+
+        // 4. Shard-merged graph + global period view.
+        let graph = self.build_graph(&stats);
+        let input = PeriodInput {
+            grid: &self.grid,
+            tasks: &self.task_inputs,
+            workers: &self.worker_inputs,
+            graph: &graph,
+        };
+
+        // 5. Price the period (the strategy's own rayon fan-out is
+        //    bit-stable per the workspace invariant).
+        let start = Instant::now();
+        let schedule = self.strategy.price_period(&input);
+        self.outcome.pricing_secs += start.elapsed().as_secs_f64();
+
+        // 6+7. Requesters decide and the market clears — literally the
+        //    batch loop's code: `settle_period` is shared with
+        //    `Simulation::run`, so the two cannot drift.
+        let settlement = settle_period(
+            &self.pending_tasks,
+            &self.task_inputs,
+            &schedule,
+            &graph,
+            &mut self.price_moments,
+            &mut self.observations,
+            &mut self.keep,
+            &mut self.weights,
+            &mut self.clearing,
+        );
+        self.outcome.accepted_tasks += settlement.accepted;
+        self.outcome.clearing_secs += settlement.clearing_secs;
+        self.outcome.total_revenue += settlement.revenue;
+        self.outcome.revenue_per_period.push(settlement.revenue);
+
+        // 8. Lifecycle for matched pairs, staged for the next tick.
+        for (l, dense) in self.clearing.matched_pairs() {
+            self.outcome.matched_tasks += 1;
+            let task = &self.pending_tasks[l];
+            self.outcome.matched_distance += task.distance;
+            let id = self.live_ids[dense as usize];
+            let record_shard = self.records[id as usize].shard as usize;
+            match self.match_policy {
+                MatchPolicy::Consume => {
+                    self.records[id as usize].status = Status::Gone;
+                    self.shards[record_shard].departures.push(id);
+                }
+                MatchPolicy::Relocate { speed } => {
+                    let travel = (task.distance / speed).ceil().max(1.0) as u32;
+                    let radius = self.shards[record_shard]
+                        .cache
+                        .worker(id)
+                        .expect("matched worker is live")
+                        .radius;
+                    self.shards[record_shard].departures.push(id);
+                    let busy_until = t.saturating_add(travel);
+                    let record = &mut self.records[id as usize];
+                    if busy_until < record.expires_at {
+                        record.status = Status::Busy;
+                        let input = WorkerInput::new(&self.grid, task.destination, radius);
+                        self.schedule
+                            .entry(busy_until)
+                            .or_default()
+                            .push(Timed::Release(id, input));
+                    } else {
+                        record.status = Status::Gone;
+                    }
+                }
+            }
+        }
+
+        // 9. Feedback to the learning strategy, then advance the clock.
+        self.strategy.observe(&self.observations);
+        self.pending_tasks.clear();
+        self.period = t + 1;
+    }
+}
+
+impl std::fmt::Debug for ShardedService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedService")
+            .field("strategy", &self.outcome.strategy)
+            .field("shards", &self.shards.len())
+            .field("period", &self.period)
+            .field("admitted", &self.records.len())
+            .field("live", &self.live_workers())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_spatial::{Point, Rect};
+
+    fn grid() -> GridSpec {
+        GridSpec::square(Rect::square(10.0), 2)
+    }
+
+    fn config(shards: usize) -> ServiceConfig {
+        ServiceConfig {
+            shards,
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn worker(x: f64, y: f64, duration: u32) -> GroundWorker {
+        GroundWorker {
+            location: Point::new(x, y),
+            radius: 4.0,
+            duration,
+        }
+    }
+
+    fn task(x: f64, y: f64) -> GroundTask {
+        let grid = grid();
+        let origin = Point::new(x, y);
+        GroundTask {
+            origin,
+            destination: Point::new(9.0, 9.0),
+            distance: 1.0,
+            valuation: 4.9, // accepts any ladder price
+            cell: grid.cell_of(origin),
+        }
+    }
+
+    fn service(shards: usize, policy: MatchPolicy) -> ShardedService {
+        ShardedService::new(grid(), policy, StrategyKind::BaseP, config(shards))
+    }
+
+    #[test]
+    fn arrivals_route_by_cell_and_expire_on_schedule() {
+        let mut svc = service(2, MatchPolicy::Consume);
+        svc.push(ServiceEvent::WorkerArrive {
+            worker: worker(1.0, 1.0, 2),
+        });
+        svc.push(ServiceEvent::WorkerArrive {
+            worker: worker(9.0, 9.0, u32::MAX),
+        });
+        svc.push(ServiceEvent::PeriodTick);
+        assert_eq!(svc.live_workers(), 2);
+        assert_eq!(svc.admitted_workers(), 2);
+        // Different cells on a 2-shard router: one worker per shard.
+        assert_eq!(svc.shards[0].cache.live_count(), 1);
+        assert_eq!(svc.shards[1].cache.live_count(), 1);
+        svc.push(ServiceEvent::PeriodTick);
+        assert_eq!(svc.live_workers(), 2, "duration 2 spans periods 0–1");
+        svc.push(ServiceEvent::PeriodTick);
+        assert_eq!(svc.live_workers(), 1, "expiry fired at period 2");
+    }
+
+    #[test]
+    fn zero_duration_arrival_takes_an_id_but_never_lives() {
+        let mut svc = service(2, MatchPolicy::Consume);
+        svc.push(ServiceEvent::WorkerArrive {
+            worker: worker(1.0, 1.0, 0),
+        });
+        svc.push(ServiceEvent::WorkerArrive {
+            worker: worker(2.0, 2.0, u32::MAX),
+        });
+        svc.push(ServiceEvent::PeriodTick);
+        assert_eq!(svc.admitted_workers(), 2);
+        assert_eq!(svc.live_workers(), 1);
+    }
+
+    #[test]
+    fn depart_before_first_tick_cancels_the_staged_arrival() {
+        let mut svc = service(2, MatchPolicy::Consume);
+        svc.push(ServiceEvent::WorkerArrive {
+            worker: worker(1.0, 1.0, u32::MAX),
+        });
+        svc.push(ServiceEvent::WorkerDepart { id: 0 });
+        svc.push(ServiceEvent::PeriodTick);
+        assert_eq!(svc.live_workers(), 0);
+        // Departing again — or a stale id the service never admitted —
+        // is a no-op, not a panic: one bad client event must not take
+        // the stream down.
+        svc.push(ServiceEvent::WorkerDepart { id: 0 });
+        svc.push(ServiceEvent::WorkerDepart { id: 42 });
+        svc.push(ServiceEvent::PeriodTick);
+        assert_eq!(svc.live_workers(), 0);
+    }
+
+    #[test]
+    fn explicit_departure_after_ticks_leaves_at_next_tick() {
+        let mut svc = service(2, MatchPolicy::Consume);
+        svc.push(ServiceEvent::WorkerArrive {
+            worker: worker(1.0, 1.0, u32::MAX),
+        });
+        svc.push(ServiceEvent::PeriodTick);
+        assert_eq!(svc.live_workers(), 1);
+        svc.push(ServiceEvent::WorkerDepart { id: 0 });
+        assert_eq!(svc.live_workers(), 1, "staged until the tick");
+        svc.push(ServiceEvent::PeriodTick);
+        assert_eq!(svc.live_workers(), 0);
+    }
+
+    #[test]
+    fn matched_consume_worker_is_gone_next_period() {
+        let mut svc = service(2, MatchPolicy::Consume);
+        svc.push(ServiceEvent::WorkerArrive {
+            worker: worker(1.0, 1.0, u32::MAX),
+        });
+        svc.push(ServiceEvent::TaskRequest {
+            task: task(1.5, 1.0),
+        });
+        svc.push(ServiceEvent::PeriodTick);
+        let out = svc.outcome();
+        assert_eq!(out.issued_tasks, 1);
+        assert_eq!(out.matched_tasks, 1);
+        assert!(out.total_revenue > 0.0);
+        svc.push(ServiceEvent::PeriodTick);
+        assert_eq!(svc.live_workers(), 0, "consumed worker departed");
+    }
+
+    #[test]
+    fn relocation_migrates_worker_to_its_new_shard() {
+        // Task destination (9,9) lies in cell 3 (shard 1 of 2); the
+        // worker starts at (1,1), cell 0 (shard 0). distance 1 at speed
+        // 1 → busy 1 period, back in period 1... released at period 1.
+        let mut svc = service(2, MatchPolicy::Relocate { speed: 1.0 });
+        svc.push(ServiceEvent::WorkerArrive {
+            worker: worker(1.0, 1.0, u32::MAX),
+        });
+        svc.push(ServiceEvent::TaskRequest {
+            task: task(1.5, 1.0),
+        });
+        svc.push(ServiceEvent::PeriodTick);
+        assert_eq!(svc.outcome().matched_tasks, 1);
+        svc.push(ServiceEvent::PeriodTick); // release fires at period 1
+        assert_eq!(svc.live_workers(), 1);
+        assert_eq!(svc.shards[0].cache.live_count(), 0, "left shard 0");
+        assert_eq!(svc.shards[1].cache.live_count(), 1, "entered shard 1");
+        assert_eq!(
+            svc.shards[1].cache.worker(0).unwrap().location,
+            Point::new(9.0, 9.0)
+        );
+    }
+
+    #[test]
+    fn outcome_snapshot_is_cumulative_and_consistent() {
+        let mut svc = service(4, MatchPolicy::Consume);
+        for i in 0..6u32 {
+            svc.push(ServiceEvent::WorkerArrive {
+                worker: worker(1.0 + i as f64, 1.0, u32::MAX),
+            });
+        }
+        for t in 0..4 {
+            svc.push(ServiceEvent::TaskRequest {
+                task: task(1.0 + t as f64, 1.0),
+            });
+            svc.push(ServiceEvent::PeriodTick);
+            let out = svc.outcome();
+            assert!(out.is_consistent());
+            assert_eq!(out.issued_tasks, t + 1);
+            assert_eq!(out.revenue_per_period.len(), (t + 1) as usize);
+        }
+        assert_eq!(svc.periods_served(), 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Replay driver: feeds a prebuilt [`GroundTruth`] through the sharded
+//! service as an event stream.
+//!
+//! This is both the migration path (anything that can run the batch
+//! simulator can run the service) and the **oracle harness**: the
+//! resulting [`Outcome`] must be bit-identical to
+//! [`Simulation::run`](maps_simulator::Simulation::run) — every field
+//! except the wall-clock timing columns, compared via
+//! [`Outcome::deterministic_bits`] — at any shard count and any rayon
+//! thread count. The shard-sweep test (`tests/replay_oracle.rs`) and
+//! the root proptest churn stream enforce exactly that.
+
+use crate::engine::{ServiceConfig, ServiceEvent, ShardedService};
+use maps_core::StrategyKind;
+use maps_simulator::{GroundTruth, GroundTruthProbe, Outcome, SimOptions};
+
+/// Replays `truth` through a `shards`-way service with paper-default
+/// strategy parameters and [`SimOptions::default`].
+pub fn replay(truth: &GroundTruth, kind: StrategyKind, shards: usize) -> Outcome {
+    replay_with_options(truth, kind, shards, SimOptions::default())
+}
+
+/// [`replay`] with explicit batch-simulator options.
+///
+/// `options.calibrate` / `options.probe_seed` drive the same
+/// Algorithm-1 calibration the batch loop performs;
+/// `options.max_edges_per_task` is the per-task edge cap. The
+/// `incremental` flag has no meaning here — the service *is* the
+/// incremental engine — and is ignored.
+pub fn replay_with_options(
+    truth: &GroundTruth,
+    kind: StrategyKind,
+    shards: usize,
+    options: SimOptions,
+) -> Outcome {
+    let config = ServiceConfig {
+        shards,
+        max_edges_per_task: options.max_edges_per_task,
+        expected_workers: truth.total_workers().max(1),
+    };
+    let mut service = ShardedService::new(truth.grid, truth.match_policy, kind, config);
+    if options.calibrate {
+        let mut probe = GroundTruthProbe::new(&truth.demands, options.probe_seed);
+        service.calibrate(&mut probe);
+    }
+    for period in &truth.periods {
+        for &worker in &period.workers {
+            service.push(ServiceEvent::WorkerArrive { worker });
+        }
+        for &task in &period.tasks {
+            service.push(ServiceEvent::TaskRequest { task });
+        }
+        service.push(ServiceEvent::PeriodTick);
+    }
+    service.into_outcome()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_simulator::{Simulation, SyntheticConfig};
+
+    /// Smoke-level slice of the tentpole oracle (the full shard × thread
+    /// × strategy sweep lives in `tests/replay_oracle.rs`).
+    #[test]
+    fn replay_matches_simulation_on_a_small_world() {
+        let world = SyntheticConfig::paper_default()
+            .with_num_workers(60)
+            .with_num_tasks(240)
+            .with_periods(10)
+            .with_grid_side(4)
+            .build(13);
+        let batch = Simulation::new(world.clone(), StrategyKind::Maps)
+            .run()
+            .deterministic_bits();
+        for shards in [1usize, 3, 7] {
+            let online = replay(&world, StrategyKind::Maps, shards);
+            assert_eq!(
+                online.deterministic_bits(),
+                batch,
+                "{shards}-shard replay diverged from the batch simulator"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_without_calibration_matches() {
+        let world = SyntheticConfig::paper_default()
+            .with_num_workers(30)
+            .with_num_tasks(90)
+            .with_periods(5)
+            .with_grid_side(3)
+            .build(7);
+        let options = SimOptions {
+            calibrate: false,
+            ..SimOptions::default()
+        };
+        let batch = Simulation::new(world.clone(), StrategyKind::CappedUcb)
+            .with_options(options)
+            .run();
+        let online = replay_with_options(&world, StrategyKind::CappedUcb, 2, options);
+        assert_eq!(online.deterministic_bits(), batch.deterministic_bits());
+        assert_eq!(online.calibration_secs, 0.0);
+    }
+}

@@ -38,8 +38,8 @@ pub mod truth;
 
 pub use beijing::{BeijingConfig, BeijingWindow};
 pub use lifecycle::WorkerLifecycle;
-pub use metrics::Outcome;
-pub use platform::{SimOptions, Simulation};
+pub use metrics::{Outcome, RunningMoments};
+pub use platform::{settle_period, PeriodSettlement, SimOptions, Simulation};
 pub use probe::GroundTruthProbe;
 pub use synthetic::{DemandKind, DemandShift, SyntheticConfig};
 pub use truth::{GroundTask, GroundTruth, GroundWorker, MatchPolicy, PeriodData};
@@ -47,8 +47,8 @@ pub use truth::{GroundTask, GroundTruth, GroundWorker, MatchPolicy, PeriodData};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::beijing::{BeijingConfig, BeijingWindow};
-    pub use crate::metrics::Outcome;
-    pub use crate::platform::{SimOptions, Simulation};
+    pub use crate::metrics::{Outcome, RunningMoments};
+    pub use crate::platform::{settle_period, PeriodSettlement, SimOptions, Simulation};
     pub use crate::probe::GroundTruthProbe;
     pub use crate::synthetic::{DemandKind, DemandShift, SyntheticConfig};
     pub use crate::truth::{GroundTask, GroundTruth, GroundWorker, MatchPolicy, PeriodData};

@@ -2,6 +2,70 @@
 //! of the paper (Revenue, Time(secs), Memory(MB)) plus conservation
 //! counters used by the integration tests.
 
+/// Numerically stable streaming mean/variance (Welford's online
+/// algorithm).
+///
+/// The platform's posted-price statistics previously accumulated
+/// `Σx` and `Σx²` and finished with `E[x²] − E[x]²` — which cancels
+/// catastrophically when the mean dwarfs the spread (long Beijing
+/// horizons post millions of near-identical prices; the naive variance
+/// of `10⁸ ± 0.01` is pure rounding noise, often negative). Welford's
+/// recurrence keeps the *centered* second moment `M₂ = Σ(x − x̄)²`,
+/// whose updates never subtract two large near-equal numbers.
+///
+/// Every consumer that must stay bit-identical (the sequential platform
+/// loop and the sharded service's tick reducer) pushes prices through
+/// this one type in the same order, so the floating-point op sequence —
+/// and therefore the bit pattern of the resulting statistics — is
+/// shared by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (`≥ 0`: each
+    /// update adds `δ·δ'` with `δ`, `δ'` of equal sign).
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation `√(M₂/n)` (`0.0` when empty).
+    pub fn population_std(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+}
+
 /// Aggregate result of one simulated run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Outcome {
@@ -71,6 +135,35 @@ impl Outcome {
             self.total_revenue / self.matched_tasks as f64
         }
     }
+
+    /// Canonical bit-level encoding of every schedule-independent field
+    /// — everything except the wall-clock columns (`pricing_secs`,
+    /// `clearing_secs`, `calibration_secs`), which legitimately vary
+    /// with thread count and machine load, and `peak_memory_mib`, which
+    /// reflects the allocator schedule of whichever engine produced the
+    /// outcome (the `--no-incremental` and `--shards` paths are
+    /// bit-identical in *results* while allocating very differently).
+    ///
+    /// This is the equality the workspace's replay/determinism oracles
+    /// compare: two outcomes with equal `deterministic_bits` agree
+    /// bitwise on revenue, counters, per-period series, price moments
+    /// and matched distance (floats via [`f64::to_bits`], so even a
+    /// one-ulp rounding difference is caught).
+    pub fn deterministic_bits(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(16 + self.revenue_per_period.len());
+        out.push(self.strategy.len() as u64);
+        out.extend(self.strategy.bytes().map(u64::from));
+        out.push(self.total_revenue.to_bits());
+        out.push(self.issued_tasks);
+        out.push(self.accepted_tasks);
+        out.push(self.matched_tasks);
+        out.push(self.revenue_per_period.len() as u64);
+        out.extend(self.revenue_per_period.iter().map(|r| r.to_bits()));
+        out.push(self.mean_posted_price.to_bits());
+        out.push(self.posted_price_std.to_bits());
+        out.push(self.matched_distance.to_bits());
+        out
+    }
 }
 
 #[cfg(test)]
@@ -133,5 +226,92 @@ mod tests {
             ..outcome()
         };
         assert_eq!(none.revenue_per_match(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_bits_cover_every_replay_field() {
+        let base = outcome();
+        assert_eq!(base.deterministic_bits(), base.deterministic_bits());
+        // Every schedule-independent field participates…
+        for mutate in [
+            |o: &mut Outcome| o.strategy = "SDE".into(),
+            |o: &mut Outcome| o.total_revenue += 1e-9,
+            |o: &mut Outcome| o.issued_tasks += 1,
+            |o: &mut Outcome| o.accepted_tasks += 1,
+            |o: &mut Outcome| o.matched_tasks += 1,
+            |o: &mut Outcome| o.revenue_per_period.push(0.0),
+            |o: &mut Outcome| o.revenue_per_period[0] = -o.revenue_per_period[0],
+            |o: &mut Outcome| o.mean_posted_price = -o.mean_posted_price,
+            |o: &mut Outcome| o.posted_price_std += f64::EPSILON,
+            |o: &mut Outcome| o.matched_distance += 1.0,
+        ] {
+            let mut changed = base.clone();
+            mutate(&mut changed);
+            assert_ne!(base.deterministic_bits(), changed.deterministic_bits());
+        }
+        // …while the wall-clock columns and the allocator-dependent
+        // peak-memory figure are excluded by design.
+        let mut timed = base.clone();
+        timed.pricing_secs += 1.0;
+        timed.clearing_secs += 1.0;
+        timed.calibration_secs += 1.0;
+        timed.peak_memory_mib = None;
+        assert_eq!(base.deterministic_bits(), timed.deterministic_bits());
+    }
+
+    #[test]
+    fn running_moments_match_two_pass_reference() {
+        let xs: Vec<f64> = (0..1000).map(|i| 2.0 + (i % 7) as f64 * 0.25).collect();
+        let mut m = RunningMoments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert_eq!(m.count(), 1000);
+        assert!((m.mean() - mean).abs() < 1e-12);
+        assert!((m.population_std() - var.sqrt()).abs() < 1e-12);
+    }
+
+    /// The satellite's regression shape: a high-mean/low-spread stream
+    /// where `E[x²] − E[x]²` cancels catastrophically. The naive
+    /// formula loses every significant digit of the variance (here it
+    /// collapses to a clamped 0); Welford keeps it to full precision.
+    #[test]
+    fn welford_survives_catastrophic_cancellation() {
+        let base = 1.0e8;
+        let jitter = [0.0, 0.01, -0.01, 0.02, -0.02, 0.0, 0.01, -0.01];
+        let mut m = RunningMoments::new();
+        let (mut sum, mut sq_sum) = (0.0f64, 0.0f64);
+        for &j in jitter.iter().cycle().take(4096) {
+            let x = base + j;
+            m.push(x);
+            sum += x;
+            sq_sum += x * x;
+        }
+        let n = 4096.0;
+        let naive_std = (sq_sum / n - (sum / n) * (sum / n)).max(0.0).sqrt();
+        let true_std = (jitter.iter().map(|j| j * j).sum::<f64>() / jitter.len() as f64).sqrt();
+        // The naive estimate is off by orders of magnitude (or exactly
+        // zero after the clamp)…
+        assert!(
+            (naive_std - true_std).abs() > 0.5 * true_std,
+            "naive {naive_std} unexpectedly close to {true_std}"
+        );
+        // …while Welford recovers the true spread to ~6 digits.
+        assert!(
+            (m.population_std() - true_std).abs() < 1e-6 * true_std,
+            "welford {} vs true {true_std}",
+            m.population_std()
+        );
+        assert!((m.mean() - base).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_moments_are_zero() {
+        let m = RunningMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.population_std(), 0.0);
     }
 }

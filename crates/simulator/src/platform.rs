@@ -12,16 +12,80 @@
 //!    workers follow the scenario's lifecycle policy.
 
 use crate::lifecycle::WorkerLifecycle;
-use crate::metrics::Outcome;
+use crate::metrics::{Outcome, RunningMoments};
 use crate::probe::GroundTruthProbe;
 use crate::truth::{GroundTruth, GroundWorker, MatchPolicy};
 use maps_core::{
-    build_period_graph_capped, BasePStrategy, CappedUcbStrategy, MapsStrategy, Observation,
-    PeriodInput, PricingStrategy, SdeStrategy, SdrStrategy, StrategyKind, TaskInput, WorkerInput,
+    build_period_graph_capped, paper_default_strategy, Observation, PeriodInput, PriceSchedule,
+    PricingStrategy, StrategyKind, TaskInput, WorkerInput,
 };
 use maps_matching::{BipartiteGraph, MatchScratch};
 use maps_spatial::{GridSpec, Point};
 use std::time::Instant;
+
+/// Results of one period's requester decisions and market clearing.
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodSettlement {
+    /// Revenue collected from the cleared market (`Σ d_r · p_r` over
+    /// the maximum-weight matching of the accepting subgraph).
+    pub revenue: f64,
+    /// How many requesters accepted their posted price.
+    pub accepted: u64,
+    /// Wall-clock seconds of the market-clearing solve.
+    pub clearing_secs: f64,
+}
+
+/// One period's requester decisions + market clearing: each requester
+/// accepts iff their private valuation exceeds the posted price, the
+/// posted prices feed the Welford moments and the observation log in
+/// task order, and the market clears over the accepting subgraph
+/// through the masked zero-allocation kernel.
+///
+/// This is the **shared per-period core**: the batch loop
+/// ([`Simulation::run`]) and the sharded online service's tick reducer
+/// both call it, so their float-op sequences — and therefore their
+/// bit-level outcomes — agree by construction rather than by mirrored
+/// code. The matched pairs stay readable through `clearing` for the
+/// caller's lifecycle step (task indices are the original period
+/// indices — the masked kernel does not renumber).
+#[allow(clippy::too_many_arguments)]
+pub fn settle_period(
+    tasks: &[crate::truth::GroundTask],
+    task_inputs: &[TaskInput],
+    schedule: &PriceSchedule,
+    graph: &BipartiteGraph,
+    price_moments: &mut crate::metrics::RunningMoments,
+    observations: &mut Vec<Observation>,
+    keep: &mut Vec<bool>,
+    weights: &mut Vec<f64>,
+    clearing: &mut MatchScratch,
+) -> PeriodSettlement {
+    observations.clear();
+    keep.clear();
+    keep.resize(task_inputs.len(), false);
+    weights.clear();
+    weights.resize(task_inputs.len(), 0.0);
+    for (i, (task, input_task)) in tasks.iter().zip(task_inputs).enumerate() {
+        let price = schedule.price(input_task.cell);
+        let accepted = task.valuation > price;
+        keep[i] = accepted;
+        weights[i] = input_task.distance * price;
+        price_moments.push(price);
+        observations.push(Observation {
+            cell: input_task.cell,
+            price,
+            accepted,
+        });
+    }
+    let accepted = keep.iter().filter(|&&k| k).count() as u64;
+    let start = Instant::now();
+    let revenue = graph.masked(keep).max_weight_value(weights, clearing);
+    PeriodSettlement {
+        revenue,
+        accepted,
+        clearing_secs: start.elapsed().as_secs_f64(),
+    }
+}
 
 /// Options for one simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -213,14 +277,7 @@ impl Simulation {
     /// Creates a simulation for one of the five paper strategies with
     /// paper-default parameters.
     pub fn new(truth: GroundTruth, kind: StrategyKind) -> Self {
-        let cells = truth.grid.num_cells();
-        let strategy: Box<dyn PricingStrategy> = match kind {
-            StrategyKind::Maps => Box::new(MapsStrategy::paper_default(cells)),
-            StrategyKind::BaseP => Box::new(BasePStrategy::paper_default(cells)),
-            StrategyKind::Sdr => Box::new(SdrStrategy::paper_default(cells)),
-            StrategyKind::Sde => Box::new(SdeStrategy::paper_default(cells)),
-            StrategyKind::CappedUcb => Box::new(CappedUcbStrategy::paper_default(cells)),
-        };
+        let strategy = paper_default_strategy(kind, truth.grid.num_cells());
         Self {
             truth,
             strategy,
@@ -279,8 +336,12 @@ impl Simulation {
             posted_price_std: 0.0,
             matched_distance: 0.0,
         };
-        let mut price_sum = 0.0f64;
-        let mut price_sq_sum = 0.0f64;
+        // Posted-price moments via Welford's algorithm (see
+        // [`RunningMoments`]): the naive Σx/Σx² finish cancels
+        // catastrophically on high-mean/low-spread price streams. The
+        // sharded service's tick reducer pushes prices through the same
+        // accumulator in the same order, keeping the two bit-identical.
+        let mut price_moments = RunningMoments::new();
 
         if self.options.calibrate {
             let start = Instant::now();
@@ -320,37 +381,23 @@ impl Simulation {
             let schedule = self.strategy.price_period(&input);
             outcome.pricing_secs += start.elapsed().as_secs_f64();
 
-            // Requesters decide; the platform observes every decision.
-            observations.clear();
-            keep.clear();
-            keep.resize(task_inputs.len(), false);
-            weights.clear();
-            weights.resize(task_inputs.len(), 0.0);
-            for (i, (task, input_task)) in period.tasks.iter().zip(&task_inputs).enumerate() {
-                let price = schedule.price(input_task.cell);
-                let accepted = task.valuation > price;
-                keep[i] = accepted;
-                weights[i] = input_task.distance * price;
-                price_sum += price;
-                price_sq_sum += price * price;
-                observations.push(Observation {
-                    cell: input_task.cell,
-                    price,
-                    accepted,
-                });
-            }
-            outcome.accepted_tasks += keep.iter().filter(|&&k| k).count() as u64;
-
-            // Clear the market over the accepting subgraph, through the
-            // masked zero-allocation kernel (no `filter_left` copy).
-            let start = Instant::now();
-            let revenue = graph
-                .masked(&keep)
-                .max_weight_value(&weights, &mut clearing);
-            outcome.clearing_secs += start.elapsed().as_secs_f64();
-
-            outcome.total_revenue += revenue;
-            outcome.revenue_per_period.push(revenue);
+            // Requesters decide and the market clears — the shared
+            // per-period core (also the service's tick reducer).
+            let settlement = settle_period(
+                &period.tasks,
+                &task_inputs,
+                &schedule,
+                &graph,
+                &mut price_moments,
+                &mut observations,
+                &mut keep,
+                &mut weights,
+                &mut clearing,
+            );
+            outcome.accepted_tasks += settlement.accepted;
+            outcome.clearing_secs += settlement.clearing_secs;
+            outcome.total_revenue += settlement.revenue;
+            outcome.revenue_per_period.push(settlement.revenue);
 
             // Worker lifecycle for matched pairs (task indices are the
             // original period indices — the masked kernel does not
@@ -371,14 +418,8 @@ impl Simulation {
             self.strategy.observe(&observations);
         }
 
-        if outcome.issued_tasks > 0 {
-            let n = outcome.issued_tasks as f64;
-            outcome.mean_posted_price = price_sum / n;
-            outcome.posted_price_std = (price_sq_sum / n
-                - outcome.mean_posted_price * outcome.mean_posted_price)
-                .max(0.0)
-                .sqrt();
-        }
+        outcome.mean_posted_price = price_moments.mean();
+        outcome.posted_price_std = price_moments.population_std();
         outcome
     }
 }
@@ -456,23 +497,6 @@ mod tests {
         assert_eq!(a.matched_tasks, b.matched_tasks);
     }
 
-    /// Canonical bit pattern of an outcome, excluding the wall-clock
-    /// columns (legitimately schedule-dependent).
-    fn outcome_canon(o: &Outcome) -> Vec<u64> {
-        use maps_testkit::BitPattern;
-        let mut out = Vec::new();
-        o.strategy.bit_pattern(&mut out);
-        o.total_revenue.bit_pattern(&mut out);
-        o.issued_tasks.bit_pattern(&mut out);
-        o.accepted_tasks.bit_pattern(&mut out);
-        o.matched_tasks.bit_pattern(&mut out);
-        o.revenue_per_period.bit_pattern(&mut out);
-        o.mean_posted_price.bit_pattern(&mut out);
-        o.posted_price_std.bit_pattern(&mut out);
-        o.matched_distance.bit_pattern(&mut out);
-        out
-    }
-
     /// The tentpole oracle at the whole-simulation level: the
     /// event-queue + graph-cache path must reproduce the retained
     /// rescan-and-rebuild path bit for bit, on every strategy and both
@@ -508,8 +532,8 @@ mod tests {
                 let incremental = run(true);
                 let scan = run(false);
                 assert_eq!(
-                    outcome_canon(&incremental),
-                    outcome_canon(&scan),
+                    incremental.deterministic_bits(),
+                    scan.deterministic_bits(),
                     "world {wi} strategy {kind}: incremental diverged from the scan oracle"
                 );
             }

@@ -6,7 +6,6 @@
 
 use maps_core::StrategyKind;
 use maps_simulator::{Simulation, SyntheticConfig};
-use maps_testkit::BitPattern;
 
 /// Canonical bit pattern of an outcome, excluding the wall-clock
 /// columns (legitimately thread- and load-dependent).
@@ -17,17 +16,7 @@ fn outcome_canon(strategy: StrategyKind, seed: u64) -> Vec<u64> {
         .with_periods(6)
         .with_grid_side(4)
         .build(seed);
-    let outcome = Simulation::new(world, strategy).run();
-    let mut out = Vec::new();
-    outcome.strategy.bit_pattern(&mut out);
-    outcome.total_revenue.bit_pattern(&mut out);
-    outcome.issued_tasks.bit_pattern(&mut out);
-    outcome.accepted_tasks.bit_pattern(&mut out);
-    outcome.matched_tasks.bit_pattern(&mut out);
-    outcome.revenue_per_period.bit_pattern(&mut out);
-    outcome.mean_posted_price.bit_pattern(&mut out);
-    outcome.posted_price_std.bit_pattern(&mut out);
-    out
+    Simulation::new(world, strategy).run().deterministic_bits()
 }
 
 #[test]

@@ -156,6 +156,21 @@ impl<T: Copy + Ord> DynamicBucketIndex<T> {
     ) -> Vec<(f64, T)> {
         k_nearest_within_impl(self, center, radius, k, accept)
     }
+
+    /// [`DynamicBucketIndex::k_nearest_within`] writing into a
+    /// caller-supplied buffer (cleared first) — same results, no
+    /// per-query allocation, for hot loops issuing many queries per
+    /// period (the sharded service's capped graph build).
+    pub fn k_nearest_within_into(
+        &self,
+        center: Point,
+        radius: f64,
+        k: usize,
+        accept: impl FnMut(f64, T) -> bool,
+        out: &mut Vec<(f64, T)>,
+    ) {
+        crate::index::k_nearest_within_into_impl(self, center, radius, k, accept, out);
+    }
 }
 
 impl<T: Copy> BucketStore<T> for DynamicBucketIndex<T> {

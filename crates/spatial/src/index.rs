@@ -64,13 +64,31 @@ pub(crate) fn k_nearest_within_impl<T: Copy + Ord>(
     center: Point,
     radius: f64,
     k: usize,
-    mut accept: impl FnMut(f64, T) -> bool,
+    accept: impl FnMut(f64, T) -> bool,
 ) -> Vec<(f64, T)> {
+    let mut best = Vec::new();
+    k_nearest_within_into_impl(store, center, radius, k, accept, &mut best);
+    best
+}
+
+/// [`k_nearest_within_impl`] writing into a caller-supplied buffer
+/// (cleared first), so per-query allocation amortizes away in hot loops
+/// that issue many queries per period — the sharded service's capped
+/// graph build issues `shards × tasks` of them per tick.
+pub(crate) fn k_nearest_within_into_impl<T: Copy + Ord>(
+    store: &impl BucketStore<T>,
+    center: Point,
+    radius: f64,
+    k: usize,
+    mut accept: impl FnMut(f64, T) -> bool,
+    best: &mut Vec<(f64, T)>,
+) {
+    best.clear();
     if k == 0 {
-        return Vec::new();
+        return;
     }
     let grid = store.grid();
-    let mut best: Vec<(f64, T)> = Vec::with_capacity(k + 1);
+    best.reserve(k + 1);
     // Keeps `best` sorted ascending by (distance, payload) and capped at
     // k entries; inserting every candidate yields the k smallest under
     // the total order regardless of visit order.
@@ -85,10 +103,10 @@ pub(crate) fn k_nearest_within_impl<T: Copy + Ord>(
         for_each_within_disc_impl(store, center, radius, |p, t| {
             let d = p.euclidean(center);
             if accept(d, t) {
-                push(d, t, &mut best);
+                push(d, t, best);
             }
         });
-        return best;
+        return;
     }
     let (cx, cy) = grid.cell_coords(center.clamped(grid.region()));
     let (cx, cy) = (cx as i64, cy as i64);
@@ -124,19 +142,18 @@ pub(crate) fn k_nearest_within_impl<T: Copy + Ord>(
                 }
             };
         if ring == 0 {
-            visit(cx, cy, &mut best, &mut accept);
+            visit(cx, cy, best, &mut accept);
         } else {
             for dx in -ring..=ring {
-                visit(cx + dx, cy - ring, &mut best, &mut accept);
-                visit(cx + dx, cy + ring, &mut best, &mut accept);
+                visit(cx + dx, cy - ring, best, &mut accept);
+                visit(cx + dx, cy + ring, best, &mut accept);
             }
             for dy in (-ring + 1)..ring {
-                visit(cx - ring, cy + dy, &mut best, &mut accept);
-                visit(cx + ring, cy + dy, &mut best, &mut accept);
+                visit(cx - ring, cy + dy, best, &mut accept);
+                visit(cx + ring, cy + dy, best, &mut accept);
             }
         }
     }
-    best
 }
 
 /// A static bucket index over a set of points.

@@ -30,8 +30,10 @@ pub mod dynamic;
 pub mod geom;
 pub mod grid;
 pub mod index;
+pub mod shard;
 
 pub use dynamic::DynamicBucketIndex;
 pub use geom::{Circle, DistanceMetric, Point, Rect};
 pub use grid::{CellId, GridSpec};
 pub use index::BucketIndex;
+pub use shard::ShardMap;

@@ -28,6 +28,13 @@ use std::fmt::Debug;
 /// 1-CPU host still reorders chunk scheduling).
 pub const DEFAULT_THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
 
+/// Shard counts the sharded-service replay oracle sweeps (PR 4's
+/// shard-count-invariance contract): the single-shard degenerate case,
+/// powers of two up to more shards than most test grids have non-empty
+/// cells. Service outcomes must be bit-identical across all of them
+/// *and* to the batch simulator.
+pub const DEFAULT_SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
 /// Deterministic xorshift64 for test fixtures and churn scripts — one
 /// shared generator so fixture distributions cannot silently diverge
 /// between crates (no `rand` dependency needed in test hot paths).

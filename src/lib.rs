@@ -19,6 +19,10 @@
 //! * [`simulator`] — synthetic (Table 3) and Beijing-like (Table 4)
 //!   workload generators plus the per-period platform simulator used by
 //!   the experiment harness.
+//! * [`service`] — the grid-sharded **online** pricing service: ingests
+//!   worker/task/tick event streams and serves posted prices
+//!   continuously, with replay bit-identical to the batch simulator at
+//!   any shard count.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +42,7 @@
 pub use maps_core as core;
 pub use maps_market as market;
 pub use maps_matching as matching;
+pub use maps_service as service;
 pub use maps_simulator as simulator;
 pub use maps_spatial as spatial;
 

@@ -9,7 +9,11 @@
 use maps::core::prelude::*;
 use maps::market::{Demand, DemandDistribution, PriceLadder, UcbStats};
 use maps::matching::prelude::*;
-use maps::prelude::{GroundTruth, MatchPolicy, SimOptions, Simulation, SyntheticConfig};
+use maps::prelude::{
+    GroundTask, GroundTruth, GroundWorker, MatchPolicy, PeriodData, SimOptions, Simulation,
+    SyntheticConfig,
+};
+use maps::service::{ServiceConfig, ServiceEvent, ShardedService};
 use maps::spatial::{GridSpec, Point, Rect};
 use proptest::prelude::*;
 
@@ -375,6 +379,124 @@ proptest! {
         };
         let (incremental, scratch) = maps_testkit::assert_deterministic(replay);
         prop_assert_eq!(incremental, scratch, "incremental advance diverged from the oracle");
+    }
+
+    /// PR-4 oracle: a random event stream — worker arrivals with random
+    /// durations, *explicit* `WorkerDepart` events (for a random subset
+    /// the service is told `u32::MAX` and departed externally), task
+    /// requests and period ticks — driven through the sharded online
+    /// service must leave the service's outcome equal, every tick, to
+    /// the batch simulator run over the equivalent ground-truth prefix
+    /// (`Outcome::deterministic_bits`, so bit-level). Shard count is
+    /// drawn 1..=8; both lifecycle policies are exercised.
+    #[test]
+    fn service_churn_stream_matches_batch_oracle_every_tick(
+        seed in 0u64..2_000,
+        periods in 1usize..=6,
+        shards in 1usize..=8,
+    ) {
+        let grid = GridSpec::square(Rect::square(50.0), 3);
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let match_policy = if next() % 2 == 0 {
+            MatchPolicy::Consume
+        } else {
+            MatchPolicy::Relocate { speed: 1.0 }
+        };
+        let kind = StrategyKind::ALL[(next() % 5) as usize];
+        // Script the world: per period, arrivals (with true durations)
+        // and tasks. `external[id]` marks workers the service will see
+        // as immortal but departed by an explicit event at expiry.
+        let mut world_periods: Vec<PeriodData> = Vec::new();
+        let mut external: Vec<bool> = Vec::new();
+        for _ in 0..periods {
+            let mut data = PeriodData::default();
+            for _ in 0..next() % 5 {
+                let duration = match next() % 4 {
+                    0 => u32::MAX,
+                    d => d as u32, // 1..=3
+                };
+                external.push(duration != u32::MAX && next() % 2 == 0);
+                data.workers.push(GroundWorker {
+                    location: Point::new(
+                        (next() % 5_000) as f64 / 100.0,
+                        (next() % 5_000) as f64 / 100.0,
+                    ),
+                    radius: 2.0 + (next() % 1_500) as f64 / 100.0,
+                    duration,
+                });
+            }
+            for _ in 0..next() % 8 {
+                let origin = Point::new(
+                    (next() % 5_000) as f64 / 100.0,
+                    (next() % 5_000) as f64 / 100.0,
+                );
+                data.tasks.push(GroundTask {
+                    origin,
+                    destination: Point::new(
+                        (next() % 5_000) as f64 / 100.0,
+                        (next() % 5_000) as f64 / 100.0,
+                    ),
+                    distance: 0.5 + (next() % 300) as f64 / 100.0,
+                    valuation: 1.0 + (next() % 400) as f64 / 100.0,
+                    cell: grid.cell_of(origin),
+                });
+            }
+            world_periods.push(data);
+        }
+        let demands = vec![Demand::paper_normal(2.5, 1.0); grid.num_cells()];
+        let options = SimOptions { calibrate: false, ..SimOptions::default() };
+        let mut service = ShardedService::new(
+            grid,
+            match_policy,
+            kind,
+            ServiceConfig { shards, ..ServiceConfig::default() },
+        );
+        // Explicit departures scheduled for the tick each worker's true
+        // window ends at, pushed in the inter-tick window before it.
+        let mut departs: Vec<(u32, u32)> = Vec::new(); // (period, id)
+        let mut next_id = 0u32;
+        for (t, data) in world_periods.iter().enumerate() {
+            for &(fire, id) in departs.iter().filter(|&&(fire, _)| fire == t as u32) {
+                let _ = fire;
+                service.push(ServiceEvent::WorkerDepart { id });
+            }
+            for &w in &data.workers {
+                let id = next_id;
+                next_id += 1;
+                let mut streamed = w;
+                if external[id as usize] {
+                    departs.push((t as u32 + w.duration, id));
+                    streamed.duration = u32::MAX;
+                }
+                service.push(ServiceEvent::WorkerArrive { worker: streamed });
+            }
+            for &task in &data.tasks {
+                service.push(ServiceEvent::TaskRequest { task });
+            }
+            service.push(ServiceEvent::PeriodTick);
+            // The batch oracle over the equivalent ground-truth prefix.
+            let prefix = GroundTruth {
+                grid,
+                demands: demands.clone(),
+                periods: world_periods[..=t].to_vec(),
+                match_policy,
+            };
+            let batch = Simulation::new(prefix, kind).with_options(options).run();
+            prop_assert_eq!(
+                service.outcome().deterministic_bits(),
+                batch.deterministic_bits(),
+                "tick {}: {}-shard service state diverged from the batch oracle ({})",
+                t,
+                shards,
+                kind
+            );
+        }
     }
 
     /// Demand distributions: survival is monotone non-increasing and

@@ -152,8 +152,16 @@ pub trait ParallelIterator: Sized + Sync {
     /// Number of items.
     fn par_len(&self) -> usize;
 
-    /// Produces the item at `index` (called once per index).
-    fn par_get(&self, index: usize) -> Self::Item;
+    /// Produces the item at `index`.
+    ///
+    /// # Safety
+    /// Callers must invoke this **at most once per index** over the
+    /// iterator's lifetime, with `index < par_len()`. Sources handing
+    /// out exclusive access (e.g. [`ParSliceMut`]) rely on it: calling
+    /// twice for one index would alias two `&mut` to one element. The
+    /// chunked consumers below partition the index space disjointly
+    /// and visit each index exactly once.
+    unsafe fn par_get(&self, index: usize) -> Self::Item;
 
     /// Maps each item through `f` in parallel.
     fn map<O, F>(self, f: F) -> Map<Self, F>
@@ -171,7 +179,8 @@ pub trait ParallelIterator: Sized + Sync {
     {
         run_chunked(self.par_len(), |s, e| {
             for i in s..e {
-                f(self.par_get(i));
+                // SAFETY: chunks are disjoint; each index visited once.
+                f(unsafe { self.par_get(i) });
             }
         });
     }
@@ -219,8 +228,9 @@ where
         self.base.par_len()
     }
 
-    fn par_get(&self, index: usize) -> O {
-        (self.f)(self.base.par_get(index))
+    unsafe fn par_get(&self, index: usize) -> O {
+        // SAFETY: forwards the caller's once-per-index obligation.
+        (self.f)(unsafe { self.base.par_get(index) })
     }
 }
 
@@ -233,7 +243,10 @@ pub trait FromParallelIterator<T: Send>: Sized {
 impl<T: Send> FromParallelIterator<T> for Vec<T> {
     fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self {
         let chunks = run_chunked(par.par_len(), |s, e| {
-            (s..e).map(|i| par.par_get(i)).collect::<Vec<T>>()
+            // SAFETY: chunks are disjoint; each index visited once.
+            (s..e)
+                .map(|i| unsafe { par.par_get(i) })
+                .collect::<Vec<T>>()
         });
         let mut out = Vec::with_capacity(par.par_len());
         for chunk in chunks {
@@ -256,7 +269,8 @@ macro_rules! impl_parallel_sum {
                 run_chunked(par.par_len(), |s, e| {
                     let mut acc: $t = Default::default();
                     for i in s..e {
-                        acc += par.par_get(i);
+                        // SAFETY: chunks are disjoint; each index once.
+                        acc += unsafe { par.par_get(i) };
                     }
                     acc
                 })
@@ -311,7 +325,7 @@ impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
         self.items.len()
     }
 
-    fn par_get(&self, index: usize) -> &'a T {
+    unsafe fn par_get(&self, index: usize) -> &'a T {
         &self.items[index]
     }
 }
@@ -352,6 +366,60 @@ impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
     }
 }
 
+/// Parallel iterator over a mutable slice (`par_iter_mut`).
+///
+/// Soundness rests on `par_get` being an `unsafe fn` whose contract
+/// (at most once per index — see the trait docs) forbids handing the
+/// same element out twice; the chunked consumers partition the index
+/// space disjointly, so each element reaches exactly one worker.
+pub struct ParSliceMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is partitioned by index (one `par_get` per index per
+// the unsafe contract), so concurrent workers touch disjoint elements;
+// `T: Send` lets the references cross threads.
+unsafe impl<T: Send> Sync for ParSliceMut<'_, T> {}
+
+impl<'a, T: Send + 'a> ParallelIterator for ParSliceMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn par_len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn par_get(&self, index: usize) -> &'a mut T {
+        assert!(index < self.len, "index {index} out of range {}", self.len);
+        // SAFETY: in-bounds (asserted); exclusive by the caller's
+        // once-per-index obligation on this unsafe method.
+        unsafe { &mut *self.ptr.add(index) }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = ParSliceMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParSliceMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
 /// Parallel iterator over `usize` / integer ranges.
 pub struct ParRange {
     start: usize,
@@ -365,7 +433,7 @@ impl ParallelIterator for ParRange {
         self.len
     }
 
-    fn par_get(&self, index: usize) -> usize {
+    unsafe fn par_get(&self, index: usize) -> usize {
         self.start + index
     }
 }
@@ -422,6 +490,21 @@ mod tests {
             assert_eq!(nested.install(current_num_threads), 1);
             assert_eq!(current_num_threads(), 3);
         });
+    }
+
+    #[test]
+    fn par_iter_mut_updates_every_element_in_place() {
+        let mut v: Vec<u64> = (0..10_000u64).collect();
+        v.par_iter_mut().for_each(|x| *x *= 3);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, 3 * i as u64);
+        }
+        // map/collect over mutable refs preserves index order.
+        let doubled: Vec<u64> = v.par_iter_mut().map(|x| *x * 2).collect();
+        assert_eq!(doubled[7], 42);
+        let mut empty: Vec<u64> = Vec::new();
+        empty.par_iter_mut().for_each(|x| *x += 1);
+        assert!(empty.is_empty());
     }
 
     #[test]
