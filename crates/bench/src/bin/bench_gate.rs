@@ -21,14 +21,16 @@
 //! path), not single-digit-percent drift.
 //!
 //! Beyond the trend comparison, a small set of kernels is **required**:
-//! the `graph_build_{scratch,incremental}` pair (PR 3) and the
-//! `service_throughput` row (PR 4) must be present in every candidate
-//! report. Most kernels may come and go as they are added and retired,
-//! but these are the standing evidence for the churn-driven period
-//! engine and the sharded online service — a candidate that silently
-//! dropped one would leave that subsystem unbenchmarked (and, for the
-//! service row, un-cross-checked against the batch simulator), so a
-//! missing required row fails the gate outright.
+//! the `graph_build_{scratch,incremental}` pair (PR 3), the
+//! `service_throughput` row (PR 4) and the `ingest_throughput` row
+//! (PR 5) must be present in every candidate report. Most kernels may
+//! come and go as they are added and retired, but these are the
+//! standing evidence for the churn-driven period engine, the sharded
+//! online service and the multi-producer ingestion front-end — a
+//! candidate that silently dropped one would leave that subsystem
+//! unbenchmarked (and, for the service and ingestion rows,
+//! un-cross-checked against their serial oracles), so a missing
+//! required row fails the gate outright.
 
 use serde::Value;
 
@@ -37,6 +39,7 @@ const REQUIRED_KERNELS: &[&str] = &[
     "graph_build_scratch",
     "graph_build_incremental",
     "service_throughput",
+    "ingest_throughput",
 ];
 
 /// Checks that `candidate` carries every required kernel row.
@@ -276,14 +279,16 @@ mod tests {
     #[test]
     fn candidate_missing_required_graph_build_rows_fails() {
         let regressions = check_required(&report_with_kernels(&["monte_carlo"]));
-        assert_eq!(regressions.len(), 3, "{regressions:?}");
+        assert_eq!(regressions.len(), 4, "{regressions:?}");
         assert!(regressions[0].0.contains("graph_build_scratch"));
         assert!(regressions[1].0.contains("graph_build_incremental"));
         assert!(regressions[2].0.contains("service_throughput"));
+        assert!(regressions[3].0.contains("ingest_throughput"));
         // Some present, one dropped: still a failure.
         let regressions = check_required(&report_with_kernels(&[
             "graph_build_scratch",
             "service_throughput",
+            "ingest_throughput",
         ]));
         assert_eq!(regressions.len(), 1);
         assert!(regressions[0].0.contains("graph_build_incremental"));
@@ -296,9 +301,24 @@ mod tests {
         let regressions = check_required(&report_with_kernels(&[
             "graph_build_scratch",
             "graph_build_incremental",
+            "ingest_throughput",
         ]));
         assert_eq!(regressions.len(), 1, "{regressions:?}");
         assert!(regressions[0].0.contains("service_throughput"));
+    }
+
+    /// The PR-5 required row: a candidate that silently dropped the
+    /// multi-producer ingestion benchmark (and with it the serial-push
+    /// cross-check) must fail the gate.
+    #[test]
+    fn candidate_missing_ingest_throughput_fails() {
+        let regressions = check_required(&report_with_kernels(&[
+            "graph_build_scratch",
+            "graph_build_incremental",
+            "service_throughput",
+        ]));
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].0.contains("ingest_throughput"));
     }
 
     #[test]
@@ -307,6 +327,7 @@ mod tests {
             "graph_build_scratch",
             "graph_build_incremental",
             "service_throughput",
+            "ingest_throughput",
             "monte_carlo",
         ]));
         assert!(regressions.is_empty(), "{regressions:?}");

@@ -1,7 +1,8 @@
 //! Machine-readable perf trajectory: measures the PR-1 evaluation
 //! kernels, the PR-2 parallel pricing/runner paths, the PR-3
-//! incremental graph-build engine and the PR-4 sharded online service
-//! against their retained baselines and writes `BENCH_PR4.json`.
+//! incremental graph-build engine, the PR-4 sharded online service and
+//! the PR-5 multi-producer ingestion front-end against their retained
+//! baselines and writes `BENCH_PR5.json`.
 //!
 //! ```sh
 //! cargo run --release -p maps-bench --bin bench_report [-- OUT.json]
@@ -10,30 +11,35 @@
 //! Schema (`maps-bench-report/v1`, also documented in the README): a
 //! `kernels` object with one row per kernel; every `*_ns` field is the
 //! **median of repeated wall-clock runs** in nanoseconds for one full
-//! kernel invocation (not per sample/world). PR 4 adds the service row:
+//! kernel invocation (not per sample/world). PR 5 adds the ingestion
+//! row next to PR 4's service row:
 //!
 //! ```json
 //! {
 //!   "kernels": {
-//!     "service_throughput": {
+//!     "ingest_throughput": {
 //!       "n_workers": ..., "n_tasks": ..., "periods": ..., "shards": ...,
-//!       "events": ..., "replay_ns": ..., "events_per_sec": ...,
-//!       "threads": ..., "bit_identical": true
+//!       "producers": ..., "queue_capacity": ..., "events": ...,
+//!       "replay_ns": ..., "events_per_sec": ..., "threads": ...,
+//!       "bit_identical": true
 //!     }
 //!   }
 //! }
 //! ```
 //!
-//! `events_per_sec` is the service's end-to-end ingest rate on a
-//! 100k-worker stream (arrivals + task requests + ticks over the
-//! replay wall-clock); `bit_identical` records the cross-check of the
-//! replayed outcome against `Simulation::run` before anything is timed.
+//! `events_per_sec` is the end-to-end ingest rate on a 100k-worker
+//! stream (arrivals + task requests + ticks over the replay
+//! wall-clock); `bit_identical` records the cross-check of the
+//! multi-producer outcome against serial ingestion (itself checked
+//! against `Simulation::run` in the `service_throughput` row) before
+//! anything is timed.
 //!
 //! Each PR appends its own `BENCH_PR<N>.json` so the perf trajectory
 //! stays diffable; the `bench_gate` binary fails CI when a fresh run
 //! regresses >2x against the last committed report **or when a required
-//! row (`graph_build_*`, `service_throughput`) goes missing** (so a
-//! refactor cannot silently drop a standing subsystem benchmark).
+//! row (`graph_build_*`, `service_throughput`, `ingest_throughput`)
+//! goes missing** (so a refactor cannot silently drop a standing
+//! subsystem benchmark).
 
 use maps_bench::{plateau_maps, random_graph, random_weights, PeriodFixture, XorShift};
 use maps_core::{
@@ -513,12 +519,68 @@ fn service_throughput_report() -> Value {
     ])
 }
 
+/// PR-5 tentpole row: end-to-end event throughput of the bounded
+/// multi-producer ingestion front-end on the same 100k-worker stream
+/// the `service_throughput` row uses, split across 4 producer threads.
+/// The ingested outcome is cross-checked bit-for-bit against serial
+/// ingestion (`replay_with_options`) before anything is timed — the
+/// interleaving-invariance contract observed at benchmark scale.
+fn ingest_throughput_report() -> Value {
+    let n_workers = 100_000usize;
+    let n_tasks = 2_000usize;
+    let periods = 10usize;
+    let shards = 4usize;
+    let producers = 4usize;
+    let queue_capacity = maps_service::IngestConfig::default().queue_capacity;
+    let truth = SyntheticConfig::paper_default()
+        .with_num_workers(n_workers)
+        .with_num_tasks(n_tasks)
+        .with_periods(periods)
+        .build(0x5E41);
+    let options = maps_simulator::SimOptions {
+        calibrate: false,
+        ..maps_simulator::SimOptions::default()
+    };
+    let events = (truth.total_workers() + truth.total_tasks() + truth.num_periods()) as f64;
+    let kind = maps_core::StrategyKind::Maps;
+
+    let serial = maps_service::replay_with_options(&truth, kind, shards, options);
+    let ingested = maps_service::replay_ingested(&truth, kind, shards, producers, options);
+    let bit_identical = ingested.deterministic_bits() == serial.deterministic_bits();
+    assert!(bit_identical, "ingested replay diverged from serial push");
+
+    let replay_ns = median_ns(3, || {
+        maps_service::replay_ingested(&truth, kind, shards, producers, options)
+    });
+    let events_per_sec = events / (replay_ns / 1e9);
+    let threads = rayon::current_num_threads();
+    println!(
+        "ingest_throughput {n_workers} workers, {n_tasks} tasks, {periods} periods, \
+         {shards} shards, {producers} producers: replay {} | {events_per_sec:.0} events/s \
+         ({threads} threads) | bit-identical {bit_identical}",
+        format_ms(replay_ns),
+    );
+    serde::object([
+        ("n_workers", (n_workers as f64).to_value()),
+        ("n_tasks", (n_tasks as f64).to_value()),
+        ("periods", (periods as f64).to_value()),
+        ("shards", (shards as f64).to_value()),
+        ("producers", (producers as f64).to_value()),
+        ("queue_capacity", (queue_capacity as f64).to_value()),
+        ("events", events.to_value()),
+        ("replay_ns", replay_ns.to_value()),
+        ("events_per_sec", events_per_sec.to_value()),
+        ("threads", (threads as f64).to_value()),
+        ("bit_identical", bit_identical.to_value()),
+    ])
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
 
-    println!("maps bench_report — PR 4 kernel trajectory");
+    println!("maps bench_report — PR 5 kernel trajectory");
     println!("==========================================");
     let (possible_worlds, pw_speedup) = possible_worlds_report();
     let (monte_carlo, _mc_speedup) = monte_carlo_report();
@@ -527,6 +589,7 @@ fn main() {
     let seed_runner = seed_runner_report();
     let (graph_build_scratch, graph_build_incremental, graph_speedup) = graph_build_report();
     let service_throughput = service_throughput_report();
+    let ingest_throughput = ingest_throughput_report();
 
     if pw_speedup < 5.0 {
         eprintln!("warning: gray-code speedup {pw_speedup:.1}x is below the 5x acceptance bar");
@@ -545,7 +608,7 @@ fn main() {
 
     let report = serde::object([
         ("schema", "maps-bench-report/v1".to_value()),
-        ("pr", 4.0f64.to_value()),
+        ("pr", 5.0f64.to_value()),
         (
             "host",
             serde::object([("threads", (rayon::current_num_threads() as f64).to_value())]),
@@ -561,6 +624,7 @@ fn main() {
                 ("graph_build_scratch", graph_build_scratch),
                 ("graph_build_incremental", graph_build_incremental),
                 ("service_throughput", service_throughput),
+                ("ingest_throughput", ingest_throughput),
             ]),
         ),
     ]);

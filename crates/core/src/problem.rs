@@ -21,10 +21,20 @@ pub struct TaskInput {
 
 impl TaskInput {
     /// Builds a task, deriving the cell from `grid`.
+    ///
+    /// A non-finite origin has no grid cell (`Grid::cell_of` would
+    /// silently file a NaN point under cell 0); feeding one is a caller
+    /// bug, caught here in debug builds. Online admission paths must
+    /// validate *before* constructing inputs (the service rejects such
+    /// events instead of panicking).
     pub fn new(grid: &GridSpec, origin: Point, distance: f64) -> Self {
         assert!(
             distance.is_finite() && distance > 0.0,
             "travel distance must be positive, got {distance}"
+        );
+        debug_assert!(
+            origin.x.is_finite() && origin.y.is_finite(),
+            "task origin must be finite, got {origin:?}"
         );
         Self {
             origin,
@@ -47,10 +57,18 @@ pub struct WorkerInput {
 
 impl WorkerInput {
     /// Builds a worker, deriving the cell from `grid`.
+    ///
+    /// Like [`TaskInput::new`], a non-finite location is a caller bug
+    /// (it would be filed under cell 0 and corrupt pricing invisibly):
+    /// debug-asserted here, validated-and-rejected at service admission.
     pub fn new(grid: &GridSpec, location: Point, radius: f64) -> Self {
         assert!(
             radius.is_finite() && radius >= 0.0,
             "worker radius must be non-negative, got {radius}"
+        );
+        debug_assert!(
+            location.x.is_finite() && location.y.is_finite(),
+            "worker location must be finite, got {location:?}"
         );
         Self {
             location,
@@ -128,7 +146,13 @@ pub trait DemandProbe {
 }
 
 /// The interface shared by MAPS and all baselines.
-pub trait PricingStrategy {
+///
+/// `Send` is a supertrait so a boxed strategy — and therefore a whole
+/// engine owning one (the batch `Simulation`, the sharded service) —
+/// can be moved onto a worker thread (the ingestion front-end runs the
+/// service on a dedicated sequencer thread). Strategies are plain data
+/// plus RNG state, so this costs implementations nothing.
+pub trait PricingStrategy: Send {
     /// Display name used in experiment tables ("MAPS", "BaseP", …).
     fn name(&self) -> &'static str;
 

@@ -39,6 +39,12 @@ pub struct CliArgs {
     /// to the batch path at any N (the shard-count-invariance
     /// contract); `0` (the default) keeps the batch simulator.
     pub shards: usize,
+    /// `--producers N`: stream service replays through the bounded
+    /// multi-producer ingestion front-end with N ≥ 1 producer threads
+    /// (requires `--shards`; rows stay bit-identical at any N — the
+    /// interleaving-invariance contract); `0` (the default) keeps the
+    /// synchronous serial push path.
+    pub producers: usize,
 }
 
 /// Why [`CliArgs::try_parse`] refused an argument list.
@@ -95,6 +101,7 @@ impl CliArgs {
             max_edges: defaults.max_edges_per_task,
             incremental: defaults.incremental,
             shards: defaults.shards,
+            producers: defaults.producers,
         };
         let mut it = args.into_iter();
         // A flag's value: present, non-flag-shaped, and parseable.
@@ -138,10 +145,28 @@ impl CliArgs {
                         );
                     }
                 }
+                "--producers" => {
+                    parsed.producers = value_of("--producers", it.next())?;
+                    if parsed.producers == 0 {
+                        return Err(
+                            "--producers must be at least 1 (omit the flag for serial push)"
+                                .to_string()
+                                .into(),
+                        );
+                    }
+                }
                 "--out" => parsed.out_dir = PathBuf::from(value_of::<String>("--out", it.next())?),
                 "--help" | "-h" => return Err(CliError::HelpRequested),
                 other => return Err(format!("unknown argument: {other}").into()),
             }
+        }
+        if parsed.producers > 0 && parsed.shards == 0 {
+            return Err(
+                "--producers requires --shards N (the ingestion front-end feeds the \
+                 sharded service)"
+                    .to_string()
+                    .into(),
+            );
         }
         Ok(parsed)
     }
@@ -160,6 +185,7 @@ impl CliArgs {
             max_edges_per_task: self.max_edges,
             incremental: self.incremental,
             shards: self.shards,
+            producers: self.producers,
         }
     }
 }
@@ -168,13 +194,17 @@ fn usage(bin: &str) -> ! {
     eprintln!(
         "usage: {bin} [--panel KEY] [--quick] [--parallel] [--seeds N] \
          [--out DIR] [--no-memory] [--max-edges K] [--shards N] \
-         [--incremental|--no-incremental]\n\
+         [--producers N] [--incremental|--no-incremental]\n\
          panels: w r mu-t mean-s | mu-v sigma-v t g | aw scale beijing1 beijing2 | alpha\n\
          --seeds N           average over N >= 1 seeds (default 1)\n\
          --max-edges K       per-task edge cap of the period graph (default 64)\n\
          --shards N          drive runs through the sharded online service\n\
                              (N >= 1 shards; rows bit-identical to the batch\n\
                              loop at any N — omit for the in-process loop)\n\
+         --producers N       stream service replays through the bounded\n\
+                             multi-producer ingestion front-end (N >= 1\n\
+                             producer threads, requires --shards; rows\n\
+                             bit-identical at any N — omit for serial push)\n\
          --no-incremental    use the retained rescan-and-rebuild period engine\n\
                              (bit-identical revenue/count columns; for A/B\n\
                              timing of the incremental cache)"
@@ -256,6 +286,8 @@ mod tests {
             "16",
             "--shards",
             "4",
+            "--producers",
+            "2",
             "--no-incremental",
         ])
         .unwrap();
@@ -264,10 +296,12 @@ mod tests {
         assert_eq!(args.seeds, 3);
         assert_eq!(args.max_edges, 16);
         assert_eq!(args.shards, 4);
+        assert_eq!(args.producers, 2);
         assert!(!args.incremental);
         let options = args.run_options();
         assert_eq!(options.num_seeds, 3);
         assert_eq!(options.shards, 4);
+        assert_eq!(options.producers, 2);
         assert!(!options.track_memory, "parallel disables memory tracking");
     }
 
@@ -287,6 +321,22 @@ mod tests {
             .contains("--max-edges"));
     }
 
+    /// `--producers` is the ingestion front-end of the sharded service:
+    /// 0 producers is meaningless, and without `--shards` there is no
+    /// service to feed — both are parse errors, not silent fallbacks.
+    #[test]
+    fn producers_flag_is_validated() {
+        assert!(parse(&["--producers", "0", "--shards", "2"])
+            .unwrap_err()
+            .contains("--producers"));
+        assert!(parse(&["--producers", "2"])
+            .unwrap_err()
+            .contains("requires --shards"));
+        let args = parse(&["--producers", "2", "--shards", "3"]).unwrap();
+        assert_eq!((args.producers, args.shards), (2, 3));
+        assert_eq!(parse(&[]).unwrap().producers, 0, "serial push by default");
+    }
+
     /// The satellite regression: value-taking flags at the end of the
     /// line (or followed by another flag) used to be silently ignored —
     /// `--panel` most prominently.
@@ -298,6 +348,7 @@ mod tests {
             &["--max-edges"],
             &["--shards"],
             &["--out"],
+            &["--producers"],
             &["--panel", "--quick"],
             &["--seeds", "--parallel"],
         ] {

@@ -52,6 +52,16 @@ pub struct RunOptions {
     /// shard-count-invariance contract, enforced by
     /// `sharded_service_rows_match_batch_rows` below.
     pub shards: usize,
+    /// With `producers ≥ 1`, stream every service replay through the
+    /// bounded multi-producer ingestion front-end
+    /// (`maps_service::replay_ingested`) with that many producer
+    /// threads; `0` (default) uses the synchronous serial `push` path.
+    /// Only meaningful together with the service path: when
+    /// `producers ≥ 1` and `shards` is 0, a single-shard service is
+    /// used. Row columns are bit-identical either way and at any
+    /// producer count — the ingestion interleaving-invariance contract,
+    /// enforced by `ingested_rows_match_batch_rows` below.
+    pub producers: usize,
 }
 
 impl Default for RunOptions {
@@ -65,6 +75,7 @@ impl Default for RunOptions {
             max_edges_per_task: sim.max_edges_per_task,
             incremental: sim.incremental,
             shards: 0,
+            producers: 0,
         }
     }
 }
@@ -93,7 +104,15 @@ fn run_cell(
     if track {
         TrackingAllocator::reset_peak();
     }
-    let mut outcome = if options.shards >= 1 {
+    let mut outcome = if options.producers >= 1 {
+        maps_service::replay_ingested(
+            &truth,
+            kind,
+            options.shards.max(1),
+            options.producers,
+            options.sim_options(),
+        )
+    } else if options.shards >= 1 {
         maps_service::replay_with_options(&truth, kind, options.shards, options.sim_options())
     } else {
         Simulation::new(truth, kind)
@@ -277,6 +296,39 @@ mod tests {
                 rows_canon(&service_rows),
                 batch,
                 "{shards}-shard service rows diverged from the batch loop"
+            );
+        }
+    }
+
+    /// Streaming a panel through the multi-producer ingestion front-end
+    /// must leave every schedule-independent row column bitwise
+    /// unchanged, at any producer count — the ingestion
+    /// interleaving-invariance contract observed at the
+    /// experiment-harness level.
+    #[test]
+    fn ingested_rows_match_batch_rows() {
+        let spec = tiny_panel();
+        let base = RunOptions {
+            scale: Scale::Quick,
+            num_seeds: 2,
+            parallel: true,
+            track_memory: false,
+            ..RunOptions::default()
+        };
+        let batch = rows_canon(&run_panel(&spec, base));
+        for (producers, shards) in [(1usize, 2usize), (3, 0), (4, 4)] {
+            let ingested_rows = run_panel(
+                &spec,
+                RunOptions {
+                    producers,
+                    shards,
+                    ..base
+                },
+            );
+            assert_eq!(
+                rows_canon(&ingested_rows),
+                batch,
+                "{producers}-producer/{shards}-shard ingested rows diverged from the batch loop"
             );
         }
     }

@@ -13,9 +13,9 @@ use maps_matching::{BipartiteGraph, BipartiteGraphBuilder, MatchScratch};
 use maps_simulator::{
     settle_period, GroundTask, GroundWorker, MatchPolicy, Outcome, RunningMoments,
 };
-use maps_spatial::{BucketIndex, GridSpec, ShardMap};
+use maps_spatial::{BucketIndex, GridSpec, Point, ShardMap};
 use rayon::prelude::*;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
 /// One event of the online stream.
@@ -46,6 +46,80 @@ pub enum ServiceEvent {
     /// Closes the current period: applies staged churn, prices, clears
     /// the market and advances the period counter.
     PeriodTick,
+}
+
+/// Why the service refused to admit an event
+/// ([`ServiceEvent::validate`]).
+///
+/// Every variant is a *client* data error: the event references
+/// geometry or economics the market cannot represent. The service drops
+/// such events (counting them in
+/// [`ShardedService::rejected_events`]) rather than panicking — one bad
+/// client event must not take the stream down — and rather than
+/// admitting them: a NaN coordinate, for instance, has no grid cell
+/// (`Grid::cell_of` would silently file it under a boundary cell) and
+/// would corrupt per-cell pricing state invisibly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventRejection {
+    /// Worker location has a non-finite coordinate.
+    NonFiniteWorkerLocation,
+    /// Worker range radius is NaN, infinite or negative.
+    InvalidWorkerRadius,
+    /// Task origin or destination has a non-finite coordinate.
+    NonFiniteTaskEndpoint,
+    /// Task travel distance is NaN, infinite, zero or negative.
+    InvalidTaskDistance,
+    /// Task valuation is NaN or infinite.
+    NonFiniteTaskValuation,
+}
+
+impl std::fmt::Display for EventRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EventRejection::NonFiniteWorkerLocation => "non-finite worker location",
+            EventRejection::InvalidWorkerRadius => "invalid worker radius",
+            EventRejection::NonFiniteTaskEndpoint => "non-finite task origin/destination",
+            EventRejection::InvalidTaskDistance => "invalid task travel distance",
+            EventRejection::NonFiniteTaskValuation => "non-finite task valuation",
+        })
+    }
+}
+
+impl std::error::Error for EventRejection {}
+
+impl ServiceEvent {
+    /// Admission-time validation: checks that the event's geometry and
+    /// economics are representable before any state is touched.
+    ///
+    /// `WorkerDepart` and `PeriodTick` are always valid (a stale or
+    /// unknown departure id is a semantic no-op, not a data error).
+    pub fn validate(&self) -> Result<(), EventRejection> {
+        let finite = |p: Point| p.x.is_finite() && p.y.is_finite();
+        match self {
+            ServiceEvent::WorkerArrive { worker } => {
+                if !finite(worker.location) {
+                    return Err(EventRejection::NonFiniteWorkerLocation);
+                }
+                if !(worker.radius.is_finite() && worker.radius >= 0.0) {
+                    return Err(EventRejection::InvalidWorkerRadius);
+                }
+                Ok(())
+            }
+            ServiceEvent::TaskRequest { task } => {
+                if !finite(task.origin) || !finite(task.destination) {
+                    return Err(EventRejection::NonFiniteTaskEndpoint);
+                }
+                if !(task.distance.is_finite() && task.distance > 0.0) {
+                    return Err(EventRejection::InvalidTaskDistance);
+                }
+                if !task.valuation.is_finite() {
+                    return Err(EventRejection::NonFiniteTaskValuation);
+                }
+                Ok(())
+            }
+            ServiceEvent::WorkerDepart { .. } | ServiceEvent::PeriodTick => Ok(()),
+        }
+    }
 }
 
 /// Configuration of a [`ShardedService`].
@@ -106,6 +180,12 @@ enum Timed {
     Release(u32, WorkerInput),
 }
 
+/// Tombstone id marking a staged arrival cancelled by a same-window
+/// departure. Never collides with a real id: admission ids are assigned
+/// sequentially and a service would run out of memory long before
+/// admitting 2³² − 1 workers.
+const CANCELLED: u32 = u32::MAX;
+
 /// One shard: the spatial state for its cells plus the churn staged
 /// since the last tick. All mutation between ticks is staging; the
 /// cache is only touched inside the tick's parallel phases, which also
@@ -115,6 +195,12 @@ enum Timed {
 struct Shard {
     cache: PeriodGraphCache,
     arrivals: Vec<(u32, WorkerInput)>,
+    /// id → slot in `arrivals` for every *live* staged arrival, so a
+    /// same-window departure cancels in O(1) instead of scanning the
+    /// staging buffer (which is O(n²) over a high-churn inter-tick
+    /// window — a real stall under concurrent ingestion, where whole
+    /// epochs of arrivals are staged before each barrier tick).
+    staged: HashMap<u32, u32>,
     departures: Vec<u32>,
     /// Capped path: this tick's candidate lists, flattened;
     /// `candidate_starts[t]..candidate_starts[t+1]` indexes task `t`'s.
@@ -131,6 +217,7 @@ impl Shard {
         Self {
             cache,
             arrivals: Vec::new(),
+            staged: HashMap::new(),
             departures: Vec::new(),
             candidates: Vec::new(),
             candidate_starts: Vec::new(),
@@ -139,10 +226,33 @@ impl Shard {
         }
     }
 
+    /// Stages an arrival, recording its slot for O(1) cancellation.
+    fn stage_arrival(&mut self, id: u32, input: WorkerInput) {
+        self.staged.insert(id, self.arrivals.len() as u32);
+        self.arrivals.push((id, input));
+    }
+
+    /// Cancels a staged arrival by tombstoning its slot (slots never
+    /// move, so the map stays valid). Returns whether `id` was staged.
+    fn cancel_staged(&mut self, id: u32) -> bool {
+        match self.staged.remove(&id) {
+            Some(slot) => {
+                debug_assert_eq!(self.arrivals[slot as usize].0, id, "stale staging slot");
+                self.arrivals[slot as usize].0 = CANCELLED;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Applies the staged churn and reports `(live_count, max_radius)`
     /// for the global reduction. Pure per-shard work: safe to run on
     /// any thread.
     fn apply_staged(&mut self) -> (usize, f64) {
+        // Drop the tombstoned slots before the cache sees the batch
+        // (O(staged) once per tick — amortized O(1) per event).
+        self.arrivals.retain(|&(id, _)| id != CANCELLED);
+        self.staged.clear();
         self.cache.apply(WorkerChurn {
             arrivals: &self.arrivals,
             departures: &self.departures,
@@ -224,8 +334,12 @@ pub struct ShardedService {
     /// Recycled edge arena threaded through every graph build.
     edge_arena: Vec<(u32, u32)>,
     // ---- outcome accumulation ----
+    /// Kept fully finalized after every tick (price moments included),
+    /// so observing the live service is a borrow, not a clone.
     outcome: Outcome,
     price_moments: RunningMoments,
+    /// Events dropped by admission validation ([`ServiceEvent::validate`]).
+    rejected_events: u64,
 }
 
 impl ShardedService {
@@ -294,6 +408,7 @@ impl ShardedService {
             edge_arena: Vec::new(),
             outcome,
             price_moments: RunningMoments::new(),
+            rejected_events: 0,
         }
     }
 
@@ -326,28 +441,63 @@ impl ShardedService {
         self.shards.iter().map(|s| s.cache.live_count()).sum()
     }
 
-    /// Ingests one event. Arrivals, departures and task requests stage
-    /// state; [`ServiceEvent::PeriodTick`] closes the period.
+    /// Ingests one event, dropping it (and counting it in
+    /// [`ShardedService::rejected_events`]) if admission validation
+    /// refuses it — the fire-and-forget shape of
+    /// [`ShardedService::try_push`]. Arrivals, departures and task
+    /// requests stage state; [`ServiceEvent::PeriodTick`] closes the
+    /// period.
     pub fn push(&mut self, event: ServiceEvent) {
+        let _ = self.try_push(event);
+    }
+
+    /// Ingests one event, reporting *why* it was refused when admission
+    /// validation rejects it. A rejected event mutates nothing (in
+    /// particular, a rejected `WorkerArrive` does **not** consume an
+    /// admission id) but is counted in
+    /// [`ShardedService::rejected_events`].
+    pub fn try_push(&mut self, event: ServiceEvent) -> Result<(), EventRejection> {
+        if let Err(rejection) = event.validate() {
+            self.rejected_events += 1;
+            return Err(rejection);
+        }
         match event {
             ServiceEvent::WorkerArrive { worker } => self.worker_arrive(worker),
             ServiceEvent::WorkerDepart { id } => self.worker_depart(id),
             ServiceEvent::TaskRequest { task } => self.pending_tasks.push(task),
             ServiceEvent::PeriodTick => self.run_tick(),
         }
+        Ok(())
     }
 
-    /// The outcome accumulated so far (price moments finalized).
+    /// Events dropped by admission validation over the service's
+    /// lifetime (non-finite locations, NaN valuations, …).
+    pub fn rejected_events(&self) -> u64 {
+        self.rejected_events
+    }
+
+    /// Borrowing snapshot of the outcome accumulated so far — **O(1)**,
+    /// no allocation: the reducer keeps every field (price moments
+    /// included) finalized at each tick, so monitoring a live service
+    /// mid-stream costs a borrow instead of cloning the O(periods)
+    /// `revenue_per_period` series the way [`ShardedService::outcome`]
+    /// does.
+    pub fn outcome_snapshot(&self) -> &Outcome {
+        &self.outcome
+    }
+
+    /// The outcome accumulated so far, as an owned clone (O(periods)).
+    /// Prefer [`ShardedService::outcome_snapshot`] for repeated
+    /// mid-stream observation and [`ShardedService::into_outcome`] for
+    /// the final result.
     pub fn outcome(&self) -> Outcome {
-        let mut out = self.outcome.clone();
-        out.mean_posted_price = self.price_moments.mean();
-        out.posted_price_std = self.price_moments.population_std();
-        out
+        self.outcome.clone()
     }
 
-    /// Consumes the service, returning the final outcome.
+    /// Consumes the service, returning the final outcome. Move-only: no
+    /// clone happens on this path.
     pub fn into_outcome(self) -> Outcome {
-        self.outcome()
+        self.outcome
     }
 
     fn worker_arrive(&mut self, worker: GroundWorker) {
@@ -376,7 +526,7 @@ impl ShardedService {
             .entry(expires_at)
             .or_default()
             .push(Timed::Expire(id));
-        self.shards[shard as usize].arrivals.push((id, input));
+        self.shards[shard as usize].stage_arrival(id, input);
     }
 
     fn worker_depart(&mut self, id: u32) {
@@ -389,11 +539,10 @@ impl ShardedService {
         if record.status == Status::Available {
             let shard = &mut self.shards[record.shard as usize];
             // A worker departing in the same inter-tick window it
-            // arrived in is still a staged arrival: cancel it instead
-            // of staging a departure the cache has never seen.
-            if let Some(pos) = shard.arrivals.iter().position(|&(aid, _)| aid == id) {
-                shard.arrivals.swap_remove(pos);
-            } else {
+            // arrived in is still a staged arrival: cancel it (O(1) via
+            // the staging map) instead of staging a departure the cache
+            // has never seen.
+            if !shard.cancel_staged(id) {
                 shard.departures.push(id);
             }
         }
@@ -423,7 +572,7 @@ impl ShardedService {
                         // shard's cells: re-route by the new location.
                         let shard = self.router.shard_of(input.cell) as u32;
                         record.shard = shard;
-                        self.shards[shard as usize].arrivals.push((id, input));
+                        self.shards[shard as usize].stage_arrival(id, input);
                     } else {
                         record.status = Status::Gone;
                     }
@@ -630,6 +779,11 @@ impl ShardedService {
         // 9. Feedback to the learning strategy, then advance the clock.
         self.strategy.observe(&self.observations);
         self.pending_tasks.clear();
+        // Finalize the price moments into the outcome: moments only
+        // change inside a tick, so refreshing them here keeps
+        // `outcome_snapshot` a plain borrow at every observation point.
+        self.outcome.mean_posted_price = self.price_moments.mean();
+        self.outcome.posted_price_std = self.price_moments.population_std();
         self.period = t + 1;
     }
 }
@@ -793,6 +947,120 @@ mod tests {
             svc.shards[1].cache.worker(0).unwrap().location,
             Point::new(9.0, 9.0)
         );
+    }
+
+    /// Non-finite geometry/economics is refused at admission — before
+    /// any state (in particular the admission-id counter) is touched.
+    /// Without this, `Grid::cell_of` files NaN under a boundary cell
+    /// and pricing is corrupted invisibly; a zero-distance task would
+    /// even panic the tick reducer (`TaskInput::new`).
+    #[test]
+    fn non_finite_events_are_rejected_at_admission() {
+        let mut svc = service(2, MatchPolicy::Consume);
+        let mut w = worker(1.0, 1.0, u32::MAX);
+        w.location = Point::new(f64::NAN, 1.0);
+        assert_eq!(
+            svc.try_push(ServiceEvent::WorkerArrive { worker: w }),
+            Err(EventRejection::NonFiniteWorkerLocation)
+        );
+        assert_eq!(svc.admitted_workers(), 0, "no admission id consumed");
+
+        let mut w = worker(1.0, 1.0, u32::MAX);
+        w.radius = f64::INFINITY;
+        assert_eq!(
+            svc.try_push(ServiceEvent::WorkerArrive { worker: w }),
+            Err(EventRejection::InvalidWorkerRadius)
+        );
+
+        let mut t = task(1.5, 1.0);
+        t.origin = Point::new(1.0, f64::NAN);
+        assert_eq!(
+            svc.try_push(ServiceEvent::TaskRequest { task: t }),
+            Err(EventRejection::NonFiniteTaskEndpoint)
+        );
+        let mut t = task(1.5, 1.0);
+        t.distance = 0.0;
+        assert_eq!(
+            svc.try_push(ServiceEvent::TaskRequest { task: t }),
+            Err(EventRejection::InvalidTaskDistance)
+        );
+        let mut t = task(1.5, 1.0);
+        t.valuation = f64::NAN;
+        assert_eq!(
+            svc.try_push(ServiceEvent::TaskRequest { task: t }),
+            Err(EventRejection::NonFiniteTaskValuation)
+        );
+        assert_eq!(svc.rejected_events(), 5);
+
+        // The stream keeps flowing: valid events after the rejects work.
+        svc.push(ServiceEvent::WorkerArrive {
+            worker: worker(1.0, 1.0, u32::MAX),
+        });
+        svc.push(ServiceEvent::TaskRequest {
+            task: task(1.5, 1.0),
+        });
+        svc.push(ServiceEvent::PeriodTick);
+        let out = svc.outcome_snapshot();
+        assert_eq!(out.issued_tasks, 1, "rejected tasks were never issued");
+        assert_eq!(out.matched_tasks, 1);
+        assert_eq!(svc.admitted_workers(), 1);
+    }
+
+    /// Regression for the O(n²) same-window cancellation: departing a
+    /// staged arrival used to `position()`-scan the whole staging
+    /// buffer. Arriving n workers and departing them newest-first put
+    /// every target at the end of the scan — ~n²/2 tuple compares per
+    /// window (minutes at this size in a debug test run). With the
+    /// id→slot staging map the window is O(n).
+    #[test]
+    fn high_churn_same_window_cancellation_is_linear() {
+        let n: u32 = 50_000;
+        let start = Instant::now();
+        let mut svc = service(2, MatchPolicy::Consume);
+        for i in 0..n {
+            svc.push(ServiceEvent::WorkerArrive {
+                worker: worker(1.0 + (i % 8) as f64, 1.0, u32::MAX),
+            });
+        }
+        for id in (0..n).rev() {
+            svc.push(ServiceEvent::WorkerDepart { id });
+        }
+        // One survivor proves cancellation didn't eat the wrong slots.
+        svc.push(ServiceEvent::WorkerArrive {
+            worker: worker(1.0, 1.0, u32::MAX),
+        });
+        svc.push(ServiceEvent::PeriodTick);
+        assert_eq!(svc.admitted_workers(), n as usize + 1);
+        assert_eq!(svc.live_workers(), 1);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(20),
+            "same-window cancellation took {:?} for {n} pairs — quadratic again?",
+            start.elapsed()
+        );
+    }
+
+    /// The O(1) snapshot view must agree with the owned clone at every
+    /// observation point (including mid-stream, between ticks), and
+    /// `into_outcome` must hand back the same final value.
+    #[test]
+    fn snapshot_borrow_matches_cloned_outcome() {
+        let mut svc = service(2, MatchPolicy::Consume);
+        assert_eq!(svc.outcome_snapshot(), &svc.outcome(), "pre-first-tick");
+        for i in 0..3u32 {
+            svc.push(ServiceEvent::WorkerArrive {
+                worker: worker(1.0 + i as f64, 1.0, u32::MAX),
+            });
+            svc.push(ServiceEvent::TaskRequest {
+                task: task(1.5 + i as f64, 1.0),
+            });
+            assert_eq!(svc.outcome_snapshot(), &svc.outcome(), "mid-window");
+            svc.push(ServiceEvent::PeriodTick);
+            let snapshot = svc.outcome_snapshot();
+            assert_eq!(snapshot, &svc.outcome(), "post-tick");
+            assert!(snapshot.mean_posted_price > 0.0, "moments are finalized");
+        }
+        let bits = svc.outcome_snapshot().deterministic_bits();
+        assert_eq!(svc.into_outcome().deterministic_bits(), bits);
     }
 
     #[test]

@@ -1,0 +1,600 @@
+//! Bounded, multi-producer event ingestion in front of the tick
+//! reducer.
+//!
+//! The paper's setting is fully online: requesters and workers stream
+//! in *concurrently*, yet the platform must keep posting one price per
+//! grid per period (Sec. 4.2) — and the whole workspace's determinism
+//! contract requires the market-clearing epoch to see a **canonical**
+//! event order no matter how client threads interleave. This module is
+//! that front door:
+//!
+//! ```text
+//!   client threads (N producers)                 sequencer thread
+//!   ┌────────────┐  bounded ring (Mutex/Condvar)
+//!   │ producer 0 │──[e₀₀ e₀₁ … ‖ epoch-end]──┐
+//!   ├────────────┤                           │   merge under the total
+//!   │ producer 1 │──[e₁₀ … ‖ epoch-end]──────┼─► (epoch, producer, seq)
+//!   ├────────────┤                           │   order, then feed the
+//!   │ producer n │──[… ‖ epoch-end]──────────┘   ShardedService; tick
+//!   └────────────┘                               fires only after ALL
+//!                                                producers closed the
+//!                                                epoch (barrier)
+//! ```
+//!
+//! Each [`IngressProducer`] stamps its events with a `(producer, seq)`
+//! label and appends them to its **own** bounded queue (a hand-rolled
+//! `Mutex`/`Condvar` ring — single producer, single consumer — so
+//! producers never contend with each other, only with backpressure
+//! from their own lane). A producer's [`ServiceEvent::PeriodTick`] does
+//! *not* tick the market: it closes the producer's current **epoch**.
+//! The sequencer drains every producer's epoch-`e` segment — in
+//! producer-id order, each segment already in seq order — into the
+//! [`ShardedService`], and only then fires the real global tick. The
+//! tick is therefore an **epoch barrier**: the reducer never runs until
+//! every producer has flushed the epoch.
+//!
+//! ## The interleaving-invariance contract
+//!
+//! The order of events fed to the service is the total
+//! `(epoch, producer, seq)` order — a pure function of *what each
+//! producer sent*, never of *when* it ran. Hence replaying any
+//! [`GroundTruth`](maps_simulator::GroundTruth) split across 1/2/4/8
+//! producers — under arbitrary thread interleavings and any queue
+//! capacities — yields an outcome **bit-identical** to serial
+//! [`ShardedService::push`], and therefore (by the PR 4 contract) to
+//! [`Simulation::run`](maps_simulator::Simulation::run). Enforced by
+//! the `ingest_oracle` test sweep (producers × shards × strategies ×
+//! forced interleavings × queue capacities), the root proptest
+//! `ingested_stream_matches_serial_push` (random producer partitions,
+//! schedule perturbation, per-epoch outcome checks) and the
+//! `ingest_throughput` row `bench_gate` fails CI without.
+//!
+//! ## Liveness
+//!
+//! Queues are bounded: a producer ahead of the sequencer blocks in
+//! [`IngressProducer::send`] until its lane drains (backpressure, the
+//! deliberate memory bound). The sequencer drains producers in id
+//! order within an epoch, so total progress requires every producer to
+//! eventually close its epoch (or close its handle) — the usual
+//! contract of a barrier. External coordination that *holds producers
+//! back* (e.g. a test harness serializing sends) must size queues to
+//! the held-back volume, or it can deadlock against the barrier.
+
+use crate::engine::{ServiceEvent, ShardedService};
+use maps_simulator::PeriodData;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Configuration of the ingestion front-end.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Number of producer handles (≥ 1). Any value yields bit-identical
+    /// outcomes; it only controls how admission is parallelized.
+    pub producers: usize,
+    /// Per-producer queue capacity in slots (≥ 1; epoch-end markers
+    /// occupy a slot too). Any capacity yields bit-identical outcomes;
+    /// it only bounds the memory between a producer and the sequencer.
+    pub queue_capacity: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            producers: 4,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// An event stamped with its producer-local coordinates. The triple
+/// `(epoch, producer, seq)` is the total order the sequencer feeds the
+/// service in.
+#[derive(Debug, Clone, Copy)]
+struct Stamped {
+    epoch: u64,
+    seq: u64,
+    event: ServiceEvent,
+}
+
+/// One slot of a producer's ring: a stamped event or the marker closing
+/// the producer's current epoch.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Event(Stamped),
+    EpochEnd(u64),
+}
+
+/// What one bounded drain of a lane yielded.
+enum Chunk {
+    /// Drained up to (and consumed) the epoch-`e` end marker.
+    Marker(u64),
+    /// Drained some events; the epoch is still open.
+    Progress,
+    /// The producer closed its handle; the lane is empty forever.
+    Closed,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    slots: VecDeque<Slot>,
+    /// The producer closed its handle: no more slots will arrive.
+    closed: bool,
+    /// The sequencer is gone (dropped, or its thread panicked): slots
+    /// will never drain again, so producers must fail fast instead of
+    /// blocking forever on a full ring.
+    consumer_gone: bool,
+}
+
+/// One producer's bounded SPSC lane.
+#[derive(Debug)]
+struct Queue {
+    capacity: usize,
+    ring: Mutex<Ring>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl Queue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ring: Mutex::new(Ring::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Appends one slot, blocking while the ring is at capacity.
+    ///
+    /// # Panics
+    /// Panics (without poisoning the ring) when the sequencer is gone:
+    /// the slot could never be consumed, and blocking on `not_full`
+    /// would hang the producer thread forever — turning a reducer
+    /// panic into a silent process hang instead of a visible failure.
+    fn push(&self, slot: Slot) {
+        let mut ring = self.ring.lock().expect("ingest queue poisoned");
+        loop {
+            if ring.consumer_gone {
+                drop(ring); // release before panicking: no poison
+                panic!("ingestion sequencer is gone (dropped or panicked); cannot send");
+            }
+            if ring.slots.len() < self.capacity {
+                break;
+            }
+            ring = self.not_full.wait(ring).expect("ingest queue poisoned");
+        }
+        ring.slots.push_back(slot);
+        drop(ring);
+        self.not_empty.notify_one();
+    }
+
+    fn close(&self) {
+        self.ring.lock().expect("ingest queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Marks the consumer side dead and wakes any producer blocked on
+    /// backpressure so it can fail fast (see [`Queue::push`]).
+    fn close_consumer(&self) {
+        self.ring
+            .lock()
+            .expect("ingest queue poisoned")
+            .consumer_gone = true;
+        self.not_full.notify_all();
+    }
+
+    /// Drains available events into `out`, stopping after an epoch-end
+    /// marker. Blocks only while the lane is empty and open; batches
+    /// everything already buffered under one lock acquisition.
+    fn pop_epoch_chunk(&self, out: &mut Vec<Stamped>) -> Chunk {
+        let mut ring = self.ring.lock().expect("ingest queue poisoned");
+        loop {
+            let mut popped = false;
+            while let Some(slot) = ring.slots.pop_front() {
+                popped = true;
+                match slot {
+                    Slot::Event(stamped) => out.push(stamped),
+                    Slot::EpochEnd(epoch) => {
+                        drop(ring);
+                        self.not_full.notify_one();
+                        return Chunk::Marker(epoch);
+                    }
+                }
+            }
+            if popped {
+                drop(ring);
+                self.not_full.notify_one();
+                return Chunk::Progress;
+            }
+            if ring.closed {
+                return Chunk::Closed;
+            }
+            ring = self.not_empty.wait(ring).expect("ingest queue poisoned");
+        }
+    }
+}
+
+/// A client-side admission handle: one of the N concurrent front doors.
+///
+/// Events sent through a producer are stamped `(producer, seq)` and
+/// merged by the sequencer under the total `(epoch, producer, seq)`
+/// order — so *what* the outcome is depends only on what each producer
+/// sent, never on how the producer threads interleaved. Dropping the
+/// handle closes the lane; the sequencer finishes once every lane is
+/// closed and drained.
+#[derive(Debug)]
+pub struct IngressProducer {
+    queue: Arc<Queue>,
+    id: u32,
+    epoch: u64,
+    seq: u64,
+}
+
+impl IngressProducer {
+    /// This producer's id — its rank in the canonical merge order.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Sends one event, blocking while this producer's queue is full.
+    ///
+    /// [`ServiceEvent::PeriodTick`] is the epoch barrier, not a direct
+    /// market tick: it closes this producer's current epoch (equivalent
+    /// to [`IngressProducer::end_epoch`]); the sequencer fires the one
+    /// global tick only after **every** producer has closed the epoch.
+    pub fn send(&mut self, event: ServiceEvent) {
+        match event {
+            ServiceEvent::PeriodTick => self.end_epoch(),
+            event => {
+                let stamped = Stamped {
+                    epoch: self.epoch,
+                    seq: self.seq,
+                    event,
+                };
+                self.seq += 1;
+                self.queue.push(Slot::Event(stamped));
+            }
+        }
+    }
+
+    /// Closes this producer's current epoch: its contribution to the
+    /// next tick's barrier. Subsequent sends belong to the next epoch.
+    pub fn end_epoch(&mut self) {
+        self.queue.push(Slot::EpochEnd(self.epoch));
+        self.epoch += 1;
+        self.seq = 0;
+    }
+
+    /// Closes the lane (also happens on drop). Events sent before the
+    /// close are still delivered; an epoch left open contributes its
+    /// events to the epoch but not a barrier vote, so a tick fires only
+    /// if some *other* producer closed that epoch explicitly.
+    pub fn close(self) {}
+}
+
+impl Drop for IngressProducer {
+    fn drop(&mut self) {
+        self.queue.close();
+    }
+}
+
+/// The sequencer half of the ingestion front-end: merges N producer
+/// lanes into the canonical event order and drives a [`ShardedService`].
+///
+/// Dropping it without (or while) sequencing — including the unwind of
+/// a panic inside the reducer — marks every lane's consumer as gone,
+/// which wakes blocked producers and makes their next
+/// [`IngressProducer::send`] panic with a clear message instead of
+/// hanging forever on backpressure no one will ever drain.
+#[derive(Debug)]
+pub struct IngestService {
+    queues: Vec<Arc<Queue>>,
+}
+
+impl Drop for IngestService {
+    fn drop(&mut self) {
+        for queue in &self.queues {
+            queue.close_consumer();
+        }
+    }
+}
+
+impl IngestService {
+    /// Builds the front-end: the sequencer half plus one
+    /// [`IngressProducer`] handle per lane.
+    ///
+    /// # Panics
+    /// Panics if `config.producers` or `config.queue_capacity` is zero.
+    pub fn new(config: IngestConfig) -> (Self, Vec<IngressProducer>) {
+        assert!(config.producers >= 1, "need at least one producer");
+        assert!(config.queue_capacity >= 1, "queues need at least one slot");
+        let queues: Vec<Arc<Queue>> = (0..config.producers)
+            .map(|_| Arc::new(Queue::new(config.queue_capacity)))
+            .collect();
+        let producers = queues
+            .iter()
+            .enumerate()
+            .map(|(id, queue)| IngressProducer {
+                queue: Arc::clone(queue),
+                id: id as u32,
+                epoch: 0,
+                seq: 0,
+            })
+            .collect();
+        (Self { queues }, producers)
+    }
+
+    /// Number of producer lanes.
+    pub fn producer_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Runs the sequencer on the calling thread until every producer
+    /// closes: merges the lanes under the total `(epoch, producer, seq)`
+    /// order into `service`, firing one global `PeriodTick` per epoch
+    /// barrier. Returns the number of epochs (ticks) fired.
+    pub fn sequence(self, service: &mut ShardedService) -> u64 {
+        self.sequence_with(service, |_, _| {})
+    }
+
+    /// [`IngestService::sequence`] with a per-tick observer, called
+    /// right after each epoch's global tick with the epoch index and
+    /// the service (e.g. for O(1) [`ShardedService::outcome_snapshot`]
+    /// monitoring, or the per-epoch oracle checks in the test suite).
+    pub fn sequence_with(
+        self,
+        service: &mut ShardedService,
+        mut on_tick: impl FnMut(u64, &ShardedService),
+    ) -> u64 {
+        let mut epoch = 0u64;
+        let mut chunk: Vec<Stamped> = Vec::new();
+        loop {
+            // Did any producer close this epoch with a marker (rather
+            // than by closing its lane)? Only markers vote for a tick:
+            // a fully closed producer set with trailing unmarked events
+            // leaves that churn staged, exactly like serial `push`
+            // without a final `PeriodTick`.
+            let mut epoch_open = false;
+            for (producer, queue) in self.queues.iter().enumerate() {
+                let mut expected_seq = 0u64;
+                loop {
+                    chunk.clear();
+                    let outcome = queue.pop_epoch_chunk(&mut chunk);
+                    for stamped in &chunk {
+                        debug_assert_eq!(
+                            stamped.epoch, epoch,
+                            "producer {producer} leaked an event across its epoch marker"
+                        );
+                        debug_assert_eq!(
+                            stamped.seq, expected_seq,
+                            "producer {producer} events arrived out of seq order"
+                        );
+                        expected_seq += 1;
+                        service.push(stamped.event);
+                    }
+                    match outcome {
+                        Chunk::Marker(e) => {
+                            debug_assert_eq!(e, epoch, "epoch markers out of order");
+                            epoch_open = true;
+                            break;
+                        }
+                        Chunk::Progress => continue,
+                        Chunk::Closed => break,
+                    }
+                }
+            }
+            if !epoch_open {
+                return epoch;
+            }
+            service.push(ServiceEvent::PeriodTick);
+            on_tick(epoch, service);
+            epoch += 1;
+        }
+    }
+
+    /// Moves `service` onto a dedicated sequencer thread (the online
+    /// deployment shape: producers are client threads, the sequencer
+    /// runs in the background). Join the returned handle to get the
+    /// service back once every producer has closed.
+    pub fn spawn(self, service: ShardedService) -> SequencerHandle {
+        let handle = std::thread::spawn(move || {
+            let mut service = service;
+            let epochs = self.sequence(&mut service);
+            (service, epochs)
+        });
+        SequencerHandle { handle }
+    }
+}
+
+/// Join handle of a background sequencer ([`IngestService::spawn`]).
+#[derive(Debug)]
+pub struct SequencerHandle {
+    handle: std::thread::JoinHandle<(ShardedService, u64)>,
+}
+
+impl SequencerHandle {
+    /// Waits for every producer to close and returns the driven service
+    /// together with the number of epochs fired.
+    pub fn join(self) -> (ShardedService, u64) {
+        self.handle.join().expect("sequencer thread panicked")
+    }
+}
+
+/// The serial event list of one ground-truth period: worker arrivals in
+/// admission order, then task requests in stream order — exactly the
+/// per-period order [`crate::replay`] pushes. Splitting these lists
+/// into contiguous producer chunks (see [`chunk_bounds`]) reproduces
+/// the serial stream under the `(epoch, producer, seq)` merge.
+pub fn period_events(period: &PeriodData) -> Vec<ServiceEvent> {
+    let mut events = Vec::with_capacity(period.workers.len() + period.tasks.len());
+    events.extend(
+        period
+            .workers
+            .iter()
+            .map(|&worker| ServiceEvent::WorkerArrive { worker }),
+    );
+    events.extend(
+        period
+            .tasks
+            .iter()
+            .map(|&task| ServiceEvent::TaskRequest { task }),
+    );
+    events
+}
+
+/// Balanced contiguous chunk boundaries: splits `n` items into `parts`
+/// runs whose lengths differ by at most one (`bounds.len() == parts +
+/// 1`; chunk `i` is `bounds[i]..bounds[i + 1]`). Assigning chunk `i` to
+/// producer `i` makes the canonical `(producer, seq)` merge reproduce
+/// the original item order.
+pub fn chunk_bounds(n: usize, parts: usize) -> Vec<usize> {
+    assert!(parts >= 1, "need at least one chunk");
+    (0..=parts).map(|i| i * n / parts).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ServiceConfig, ShardedService};
+    use maps_core::StrategyKind;
+    use maps_simulator::{GroundWorker, MatchPolicy};
+    use maps_spatial::{GridSpec, Point, Rect};
+
+    fn service(shards: usize) -> ShardedService {
+        ShardedService::new(
+            GridSpec::square(Rect::square(10.0), 2),
+            MatchPolicy::Consume,
+            StrategyKind::BaseP,
+            ServiceConfig {
+                shards,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    fn worker(x: f64) -> GroundWorker {
+        GroundWorker {
+            location: Point::new(x, 1.0),
+            radius: 4.0,
+            duration: u32::MAX,
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_are_balanced_and_cover() {
+        assert_eq!(chunk_bounds(10, 3), vec![0, 3, 6, 10]);
+        assert_eq!(chunk_bounds(2, 4), vec![0, 0, 1, 1, 2]);
+        assert_eq!(chunk_bounds(0, 2), vec![0, 0, 0]);
+        for n in 0..40usize {
+            for parts in 1..9usize {
+                let bounds = chunk_bounds(n, parts);
+                assert_eq!(bounds[0], 0);
+                assert_eq!(*bounds.last().unwrap(), n);
+                for w in bounds.windows(2) {
+                    assert!(w[0] <= w[1]);
+                    assert!(w[1] - w[0] <= n.div_ceil(parts));
+                }
+            }
+        }
+    }
+
+    /// The tick barrier: no global tick fires until *every* producer
+    /// has closed the epoch.
+    #[test]
+    fn tick_waits_for_every_producer() {
+        let (ingest, mut producers) = IngestService::new(IngestConfig {
+            producers: 2,
+            queue_capacity: 8,
+        });
+        let p1 = producers.pop().unwrap();
+        let mut p0 = producers.pop().unwrap();
+        p0.send(ServiceEvent::WorkerArrive {
+            worker: worker(1.0),
+        });
+        p0.send(ServiceEvent::PeriodTick);
+        p0.close();
+        let sequencer = std::thread::spawn(move || {
+            let mut svc = service(2);
+            let epochs = ingest.sequence(&mut svc);
+            (svc.periods_served(), epochs)
+        });
+        // p1 has not voted: the sequencer must still be blocked on its
+        // lane (coarse check — the real ordering proof is the oracle
+        // suite; this only exercises the happy unblocking path).
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!sequencer.is_finished(), "tick fired before the barrier");
+        let mut p1 = p1;
+        p1.send(ServiceEvent::PeriodTick);
+        p1.close();
+        let (periods, epochs) = sequencer.join().unwrap();
+        assert_eq!(periods, 1);
+        assert_eq!(epochs, 1);
+    }
+
+    /// Unmarked trailing events stay staged — serial `push` semantics
+    /// for a stream that ends without a final tick.
+    #[test]
+    fn close_without_epoch_end_stages_but_does_not_tick() {
+        let (ingest, mut producers) = IngestService::new(IngestConfig {
+            producers: 1,
+            queue_capacity: 4,
+        });
+        let mut p0 = producers.pop().unwrap();
+        p0.send(ServiceEvent::WorkerArrive {
+            worker: worker(1.0),
+        });
+        p0.close();
+        let mut svc = service(1);
+        let epochs = ingest.sequence(&mut svc);
+        assert_eq!(epochs, 0);
+        assert_eq!(svc.periods_served(), 0);
+        assert_eq!(svc.admitted_workers(), 1, "event delivered, churn staged");
+        assert_eq!(svc.live_workers(), 0, "no tick: never applied");
+    }
+
+    /// A dead sequencer (dropped, or its thread panicked) must turn a
+    /// producer's next send into a visible panic, not an eternal block
+    /// on backpressure no one will drain — even when the ring still has
+    /// room (the slot could never be consumed either way).
+    #[test]
+    fn producer_send_panics_when_sequencer_is_gone() {
+        let (ingest, mut producers) = IngestService::new(IngestConfig {
+            producers: 1,
+            queue_capacity: 8,
+        });
+        let mut p0 = producers.pop().unwrap();
+        drop(ingest);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p0.send(ServiceEvent::WorkerArrive {
+                worker: worker(1.0),
+            });
+        }));
+        assert!(result.is_err(), "send should fail fast, not block");
+        // The handle is still droppable afterwards (the ring was not
+        // poisoned by the in-lock panic path).
+        drop(p0);
+    }
+
+    /// A capacity-1 queue forces maximal backpressure; the stream must
+    /// still complete and agree with serial push.
+    #[test]
+    fn capacity_one_round_trips_through_spawned_sequencer() {
+        let (ingest, mut producers) = IngestService::new(IngestConfig {
+            producers: 1,
+            queue_capacity: 1,
+        });
+        let mut p0 = producers.pop().unwrap();
+        let sequencer = ingest.spawn(service(2));
+        for i in 0..20 {
+            p0.send(ServiceEvent::WorkerArrive {
+                worker: worker(1.0 + (i % 8) as f64),
+            });
+            p0.send(ServiceEvent::PeriodTick);
+        }
+        p0.close();
+        let (svc, epochs) = sequencer.join();
+        assert_eq!(epochs, 20);
+        assert_eq!(svc.periods_served(), 20);
+        assert_eq!(svc.admitted_workers(), 20);
+    }
+}

@@ -66,13 +66,16 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod ingest;
 pub mod replay;
 
-pub use engine::{ServiceConfig, ServiceEvent, ShardedService};
-pub use replay::{replay, replay_with_options};
+pub use engine::{EventRejection, ServiceConfig, ServiceEvent, ShardedService};
+pub use ingest::{IngestConfig, IngestService, IngressProducer, SequencerHandle};
+pub use replay::{replay, replay_ingested, replay_with_options};
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::engine::{ServiceConfig, ServiceEvent, ShardedService};
-    pub use crate::replay::{replay, replay_with_options};
+    pub use crate::engine::{EventRejection, ServiceConfig, ServiceEvent, ShardedService};
+    pub use crate::ingest::{IngestConfig, IngestService, IngressProducer, SequencerHandle};
+    pub use crate::replay::{replay, replay_ingested, replay_with_options};
 }

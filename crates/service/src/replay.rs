@@ -11,6 +11,7 @@
 //! the root proptest churn stream enforce exactly that.
 
 use crate::engine::{ServiceConfig, ServiceEvent, ShardedService};
+use crate::ingest::{chunk_bounds, IngestConfig, IngestService};
 use maps_core::StrategyKind;
 use maps_simulator::{GroundTruth, GroundTruthProbe, Outcome, SimOptions};
 
@@ -33,6 +34,27 @@ pub fn replay_with_options(
     shards: usize,
     options: SimOptions,
 ) -> Outcome {
+    let mut service = replay_service(truth, kind, shards, options);
+    for period in &truth.periods {
+        for &worker in &period.workers {
+            service.push(ServiceEvent::WorkerArrive { worker });
+        }
+        for &task in &period.tasks {
+            service.push(ServiceEvent::TaskRequest { task });
+        }
+        service.push(ServiceEvent::PeriodTick);
+    }
+    service.into_outcome()
+}
+
+/// A calibrated service sized for replaying `truth` (shared by the
+/// serial and the multi-producer replay drivers).
+fn replay_service(
+    truth: &GroundTruth,
+    kind: StrategyKind,
+    shards: usize,
+    options: SimOptions,
+) -> ShardedService {
     let config = ServiceConfig {
         shards,
         max_edges_per_task: options.max_edges_per_task,
@@ -43,15 +65,63 @@ pub fn replay_with_options(
         let mut probe = GroundTruthProbe::new(&truth.demands, options.probe_seed);
         service.calibrate(&mut probe);
     }
-    for period in &truth.periods {
-        for &worker in &period.workers {
-            service.push(ServiceEvent::WorkerArrive { worker });
+    service
+}
+
+/// [`replay_with_options`] through the multi-producer ingestion
+/// front-end ([`crate::ingest`]): each period's serial event list is
+/// split into `producers` contiguous chunks, every chunk is streamed by
+/// its own producer thread (each closing the epoch when its chunk is
+/// done), and the sequencer merges the lanes under the canonical
+/// `(epoch, producer, seq)` order.
+///
+/// By the interleaving-invariance contract the outcome is
+/// **bit-identical** to the serial [`replay_with_options`] — and hence
+/// to [`Simulation::run`](maps_simulator::Simulation::run) — at any
+/// producer count, any queue capacity, any shard count and any rayon
+/// thread count.
+pub fn replay_ingested(
+    truth: &GroundTruth,
+    kind: StrategyKind,
+    shards: usize,
+    producers: usize,
+    options: SimOptions,
+) -> Outcome {
+    let mut service = replay_service(truth, kind, shards, options);
+    let (ingest, handles) = IngestService::new(IngestConfig {
+        producers,
+        ..IngestConfig::default()
+    });
+    std::thread::scope(|scope| {
+        for mut handle in handles {
+            scope.spawn(move || {
+                let p = handle.id() as usize;
+                // Stream each period's chunk straight off the borrowed
+                // ground truth (events are `Copy`) — no up-front
+                // materialization of the whole stream. Index `i` walks
+                // the period's serial event list [workers…, tasks…],
+                // the same order `period_events` enumerates.
+                for period in &truth.periods {
+                    let n_workers = period.workers.len();
+                    let bounds = chunk_bounds(n_workers + period.tasks.len(), producers);
+                    for i in bounds[p]..bounds[p + 1] {
+                        let event = if i < n_workers {
+                            ServiceEvent::WorkerArrive {
+                                worker: period.workers[i],
+                            }
+                        } else {
+                            ServiceEvent::TaskRequest {
+                                task: period.tasks[i - n_workers],
+                            }
+                        };
+                        handle.send(event);
+                    }
+                    handle.end_epoch();
+                }
+            });
         }
-        for &task in &period.tasks {
-            service.push(ServiceEvent::TaskRequest { task });
-        }
-        service.push(ServiceEvent::PeriodTick);
-    }
+        ingest.sequence(&mut service);
+    });
     service.into_outcome()
 }
 

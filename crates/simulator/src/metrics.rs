@@ -149,19 +149,45 @@ impl Outcome {
     /// bitwise on revenue, counters, per-period series, price moments
     /// and matched distance (floats via [`f64::to_bits`], so even a
     /// one-ulp rounding difference is caught).
+    ///
+    /// The body destructures `Outcome` *exhaustively* (no `..` rest
+    /// pattern): adding a field to `Outcome` is a **compile error here**
+    /// until the author decides whether the new field participates in
+    /// the replay contract or joins the explicitly-discarded wall-clock
+    /// group below. A hand-maintained field list would instead let a new
+    /// field silently escape every replay and ingestion oracle in the
+    /// workspace.
     pub fn deterministic_bits(&self) -> Vec<u64> {
-        let mut out = Vec::with_capacity(16 + self.revenue_per_period.len());
-        out.push(self.strategy.len() as u64);
-        out.extend(self.strategy.bytes().map(u64::from));
-        out.push(self.total_revenue.to_bits());
-        out.push(self.issued_tasks);
-        out.push(self.accepted_tasks);
-        out.push(self.matched_tasks);
-        out.push(self.revenue_per_period.len() as u64);
-        out.extend(self.revenue_per_period.iter().map(|r| r.to_bits()));
-        out.push(self.mean_posted_price.to_bits());
-        out.push(self.posted_price_std.to_bits());
-        out.push(self.matched_distance.to_bits());
+        // Every schedule-independent field must be encoded; the four
+        // discarded bindings are the deliberate exclusions documented
+        // above (wall-clock timings + allocator-dependent peak memory).
+        let Outcome {
+            strategy,
+            total_revenue,
+            issued_tasks,
+            accepted_tasks,
+            matched_tasks,
+            pricing_secs: _,
+            clearing_secs: _,
+            calibration_secs: _,
+            peak_memory_mib: _,
+            revenue_per_period,
+            mean_posted_price,
+            posted_price_std,
+            matched_distance,
+        } = self;
+        let mut out = Vec::with_capacity(16 + strategy.len() + revenue_per_period.len());
+        out.push(strategy.len() as u64);
+        out.extend(strategy.bytes().map(u64::from));
+        out.push(total_revenue.to_bits());
+        out.push(*issued_tasks);
+        out.push(*accepted_tasks);
+        out.push(*matched_tasks);
+        out.push(revenue_per_period.len() as u64);
+        out.extend(revenue_per_period.iter().map(|r| r.to_bits()));
+        out.push(mean_posted_price.to_bits());
+        out.push(posted_price_std.to_bits());
+        out.push(matched_distance.to_bits());
         out
     }
 }
@@ -249,14 +275,23 @@ mod tests {
             mutate(&mut changed);
             assert_ne!(base.deterministic_bits(), changed.deterministic_bits());
         }
-        // …while the wall-clock columns and the allocator-dependent
-        // peak-memory figure are excluded by design.
-        let mut timed = base.clone();
-        timed.pricing_secs += 1.0;
-        timed.clearing_secs += 1.0;
-        timed.calibration_secs += 1.0;
-        timed.peak_memory_mib = None;
-        assert_eq!(base.deterministic_bits(), timed.deterministic_bits());
+        // …while exactly four fields are excluded by design — the same
+        // four discarded with `_` in the exhaustive destructuring inside
+        // `deterministic_bits`: the wall-clock columns (`pricing_secs`,
+        // `clearing_secs`, `calibration_secs`, thread- and load-
+        // dependent) and `peak_memory_mib` (a property of whichever
+        // engine's allocator schedule produced the outcome). Mutating
+        // any of them must leave the bits unchanged.
+        for mutate in [
+            |o: &mut Outcome| o.pricing_secs += 1.0,
+            |o: &mut Outcome| o.clearing_secs += 1.0,
+            |o: &mut Outcome| o.calibration_secs += 1.0,
+            |o: &mut Outcome| o.peak_memory_mib = None,
+        ] {
+            let mut timed = base.clone();
+            mutate(&mut timed);
+            assert_eq!(base.deterministic_bits(), timed.deterministic_bits());
+        }
     }
 
     #[test]

@@ -273,12 +273,22 @@ impl SyntheticConfig {
             });
         }
 
-        GroundTruth {
+        let truth = GroundTruth {
             grid,
             demands,
             periods,
             match_policy: self.match_policy,
+        };
+        // Generator self-check (debug builds): everything downstream —
+        // `Grid::cell_of`, the spatial indexes, the pricing ladders —
+        // assumes finite coordinates, radii, distances and valuations. A
+        // builder bug producing a NaN here would otherwise surface as
+        // silent cell-0 misrouting far from its cause.
+        #[cfg(debug_assertions)]
+        if let Err(e) = truth.validate() {
+            panic!("synthetic builder produced an invalid world: {e}");
         }
+        truth
     }
 }
 

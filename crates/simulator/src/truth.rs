@@ -102,8 +102,15 @@ impl GroundTruth {
                 self.demands.len()
             ));
         }
+        let finite = |p: Point| p.x.is_finite() && p.y.is_finite();
         for (t, period) in self.periods.iter().enumerate() {
             for task in &period.tasks {
+                if !finite(task.origin) || !finite(task.destination) {
+                    return Err(format!(
+                        "period {t}: non-finite task endpoint {:?} -> {:?}",
+                        task.origin, task.destination
+                    ));
+                }
                 if self.grid.cell_of(task.origin) != task.cell {
                     return Err(format!("period {t}: task cell mismatch"));
                 }
@@ -115,6 +122,12 @@ impl GroundTruth {
                 }
             }
             for w in &period.workers {
+                if !finite(w.location) {
+                    return Err(format!(
+                        "period {t}: non-finite worker location {:?}",
+                        w.location
+                    ));
+                }
                 if !(w.radius.is_finite() && w.radius >= 0.0) {
                     return Err(format!("period {t}: bad radius {}", w.radius));
                 }
@@ -183,6 +196,25 @@ mod tests {
         let mut t = tiny_truth();
         t.periods[0].tasks[0].distance = 0.0;
         assert!(t.validate().unwrap_err().contains("bad distance"));
+    }
+
+    /// A NaN-located worker or task endpoint would be silently filed
+    /// under a boundary cell by `Grid::cell_of` — the generator-level
+    /// guard against the corruption the service also rejects at
+    /// admission.
+    #[test]
+    fn validate_catches_non_finite_coordinates() {
+        let mut t = tiny_truth();
+        t.periods[0].workers[0].location = Point::new(f64::NAN, 2.0);
+        assert!(t.validate().unwrap_err().contains("worker location"));
+
+        let mut t = tiny_truth();
+        t.periods[0].tasks[0].destination = Point::new(1.0, f64::INFINITY);
+        assert!(t.validate().unwrap_err().contains("task endpoint"));
+
+        let mut t = tiny_truth();
+        t.periods[0].workers[0].radius = f64::NAN;
+        assert!(t.validate().unwrap_err().contains("bad radius"));
     }
 
     #[test]

@@ -119,8 +119,19 @@ impl GridSpec {
     }
 
     /// Column/row coordinates of the cell containing `p` (clamped).
+    ///
+    /// Clamping gives every *finite* point a well-defined cell — even
+    /// ±∞, which saturates to the boundary row/column. NaN has no cell
+    /// at all: `NaN as i64` is 0, so a NaN coordinate would silently
+    /// file the point under the first row/column and corrupt per-cell
+    /// pricing state invisibly. That is a caller bug (admission paths
+    /// must validate coordinates), caught here in debug builds.
     #[inline]
     pub fn cell_coords(&self, p: Point) -> (u32, u32) {
+        debug_assert!(
+            !p.x.is_nan() && !p.y.is_nan(),
+            "a NaN coordinate has no grid cell: {p:?}"
+        );
         let fx = (p.x - self.region.min.x) / self.cell_w;
         let fy = (p.y - self.region.min.y) / self.cell_h;
         let cx = (fx.floor() as i64).clamp(0, self.nx as i64 - 1) as u32;

@@ -218,6 +218,150 @@ where
     assert_deterministic_across(&DEFAULT_THREAD_COUNTS, f)
 }
 
+/// Producer counts the ingestion interleaving oracle sweeps (PR 5's
+/// interleaving-invariance contract): the single-producer degenerate
+/// case and powers of two up to an oversubscribed producer set.
+/// Multi-producer replay outcomes must be bit-identical across all of
+/// them *and* to serial `push` (hence to the batch simulator).
+pub const DEFAULT_PRODUCER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// How an [`Interleaver`] shapes the relative schedule of N producer
+/// threads. The point of the ingestion contract is that the *outcome*
+/// is invariant under every one of these; the plans exist so tests can
+/// force schedules the OS would rarely produce on its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterleavePlan {
+    /// No coordination: whatever the OS scheduler does.
+    Free,
+    /// Deterministically seeded per-step yield bursts: each step first
+    /// spins through a pseudo-random number of `yield_now` calls drawn
+    /// from a per-producer stream. Different seeds perturb the temporal
+    /// interleaving differently. Never blocks a producer on another, so
+    /// it is safe at **any** queue capacity.
+    Staggered(u64),
+    /// Strict global round-robin: step k across all unfinished
+    /// producers is taken by the next producer in cyclic id order, one
+    /// step at a time.
+    RoundRobin,
+    /// Strictly descending producer batches: producer `i` runs only
+    /// after producers `i+1..n` have finished entirely — the maximal
+    /// inversion of the canonical merge order.
+    ReverseBatches,
+}
+
+/// Test harness forcing a specific cross-thread interleaving of
+/// producer "steps" (e.g. sends into a bounded ingestion queue).
+///
+/// Each of N producer threads wraps its unit of work in
+/// [`Interleaver::step`] and calls [`Interleaver::finished`] when done,
+/// so blocking plans can skip it. **Deadlock caveat**: the blocking
+/// plans ([`InterleavePlan::RoundRobin`], [`InterleavePlan::ReverseBatches`])
+/// hold producers back, so anything downstream consuming their output
+/// in a fixed order (like the ingestion sequencer draining bounded
+/// queues producer-by-producer) must have room to buffer the held-back
+/// volume — size queues accordingly. [`InterleavePlan::Free`] and
+/// [`InterleavePlan::Staggered`] never block and are safe at any
+/// capacity.
+#[derive(Debug)]
+pub struct Interleaver {
+    plan: InterleavePlan,
+    state: std::sync::Mutex<InterleaveState>,
+    cv: std::sync::Condvar,
+}
+
+#[derive(Debug)]
+struct InterleaveState {
+    /// Whose turn it is (`RoundRobin`).
+    turn: usize,
+    finished: Vec<bool>,
+    /// Per-producer yield-burst streams (`Staggered`).
+    rngs: Vec<XorShift>,
+}
+
+impl InterleaveState {
+    /// Advances `turn` to the next unfinished producer after `from`
+    /// (cyclically); leaves it in place when everyone is done.
+    fn advance_turn(&mut self, from: usize) {
+        let n = self.finished.len();
+        for offset in 1..=n {
+            let candidate = (from + offset) % n;
+            if !self.finished[candidate] {
+                self.turn = candidate;
+                return;
+            }
+        }
+    }
+}
+
+impl Interleaver {
+    /// A harness for `producers` threads under `plan`.
+    pub fn new(producers: usize, plan: InterleavePlan) -> Self {
+        assert!(producers >= 1, "need at least one producer");
+        let seed = match plan {
+            InterleavePlan::Staggered(seed) => seed,
+            _ => 0,
+        };
+        Self {
+            plan,
+            state: std::sync::Mutex::new(InterleaveState {
+                turn: 0,
+                finished: vec![false; producers],
+                rngs: (0..producers)
+                    .map(|i| XorShift(seed.wrapping_mul(0x9E3779B97F4A7C15) ^ (i as u64 + 1)))
+                    .collect(),
+            }),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Runs one unit of `producer`'s work under the plan's schedule.
+    pub fn step<R>(&self, producer: usize, f: impl FnOnce() -> R) -> R {
+        match self.plan {
+            InterleavePlan::Free => f(),
+            InterleavePlan::Staggered(_) => {
+                let spins = {
+                    let mut state = self.state.lock().expect("interleaver poisoned");
+                    state.rngs[producer].next_u64() % 8
+                };
+                for _ in 0..spins {
+                    std::thread::yield_now();
+                }
+                f()
+            }
+            InterleavePlan::RoundRobin => {
+                let mut state = self.state.lock().expect("interleaver poisoned");
+                while state.turn != producer {
+                    state = self.cv.wait(state).expect("interleaver poisoned");
+                }
+                let result = f();
+                state.advance_turn(producer);
+                drop(state);
+                self.cv.notify_all();
+                result
+            }
+            InterleavePlan::ReverseBatches => {
+                let mut state = self.state.lock().expect("interleaver poisoned");
+                while state.finished[producer + 1..].iter().any(|done| !done) {
+                    state = self.cv.wait(state).expect("interleaver poisoned");
+                }
+                drop(state);
+                f()
+            }
+        }
+    }
+
+    /// Marks `producer` done so blocking plans skip it from now on.
+    pub fn finished(&self, producer: usize) {
+        let mut state = self.state.lock().expect("interleaver poisoned");
+        state.finished[producer] = true;
+        if state.turn == producer {
+            state.advance_turn(producer);
+        }
+        drop(state);
+        self.cv.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,5 +413,91 @@ mod tests {
     #[should_panic(expected = "diverged at")]
     fn thread_dependent_result_is_caught() {
         assert_deterministic(rayon::current_num_threads);
+    }
+
+    /// Runs `steps_per_producer` steps on each of `n` threads under
+    /// `plan`, recording the global step order as `(producer, step)`.
+    fn record_schedule(
+        n: usize,
+        steps_per_producer: usize,
+        plan: InterleavePlan,
+    ) -> Vec<(usize, usize)> {
+        let interleaver = Interleaver::new(n, plan);
+        let log = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for producer in 0..n {
+                let interleaver = &interleaver;
+                let log = &log;
+                scope.spawn(move || {
+                    for step in 0..steps_per_producer {
+                        interleaver.step(producer, || {
+                            log.lock().unwrap().push((producer, step));
+                        });
+                    }
+                    interleaver.finished(producer);
+                });
+            }
+        });
+        log.into_inner().unwrap()
+    }
+
+    #[test]
+    fn round_robin_serializes_in_cyclic_order() {
+        let order = record_schedule(3, 4, InterleavePlan::RoundRobin);
+        assert_eq!(order.len(), 12);
+        // Step k is taken by producer k mod 3, in its own step order.
+        for (k, &(producer, step)) in order.iter().enumerate() {
+            assert_eq!(producer, k % 3, "global step {k}");
+            assert_eq!(step, k / 3, "global step {k}");
+        }
+    }
+
+    #[test]
+    fn reverse_batches_run_descending() {
+        let order = record_schedule(3, 3, InterleavePlan::ReverseBatches);
+        let producers: Vec<usize> = order.iter().map(|&(p, _)| p).collect();
+        assert_eq!(producers, vec![2, 2, 2, 1, 1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn round_robin_skips_finished_producers() {
+        // Producer 1 takes fewer steps; the rotation must not stall on
+        // it once it is finished.
+        let interleaver = Interleaver::new(2, InterleavePlan::RoundRobin);
+        let log = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let (il, log) = (&interleaver, &log);
+            scope.spawn(move || {
+                for step in 0..4 {
+                    il.step(0, || log.lock().unwrap().push((0usize, step)));
+                }
+                il.finished(0);
+            });
+            scope.spawn(move || {
+                il.step(1, || log.lock().unwrap().push((1usize, 0)));
+                il.finished(1);
+            });
+        });
+        let order = log.into_inner().unwrap();
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[0], (0, 0));
+        assert_eq!(order[1], (1, 0));
+        assert_eq!(&order[2..], &[(0, 1), (0, 2), (0, 3)]);
+    }
+
+    #[test]
+    fn free_and_staggered_complete_without_coordination() {
+        for plan in [InterleavePlan::Free, InterleavePlan::Staggered(7)] {
+            let order = record_schedule(4, 5, plan);
+            assert_eq!(order.len(), 20, "{plan:?}");
+            for producer in 0..4 {
+                let steps: Vec<usize> = order
+                    .iter()
+                    .filter(|&&(p, _)| p == producer)
+                    .map(|&(_, s)| s)
+                    .collect();
+                assert_eq!(steps, vec![0, 1, 2, 3, 4], "{plan:?}");
+            }
+        }
     }
 }

@@ -13,8 +13,9 @@ use maps::prelude::{
     GroundTask, GroundTruth, GroundWorker, MatchPolicy, PeriodData, SimOptions, Simulation,
     SyntheticConfig,
 };
-use maps::service::{ServiceConfig, ServiceEvent, ShardedService};
+use maps::service::{IngestConfig, IngestService, ServiceConfig, ServiceEvent, ShardedService};
 use maps::spatial::{GridSpec, Point, Rect};
+use maps_testkit::{InterleavePlan, Interleaver};
 use proptest::prelude::*;
 
 /// Strategy generating a random bipartite graph with ≤ 10×10 vertices.
@@ -489,13 +490,180 @@ proptest! {
             };
             let batch = Simulation::new(prefix, kind).with_options(options).run();
             prop_assert_eq!(
-                service.outcome().deterministic_bits(),
+                service.outcome_snapshot().deterministic_bits(),
                 batch.deterministic_bits(),
                 "tick {}: {}-shard service state diverged from the batch oracle ({})",
                 t,
                 shards,
                 kind
             );
+        }
+    }
+
+    /// PR-5 oracle: **interleaving invariance** of the multi-producer
+    /// ingestion front-end. A random event script — arrivals (some with
+    /// finite durations, some invalid with NaN radii), explicit
+    /// departures (including stale/bogus ids), task requests (some with
+    /// NaN geometry the service must reject) — is split across 1–4
+    /// producers by a *random* contiguous partition per epoch and
+    /// streamed through bounded queues of random capacity under both a
+    /// free and a seeded yield-perturbed schedule. After **every**
+    /// epoch barrier the service must be bit-identical to serial `push`
+    /// of the same canonical `(epoch, producer, seq)` order — with the
+    /// serial baseline itself swept across the 1/2/3/8-thread harness —
+    /// and the admission-rejection counters must agree too.
+    #[test]
+    fn ingested_stream_matches_serial_push(
+        seed in 0u64..2_000,
+        periods in 1usize..=5,
+        producers in 1usize..=4,
+        shards in 1usize..=4,
+    ) {
+        let grid = GridSpec::square(Rect::square(50.0), 3);
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        // The vendored proptest caps strategy tuples at four inputs, so
+        // the queue capacity rides on the seed stream instead.
+        let capacity = 1 + (next() % 8) as usize;
+        let match_policy = if next() % 2 == 0 {
+            MatchPolicy::Consume
+        } else {
+            MatchPolicy::Relocate { speed: 1.0 }
+        };
+        let kind = StrategyKind::ALL[(next() % 5) as usize];
+        // The canonical per-epoch event scripts (the serial push order).
+        let mut admitted = 0u64; // ids issued so far (valid arrivals only)
+        let mut epochs: Vec<Vec<ServiceEvent>> = Vec::new();
+        for _ in 0..periods {
+            let mut events = Vec::new();
+            for _ in 0..next() % 7 {
+                match next() % 8 {
+                    0..=3 => {
+                        let mut worker = GroundWorker {
+                            location: Point::new(
+                                (next() % 5_000) as f64 / 100.0,
+                                (next() % 5_000) as f64 / 100.0,
+                            ),
+                            radius: 2.0 + (next() % 1_500) as f64 / 100.0,
+                            duration: match next() % 5 {
+                                0 => u32::MAX,
+                                d => d as u32, // 1..=4
+                            },
+                        };
+                        if next() % 16 == 0 {
+                            worker.radius = f64::NAN; // must be rejected
+                        } else {
+                            admitted += 1;
+                        }
+                        events.push(ServiceEvent::WorkerArrive { worker });
+                    }
+                    4..=5 => {
+                        let origin = Point::new(
+                            (next() % 5_000) as f64 / 100.0,
+                            (next() % 5_000) as f64 / 100.0,
+                        );
+                        let mut task = GroundTask {
+                            origin,
+                            destination: Point::new(
+                                (next() % 5_000) as f64 / 100.0,
+                                (next() % 5_000) as f64 / 100.0,
+                            ),
+                            distance: 0.5 + (next() % 300) as f64 / 100.0,
+                            valuation: 1.0 + (next() % 400) as f64 / 100.0,
+                            cell: grid.cell_of(origin),
+                        };
+                        if next() % 12 == 0 {
+                            task.origin = Point::new(f64::NAN, 1.0); // rejected
+                        }
+                        events.push(ServiceEvent::TaskRequest { task });
+                    }
+                    _ => {
+                        // Sometimes a live id, sometimes stale/bogus —
+                        // both must be handled identically either way.
+                        let id = (next() % (admitted + 2)) as u32;
+                        events.push(ServiceEvent::WorkerDepart { id });
+                    }
+                }
+            }
+            epochs.push(events);
+        }
+        // Random contiguous partition of each epoch across producers
+        // (sorted random boundaries; 0 and len are always present, so
+        // chunks may be empty — a producer can sit an epoch out).
+        let partitions: Vec<Vec<usize>> = epochs
+            .iter()
+            .map(|events| {
+                let mut bounds = vec![0usize; producers + 1];
+                bounds[producers] = events.len();
+                for b in bounds[1..producers].iter_mut() {
+                    *b = (next() as usize) % (events.len() + 1);
+                }
+                bounds.sort_unstable();
+                bounds
+            })
+            .collect();
+        let make_service = || {
+            ShardedService::new(
+                grid,
+                match_policy,
+                kind,
+                ServiceConfig { shards, ..ServiceConfig::default() },
+            )
+        };
+        let (serial_bits, serial_rejected) = maps_testkit::assert_deterministic(|| {
+            let mut service = make_service();
+            let mut bits = Vec::new();
+            for events in &epochs {
+                for &event in events {
+                    service.push(event);
+                }
+                service.push(ServiceEvent::PeriodTick);
+                bits.push(service.outcome_snapshot().deterministic_bits());
+            }
+            (bits, service.rejected_events())
+        });
+        for plan in [InterleavePlan::Free, InterleavePlan::Staggered(seed)] {
+            let mut service = make_service();
+            let (ingest, handles) = IngestService::new(IngestConfig {
+                producers,
+                queue_capacity: capacity,
+            });
+            let interleaver = Interleaver::new(producers, plan);
+            let mut bits = Vec::new();
+            std::thread::scope(|scope| {
+                for mut handle in handles {
+                    let (interleaver, epochs, partitions) = (&interleaver, &epochs, &partitions);
+                    scope.spawn(move || {
+                        let p = handle.id() as usize;
+                        for (events, bounds) in epochs.iter().zip(partitions) {
+                            for &event in &events[bounds[p]..bounds[p + 1]] {
+                                interleaver.step(p, || handle.send(event));
+                            }
+                            interleaver.step(p, || handle.end_epoch());
+                        }
+                        interleaver.finished(p);
+                    });
+                }
+                ingest.sequence_with(&mut service, |_, live| {
+                    bits.push(live.outcome_snapshot().deterministic_bits());
+                });
+            });
+            prop_assert_eq!(
+                &bits,
+                &serial_bits,
+                "{}-producer stream (capacity {}, {:?}, {} shards, {}) diverged from serial push",
+                producers,
+                capacity,
+                plan,
+                shards,
+                kind
+            );
+            prop_assert_eq!(service.rejected_events(), serial_rejected);
         }
     }
 
