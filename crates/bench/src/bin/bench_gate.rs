@@ -22,13 +22,14 @@
 //!
 //! Beyond the trend comparison, a small set of kernels is **required**:
 //! the `graph_build_{scratch,incremental}` pair (PR 3), the
-//! `service_throughput` row (PR 4) and the `ingest_throughput` row
-//! (PR 5) must be present in every candidate report. Most kernels may
-//! come and go as they are added and retired, but these are the
-//! standing evidence for the churn-driven period engine, the sharded
-//! online service and the multi-producer ingestion front-end — a
+//! `service_throughput` row (PR 4), the `ingest_throughput` row
+//! (PR 5) and the `journal_throughput` row (PR 6) must be present in
+//! every candidate report. Most kernels may come and go as they are
+//! added and retired, but these are the standing evidence for the
+//! churn-driven period engine, the sharded online service, the
+//! multi-producer ingestion front-end and the write-ahead journal — a
 //! candidate that silently dropped one would leave that subsystem
-//! unbenchmarked (and, for the service and ingestion rows,
+//! unbenchmarked (and, for the service, ingestion and journal rows,
 //! un-cross-checked against their serial oracles), so a missing
 //! required row fails the gate outright.
 
@@ -40,6 +41,7 @@ const REQUIRED_KERNELS: &[&str] = &[
     "graph_build_incremental",
     "service_throughput",
     "ingest_throughput",
+    "journal_throughput",
 ];
 
 /// Checks that `candidate` carries every required kernel row.
@@ -279,16 +281,18 @@ mod tests {
     #[test]
     fn candidate_missing_required_graph_build_rows_fails() {
         let regressions = check_required(&report_with_kernels(&["monte_carlo"]));
-        assert_eq!(regressions.len(), 4, "{regressions:?}");
+        assert_eq!(regressions.len(), 5, "{regressions:?}");
         assert!(regressions[0].0.contains("graph_build_scratch"));
         assert!(regressions[1].0.contains("graph_build_incremental"));
         assert!(regressions[2].0.contains("service_throughput"));
         assert!(regressions[3].0.contains("ingest_throughput"));
+        assert!(regressions[4].0.contains("journal_throughput"));
         // Some present, one dropped: still a failure.
         let regressions = check_required(&report_with_kernels(&[
             "graph_build_scratch",
             "service_throughput",
             "ingest_throughput",
+            "journal_throughput",
         ]));
         assert_eq!(regressions.len(), 1);
         assert!(regressions[0].0.contains("graph_build_incremental"));
@@ -302,6 +306,7 @@ mod tests {
             "graph_build_scratch",
             "graph_build_incremental",
             "ingest_throughput",
+            "journal_throughput",
         ]));
         assert_eq!(regressions.len(), 1, "{regressions:?}");
         assert!(regressions[0].0.contains("service_throughput"));
@@ -316,9 +321,25 @@ mod tests {
             "graph_build_scratch",
             "graph_build_incremental",
             "service_throughput",
+            "journal_throughput",
         ]));
         assert_eq!(regressions.len(), 1, "{regressions:?}");
         assert!(regressions[0].0.contains("ingest_throughput"));
+    }
+
+    /// The PR-6 required row: a candidate that silently dropped the
+    /// write-ahead-journal benchmark (and with it the journaled-vs-
+    /// unjournaled outcome cross-check) must fail the gate.
+    #[test]
+    fn candidate_missing_journal_throughput_fails() {
+        let regressions = check_required(&report_with_kernels(&[
+            "graph_build_scratch",
+            "graph_build_incremental",
+            "service_throughput",
+            "ingest_throughput",
+        ]));
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].0.contains("journal_throughput"));
     }
 
     #[test]
@@ -328,6 +349,7 @@ mod tests {
             "graph_build_incremental",
             "service_throughput",
             "ingest_throughput",
+            "journal_throughput",
             "monte_carlo",
         ]));
         assert!(regressions.is_empty(), "{regressions:?}");

@@ -1,8 +1,9 @@
 //! Machine-readable perf trajectory: measures the PR-1 evaluation
 //! kernels, the PR-2 parallel pricing/runner paths, the PR-3
-//! incremental graph-build engine, the PR-4 sharded online service and
-//! the PR-5 multi-producer ingestion front-end against their retained
-//! baselines and writes `BENCH_PR5.json`.
+//! incremental graph-build engine, the PR-4 sharded online service,
+//! the PR-5 multi-producer ingestion front-end and the PR-6
+//! write-ahead journal against their retained baselines and writes
+//! `BENCH_PR6.json`.
 //!
 //! ```sh
 //! cargo run --release -p maps-bench --bin bench_report [-- OUT.json]
@@ -37,9 +38,9 @@
 //! Each PR appends its own `BENCH_PR<N>.json` so the perf trajectory
 //! stays diffable; the `bench_gate` binary fails CI when a fresh run
 //! regresses >2x against the last committed report **or when a required
-//! row (`graph_build_*`, `service_throughput`, `ingest_throughput`)
-//! goes missing** (so a refactor cannot silently drop a standing
-//! subsystem benchmark).
+//! row (`graph_build_*`, `service_throughput`, `ingest_throughput`,
+//! `journal_throughput`) goes missing** (so a refactor cannot silently
+//! drop a standing subsystem benchmark).
 
 use maps_bench::{plateau_maps, random_graph, random_weights, PeriodFixture, XorShift};
 use maps_core::{
@@ -575,12 +576,99 @@ fn ingest_throughput_report() -> Value {
     ])
 }
 
+/// PR-6 tentpole row: the cost of durability. The same 100k-worker
+/// stream the `service_throughput` row replays is replayed again with
+/// the write-ahead journal attached (every admitted event encoded and
+/// buffered, flush + fsync + checkpoint at each epoch barrier). The
+/// journaled outcome is cross-checked bit-for-bit against the
+/// unjournaled replay before anything is timed, and the acceptance bar
+/// is `overhead ≤ 2x`: a WAL that more than doubles ingest cost would
+/// not be deployable in front of the pricing loop.
+fn journal_throughput_report() -> Value {
+    let n_workers = 100_000usize;
+    let n_tasks = 2_000usize;
+    let periods = 10usize;
+    let shards = 4usize;
+    let checkpoint_every = 4u32;
+    let truth = SyntheticConfig::paper_default()
+        .with_num_workers(n_workers)
+        .with_num_tasks(n_tasks)
+        .with_periods(periods)
+        .build(0x5E41);
+    let options = maps_simulator::SimOptions {
+        calibrate: false,
+        ..maps_simulator::SimOptions::default()
+    };
+    let events = (truth.total_workers() + truth.total_tasks() + truth.num_periods()) as f64;
+    let kind = maps_core::StrategyKind::Maps;
+    let scratch = std::env::temp_dir().join(format!("maps_bench_journal_{}", std::process::id()));
+
+    let unjournaled = maps_service::replay_with_options(&truth, kind, shards, options);
+    let journaled = maps_service::replay_journaled(
+        &truth,
+        kind,
+        shards,
+        options,
+        &maps_service::JournalConfig::new(scratch.join("check"), checkpoint_every),
+    )
+    .expect("journaled replay");
+    let bit_identical = journaled.deterministic_bits() == unjournaled.deterministic_bits();
+    assert!(bit_identical, "journaled replay diverged from unjournaled");
+
+    let unjournaled_ns = median_ns(3, || {
+        maps_service::replay_with_options(&truth, kind, shards, options)
+    });
+    let mut run = 0u32;
+    let replay_ns = median_ns(3, || {
+        run += 1;
+        maps_service::replay_journaled(
+            &truth,
+            kind,
+            shards,
+            options,
+            &maps_service::JournalConfig::new(scratch.join(format!("run{run}")), checkpoint_every),
+        )
+        .expect("journaled replay")
+    });
+    let journal_bytes = std::fs::metadata(
+        maps_service::JournalConfig::new(scratch.join("run1"), checkpoint_every).journal_path(),
+    )
+    .map(|m| m.len() as f64)
+    .unwrap_or(0.0);
+    let _ = std::fs::remove_dir_all(&scratch);
+    let overhead = replay_ns / unjournaled_ns;
+    let events_per_sec = events / (replay_ns / 1e9);
+    let threads = rayon::current_num_threads();
+    println!(
+        "journal_throughput {n_workers} workers, {n_tasks} tasks, {periods} periods, \
+         {shards} shards: unjournaled {} | journaled {} | overhead {overhead:.2}x \
+         | {events_per_sec:.0} events/s ({threads} threads) | bit-identical {bit_identical}",
+        format_ms(unjournaled_ns),
+        format_ms(replay_ns),
+    );
+    serde::object([
+        ("n_workers", (n_workers as f64).to_value()),
+        ("n_tasks", (n_tasks as f64).to_value()),
+        ("periods", (periods as f64).to_value()),
+        ("shards", (shards as f64).to_value()),
+        ("checkpoint_every", (checkpoint_every as f64).to_value()),
+        ("events", events.to_value()),
+        ("journal_bytes", journal_bytes.to_value()),
+        ("replay_ns", replay_ns.to_value()),
+        ("unjournaled_ns", unjournaled_ns.to_value()),
+        ("overhead", overhead.to_value()),
+        ("events_per_sec", events_per_sec.to_value()),
+        ("threads", (threads as f64).to_value()),
+        ("bit_identical", bit_identical.to_value()),
+    ])
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
 
-    println!("maps bench_report — PR 5 kernel trajectory");
+    println!("maps bench_report — PR 6 kernel trajectory");
     println!("==========================================");
     let (possible_worlds, pw_speedup) = possible_worlds_report();
     let (monte_carlo, _mc_speedup) = monte_carlo_report();
@@ -590,7 +678,21 @@ fn main() {
     let (graph_build_scratch, graph_build_incremental, graph_speedup) = graph_build_report();
     let service_throughput = service_throughput_report();
     let ingest_throughput = ingest_throughput_report();
+    let journal_throughput = journal_throughput_report();
 
+    let journal_overhead = journal_throughput
+        .get("overhead")
+        .and_then(|v| match v {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        })
+        .unwrap_or(f64::INFINITY);
+    if journal_overhead > 2.0 {
+        eprintln!(
+            "warning: journaled ingest overhead {journal_overhead:.2}x is beyond the 2x \
+             acceptance bar"
+        );
+    }
     if pw_speedup < 5.0 {
         eprintln!("warning: gray-code speedup {pw_speedup:.1}x is below the 5x acceptance bar");
     }
@@ -608,7 +710,7 @@ fn main() {
 
     let report = serde::object([
         ("schema", "maps-bench-report/v1".to_value()),
-        ("pr", 5.0f64.to_value()),
+        ("pr", 6.0f64.to_value()),
         (
             "host",
             serde::object([("threads", (rayon::current_num_threads() as f64).to_value())]),
@@ -625,6 +727,7 @@ fn main() {
                 ("graph_build_incremental", graph_build_incremental),
                 ("service_throughput", service_throughput),
                 ("ingest_throughput", ingest_throughput),
+                ("journal_throughput", journal_throughput),
             ]),
         ),
     ]);

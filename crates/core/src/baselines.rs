@@ -19,8 +19,24 @@
 //! explodes as soon as a grid has a few more tasks than workers).
 
 use crate::base::BasePricing;
-use crate::problem::{DemandProbe, Observation, PeriodInput, PriceSchedule, PricingStrategy};
+use crate::problem::{
+    DemandProbe, Observation, PeriodInput, PriceSchedule, PricingStrategy, StateError, StateWords,
+};
 use maps_market::{PriceLadder, UcbStats};
+
+/// Maps the market layer's slice-based state loaders onto the
+/// [`StateWords`] cursor (shared with the MAPS strategy impl).
+pub(crate) fn load_ucb(stats: &mut UcbStats, state: &mut StateWords<'_>) -> Result<(), StateError> {
+    let used = stats.load_words(state.rest()).map_err(|msg| {
+        if msg.ends_with("truncated") {
+            StateError::Truncated
+        } else {
+            StateError::Mismatch(msg)
+        }
+    })?;
+    state.advance(used);
+    Ok(())
+}
 
 /// Counts tasks and workers per grid cell — shared by SDR/SDE/CappedUCB,
 /// which all reason about the local head-counts `|R^tg|`, `|W^tg|`.
@@ -83,6 +99,15 @@ impl PricingStrategy for BasePStrategy {
 
     fn price_period(&mut self, input: &PeriodInput<'_>) -> PriceSchedule {
         PriceSchedule::uniform(input.grid.num_cells(), self.base_price)
+    }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.base_price.to_bits());
+    }
+
+    fn load_state(&mut self, state: &mut StateWords<'_>) -> Result<(), StateError> {
+        self.base_price = state.take_f64()?;
+        Ok(())
     }
 }
 
@@ -150,6 +175,16 @@ impl PricingStrategy for SdrStrategy {
             .collect();
         PriceSchedule { prices }
     }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.coefficient.to_bits());
+        self.inner.save_state(out);
+    }
+
+    fn load_state(&mut self, state: &mut StateWords<'_>) -> Result<(), StateError> {
+        self.coefficient = state.take_f64()?;
+        self.inner.load_state(state)
+    }
 }
 
 /// Supply/demand-exponential heuristic (`SDE`).
@@ -205,6 +240,14 @@ impl PricingStrategy for SdeStrategy {
             })
             .collect();
         PriceSchedule { prices }
+    }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        self.inner.save_state(out);
+    }
+
+    fn load_state(&mut self, state: &mut StateWords<'_>) -> Result<(), StateError> {
+        self.inner.load_state(state)
     }
 }
 
@@ -288,6 +331,23 @@ impl PricingStrategy for CappedUcbStrategy {
             let idx = self.ladder.nearest_index(obs.price);
             self.stats[obs.cell.index()].observe(idx, obs.accepted);
         }
+    }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.stats.len() as u64);
+        for stats in &self.stats {
+            stats.save_words(out);
+        }
+    }
+
+    fn load_state(&mut self, state: &mut StateWords<'_>) -> Result<(), StateError> {
+        if state.take()? as usize != self.stats.len() {
+            return Err(StateError::Mismatch("CappedUCB cell count"));
+        }
+        for stats in &mut self.stats {
+            load_ucb(stats, state)?;
+        }
+        Ok(())
     }
 }
 

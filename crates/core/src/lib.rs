@@ -58,8 +58,8 @@ pub use evaluate::{
 pub use lfunc::{ApproxKind, DeltaRule, LFunction};
 pub use maps_strategy::{MapsConfig, MapsStrategy};
 pub use problem::{
-    DemandProbe, Observation, PeriodInput, PriceSchedule, PricingStrategy, StrategyKind, TaskInput,
-    WorkerInput,
+    DemandProbe, Observation, PeriodInput, PriceSchedule, PricingStrategy, StateError, StateWords,
+    StrategyKind, TaskInput, WorkerInput,
 };
 
 /// Commonly used items.
@@ -78,8 +78,8 @@ pub mod prelude {
     pub use crate::lfunc::{ApproxKind, DeltaRule, LFunction};
     pub use crate::maps_strategy::{MapsConfig, MapsStrategy};
     pub use crate::problem::{
-        DemandProbe, Observation, PeriodInput, PriceSchedule, PricingStrategy, StrategyKind,
-        TaskInput, WorkerInput,
+        DemandProbe, Observation, PeriodInput, PriceSchedule, PricingStrategy, StateError,
+        StateWords, StrategyKind, TaskInput, WorkerInput,
     };
     pub use crate::running_example::RunningExample;
 }

@@ -46,7 +46,9 @@
 
 use crate::base::BasePricing;
 use crate::lfunc::{ApproxKind, DeltaRule, LFunction, Maximizer};
-use crate::problem::{DemandProbe, Observation, PeriodInput, PriceSchedule, PricingStrategy};
+use crate::problem::{
+    DemandProbe, Observation, PeriodInput, PriceSchedule, PricingStrategy, StateError, StateWords,
+};
 use crate::smoothing::smooth_prices;
 use maps_market::{ChangeDetector, PriceLadder, UcbStats};
 use maps_matching::IncrementalMatching;
@@ -510,6 +512,55 @@ impl PricingStrategy for MapsStrategy {
                     self.stats[cell].reset_price(idx);
                 }
             }
+        }
+    }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.base_price.to_bits());
+        out.push(self.stats.len() as u64);
+        for stats in &self.stats {
+            stats.save_words(out);
+        }
+        match &self.change {
+            None => out.push(0),
+            Some(detectors) => {
+                out.push(1);
+                out.push(detectors.len() as u64);
+                for det in detectors {
+                    det.save_words(out);
+                }
+            }
+        }
+    }
+
+    fn load_state(&mut self, state: &mut StateWords<'_>) -> Result<(), StateError> {
+        self.base_price = state.take_f64()?;
+        if state.take()? as usize != self.stats.len() {
+            return Err(StateError::Mismatch("MAPS cell count"));
+        }
+        for stats in self.stats.iter_mut() {
+            crate::baselines::load_ucb(stats, state)?;
+        }
+        let has_change = state.take()?;
+        match (&mut self.change, has_change) {
+            (None, 0) => Ok(()),
+            (Some(detectors), 1) => {
+                if state.take()? as usize != detectors.len() {
+                    return Err(StateError::Mismatch("MAPS change-detector count"));
+                }
+                for det in detectors.iter_mut() {
+                    let used = det.load_words(state.rest()).map_err(|msg| {
+                        if msg.ends_with("truncated") {
+                            StateError::Truncated
+                        } else {
+                            StateError::Mismatch(msg)
+                        }
+                    })?;
+                    state.advance(used);
+                }
+                Ok(())
+            }
+            _ => Err(StateError::Mismatch("MAPS change-detector presence")),
         }
     }
 }

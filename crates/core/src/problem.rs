@@ -145,6 +145,81 @@ pub trait DemandProbe {
     fn probe(&mut self, cell: CellId, price: f64, n: u64) -> u64;
 }
 
+/// Why restoring a strategy-state snapshot failed
+/// ([`PricingStrategy::load_state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateError {
+    /// The word stream ended before the state was fully restored.
+    Truncated,
+    /// A structural field (ladder length, cell count, detector
+    /// presence, …) disagrees with this instance's configuration: the
+    /// snapshot was taken from a differently-configured strategy.
+    Mismatch(&'static str),
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::Truncated => f.write_str("strategy state stream truncated"),
+            StateError::Mismatch(what) => write!(f, "strategy state mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Borrowing cursor over a strategy-state word stream (the flat `u64`
+/// encoding written by [`PricingStrategy::save_state`]). Floats travel
+/// as raw [`f64::to_bits`] patterns, so a save/load round trip is
+/// bit-exact — the property the service's crash-recovery contract
+/// (recovered outcome ≡ uninterrupted outcome) rests on.
+#[derive(Debug)]
+pub struct StateWords<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> StateWords<'a> {
+    /// A cursor at the start of `words`.
+    pub fn new(words: &'a [u64]) -> Self {
+        Self { words, pos: 0 }
+    }
+
+    /// Takes the next word.
+    pub fn take(&mut self) -> Result<u64, StateError> {
+        let word = self
+            .words
+            .get(self.pos)
+            .copied()
+            .ok_or(StateError::Truncated)?;
+        self.pos += 1;
+        Ok(word)
+    }
+
+    /// Takes the next word as a bit-exact `f64`.
+    pub fn take_f64(&mut self) -> Result<f64, StateError> {
+        self.take().map(f64::from_bits)
+    }
+
+    /// The not-yet-consumed tail of the stream.
+    pub fn rest(&self) -> &'a [u64] {
+        &self.words[self.pos..]
+    }
+
+    /// Advances past `n` words already consumed through [`rest`].
+    ///
+    /// [`rest`]: StateWords::rest
+    pub fn advance(&mut self, n: usize) {
+        self.pos += n;
+        debug_assert!(self.pos <= self.words.len());
+    }
+
+    /// Words remaining.
+    pub fn remaining(&self) -> usize {
+        self.words.len() - self.pos
+    }
+}
+
 /// The interface shared by MAPS and all baselines.
 ///
 /// `Send` is a supertrait so a boxed strategy — and therefore a whole
@@ -169,6 +244,26 @@ pub trait PricingStrategy: Send {
     /// Consumes post-period accept/reject feedback. Default: stateless.
     fn observe(&mut self, feedback: &[Observation]) {
         let _ = feedback;
+    }
+
+    /// Appends the strategy's *mutable learning state* (calibrated base
+    /// price, UCB counters, change-detector windows — everything
+    /// `calibrate`/`observe` mutate; construction parameters are not
+    /// state) to a flat `u64` word stream, floats as raw bit patterns.
+    /// The service's epoch checkpoints persist this alongside the market
+    /// state so a recovered strategy resumes learning bit-identically.
+    /// Default: stateless, nothing to save.
+    fn save_state(&self, out: &mut Vec<u64>) {
+        let _ = out;
+    }
+
+    /// Restores a [`save_state`](PricingStrategy::save_state) snapshot
+    /// into this instance, which must be configured identically to the
+    /// one that saved it (same ladder, cell count, …). Default:
+    /// stateless, nothing to restore.
+    fn load_state(&mut self, state: &mut StateWords<'_>) -> Result<(), StateError> {
+        let _ = state;
+        Ok(())
     }
 }
 

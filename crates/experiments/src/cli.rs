@@ -3,7 +3,7 @@
 
 use crate::panels::{all_panels, panel_by_name, PanelSpec, Scale};
 use crate::report::{print_metric_tables, write_jsonl};
-use crate::runner::{run_panel, RunOptions};
+use crate::runner::{run_panel, run_panel_journaled, JournalOptions, RunOptions};
 use std::path::PathBuf;
 
 /// Parsed command-line options for a figure binary.
@@ -45,6 +45,18 @@ pub struct CliArgs {
     /// interleaving-invariance contract); `0` (the default) keeps the
     /// synchronous serial push path.
     pub producers: usize,
+    /// `--journal DIR`: attach a write-ahead event journal (plus epoch
+    /// checkpoints) to every cell's service replay, one subdirectory of
+    /// DIR per cell (requires `--shards`; rows stay bit-identical — the
+    /// journal is write-path-only). `None` (the default) journals
+    /// nothing.
+    pub journal: Option<PathBuf>,
+    /// `--recover`: resume cells whose journal already exists in the
+    /// `--journal` directory from a previous — possibly crashed — run
+    /// (latest checkpoint + journal-tail replay + remainder of the
+    /// stream) instead of recomputing them. Requires `--journal`; rows
+    /// stay bit-identical (recovery equals uninterrupted).
+    pub recover: bool,
 }
 
 /// Why [`CliArgs::try_parse`] refused an argument list.
@@ -102,6 +114,8 @@ impl CliArgs {
             incremental: defaults.incremental,
             shards: defaults.shards,
             producers: defaults.producers,
+            journal: None,
+            recover: false,
         };
         let mut it = args.into_iter();
         // A flag's value: present, non-flag-shaped, and parseable.
@@ -155,6 +169,11 @@ impl CliArgs {
                         );
                     }
                 }
+                "--journal" => {
+                    parsed.journal =
+                        Some(PathBuf::from(value_of::<String>("--journal", it.next())?))
+                }
+                "--recover" => parsed.recover = true,
                 "--out" => parsed.out_dir = PathBuf::from(value_of::<String>("--out", it.next())?),
                 "--help" | "-h" => return Err(CliError::HelpRequested),
                 other => return Err(format!("unknown argument: {other}").into()),
@@ -168,7 +187,38 @@ impl CliArgs {
                     .into(),
             );
         }
+        if parsed.journal.is_some() && parsed.shards == 0 {
+            return Err(
+                "--journal requires --shards N (the write-ahead journal is a service-path \
+                 feature)"
+                    .to_string()
+                    .into(),
+            );
+        }
+        if parsed.journal.is_some() && parsed.producers > 0 {
+            return Err(
+                "--journal journals the serial service push path; drop --producers"
+                    .to_string()
+                    .into(),
+            );
+        }
+        if parsed.recover && parsed.journal.is_none() {
+            return Err(
+                "--recover requires --journal DIR (there is no journal to recover from)"
+                    .to_string()
+                    .into(),
+            );
+        }
         Ok(parsed)
+    }
+
+    /// The corresponding [`JournalOptions`] when `--journal` was given.
+    pub fn journal_options(&self) -> Option<JournalOptions> {
+        self.journal.as_ref().map(|dir| JournalOptions {
+            dir: dir.clone(),
+            recover: self.recover,
+            checkpoint_every: 4,
+        })
     }
 
     /// The corresponding [`RunOptions`].
@@ -194,7 +244,8 @@ fn usage(bin: &str) -> ! {
     eprintln!(
         "usage: {bin} [--panel KEY] [--quick] [--parallel] [--seeds N] \
          [--out DIR] [--no-memory] [--max-edges K] [--shards N] \
-         [--producers N] [--incremental|--no-incremental]\n\
+         [--producers N] [--journal DIR [--recover]] \
+         [--incremental|--no-incremental]\n\
          panels: w r mu-t mean-s | mu-v sigma-v t g | aw scale beijing1 beijing2 | alpha\n\
          --seeds N           average over N >= 1 seeds (default 1)\n\
          --max-edges K       per-task edge cap of the period graph (default 64)\n\
@@ -205,6 +256,14 @@ fn usage(bin: &str) -> ! {
                              multi-producer ingestion front-end (N >= 1\n\
                              producer threads, requires --shards; rows\n\
                              bit-identical at any N — omit for serial push)\n\
+         --journal DIR       attach a write-ahead event journal + epoch\n\
+                             checkpoints to every cell's service replay, one\n\
+                             subdirectory of DIR per cell (requires --shards;\n\
+                             rows bit-identical — the journal is write-path-only)\n\
+         --recover           resume cells whose journal already exists in the\n\
+                             --journal DIR from a previous (possibly crashed)\n\
+                             run instead of recomputing them; rows bit-identical\n\
+                             (recovery equals uninterrupted)\n\
          --no-incremental    use the retained rescan-and-rebuild period engine\n\
                              (bit-identical revenue/count columns; for A/B\n\
                              timing of the incremental cache)"
@@ -238,7 +297,10 @@ pub fn run_figure(figure: &str, args: &CliArgs) {
             spec.figure, spec.panel, spec.paper_ref, options.scale, options.num_seeds
         );
         let start = std::time::Instant::now();
-        let rows = run_panel(&spec, options);
+        let rows = match args.journal_options() {
+            Some(journal) => run_panel_journaled(&spec, options, &journal),
+            None => run_panel(&spec, options),
+        };
         eprintln!("  done in {:.1}s", start.elapsed().as_secs_f64());
         print_metric_tables(&rows);
         let path = args
@@ -337,6 +399,35 @@ mod tests {
         assert_eq!(parse(&[]).unwrap().producers, 0, "serial push by default");
     }
 
+    /// `--journal` is the durability layer of the sharded service:
+    /// without `--shards` there is no service replay to journal, the
+    /// multi-producer front-end path is not journaled, and `--recover`
+    /// without a journal directory has nothing to recover from — all
+    /// parse errors, not silent fallbacks.
+    #[test]
+    fn journal_flags_are_validated() {
+        assert!(parse(&["--journal", "wal"])
+            .unwrap_err()
+            .contains("requires --shards"));
+        assert!(
+            parse(&["--journal", "wal", "--shards", "2", "--producers", "2"])
+                .unwrap_err()
+                .contains("--producers")
+        );
+        assert!(parse(&["--recover"])
+            .unwrap_err()
+            .contains("requires --journal"));
+        let args = parse(&["--journal", "wal", "--shards", "2", "--recover"]).unwrap();
+        assert_eq!(args.journal.as_deref(), Some(std::path::Path::new("wal")));
+        assert!(args.recover);
+        let journal = args.journal_options().expect("journal options");
+        assert_eq!(journal.dir, PathBuf::from("wal"));
+        assert!(journal.recover);
+        let plain = parse(&[]).unwrap();
+        assert!(plain.journal.is_none() && !plain.recover);
+        assert!(plain.journal_options().is_none());
+    }
+
     /// The satellite regression: value-taking flags at the end of the
     /// line (or followed by another flag) used to be silently ignored —
     /// `--panel` most prominently.
@@ -349,6 +440,7 @@ mod tests {
             &["--shards"],
             &["--out"],
             &["--producers"],
+            &["--journal"],
             &["--panel", "--quick"],
             &["--seeds", "--parallel"],
         ] {

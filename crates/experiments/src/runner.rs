@@ -91,6 +91,100 @@ impl RunOptions {
     }
 }
 
+/// Durability options for [`run_panel_journaled`]: every cell's service
+/// replay writes a write-ahead journal (and epoch checkpoints) into its
+/// own subdirectory of `dir`, and `recover` resumes cells whose journal
+/// already exists from a previous — possibly crashed — run instead of
+/// recomputing them from scratch.
+#[derive(Debug, Clone)]
+pub struct JournalOptions {
+    /// Root directory; each `(panel, x, strategy, seed)` cell journals
+    /// into its own deterministic subdirectory.
+    pub dir: std::path::PathBuf,
+    /// Recover cells with an existing journal (latest checkpoint +
+    /// journal-tail replay + remainder of the stream) instead of
+    /// replaying them from scratch. By the recovery-equals-uninterrupted
+    /// contract the rows are bit-identical either way.
+    pub recover: bool,
+    /// Checkpoint cadence in epochs, forwarded to
+    /// [`maps_service::JournalConfig`].
+    pub checkpoint_every: u32,
+}
+
+impl JournalOptions {
+    /// The journal directory of one cell.
+    fn cell_config(
+        &self,
+        spec: &PanelSpec,
+        x: f64,
+        kind: StrategyKind,
+        seed: u64,
+    ) -> maps_service::JournalConfig {
+        let slug = format!(
+            "{}_{}_x{}_{}_s{seed}",
+            spec.figure,
+            spec.panel,
+            x.to_bits(),
+            kind.name()
+        );
+        maps_service::JournalConfig::new(self.dir.join(slug), self.checkpoint_every)
+    }
+}
+
+/// [`run_panel`] with a write-ahead journal attached to every cell's
+/// service replay (requires `options.shards ≥ 1`; cells run serially —
+/// durability timing would be meaningless with cells contending on
+/// fsync). Rows are bit-identical to the unjournaled panel: the journal
+/// is write-path-only, and a `recover`ed cell replays to the same
+/// outcome as an uninterrupted one.
+pub fn run_panel_journaled(
+    spec: &PanelSpec,
+    options: RunOptions,
+    journal: &JournalOptions,
+) -> Vec<Row> {
+    assert!(
+        options.shards >= 1,
+        "journaling requires the sharded service path (shards >= 1)"
+    );
+    let seeds = options.num_seeds.max(1);
+    let cells: Vec<(f64, StrategyKind)> = spec
+        .xs
+        .iter()
+        .flat_map(|&x| StrategyKind::ALL.into_iter().map(move |k| (x, k)))
+        .collect();
+    cells
+        .iter()
+        .map(|&(x, kind)| {
+            let outcomes: Vec<Outcome> = (0..seeds)
+                .map(|seed| {
+                    let truth = (spec.build)(x, options.scale, seed);
+                    let config = journal.cell_config(spec, x, kind, seed);
+                    if journal.recover && config.journal_path().exists() {
+                        maps_service::replay_recovered(
+                            &truth,
+                            kind,
+                            options.shards,
+                            options.sim_options(),
+                            &config,
+                        )
+                        .unwrap_or_else(|e| panic!("cell recovery failed: {e}"))
+                    } else {
+                        maps_service::replay_journaled(
+                            &truth,
+                            kind,
+                            options.shards,
+                            options.sim_options(),
+                            &config,
+                        )
+                        .unwrap_or_else(|e| panic!("cell journaling failed: {e}"))
+                    }
+                })
+                .collect();
+            aggregate(spec, x, kind, &outcomes)
+        })
+        .collect()
+}
+
 /// Runs one simulation cell, with optional peak-memory accounting.
 fn run_cell(
     spec: &PanelSpec,
@@ -331,6 +425,58 @@ mod tests {
                 "{producers}-producer/{shards}-shard ingested rows diverged from the batch loop"
             );
         }
+    }
+
+    /// Journaling a panel's service replays must leave every
+    /// schedule-independent row column bitwise unchanged (the journal is
+    /// write-path-only), and `--recover` over the completed journals
+    /// must reproduce the same rows again — recovery equals
+    /// uninterrupted, observed at the experiment-harness level.
+    #[test]
+    fn journaled_rows_match_batch_rows_and_recovery_reproduces_them() {
+        let spec = tiny_panel();
+        let base = RunOptions {
+            scale: Scale::Quick,
+            num_seeds: 2,
+            parallel: false,
+            track_memory: false,
+            shards: 2,
+            ..RunOptions::default()
+        };
+        let batch = rows_canon(&run_panel(
+            &spec,
+            RunOptions {
+                shards: 0,
+                parallel: true,
+                ..base
+            },
+        ));
+        let journal = JournalOptions {
+            dir: std::env::temp_dir()
+                .join(format!("maps_experiments_journal_{}", std::process::id())),
+            recover: false,
+            checkpoint_every: 2,
+        };
+        let journaled = run_panel_journaled(&spec, base, &journal);
+        assert_eq!(
+            rows_canon(&journaled),
+            batch,
+            "journaled rows diverged from the batch loop"
+        );
+        let recovered = run_panel_journaled(
+            &spec,
+            base,
+            &JournalOptions {
+                recover: true,
+                ..journal.clone()
+            },
+        );
+        assert_eq!(
+            rows_canon(&recovered),
+            batch,
+            "recovered rows diverged from the batch loop"
+        );
+        let _ = std::fs::remove_dir_all(&journal.dir);
     }
 
     /// The `incremental` toggle must not change any row: the event-queue

@@ -122,6 +122,60 @@ impl ChangeDetector {
         self.cur_tested[idx] = 0;
         self.cur_accepted[idx] = 0;
     }
+
+    /// Appends the detector's mutable state to a flat `u64` word stream
+    /// (per rung: a presence flag + previous-window ratio as raw
+    /// [`f64::to_bits`], then the open window's tallies) — the
+    /// serialization the crash-recovery checkpoints use. Ratios travel
+    /// as bit patterns, so restore is bit-exact.
+    pub fn save_words(&self, out: &mut Vec<u64>) {
+        out.push(self.prev_ratio.len() as u64);
+        for ratio in &self.prev_ratio {
+            match ratio {
+                Some(r) => {
+                    out.push(1);
+                    out.push(r.to_bits());
+                }
+                None => {
+                    out.push(0);
+                    out.push(0);
+                }
+            }
+        }
+        out.extend_from_slice(&self.cur_tested);
+        out.extend_from_slice(&self.cur_accepted);
+    }
+
+    /// Restores state written by [`ChangeDetector::save_words`],
+    /// returning the number of words consumed. Fails on truncation or a
+    /// ladder-length mismatch (the snapshot must come from an
+    /// identically-configured detector).
+    pub fn load_words(&mut self, words: &[u64]) -> Result<usize, &'static str> {
+        let k = self.prev_ratio.len();
+        let need = 1 + 2 * k + 2 * k;
+        let Some(&len) = words.first() else {
+            return Err("ChangeDetector state truncated");
+        };
+        if len as usize != k {
+            return Err("ChangeDetector ladder length mismatch");
+        }
+        if words.len() < need {
+            return Err("ChangeDetector state truncated");
+        }
+        for (i, ratio) in self.prev_ratio.iter_mut().enumerate() {
+            let flag = words[1 + 2 * i];
+            let bits = words[2 + 2 * i];
+            *ratio = match flag {
+                0 => None,
+                _ => Some(f64::from_bits(bits)),
+            };
+        }
+        self.cur_tested
+            .copy_from_slice(&words[1 + 2 * k..1 + 3 * k]);
+        self.cur_accepted
+            .copy_from_slice(&words[1 + 3 * k..1 + 4 * k]);
+        Ok(need)
+    }
 }
 
 #[cfg(test)]

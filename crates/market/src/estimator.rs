@@ -176,6 +176,40 @@ impl UcbStats {
     pub fn is_empty(&self) -> bool {
         self.n.is_empty()
     }
+
+    /// Appends the statistics to a flat `u64` word stream (ladder
+    /// length, then `N(p)` per rung, accepted per rung, then `N`) — the
+    /// serialization the crash-recovery checkpoints use. Every count is
+    /// already a word, so the encoding is exact.
+    pub fn save_words(&self, out: &mut Vec<u64>) {
+        out.push(self.n.len() as u64);
+        out.extend_from_slice(&self.n);
+        out.extend_from_slice(&self.accepted);
+        out.push(self.n_total);
+    }
+
+    /// Restores state written by [`UcbStats::save_words`] into this
+    /// instance, returning the number of words consumed. Fails when the
+    /// stream is truncated or its ladder length differs from this
+    /// instance's (the snapshot must come from an identically-configured
+    /// learner).
+    pub fn load_words(&mut self, words: &[u64]) -> Result<usize, &'static str> {
+        let k = self.n.len();
+        let need = 2 + 2 * k;
+        let Some(&len) = words.first() else {
+            return Err("UcbStats state truncated");
+        };
+        if len as usize != k {
+            return Err("UcbStats ladder length mismatch");
+        }
+        if words.len() < need {
+            return Err("UcbStats state truncated");
+        }
+        self.n.copy_from_slice(&words[1..1 + k]);
+        self.accepted.copy_from_slice(&words[1 + k..1 + 2 * k]);
+        self.n_total = words[1 + 2 * k];
+        Ok(need)
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,13 @@ use maps_simulator::{
 use maps_spatial::{BucketIndex, GridSpec, Point, ShardMap};
 use rayon::prelude::*;
 use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::time::Instant;
+
+use crate::journal::{
+    write_checkpoint_file, JournalConfig, JournalError, JournalRecord, JournalWriter, TICK_PRODUCER,
+};
 
 /// One event of the online stream.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +92,119 @@ impl std::fmt::Display for EventRejection {
 }
 
 impl std::error::Error for EventRejection {}
+
+/// A panic caught inside one shard's parallel tick work
+/// ([`catch_unwind`] isolation). The service is **poisoned** afterwards:
+/// shard state may be mid-mutation, so every further push returns
+/// [`ServiceError::Poisoned`] instead of risking silent corruption —
+/// the typed-error analogue of a crashed process, recoverable through
+/// the journal ([`crate::recovery`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPanic {
+    /// Index of the shard whose closure panicked.
+    pub shard: usize,
+    /// Period whose tick was poisoned.
+    pub period: u32,
+    /// Stringified panic payload (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl std::fmt::Display for ShardPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} panicked during tick {}: {}",
+            self.shard, self.period, self.message
+        )
+    }
+}
+
+impl std::error::Error for ShardPanic {}
+
+/// Why [`ShardedService::try_push`] (or the stamped/journaled admission
+/// paths) refused an event. All variants are `?`-able
+/// ([`std::error::Error`] + [`std::fmt::Display`]).
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Admission validation refused the event (client data error; the
+    /// stream keeps flowing).
+    Rejected(EventRejection),
+    /// A shard panicked during an earlier (or this) tick; the service
+    /// is poisoned and must be recovered from its journal.
+    Poisoned(ShardPanic),
+    /// The write-ahead journal failed (I/O); without durability the
+    /// event cannot be admitted under the recovery contract.
+    Journal(JournalError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Rejected(r) => write!(f, "event rejected: {r}"),
+            ServiceError::Poisoned(p) => write!(f, "service poisoned: {p}"),
+            ServiceError::Journal(e) => write!(f, "journal failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Rejected(r) => Some(r),
+            ServiceError::Poisoned(p) => Some(p),
+            ServiceError::Journal(e) => Some(e),
+        }
+    }
+}
+
+impl From<EventRejection> for ServiceError {
+    fn from(r: EventRejection) -> Self {
+        ServiceError::Rejected(r)
+    }
+}
+
+impl From<JournalError> for ServiceError {
+    fn from(e: JournalError) -> Self {
+        ServiceError::Journal(e)
+    }
+}
+
+/// Renders a caught panic payload for [`ShardPanic::message`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `work` over every shard in parallel under [`catch_unwind`]
+/// isolation, returning the per-shard outputs in shard-id order or the
+/// first (lowest-shard-id) typed [`ShardPanic`]. All per-shard parallel
+/// phases of the tick go through here so *no* shard closure can tear
+/// down the sequencer thread with a raw unwind.
+fn par_shards<T: Send>(
+    shards: &mut [Shard],
+    period: u32,
+    work: impl Fn(usize, &mut Shard) -> T + Sync,
+) -> Result<Vec<T>, ShardPanic> {
+    let mut indexed: Vec<(usize, &mut Shard)> = shards.iter_mut().enumerate().collect();
+    let results: Vec<Result<T, ShardPanic>> = indexed
+        .par_iter_mut()
+        .map(|entry| {
+            let i = entry.0;
+            let shard: &mut Shard = entry.1;
+            catch_unwind(AssertUnwindSafe(|| work(i, shard))).map_err(|payload| ShardPanic {
+                shard: i,
+                period,
+                message: panic_message(payload),
+            })
+        })
+        .collect();
+    results.into_iter().collect()
+}
 
 impl ServiceEvent {
     /// Admission-time validation: checks that the event's geometry and
@@ -338,8 +457,33 @@ pub struct ShardedService {
     /// so observing the live service is a borrow, not a clone.
     outcome: Outcome,
     price_moments: RunningMoments,
-    /// Events dropped by admission validation ([`ServiceEvent::validate`]).
-    rejected_events: u64,
+    // ---- durability & fault tolerance (PR 6) ----
+    /// Per-producer high-water mark `(epoch, seq)` of the last admitted
+    /// event: the idempotence filter for at-least-once producer resends
+    /// after a reconnect. Rejected events advance it too (they *were*
+    /// delivered); suppressed resends count into
+    /// `outcome.suppressed_duplicates` and are not re-journaled.
+    watermarks: Vec<Option<(u64, u64)>>,
+    /// Sequence counter for the serial [`ShardedService::try_push`]
+    /// path (producer 0), reset at each tick so serial stamps mirror
+    /// the ingest layer's per-epoch numbering.
+    serial_seq: u64,
+    /// Attached write-ahead journal, if any.
+    journal: Option<JournalState>,
+    /// Set once a shard closure panicked: the typed-error analogue of a
+    /// crash. Every later push fails with this until recovery.
+    poisoned: Option<ShardPanic>,
+    /// Deterministic fault injection: `(shard, period)` at which the
+    /// shard's next parallel closure panics (testkit `FaultPlan`).
+    shard_fault: Option<(u32, u32)>,
+}
+
+/// The engine's view of an attached journal.
+#[derive(Debug)]
+struct JournalState {
+    writer: JournalWriter,
+    dir: PathBuf,
+    checkpoint_every: u32,
 }
 
 impl ShardedService {
@@ -385,6 +529,8 @@ impl ShardedService {
             mean_posted_price: 0.0,
             posted_price_std: 0.0,
             matched_distance: 0.0,
+            rejected_events: 0,
+            suppressed_duplicates: 0,
         };
         Self {
             grid,
@@ -408,7 +554,11 @@ impl ShardedService {
             edge_arena: Vec::new(),
             outcome,
             price_moments: RunningMoments::new(),
-            rejected_events: 0,
+            watermarks: Vec::new(),
+            serial_seq: 0,
+            journal: None,
+            poisoned: None,
+            shard_fault: None,
         }
     }
 
@@ -447,33 +597,223 @@ impl ShardedService {
     /// [`ShardedService::try_push`]. Arrivals, departures and task
     /// requests stage state; [`ServiceEvent::PeriodTick`] closes the
     /// period.
+    ///
+    /// # Panics
+    /// Panics on a poisoned service or a journal I/O failure — the two
+    /// faults fire-and-forget cannot report. Use
+    /// [`ShardedService::try_push`] where those must be handled.
     pub fn push(&mut self, event: ServiceEvent) {
-        let _ = self.try_push(event);
+        if let Err(e @ (ServiceError::Poisoned(_) | ServiceError::Journal(_))) =
+            self.try_push(event)
+        {
+            panic!("push on a failed service: {e}");
+        }
     }
 
     /// Ingests one event, reporting *why* it was refused when admission
-    /// validation rejects it. A rejected event mutates nothing (in
-    /// particular, a rejected `WorkerArrive` does **not** consume an
-    /// admission id) but is counted in
-    /// [`ShardedService::rejected_events`].
-    pub fn try_push(&mut self, event: ServiceEvent) -> Result<(), EventRejection> {
+    /// refuses it. A [`ServiceError::Rejected`] event mutates nothing
+    /// (in particular, a rejected `WorkerArrive` does **not** consume
+    /// an admission id) but is counted in
+    /// [`ShardedService::rejected_events`]; the stream keeps flowing.
+    /// [`ServiceError::Poisoned`] and [`ServiceError::Journal`] are
+    /// fatal: the service refuses all further events until recovered.
+    ///
+    /// Events are stamped `(producer 0, epoch = current period, seq)`
+    /// with a per-period serial counter, mirroring the ingest layer's
+    /// numbering, so a journaled serial stream recovers exactly like a
+    /// multi-producer one.
+    pub fn try_push(&mut self, event: ServiceEvent) -> Result<(), ServiceError> {
+        match event {
+            ServiceEvent::PeriodTick => {
+                self.push_stamped(TICK_PRODUCER, u64::from(self.period), 0, event)
+            }
+            event => {
+                let seq = self.serial_seq;
+                // The slot is consumed even when admission rejects the
+                // event: the stamp identifies the *delivery*, and a
+                // rejected delivery must not be re-deliverable.
+                self.serial_seq += 1;
+                self.push_stamped(0, u64::from(self.period), seq, event)
+            }
+        }
+    }
+
+    /// Ingests one event carrying explicit `(producer, epoch, seq)`
+    /// coordinates (the ingest sequencer's entry point — serial callers
+    /// want [`ShardedService::try_push`]).
+    ///
+    /// Ordering contract: calls must arrive in the total
+    /// `(epoch, producer, seq)` order. Re-deliveries at or below the
+    /// producer's watermark are suppressed idempotently (counted in
+    /// [`maps_simulator::Outcome::suppressed_duplicates`]) — the
+    /// mechanism that makes at-least-once producer reconnects safe.
+    /// Admitted events are journaled **before** validation, so recovery
+    /// re-counts rejections deterministically.
+    pub fn push_stamped(
+        &mut self,
+        producer: u32,
+        epoch: u64,
+        seq: u64,
+        event: ServiceEvent,
+    ) -> Result<(), ServiceError> {
+        if let Some(panic) = &self.poisoned {
+            return Err(ServiceError::Poisoned(panic.clone()));
+        }
+        if producer == TICK_PRODUCER {
+            debug_assert!(
+                matches!(event, ServiceEvent::PeriodTick),
+                "TICK_PRODUCER is reserved for PeriodTick records"
+            );
+            return self.close_period();
+        }
+        if matches!(event, ServiceEvent::PeriodTick) {
+            return self.close_period();
+        }
+        let lane = producer as usize;
+        if self.watermarks.len() <= lane {
+            self.watermarks.resize(lane + 1, None);
+        }
+        if self.watermarks[lane] >= Some((epoch, seq)) {
+            self.outcome.suppressed_duplicates += 1;
+            return Ok(());
+        }
+        self.watermarks[lane] = Some((epoch, seq));
+        if let Some(journal) = &mut self.journal {
+            journal.writer.append(&JournalRecord {
+                producer,
+                epoch,
+                seq,
+                event,
+            })?;
+        }
+        self.admit(event)
+    }
+
+    /// Validation + dispatch of an already-journaled event.
+    fn admit(&mut self, event: ServiceEvent) -> Result<(), ServiceError> {
         if let Err(rejection) = event.validate() {
-            self.rejected_events += 1;
-            return Err(rejection);
+            self.outcome.rejected_events += 1;
+            return Err(ServiceError::Rejected(rejection));
         }
         match event {
             ServiceEvent::WorkerArrive { worker } => self.worker_arrive(worker),
             ServiceEvent::WorkerDepart { id } => self.worker_depart(id),
             ServiceEvent::TaskRequest { task } => self.pending_tasks.push(task),
-            ServiceEvent::PeriodTick => self.run_tick(),
+            ServiceEvent::PeriodTick => unreachable!("ticks close via close_period"),
         }
         Ok(())
     }
 
+    /// Closes the current period: journals the epoch barrier (making
+    /// the whole epoch durable — flush + fsync — *before* the reducer
+    /// mutates state, the write-ahead ordering), runs the tick, and
+    /// writes an epoch checkpoint on the configured cadence.
+    fn close_period(&mut self) -> Result<(), ServiceError> {
+        let t = self.period;
+        if let Some(journal) = &mut self.journal {
+            journal.writer.append(&JournalRecord {
+                producer: TICK_PRODUCER,
+                epoch: u64::from(t),
+                seq: 0,
+                event: ServiceEvent::PeriodTick,
+            })?;
+            journal.writer.sync()?;
+        }
+        if let Err(panic) = self.run_tick() {
+            self.poisoned = Some(panic.clone());
+            return Err(ServiceError::Poisoned(panic));
+        }
+        self.serial_seq = 0;
+        if let Some(journal) = &self.journal {
+            if self.period.is_multiple_of(journal.checkpoint_every) {
+                self.write_checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Attaches a write-ahead journal, creating (truncating) its file
+    /// and immediately writing a baseline checkpoint of the *current*
+    /// state — including calibrated strategy state, which the journal
+    /// itself never carries. Attach after [`ShardedService::calibrate`]
+    /// and at an epoch boundary (normally: before the first event).
+    pub fn attach_journal(&mut self, config: &JournalConfig) -> Result<(), ServiceError> {
+        std::fs::create_dir_all(&config.dir).map_err(JournalError::Io)?;
+        let writer = JournalWriter::create(&config.journal_path())?;
+        self.journal = Some(JournalState {
+            writer,
+            dir: config.dir.clone(),
+            checkpoint_every: config.checkpoint_every.max(1),
+        });
+        self.write_checkpoint()?;
+        Ok(())
+    }
+
+    /// Re-attaches a journal writer after recovery: the file already
+    /// holds the durable prefix (torn tail truncated by the caller via
+    /// [`JournalWriter::open_append`]); appending continues from there.
+    pub(crate) fn resume_journal(&mut self, writer: JournalWriter, config: &JournalConfig) {
+        self.journal = Some(JournalState {
+            writer,
+            dir: config.dir.clone(),
+            checkpoint_every: config.checkpoint_every.max(1),
+        });
+    }
+
+    /// Writes `checkpoint_<period>.bin` durably (temp + fsync + rename).
+    fn write_checkpoint(&mut self) -> Result<(), ServiceError> {
+        let Some(journal) = &self.journal else {
+            return Ok(());
+        };
+        let words = self.checkpoint_words();
+        write_checkpoint_file(&journal.dir, u64::from(self.period), &words)?;
+        Ok(())
+    }
+
+    /// Arms a deterministic shard panic: the shard's parallel closure
+    /// for the given period panics, exercising the `catch_unwind`
+    /// poisoning path. Testkit `FaultPlan` hook — not a public API
+    /// commitment.
+    #[doc(hidden)]
+    pub fn inject_shard_fault(&mut self, shard: u32, period: u32) {
+        self.shard_fault = Some((shard, period));
+    }
+
+    /// The shard panic that poisoned this service, if any.
+    pub fn poisoned_by(&self) -> Option<&ShardPanic> {
+        self.poisoned.as_ref()
+    }
+
     /// Events dropped by admission validation over the service's
-    /// lifetime (non-finite locations, NaN valuations, …).
+    /// lifetime (non-finite locations, NaN valuations, …). Also
+    /// available as [`maps_simulator::Outcome::rejected_events`].
     pub fn rejected_events(&self) -> u64 {
-        self.rejected_events
+        self.outcome.rejected_events
+    }
+
+    /// Producer resends suppressed by the per-producer watermark (see
+    /// [`ShardedService::push_stamped`]).
+    pub fn suppressed_duplicates(&self) -> u64 {
+        self.outcome.suppressed_duplicates
+    }
+
+    /// The `(epoch, seq)` of the last event admitted (or suppressed
+    /// past) on `producer`'s lane — the coordinate an at-least-once
+    /// producer must resume after. `None` for a lane that never sent.
+    pub fn watermark(&self, producer: u32) -> Option<(u64, u64)> {
+        self.watermarks.get(producer as usize).copied().flatten()
+    }
+
+    /// Aligns the serial [`ShardedService::try_push`] counter with
+    /// producer 0's durable watermark after recovery, so serial callers
+    /// resume stamping exactly past what the journal already holds
+    /// instead of colliding with (and being suppressed by) their own
+    /// pre-crash sends.
+    pub(crate) fn sync_serial_seq(&mut self) {
+        self.serial_seq = match self.watermark(0) {
+            Some((epoch, seq)) if epoch == u64::from(self.period) => seq + 1,
+            _ => 0,
+        };
     }
 
     /// Borrowing snapshot of the outcome accumulated so far — **O(1)**,
@@ -584,7 +924,8 @@ impl ShardedService {
     /// Builds the period's capped bipartite graph from the per-shard
     /// caches, bit-identical to the batch builder on the merged live
     /// set. `stats` are the shards' post-churn `(live, max_radius)`.
-    fn build_graph(&mut self, stats: &[(usize, f64)]) -> BipartiteGraph {
+    /// Per-shard query work is panic-isolated like the churn phase.
+    fn build_graph(&mut self, stats: &[(usize, f64)]) -> Result<BipartiteGraph, ShardPanic> {
         let live_total: usize = stats.iter().map(|s| s.0).sum();
         // Merge the shards' ascending (and mutually disjoint) live-id
         // lists into the global ascending order — identical to the
@@ -641,9 +982,9 @@ impl ShardedService {
                 .map(|(i, t)| (t.origin, i as u32))
                 .collect();
             let task_index = BucketIndex::build(self.grid.region(), &items);
-            self.shards
-                .par_iter_mut()
-                .for_each(|shard| shard.collect_edges(&task_index));
+            par_shards(&mut self.shards, self.period, |_, shard| {
+                shard.collect_edges(&task_index)
+            })?;
             let live_ids = &self.live_ids;
             for shard in &self.shards {
                 for &(t_idx, id) in &shard.edges {
@@ -660,9 +1001,9 @@ impl ShardedService {
             // (the order is total and layout-independent).
             let max_radius = stats.iter().map(|s| s.1).fold(0.0f64, f64::max);
             let tasks = &self.task_inputs;
-            self.shards
-                .par_iter_mut()
-                .for_each(|shard| shard.collect_candidates(tasks, max_radius, k));
+            par_shards(&mut self.shards, self.period, |_, shard| {
+                shard.collect_candidates(tasks, max_radius, k)
+            })?;
             let live_ids = &self.live_ids;
             let merged = &mut self.merge_scratch;
             for t_idx in 0..tasks.len() {
@@ -679,11 +1020,19 @@ impl ShardedService {
         }
         let (graph, arena) = builder.build_recycling();
         self.edge_arena = arena;
-        graph
+        Ok(graph)
     }
 
     /// Closes the current period: the deterministic reduce step.
-    fn run_tick(&mut self) {
+    ///
+    /// Per-shard parallel closures run under [`catch_unwind`], so a
+    /// panicking shard (index bug, poisoned cache, injected fault)
+    /// surfaces as a typed [`ShardPanic`] instead of tearing down the
+    /// sequencer thread or hanging producers; the caller poisons the
+    /// service. The *strategy*'s own panics are deliberately **not**
+    /// caught here — a strategy is caller-supplied code, and its panic
+    /// propagates like any callback's (see `SequencerHandle::join`).
+    fn run_tick(&mut self) -> Result<(), ShardPanic> {
         let t = self.period;
         // 1. Scheduled lifecycle transitions stage their churn.
         self.fire_scheduled(t);
@@ -700,14 +1049,22 @@ impl ShardedService {
 
         // 3. Parallel shard phase: apply staged churn, report live
         //    counts and radii. `collect` preserves shard-id order.
-        let stats: Vec<(usize, f64)> = self
-            .shards
-            .par_iter_mut()
-            .map(Shard::apply_staged)
-            .collect();
+        let fault = match self.shard_fault {
+            Some((shard, period)) if period == t => {
+                self.shard_fault = None;
+                Some(shard)
+            }
+            _ => None,
+        };
+        let stats: Vec<(usize, f64)> = par_shards(&mut self.shards, t, |i, shard| {
+            if fault == Some(i as u32) {
+                panic!("injected shard fault");
+            }
+            shard.apply_staged()
+        })?;
 
         // 4. Shard-merged graph + global period view.
-        let graph = self.build_graph(&stats);
+        let graph = self.build_graph(&stats)?;
         let input = PeriodInput {
             grid: &self.grid,
             tasks: &self.task_inputs,
@@ -785,6 +1142,347 @@ impl ShardedService {
         self.outcome.mean_posted_price = self.price_moments.mean();
         self.outcome.posted_price_std = self.price_moments.population_std();
         self.period = t + 1;
+        Ok(())
+    }
+
+    // ---- checkpoint serialization (see `crate::recovery`) ----
+
+    /// Serializes the complete post-tick state as a flat word stream
+    /// (floats as IEEE-754 bits). Taken at epoch boundaries only, when
+    /// staged *arrivals* are empty by construction; staged departures
+    /// (step 8 of the closing tick) and everything else the next tick
+    /// reads are captured. The layout is private to this crate —
+    /// [`crate::recovery`] is the reader.
+    ///
+    /// Shard-count agnosticism: per-worker shard assignment is **not**
+    /// persisted; live workers and staged departures are re-routed
+    /// through the restoring service's own router, so a checkpoint
+    /// taken at 4 shards restores bit-identically into 1/2/8 shards.
+    pub(crate) fn checkpoint_words(&self) -> Vec<u64> {
+        // Dominated by the per-record and per-live-worker sections;
+        // reserving up front avoids growth copies on ~MB snapshots.
+        let live_total: usize = self.shards.iter().map(|s| s.cache.live_count()).sum();
+        let mut w = Vec::with_capacity(64 + self.records.len() * 2 + live_total * 4);
+        // -- validation header --
+        w.push(self.grid.num_cells() as u64);
+        w.push(self.k as u64);
+        match self.match_policy {
+            MatchPolicy::Consume => {
+                w.push(0);
+                w.push(0);
+            }
+            MatchPolicy::Relocate { speed } => {
+                w.push(1);
+                w.push(speed.to_bits());
+            }
+        }
+        let name = self.strategy.name();
+        w.push(name.len() as u64);
+        w.extend(name.bytes().map(u64::from));
+        w.push(u64::from(self.period));
+        // -- lifecycle records --
+        w.push(self.records.len() as u64);
+        for r in &self.records {
+            w.push(u64::from(r.expires_at));
+            w.push(match r.status {
+                Status::Available => 0,
+                Status::Busy => 1,
+                Status::Gone => 2,
+            });
+        }
+        // -- live workers, global ascending id order --
+        w.push(live_total as u64);
+        let mut live: Vec<u32> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.cache.live_ids().iter().copied())
+            .collect();
+        live.sort_unstable();
+        for id in live {
+            let shard = self.records[id as usize].shard as usize;
+            let input = self.shards[shard]
+                .cache
+                .worker(id)
+                .expect("live id is in its owning shard");
+            w.push(u64::from(id));
+            w.push(input.location.x.to_bits());
+            w.push(input.location.y.to_bits());
+            w.push(input.radius.to_bits());
+        }
+        // -- staged churn (arrivals empty at a boundary; departures =
+        //    the closing tick's matched pairs) --
+        let staged_arrivals: usize = self.shards.iter().map(|s| s.arrivals.len()).sum();
+        debug_assert_eq!(staged_arrivals, 0, "checkpoint off an epoch boundary");
+        w.push(
+            self.shards
+                .iter()
+                .map(|s| s.departures.len())
+                .sum::<usize>() as u64,
+        );
+        for shard in &self.shards {
+            for &id in &shard.departures {
+                w.push(u64::from(id));
+            }
+        }
+        // -- timed schedule --
+        w.push(self.schedule.len() as u64);
+        for (&t, entries) in &self.schedule {
+            w.push(u64::from(t));
+            w.push(entries.len() as u64);
+            for e in entries {
+                match e {
+                    Timed::Expire(id) => {
+                        w.push(0);
+                        w.push(u64::from(*id));
+                    }
+                    Timed::Release(id, input) => {
+                        w.push(1);
+                        w.push(u64::from(*id));
+                        w.push(input.location.x.to_bits());
+                        w.push(input.location.y.to_bits());
+                        w.push(input.radius.to_bits());
+                    }
+                }
+            }
+        }
+        // -- pending tasks (non-empty only if a checkpoint is forced
+        //    mid-window; kept for completeness) --
+        w.push(self.pending_tasks.len() as u64);
+        for t in &self.pending_tasks {
+            w.push(t.origin.x.to_bits());
+            w.push(t.origin.y.to_bits());
+            w.push(t.destination.x.to_bits());
+            w.push(t.destination.y.to_bits());
+            w.push(t.distance.to_bits());
+            w.push(t.valuation.to_bits());
+            w.push(t.cell.0 as u64);
+        }
+        // -- producer watermarks + serial counter --
+        w.push(self.watermarks.len() as u64);
+        for wm in &self.watermarks {
+            match wm {
+                None => {
+                    w.push(0);
+                    w.push(0);
+                    w.push(0);
+                }
+                Some((epoch, seq)) => {
+                    w.push(1);
+                    w.push(*epoch);
+                    w.push(*seq);
+                }
+            }
+        }
+        w.push(self.serial_seq);
+        // -- outcome accumulator (wall-clock columns excluded: they are
+        //    excluded from `deterministic_bits` and restart at zero) --
+        w.push(self.outcome.total_revenue.to_bits());
+        w.push(self.outcome.issued_tasks);
+        w.push(self.outcome.accepted_tasks);
+        w.push(self.outcome.matched_tasks);
+        w.push(self.outcome.revenue_per_period.len() as u64);
+        for r in &self.outcome.revenue_per_period {
+            w.push(r.to_bits());
+        }
+        w.push(self.outcome.mean_posted_price.to_bits());
+        w.push(self.outcome.posted_price_std.to_bits());
+        w.push(self.outcome.matched_distance.to_bits());
+        w.push(self.outcome.rejected_events);
+        w.push(self.outcome.suppressed_duplicates);
+        let (count, mean_bits, m2_bits) = self.price_moments.to_raw();
+        w.push(count);
+        w.push(mean_bits);
+        w.push(m2_bits);
+        // -- strategy learning state --
+        let mut strategy_words = Vec::new();
+        self.strategy.save_state(&mut strategy_words);
+        w.push(strategy_words.len() as u64);
+        w.extend_from_slice(&strategy_words);
+        w
+    }
+
+    /// Restores state written by [`ShardedService::checkpoint_words`]
+    /// into this freshly constructed service. The service must have
+    /// been built with the same grid, edge cap, match policy and
+    /// strategy as the checkpointed one (validated against the header);
+    /// shard count may differ freely.
+    pub(crate) fn restore_from_words(&mut self, words: &[u64]) -> Result<(), &'static str> {
+        let mut r = WordReader { words, pos: 0 };
+        // -- validation header --
+        if r.take()? != self.grid.num_cells() as u64 {
+            return Err("checkpoint grid size mismatch");
+        }
+        if r.take()? != self.k as u64 {
+            return Err("checkpoint edge-cap mismatch");
+        }
+        let (policy_tag, speed_bits) = (r.take()?, r.take()?);
+        let policy_ok = match self.match_policy {
+            MatchPolicy::Consume => policy_tag == 0,
+            MatchPolicy::Relocate { speed } => policy_tag == 1 && speed_bits == speed.to_bits(),
+        };
+        if !policy_ok {
+            return Err("checkpoint match-policy mismatch");
+        }
+        let name_len = r.take()? as usize;
+        let name: Vec<u8> = (0..name_len)
+            .map(|_| r.take().map(|w| w as u8))
+            .collect::<Result<_, _>>()?;
+        if name != self.strategy.name().as_bytes() {
+            return Err("checkpoint strategy mismatch");
+        }
+        self.period = r.take()? as u32;
+        // -- lifecycle records --
+        let n_records = r.take()? as usize;
+        self.records.clear();
+        self.records.reserve(n_records);
+        for _ in 0..n_records {
+            let expires_at = r.take()? as u32;
+            let status = match r.take()? {
+                0 => Status::Available,
+                1 => Status::Busy,
+                2 => Status::Gone,
+                _ => return Err("checkpoint has invalid worker status"),
+            };
+            self.records.push(Record {
+                expires_at,
+                status,
+                shard: 0,
+            });
+        }
+        // -- live workers: re-route by cell into this service's shards
+        //    and rebuild each shard's cache with one batch apply (the
+        //    PR 3 cache contract makes query behavior depend only on
+        //    the live *set*, so this equals the original build) --
+        let live_total = r.take()? as usize;
+        let mut per_shard: Vec<Vec<(u32, WorkerInput)>> = vec![Vec::new(); self.shards.len()];
+        for _ in 0..live_total {
+            let id = r.take()? as u32;
+            let x = r.take_f64()?;
+            let y = r.take_f64()?;
+            let radius = r.take_f64()?;
+            let input = WorkerInput::new(&self.grid, Point::new(x, y), radius);
+            let shard = self.router.shard_of(input.cell) as u32;
+            self.records
+                .get_mut(id as usize)
+                .ok_or("checkpoint live id out of range")?
+                .shard = shard;
+            per_shard[shard as usize].push((id, input));
+        }
+        for (shard, arrivals) in self.shards.iter_mut().zip(&per_shard) {
+            shard.cache.apply(WorkerChurn {
+                arrivals,
+                departures: &[],
+                relocations: &[],
+            });
+        }
+        // -- staged departures: re-route via the live records --
+        let n_departures = r.take()? as usize;
+        for _ in 0..n_departures {
+            let id = r.take()? as u32;
+            let shard = self
+                .records
+                .get(id as usize)
+                .ok_or("checkpoint departure id out of range")?
+                .shard as usize;
+            self.shards[shard].departures.push(id);
+        }
+        // -- timed schedule --
+        let n_keys = r.take()? as usize;
+        self.schedule.clear();
+        for _ in 0..n_keys {
+            let t = r.take()? as u32;
+            let n_entries = r.take()? as usize;
+            let mut entries = Vec::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                entries.push(match r.take()? {
+                    0 => Timed::Expire(r.take()? as u32),
+                    1 => {
+                        let id = r.take()? as u32;
+                        let x = r.take_f64()?;
+                        let y = r.take_f64()?;
+                        let radius = r.take_f64()?;
+                        Timed::Release(id, WorkerInput::new(&self.grid, Point::new(x, y), radius))
+                    }
+                    _ => return Err("checkpoint has invalid schedule entry"),
+                });
+            }
+            self.schedule.insert(t, entries);
+        }
+        // -- pending tasks --
+        let n_pending = r.take()? as usize;
+        self.pending_tasks.clear();
+        for _ in 0..n_pending {
+            self.pending_tasks.push(GroundTask {
+                origin: Point::new(r.take_f64()?, r.take_f64()?),
+                destination: Point::new(r.take_f64()?, r.take_f64()?),
+                distance: r.take_f64()?,
+                valuation: r.take_f64()?,
+                cell: maps_spatial::CellId(r.take()? as u32),
+            });
+        }
+        // -- watermarks + serial counter --
+        let n_watermarks = r.take()? as usize;
+        self.watermarks.clear();
+        for _ in 0..n_watermarks {
+            let flag = r.take()?;
+            let epoch = r.take()?;
+            let seq = r.take()?;
+            self.watermarks.push((flag == 1).then_some((epoch, seq)));
+        }
+        self.serial_seq = r.take()?;
+        // -- outcome accumulator --
+        self.outcome.total_revenue = r.take_f64()?;
+        self.outcome.issued_tasks = r.take()?;
+        self.outcome.accepted_tasks = r.take()?;
+        self.outcome.matched_tasks = r.take()?;
+        let n_periods = r.take()? as usize;
+        self.outcome.revenue_per_period.clear();
+        for _ in 0..n_periods {
+            self.outcome.revenue_per_period.push(r.take_f64()?);
+        }
+        self.outcome.mean_posted_price = r.take_f64()?;
+        self.outcome.posted_price_std = r.take_f64()?;
+        self.outcome.matched_distance = r.take_f64()?;
+        self.outcome.rejected_events = r.take()?;
+        self.outcome.suppressed_duplicates = r.take()?;
+        let (count, mean_bits, m2_bits) = (r.take()?, r.take()?, r.take()?);
+        self.price_moments = RunningMoments::from_raw(count, mean_bits, m2_bits);
+        // -- strategy learning state --
+        let n_strategy = r.take()? as usize;
+        let state_words = r.rest();
+        if state_words.len() != n_strategy {
+            return Err("checkpoint strategy state length mismatch");
+        }
+        let mut state = maps_core::StateWords::new(state_words);
+        self.strategy
+            .load_state(&mut state)
+            .map_err(|_| "checkpoint strategy state rejected")?;
+        if state.remaining() != 0 {
+            return Err("checkpoint strategy state has trailing words");
+        }
+        Ok(())
+    }
+}
+
+/// Bounds-checked cursor over a checkpoint word stream.
+struct WordReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> WordReader<'a> {
+    fn take(&mut self) -> Result<u64, &'static str> {
+        let w = *self.words.get(self.pos).ok_or("checkpoint truncated")?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    fn take_f64(&mut self) -> Result<f64, &'static str> {
+        self.take().map(f64::from_bits)
+    }
+
+    fn rest(&self) -> &'a [u64] {
+        &self.words[self.pos..]
     }
 }
 
@@ -957,40 +1655,45 @@ mod tests {
     #[test]
     fn non_finite_events_are_rejected_at_admission() {
         let mut svc = service(2, MatchPolicy::Consume);
+        let rejection = |result: Result<(), ServiceError>| match result {
+            Err(ServiceError::Rejected(r)) => r,
+            other => panic!("expected a rejection, got {other:?}"),
+        };
         let mut w = worker(1.0, 1.0, u32::MAX);
         w.location = Point::new(f64::NAN, 1.0);
         assert_eq!(
-            svc.try_push(ServiceEvent::WorkerArrive { worker: w }),
-            Err(EventRejection::NonFiniteWorkerLocation)
+            rejection(svc.try_push(ServiceEvent::WorkerArrive { worker: w })),
+            EventRejection::NonFiniteWorkerLocation
         );
         assert_eq!(svc.admitted_workers(), 0, "no admission id consumed");
 
         let mut w = worker(1.0, 1.0, u32::MAX);
         w.radius = f64::INFINITY;
         assert_eq!(
-            svc.try_push(ServiceEvent::WorkerArrive { worker: w }),
-            Err(EventRejection::InvalidWorkerRadius)
+            rejection(svc.try_push(ServiceEvent::WorkerArrive { worker: w })),
+            EventRejection::InvalidWorkerRadius
         );
 
         let mut t = task(1.5, 1.0);
         t.origin = Point::new(1.0, f64::NAN);
         assert_eq!(
-            svc.try_push(ServiceEvent::TaskRequest { task: t }),
-            Err(EventRejection::NonFiniteTaskEndpoint)
+            rejection(svc.try_push(ServiceEvent::TaskRequest { task: t })),
+            EventRejection::NonFiniteTaskEndpoint
         );
         let mut t = task(1.5, 1.0);
         t.distance = 0.0;
         assert_eq!(
-            svc.try_push(ServiceEvent::TaskRequest { task: t }),
-            Err(EventRejection::InvalidTaskDistance)
+            rejection(svc.try_push(ServiceEvent::TaskRequest { task: t })),
+            EventRejection::InvalidTaskDistance
         );
         let mut t = task(1.5, 1.0);
         t.valuation = f64::NAN;
         assert_eq!(
-            svc.try_push(ServiceEvent::TaskRequest { task: t }),
-            Err(EventRejection::NonFiniteTaskValuation)
+            rejection(svc.try_push(ServiceEvent::TaskRequest { task: t })),
+            EventRejection::NonFiniteTaskValuation
         );
         assert_eq!(svc.rejected_events(), 5);
+        assert_eq!(svc.outcome_snapshot().rejected_events, 5);
 
         // The stream keeps flowing: valid events after the rejects work.
         svc.push(ServiceEvent::WorkerArrive {
@@ -1061,6 +1764,120 @@ mod tests {
         }
         let bits = svc.outcome_snapshot().deterministic_bits();
         assert_eq!(svc.into_outcome().deterministic_bits(), bits);
+    }
+
+    /// An injected shard panic must surface as a typed
+    /// [`ServiceError::Poisoned`] from the tick — and poison every
+    /// subsequent push — rather than unwinding through the caller.
+    #[test]
+    fn injected_shard_panic_poisons_with_typed_error() {
+        let mut svc = service(2, MatchPolicy::Consume);
+        svc.inject_shard_fault(1, 0);
+        svc.push(ServiceEvent::WorkerArrive {
+            worker: worker(9.0, 9.0, u32::MAX),
+        });
+        let err = svc.try_push(ServiceEvent::PeriodTick).unwrap_err();
+        let ServiceError::Poisoned(panic) = err else {
+            panic!("expected Poisoned, got {err:?}");
+        };
+        assert_eq!(panic.shard, 1);
+        assert_eq!(panic.period, 0);
+        assert_eq!(panic.message, "injected shard fault");
+        assert_eq!(svc.poisoned_by(), Some(&panic));
+        // Poisoned services refuse everything, loudly.
+        assert!(matches!(
+            svc.try_push(ServiceEvent::WorkerArrive {
+                worker: worker(1.0, 1.0, u32::MAX)
+            }),
+            Err(ServiceError::Poisoned(_))
+        ));
+    }
+
+    /// At-least-once resends at or below a producer's `(epoch, seq)`
+    /// watermark are suppressed idempotently and audited.
+    #[test]
+    fn duplicate_resends_are_suppressed_by_watermark() {
+        let mut svc = service(2, MatchPolicy::Consume);
+        let arrive = ServiceEvent::WorkerArrive {
+            worker: worker(1.0, 1.0, u32::MAX),
+        };
+        svc.push_stamped(0, 0, 0, arrive).unwrap();
+        svc.push_stamped(0, 0, 1, arrive).unwrap();
+        assert_eq!(svc.admitted_workers(), 2);
+        // Re-delivery of both, plus a stale lower seq: all suppressed.
+        svc.push_stamped(0, 0, 0, arrive).unwrap();
+        svc.push_stamped(0, 0, 1, arrive).unwrap();
+        assert_eq!(svc.admitted_workers(), 2, "duplicates not re-admitted");
+        assert_eq!(svc.suppressed_duplicates(), 2);
+        assert_eq!(svc.outcome_snapshot().suppressed_duplicates, 2);
+        // A fresh seq on the same lane is admitted.
+        svc.push_stamped(0, 0, 2, arrive).unwrap();
+        assert_eq!(svc.admitted_workers(), 3);
+        // Other lanes have independent watermarks.
+        svc.push_stamped(3, 0, 0, arrive).unwrap();
+        assert_eq!(svc.admitted_workers(), 4);
+    }
+
+    /// Checkpoint words must capture the *complete* post-tick state: a
+    /// restored service continues bit-identically to the original —
+    /// including staged matched-pair departures, the timed schedule,
+    /// busy relocations and learned strategy state — even when restored
+    /// into a different shard count.
+    #[test]
+    fn checkpoint_words_restore_bit_identically() {
+        let drive = |svc: &mut ShardedService, from: u32, to: u32| {
+            for t in from..to {
+                svc.push(ServiceEvent::WorkerArrive {
+                    worker: worker(1.0 + (t % 7) as f64, 1.0 + (t % 3) as f64, 3),
+                });
+                svc.push(ServiceEvent::WorkerArrive {
+                    worker: worker(8.0 - (t % 5) as f64, 8.0, u32::MAX),
+                });
+                svc.push(ServiceEvent::TaskRequest {
+                    task: task(1.5 + (t % 4) as f64, 1.0),
+                });
+                if t % 3 == 2 {
+                    svc.push(ServiceEvent::WorkerDepart { id: t });
+                }
+                svc.push(ServiceEvent::PeriodTick);
+            }
+        };
+        for policy in [MatchPolicy::Consume, MatchPolicy::Relocate { speed: 0.5 }] {
+            let mut reference = service(2, policy);
+            drive(&mut reference, 0, 4);
+            let words = reference.checkpoint_words();
+            drive(&mut reference, 4, 8);
+            let expected = reference.into_outcome().deterministic_bits();
+            for shards in [1usize, 2, 4] {
+                let mut restored = service(shards, policy);
+                restored.restore_from_words(&words).unwrap();
+                assert_eq!(restored.periods_served(), 4);
+                drive(&mut restored, 4, 8);
+                assert_eq!(
+                    restored.into_outcome().deterministic_bits(),
+                    expected,
+                    "restore into {shards} shards diverged ({policy:?})"
+                );
+            }
+        }
+    }
+
+    /// The validation header refuses checkpoints from a differently
+    /// configured service instead of restoring garbage.
+    #[test]
+    fn checkpoint_header_mismatches_are_rejected() {
+        let mut svc = service(2, MatchPolicy::Consume);
+        svc.push(ServiceEvent::PeriodTick);
+        let words = svc.checkpoint_words();
+        let mut other_policy = service(2, MatchPolicy::Relocate { speed: 1.0 });
+        assert!(other_policy.restore_from_words(&words).is_err());
+        let mut other_strategy =
+            ShardedService::new(grid(), MatchPolicy::Consume, StrategyKind::Maps, config(2));
+        assert!(other_strategy.restore_from_words(&words).is_err());
+        let mut truncated = service(2, MatchPolicy::Consume);
+        assert!(truncated
+            .restore_from_words(&words[..words.len() - 1])
+            .is_err());
     }
 
     #[test]

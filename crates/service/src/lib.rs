@@ -67,15 +67,56 @@
 
 pub mod engine;
 pub mod ingest;
+pub mod journal;
+pub mod recovery;
 pub mod replay;
 
-pub use engine::{EventRejection, ServiceConfig, ServiceEvent, ShardedService};
-pub use ingest::{IngestConfig, IngestService, IngressProducer, SequencerHandle};
-pub use replay::{replay, replay_ingested, replay_with_options};
+pub use engine::{
+    EventRejection, ServiceConfig, ServiceError, ServiceEvent, ShardPanic, ShardedService,
+};
+pub use ingest::{
+    AbandonedLane, IngestConfig, IngestService, IngressProducer, SendError, SequencerHandle,
+    SequencerPanic,
+};
+pub use journal::{
+    read_journal, JournalConfig, JournalError, JournalRecord, JournalWriter, Tail, TICK_PRODUCER,
+};
+pub use recovery::{recover, recover_with_strategy, ProducerAck, Recovered, RecoveryError};
+pub use replay::{
+    replay, replay_ingested, replay_journaled, replay_recovered, replay_service,
+    replay_with_options,
+};
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::engine::{EventRejection, ServiceConfig, ServiceEvent, ShardedService};
-    pub use crate::ingest::{IngestConfig, IngestService, IngressProducer, SequencerHandle};
-    pub use crate::replay::{replay, replay_ingested, replay_with_options};
+    pub use crate::engine::{
+        EventRejection, ServiceConfig, ServiceError, ServiceEvent, ShardPanic, ShardedService,
+    };
+    pub use crate::ingest::{
+        AbandonedLane, IngestConfig, IngestService, IngressProducer, SendError, SequencerHandle,
+        SequencerPanic,
+    };
+    pub use crate::journal::{
+        read_journal, JournalConfig, JournalError, JournalRecord, JournalWriter, Tail,
+        TICK_PRODUCER,
+    };
+    pub use crate::recovery::{
+        recover, recover_with_strategy, ProducerAck, Recovered, RecoveryError,
+    };
+    pub use crate::replay::{
+        replay, replay_ingested, replay_journaled, replay_recovered, replay_service,
+        replay_with_options,
+    };
+}
+
+/// A unique scratch directory under the system temp dir for journal and
+/// checkpoint tests. Each call creates a fresh directory.
+#[cfg(test)]
+pub(crate) fn test_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("maps_service_{tag}_{}_{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
 }

@@ -1,0 +1,445 @@
+//! Crash recovery: latest decodable checkpoint + journal-tail replay.
+//!
+//! The durability contract (see [`crate::journal`]):
+//!
+//! * every admitted event is appended to the write-ahead journal
+//!   **before** it mutates service state, and the whole epoch is
+//!   flushed + fsynced at its [`ServiceEvent::PeriodTick`] barrier;
+//! * on a checkpoint cadence, the full [`ShardedService`] state is
+//!   serialized durably (temp file + fsync + atomic rename) right after
+//!   the tick closes.
+//!
+//! [`recover`] therefore reconstructs the exact pre-crash service:
+//! restore the newest checkpoint that decodes (CRC-checked; a torn
+//! checkpoint silently falls back to the previous one — the journal
+//! covers the gap), then re-drive the journal records whose epoch is at
+//! or past the checkpoint through the ordinary
+//! [`ShardedService::push_stamped`] path. Because the journal holds
+//! events *pre-validation* and ticks as explicit barrier records,
+//! replay re-counts rejections and re-runs the deterministic reducer,
+//! so the recovered [`maps_simulator::Outcome::deterministic_bits`]
+//! equals an uninterrupted run's — at any shard / thread count, which
+//! the `recovery_oracle` crash-at-every-epoch sweep enforces.
+//!
+//! A torn final frame (the crash hit mid-`write`) is detected by the
+//! per-frame CRC, truncated, and reported as [`Tail::Torn`]; the
+//! returned [`ProducerAck`] watermarks tell a supervisor exactly which
+//! `(epoch, seq)` each producer must resend from — resends at or below
+//! the watermark are suppressed idempotently, so at-least-once producer
+//! retry is safe.
+
+use std::path::Path;
+
+use maps_core::{PricingStrategy, StrategyKind};
+use maps_simulator::MatchPolicy;
+use maps_spatial::GridSpec;
+
+use crate::engine::{ServiceConfig, ServiceError, ShardedService};
+use crate::journal::{
+    checkpoint_path, decode_checkpoint, list_checkpoints, read_journal, JournalConfig,
+    JournalError, JournalWriter, Tail, TICK_PRODUCER,
+};
+
+#[cfg(doc)]
+use crate::engine::ServiceEvent;
+
+/// The highest `(epoch, seq)` the journal holds for one producer lane:
+/// the resume point a supervisor hands to
+/// [`crate::ingest::AbandonedLane::reconnect`] (the *next* event is
+/// `seq + 1` within `epoch`, or `(epoch', 0)` for a later epoch —
+/// resending at or below the ack is harmless either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProducerAck {
+    /// Producer lane index.
+    pub producer: u32,
+    /// Epoch of the last durable event from this producer.
+    pub epoch: u64,
+    /// Sequence number of the last durable event from this producer.
+    pub seq: u64,
+}
+
+/// A successfully recovered service plus what recovery learned.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The service, bit-identical to the crashed instance at its last
+    /// durable epoch barrier (plus any staged events journaled after
+    /// it), with the journal re-attached for continued appending.
+    pub service: ShardedService,
+    /// Epoch-barrier (tick) records re-driven from the journal tail.
+    pub epochs_replayed: u32,
+    /// Whether the journal ended clean or with a torn (now truncated)
+    /// final frame.
+    pub tail: Tail,
+    /// Per-producer durable watermarks, ascending by producer id.
+    pub acks: Vec<ProducerAck>,
+}
+
+/// Why recovery failed.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The journal file is missing, unreadable, or not a journal.
+    Journal(JournalError),
+    /// No checkpoint in the journal directory decodes — nothing to
+    /// anchor replay on (the baseline checkpoint is written when the
+    /// journal is attached, so this means the directory was tampered
+    /// with or never initialized).
+    NoCheckpoint,
+    /// The newest decodable checkpoint does not structurally match the
+    /// service being recovered into (different grid, strategy, …).
+    Checkpoint {
+        /// Epoch of the offending checkpoint.
+        epoch: u64,
+        /// What did not match.
+        reason: &'static str,
+    },
+    /// Replaying the journal tail hit a fatal service error (a shard
+    /// panic — a rejection is *not* fatal and is re-counted silently).
+    Replay(ServiceError),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Journal(e) => write!(f, "recovery failed reading journal: {e}"),
+            RecoveryError::NoCheckpoint => f.write_str("recovery found no decodable checkpoint"),
+            RecoveryError::Checkpoint { epoch, reason } => {
+                write!(
+                    f,
+                    "checkpoint {epoch} does not match this service: {reason}"
+                )
+            }
+            RecoveryError::Replay(e) => write!(f, "recovery failed replaying journal tail: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Journal(e) => Some(e),
+            RecoveryError::Replay(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JournalError> for RecoveryError {
+    fn from(e: JournalError) -> Self {
+        RecoveryError::Journal(e)
+    }
+}
+
+/// Recovers a service running one of the paper strategies from the
+/// journal directory in `journal_cfg`. `grid`, `match_policy` and
+/// `kind` must describe the crashed service (they are cross-checked
+/// against the checkpoint header); `config` — including the shard
+/// count — may differ freely: recovery re-routes restored workers
+/// through the new shard map, and the shard-count-invariance contract
+/// keeps the outcome bits identical.
+pub fn recover(
+    grid: GridSpec,
+    match_policy: MatchPolicy,
+    kind: StrategyKind,
+    config: ServiceConfig,
+    journal_cfg: &JournalConfig,
+) -> Result<Recovered, RecoveryError> {
+    recover_with_strategy(
+        grid,
+        match_policy,
+        maps_core::paper_default_strategy(kind, grid.num_cells()),
+        config,
+        journal_cfg,
+    )
+}
+
+/// [`recover`] with a custom strategy instance. The strategy's own
+/// state is overwritten from the checkpoint (so a freshly constructed,
+/// uncalibrated instance is the right thing to pass); only its
+/// [`PricingStrategy::name`] must match the checkpointed one.
+pub fn recover_with_strategy(
+    grid: GridSpec,
+    match_policy: MatchPolicy,
+    strategy: Box<dyn PricingStrategy>,
+    config: ServiceConfig,
+    journal_cfg: &JournalConfig,
+) -> Result<Recovered, RecoveryError> {
+    let journal_path = journal_cfg.journal_path();
+    let contents = read_journal(&journal_path)?;
+
+    let mut service = ShardedService::with_strategy(grid, match_policy, strategy, config);
+    let cp_epoch = restore_newest_checkpoint(&mut service, &journal_cfg.dir)?;
+
+    // Re-drive the tail: every record stamped at or past the checkpoint
+    // epoch. (Events of epoch `e` are stamped while `period == e`; the
+    // checkpoint named `e + 1` is written after tick `e` closes, so the
+    // `>=` filter selects exactly the post-checkpoint suffix.) The
+    // journal is detached during replay — re-driven events must not be
+    // re-appended.
+    let mut epochs_replayed = 0u32;
+    for rec in &contents.records {
+        if rec.epoch < cp_epoch {
+            continue;
+        }
+        if rec.producer == TICK_PRODUCER {
+            epochs_replayed += 1;
+        }
+        match service.push_stamped(rec.producer, rec.epoch, rec.seq, rec.event) {
+            Ok(()) | Err(ServiceError::Rejected(_)) => {}
+            Err(fatal) => return Err(RecoveryError::Replay(fatal)),
+        }
+    }
+
+    // Truncate the torn tail (if any) and continue appending in place.
+    let writer = JournalWriter::open_append(&journal_path, contents.valid_len)?;
+    service.resume_journal(writer, journal_cfg);
+    service.sync_serial_seq();
+
+    let acks = producer_acks(&contents.records);
+    Ok(Recovered {
+        service,
+        epochs_replayed,
+        tail: contents.tail,
+        acks,
+    })
+}
+
+/// Restores the newest checkpoint that decodes *and* structurally
+/// matches, returning its epoch. A CRC-corrupt (torn) checkpoint file
+/// falls back to the next older one — the journal covers the extra
+/// replay distance. A checkpoint that decodes but describes a different
+/// service is a hard error: replaying someone else's journal would
+/// silently produce garbage.
+fn restore_newest_checkpoint(
+    service: &mut ShardedService,
+    dir: &Path,
+) -> Result<u64, RecoveryError> {
+    let epochs = list_checkpoints(dir)?;
+    for &epoch in epochs.iter().rev() {
+        let bytes = match std::fs::read(checkpoint_path(dir, epoch)) {
+            Ok(bytes) => bytes,
+            Err(_) => continue,
+        };
+        let words = match decode_checkpoint(&bytes) {
+            Ok(words) => words,
+            // Torn/garbled checkpoint: fall back to an older one.
+            Err(JournalError::Corrupt(_)) | Err(JournalError::BadMagic) => continue,
+            Err(e) => return Err(e.into()),
+        };
+        return match service.restore_from_words(&words) {
+            Ok(()) => {
+                debug_assert_eq!(u64::from(service.periods_served()), epoch);
+                Ok(epoch)
+            }
+            Err(reason) => Err(RecoveryError::Checkpoint { epoch, reason }),
+        };
+    }
+    Err(RecoveryError::NoCheckpoint)
+}
+
+/// Per-producer maximum `(epoch, seq)` over the durable records —
+/// identical to the recovered service's internal watermarks, exposed
+/// for supervisor-driven producer reconnection.
+fn producer_acks(records: &[crate::journal::JournalRecord]) -> Vec<ProducerAck> {
+    let mut acks: Vec<ProducerAck> = Vec::new();
+    for rec in records {
+        if rec.producer == TICK_PRODUCER {
+            continue;
+        }
+        match acks.iter_mut().find(|a| a.producer == rec.producer) {
+            Some(ack) => {
+                if (rec.epoch, rec.seq) > (ack.epoch, ack.seq) {
+                    ack.epoch = rec.epoch;
+                    ack.seq = rec.seq;
+                }
+            }
+            None => acks.push(ProducerAck {
+                producer: rec.producer,
+                epoch: rec.epoch,
+                seq: rec.seq,
+            }),
+        }
+    }
+    acks.sort_unstable_by_key(|a| a.producer);
+    acks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServiceEvent;
+    use crate::journal::JOURNAL_FILE;
+    use maps_simulator::{GroundWorker, MatchPolicy};
+    use maps_spatial::{Point, Rect};
+
+    fn grid() -> GridSpec {
+        GridSpec::square(Rect::square(10.0), 2)
+    }
+
+    fn worker(x: f64) -> GroundWorker {
+        GroundWorker {
+            location: Point::new(x, x),
+            radius: 5.0,
+            duration: 4,
+        }
+    }
+
+    fn config(shards: usize) -> ServiceConfig {
+        ServiceConfig {
+            shards,
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn journaled_service(dir: &std::path::Path) -> (ShardedService, JournalConfig) {
+        let cfg = JournalConfig::new(dir, 1);
+        let mut svc =
+            ShardedService::new(grid(), MatchPolicy::Consume, StrategyKind::Sdr, config(2));
+        svc.attach_journal(&cfg).unwrap();
+        (svc, cfg)
+    }
+
+    #[test]
+    fn missing_journal_is_a_journal_error() {
+        let dir = crate::test_dir("recover_missing");
+        let cfg = JournalConfig::new(&dir, 1);
+        let err = recover(
+            grid(),
+            MatchPolicy::Consume,
+            StrategyKind::Sdr,
+            config(1),
+            &cfg,
+        )
+        .expect_err("nothing to recover");
+        assert!(matches!(err, RecoveryError::Journal(JournalError::Io(_))));
+        assert!(err.to_string().contains("journal"));
+    }
+
+    #[test]
+    fn journal_without_checkpoints_reports_no_checkpoint() {
+        let dir = crate::test_dir("recover_no_ckp");
+        let (_svc, cfg) = journaled_service(&dir);
+        for epoch in list_checkpoints(&dir).unwrap() {
+            std::fs::remove_file(checkpoint_path(&dir, epoch)).unwrap();
+        }
+        let err = recover(
+            grid(),
+            MatchPolicy::Consume,
+            StrategyKind::Sdr,
+            config(1),
+            &cfg,
+        )
+        .expect_err("no checkpoints left");
+        assert!(matches!(err, RecoveryError::NoCheckpoint));
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_to_older() {
+        let dir = crate::test_dir("recover_fallback");
+        let (mut svc, cfg) = journaled_service(&dir);
+        for period in 0..3 {
+            svc.push(ServiceEvent::WorkerArrive {
+                worker: worker(1.0 + f64::from(period)),
+            });
+            svc.push(ServiceEvent::PeriodTick);
+        }
+        let uninterrupted = svc.into_outcome().deterministic_bits();
+        // Garble the newest checkpoint (epoch 3): flip a payload byte.
+        let newest = *list_checkpoints(&dir).unwrap().last().unwrap();
+        assert_eq!(newest, 3);
+        let path = checkpoint_path(&dir, newest);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, bytes).unwrap();
+
+        let recovered = recover(
+            grid(),
+            MatchPolicy::Consume,
+            StrategyKind::Sdr,
+            config(4),
+            &cfg,
+        )
+        .unwrap();
+        // Fell back to checkpoint 2 and replayed the final epoch.
+        assert_eq!(recovered.epochs_replayed, 1);
+        assert_eq!(recovered.tail, Tail::Clean);
+        assert_eq!(recovered.service.periods_served(), 3);
+        assert_eq!(
+            recovered.service.into_outcome().deterministic_bits(),
+            uninterrupted
+        );
+    }
+
+    #[test]
+    fn mismatched_world_is_a_hard_checkpoint_error() {
+        let dir = crate::test_dir("recover_mismatch");
+        let (_svc, cfg) = journaled_service(&dir);
+        let other_grid = GridSpec::square(Rect::square(10.0), 3);
+        let err = recover(
+            other_grid,
+            MatchPolicy::Consume,
+            StrategyKind::Sdr,
+            config(1),
+            &cfg,
+        )
+        .expect_err("grid mismatch must not replay");
+        assert!(
+            matches!(err, RecoveryError::Checkpoint { epoch: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appending_resumes() {
+        let dir = crate::test_dir("recover_torn");
+        let (mut svc, cfg) = journaled_service(&dir);
+        svc.push(ServiceEvent::WorkerArrive {
+            worker: worker(1.0),
+        });
+        svc.push(ServiceEvent::PeriodTick);
+        svc.push(ServiceEvent::WorkerArrive {
+            worker: worker(2.0),
+        });
+        drop(svc);
+        // Tear the final frame: chop 3 bytes off the journal.
+        let path = dir.join(JOURNAL_FILE);
+        let len = std::fs::metadata(&path).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+
+        let recovered = recover(
+            grid(),
+            MatchPolicy::Consume,
+            StrategyKind::Sdr,
+            config(2),
+            &cfg,
+        )
+        .unwrap();
+        assert!(matches!(recovered.tail, Tail::Torn { .. }));
+        // Epoch 0's barrier was durable; the worker staged after it was
+        // torn off, so only the first arrival survives.
+        assert_eq!(recovered.service.periods_served(), 1);
+        assert_eq!(recovered.service.admitted_workers(), 1);
+        assert_eq!(
+            recovered.acks,
+            vec![ProducerAck {
+                producer: 0,
+                epoch: 0,
+                seq: 0,
+            }]
+        );
+        // The truncated journal accepts appends again.
+        let mut svc = recovered.service;
+        svc.push(ServiceEvent::WorkerArrive {
+            worker: worker(2.0),
+        });
+        svc.push(ServiceEvent::PeriodTick);
+        assert_eq!(svc.periods_served(), 2);
+        let reread = read_journal(&path).unwrap();
+        assert_eq!(reread.tail, Tail::Clean);
+    }
+}

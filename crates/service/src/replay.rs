@@ -10,8 +10,9 @@
 //! thread count. The shard-sweep test (`tests/replay_oracle.rs`) and
 //! the root proptest churn stream enforce exactly that.
 
-use crate::engine::{ServiceConfig, ServiceEvent, ShardedService};
+use crate::engine::{ServiceConfig, ServiceError, ServiceEvent, ShardedService};
 use crate::ingest::{chunk_bounds, IngestConfig, IngestService};
+use crate::journal::JournalConfig;
 use maps_core::StrategyKind;
 use maps_simulator::{GroundTruth, GroundTruthProbe, Outcome, SimOptions};
 
@@ -47,9 +48,90 @@ pub fn replay_with_options(
     service.into_outcome()
 }
 
+/// [`replay_with_options`] with a write-ahead journal attached: every
+/// event is journaled before it mutates state and each epoch is made
+/// durable (flush + fsync) at its tick, with checkpoints on the
+/// configured cadence. The outcome is bit-identical to the unjournaled
+/// replay — the journal is write-path-only — which doubles as the
+/// apples-to-apples driver for the `journal_throughput` benchmark.
+pub fn replay_journaled(
+    truth: &GroundTruth,
+    kind: StrategyKind,
+    shards: usize,
+    options: SimOptions,
+    journal: &JournalConfig,
+) -> Result<Outcome, ServiceError> {
+    let mut service = replay_service(truth, kind, shards, options);
+    service.attach_journal(journal)?;
+    for period in &truth.periods {
+        for &worker in &period.workers {
+            service.try_push(ServiceEvent::WorkerArrive { worker })?;
+        }
+        for &task in &period.tasks {
+            service.try_push(ServiceEvent::TaskRequest { task })?;
+        }
+        service.try_push(ServiceEvent::PeriodTick)?;
+    }
+    Ok(service.into_outcome())
+}
+
+/// Resumes a crashed [`replay_journaled`] run: recovers the service
+/// from the journal directory (latest checkpoint + journal-tail
+/// replay), then streams the not-yet-durable remainder of `truth` —
+/// from producer lane 0's recovered watermark within the current epoch,
+/// then every later period — and returns the finished outcome. By the
+/// recovery-equals-uninterrupted contract the result is bit-identical
+/// to the run that never crashed; on a journal that already covers the
+/// whole stream this replays to the same outcome without re-sending
+/// anything. The strategy state (including any pre-crash calibration)
+/// comes from the checkpoint, so `options.calibrate` is not consulted.
+pub fn replay_recovered(
+    truth: &GroundTruth,
+    kind: StrategyKind,
+    shards: usize,
+    options: SimOptions,
+    journal: &JournalConfig,
+) -> Result<Outcome, crate::recovery::RecoveryError> {
+    let config = ServiceConfig {
+        shards,
+        max_edges_per_task: options.max_edges_per_task,
+        expected_workers: truth.total_workers().max(1),
+    };
+    let recovered =
+        crate::recovery::recover(truth.grid, truth.match_policy, kind, config, journal)?;
+    let mut service = recovered.service;
+    let served = service.periods_served() as usize;
+    let resume_start = match service.watermark(0) {
+        Some((epoch, seq)) if epoch == served as u64 => seq as usize + 1,
+        _ => 0,
+    };
+    for (i, period) in truth.periods.iter().enumerate().skip(served) {
+        let n_workers = period.workers.len();
+        let start = if i == served { resume_start } else { 0 };
+        for j in start..n_workers + period.tasks.len() {
+            let event = if j < n_workers {
+                ServiceEvent::WorkerArrive {
+                    worker: period.workers[j],
+                }
+            } else {
+                ServiceEvent::TaskRequest {
+                    task: period.tasks[j - n_workers],
+                }
+            };
+            service
+                .try_push(event)
+                .map_err(crate::recovery::RecoveryError::Replay)?;
+        }
+        service
+            .try_push(ServiceEvent::PeriodTick)
+            .map_err(crate::recovery::RecoveryError::Replay)?;
+    }
+    Ok(service.into_outcome())
+}
+
 /// A calibrated service sized for replaying `truth` (shared by the
 /// serial and the multi-producer replay drivers).
-fn replay_service(
+pub fn replay_service(
     truth: &GroundTruth,
     kind: StrategyKind,
     shards: usize,
@@ -120,7 +202,9 @@ pub fn replay_ingested(
                 }
             });
         }
-        ingest.sequence(&mut service);
+        ingest
+            .sequence(&mut service)
+            .expect("replay streams contain no fatal faults");
     });
     service.into_outcome()
 }
@@ -151,6 +235,33 @@ mod tests {
                 "{shards}-shard replay diverged from the batch simulator"
             );
         }
+    }
+
+    /// A journaled replay is write-path-only (bits match the unjournaled
+    /// run), and resuming from its complete journal replays to the same
+    /// outcome without pushing anything new.
+    #[test]
+    fn journaled_replay_and_complete_recovery_match() {
+        let world = SyntheticConfig::paper_default()
+            .with_num_workers(30)
+            .with_num_tasks(90)
+            .with_periods(5)
+            .with_grid_side(3)
+            .build(7);
+        let options = SimOptions {
+            calibrate: false,
+            ..SimOptions::default()
+        };
+        let dir = crate::test_dir("replay_recovered");
+        let journal = JournalConfig::new(&dir, 2);
+        let plain = replay_with_options(&world, StrategyKind::Maps, 2, options);
+        let journaled = replay_journaled(&world, StrategyKind::Maps, 2, options, &journal)
+            .expect("journaled replay");
+        assert_eq!(journaled.deterministic_bits(), plain.deterministic_bits());
+        let resumed = replay_recovered(&world, StrategyKind::Maps, 3, options, &journal)
+            .expect("recovery from a complete journal");
+        assert_eq!(resumed.deterministic_bits(), plain.deterministic_bits());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -121,9 +121,11 @@ fn ingested_epoch_bits(
                 interleaver.finished(p);
             });
         }
-        ingest.sequence_with(&mut service, |_, live| {
-            epoch_bits.push(live.outcome_snapshot().deterministic_bits());
-        });
+        ingest
+            .sequence_with(&mut service, |_, live| {
+                epoch_bits.push(live.outcome_snapshot().deterministic_bits());
+            })
+            .expect("oracle streams contain no fatal faults");
     });
     (service.into_outcome().deterministic_bits(), epoch_bits)
 }

@@ -64,6 +64,22 @@ impl RunningMoments {
             (self.m2 / self.count as f64).sqrt()
         }
     }
+
+    /// Exact internal state `(count, mean bits, M₂ bits)` for
+    /// checkpointing; [`RunningMoments::from_raw`] restores it
+    /// bit-identically.
+    pub fn to_raw(&self) -> (u64, u64, u64) {
+        (self.count, self.mean.to_bits(), self.m2.to_bits())
+    }
+
+    /// Rebuilds an accumulator from [`RunningMoments::to_raw`] output.
+    pub fn from_raw(count: u64, mean_bits: u64, m2_bits: u64) -> Self {
+        Self {
+            count,
+            mean: f64::from_bits(mean_bits),
+            m2: f64::from_bits(m2_bits),
+        }
+    }
 }
 
 /// Aggregate result of one simulated run.
@@ -101,6 +117,15 @@ pub struct Outcome {
     pub posted_price_std: f64,
     /// Total travel distance of served tasks (`Σ d_r` over matches).
     pub matched_distance: f64,
+    /// Events the service's front door rejected (unknown worker ids,
+    /// duplicate arrivals, …). `0` for the batch simulator, which never
+    /// constructs invalid events. Deterministic: a pure function of the
+    /// admitted event stream, so it participates in the replay contract.
+    pub rejected_events: u64,
+    /// Re-sent events dropped by the per-producer `(epoch, seq)`
+    /// watermark during at-least-once recovery handoff. `0` for the
+    /// batch simulator and for any run without producer retries.
+    pub suppressed_duplicates: u64,
 }
 
 impl Outcome {
@@ -175,8 +200,10 @@ impl Outcome {
             mean_posted_price,
             posted_price_std,
             matched_distance,
+            rejected_events,
+            suppressed_duplicates,
         } = self;
-        let mut out = Vec::with_capacity(16 + strategy.len() + revenue_per_period.len());
+        let mut out = Vec::with_capacity(18 + strategy.len() + revenue_per_period.len());
         out.push(strategy.len() as u64);
         out.extend(strategy.bytes().map(u64::from));
         out.push(total_revenue.to_bits());
@@ -188,6 +215,8 @@ impl Outcome {
         out.push(mean_posted_price.to_bits());
         out.push(posted_price_std.to_bits());
         out.push(matched_distance.to_bits());
+        out.push(*rejected_events);
+        out.push(*suppressed_duplicates);
         out
     }
 }
@@ -211,6 +240,8 @@ mod tests {
             mean_posted_price: 2.0,
             posted_price_std: 0.4,
             matched_distance: 60.0,
+            rejected_events: 3,
+            suppressed_duplicates: 1,
         }
     }
 
@@ -270,6 +301,8 @@ mod tests {
             |o: &mut Outcome| o.mean_posted_price = -o.mean_posted_price,
             |o: &mut Outcome| o.posted_price_std += f64::EPSILON,
             |o: &mut Outcome| o.matched_distance += 1.0,
+            |o: &mut Outcome| o.rejected_events += 1,
+            |o: &mut Outcome| o.suppressed_duplicates += 1,
         ] {
             let mut changed = base.clone();
             mutate(&mut changed);

@@ -335,6 +335,8 @@ impl Simulation {
             mean_posted_price: 0.0,
             posted_price_std: 0.0,
             matched_distance: 0.0,
+            rejected_events: 0,
+            suppressed_duplicates: 0,
         };
         // Posted-price moments via Welford's algorithm (see
         // [`RunningMoments`]): the naive Σx/Σx² finish cancels

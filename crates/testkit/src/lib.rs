@@ -362,6 +362,110 @@ impl Interleaver {
     }
 }
 
+/// One deterministic fault scenario drawn from a [`FaultPlan`].
+///
+/// The plan is pure data: it names *where* a crash-recovery test should
+/// inject its fault (which producer dies, after how many events, which
+/// journal bytes tear, which shard panics), and the test maps that onto
+/// the service's public hooks (`IngressProducer::abandon`, truncating
+/// the journal file, `ShardedService::inject_shard_fault`, a panicking
+/// strategy wrapper). Keeping the plan seeded and service-agnostic
+/// means every CI run exercises the same fault schedule bit-for-bit —
+/// a failing seed is a reproducible bug report, not a flake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Producer `producer` dies mid-epoch `epoch` after sending
+    /// `events_sent` of its events for that epoch (so it never votes
+    /// for the epoch barrier). A supervisor later reconnects the lane
+    /// at the service's acked watermark.
+    ProducerKill {
+        /// Lane of the victim.
+        producer: u32,
+        /// Epoch the victim dies in.
+        epoch: u32,
+        /// Events of that epoch the victim managed to send first.
+        events_sent: u32,
+    },
+    /// The sequencer/service process dies right after epoch `epoch`'s
+    /// barrier tick becomes durable — the crash-at-epoch-boundary case.
+    SequencerDeath {
+        /// Last epoch whose tick completed before the crash.
+        epoch: u32,
+    },
+    /// The crash tears the final journal frame: `bytes` trailing bytes
+    /// of the file are lost (never a whole frame — the point is an
+    /// *invalid* trailing frame that recovery must truncate).
+    TornTail {
+        /// Epoch in whose tail the torn write happens.
+        epoch: u32,
+        /// Trailing bytes chopped off the journal file.
+        bytes: u32,
+    },
+    /// Shard `shard` panics inside the parallel tick closing `epoch`,
+    /// poisoning the service (typed error), which is then recovered
+    /// from the journal.
+    ShardPanic {
+        /// Shard whose closure panics.
+        shard: u32,
+        /// Epoch whose tick is poisoned.
+        epoch: u32,
+    },
+}
+
+/// Seeded generator of [`Fault`] scenarios over a fixed topology
+/// (`producers` lanes × `shards` shards × `epochs` periods).
+///
+/// Draws cycle through the four fault kinds so any non-trivial draw
+/// count covers every kind, while the victims/offsets walk a
+/// deterministic [`XorShift`] stream.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rng: XorShift,
+    producers: u32,
+    shards: u32,
+    epochs: u32,
+    draws: u32,
+}
+
+impl FaultPlan {
+    /// A plan for the given topology. `producers`, `shards` and
+    /// `epochs` must all be ≥ 1.
+    pub fn new(seed: u64, producers: u32, shards: u32, epochs: u32) -> Self {
+        assert!(producers >= 1 && shards >= 1 && epochs >= 1);
+        Self {
+            // Avoid the all-zero xorshift fixed point.
+            rng: XorShift(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
+            producers,
+            shards,
+            epochs,
+            draws: 0,
+        }
+    }
+
+    /// Draws the next fault scenario.
+    pub fn next_fault(&mut self) -> Fault {
+        let kind = self.draws % 4;
+        self.draws += 1;
+        let epoch = (self.rng.next_u64() % u64::from(self.epochs)) as u32;
+        match kind {
+            0 => Fault::ProducerKill {
+                producer: (self.rng.next_u64() % u64::from(self.producers)) as u32,
+                epoch,
+                events_sent: (self.rng.next_u64() % 4) as u32,
+            },
+            1 => Fault::SequencerDeath { epoch },
+            2 => Fault::TornTail {
+                epoch,
+                bytes: 1 + (self.rng.next_u64() % 16) as u32,
+            },
+            _ => Fault::ShardPanic {
+                shard: (self.rng.next_u64() % u64::from(self.shards)) as u32,
+                epoch,
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +587,41 @@ mod tests {
         assert_eq!(order[0], (0, 0));
         assert_eq!(order[1], (1, 0));
         assert_eq!(&order[2..], &[(0, 1), (0, 2), (0, 3)]);
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_covers_every_kind() {
+        let draw = |seed: u64| {
+            let mut plan = FaultPlan::new(seed, 4, 8, 8);
+            (0..8).map(|_| plan.next_fault()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42), "same seed, same schedule");
+        assert_ne!(draw(42), draw(43), "different seeds differ");
+        let faults = draw(7);
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f, Fault::ProducerKill { .. })));
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f, Fault::SequencerDeath { .. })));
+        assert!(faults.iter().any(|f| matches!(f, Fault::TornTail { .. })));
+        assert!(faults.iter().any(|f| matches!(f, Fault::ShardPanic { .. })));
+        for f in &faults {
+            match *f {
+                Fault::ProducerKill {
+                    producer,
+                    epoch,
+                    events_sent,
+                } => {
+                    assert!(producer < 4 && epoch < 8 && events_sent < 4);
+                }
+                Fault::SequencerDeath { epoch } => assert!(epoch < 8),
+                Fault::TornTail { epoch, bytes } => {
+                    assert!(epoch < 8 && (1..=16).contains(&bytes));
+                }
+                Fault::ShardPanic { shard, epoch } => assert!(shard < 8 && epoch < 8),
+            }
+        }
     }
 
     #[test]
