@@ -32,6 +32,13 @@
 //! unbenchmarked (and, for the service, ingestion and journal rows,
 //! un-cross-checked against their serial oracles), so a missing
 //! required row fails the gate outright.
+//!
+//! One rule is **absolute** rather than trend-relative (PR 7): if the
+//! candidate's `ingest_throughput` row ran with ≥ 2 producers, its
+//! `speedup_vs_serial` must be present and ≥ 1.0. The multi-producer
+//! front door being slower than serial push is the regression that
+//! motivated the PR-7 ring rewrite; it needs no baseline file because
+//! the serial push measured inside the same report is the baseline.
 
 use serde::Value;
 
@@ -61,6 +68,44 @@ fn check_required(candidate: &Value) -> Vec<Regression> {
 /// One gate violation, human-readable.
 #[derive(Debug, PartialEq)]
 struct Regression(String);
+
+/// PR-7 absolute bar: a multi-producer ingestion front-end that is
+/// slower than simply pushing the same events serially has no reason to
+/// exist, yet that exact regression shipped in PR 5 and survived two
+/// PRs because nothing measured it. If the candidate's
+/// `ingest_throughput` row ran with ≥ 2 producers, its
+/// `speedup_vs_serial` must be present and ≥ 1.0. (Single-producer
+/// configurations are exempt: one lane through a ring cannot beat a
+/// direct function call, and the row would only be measuring queue
+/// overhead.) Unlike the trend rules this needs no baseline — the
+/// serial push measured in the same report *is* the baseline.
+fn check_ingest_speedup(candidate: &Value) -> Vec<Regression> {
+    let Some(row) = candidate
+        .get("kernels")
+        .and_then(|k| k.get("ingest_throughput"))
+    else {
+        return Vec::new(); // absence is already a required-row failure
+    };
+    let Some(Value::Number(producers)) = row.get("producers") else {
+        return vec![Regression(
+            "ingest_throughput row has no `producers` field — wrong schema?".to_string(),
+        )];
+    };
+    if *producers < 2.0 {
+        return Vec::new();
+    }
+    match row.get("speedup_vs_serial") {
+        Some(Value::Number(speedup)) if *speedup >= 1.0 => Vec::new(),
+        Some(Value::Number(speedup)) => vec![Regression(format!(
+            "ingest_throughput: {producers:.0}-producer ingestion runs at {speedup:.3}x \
+             serial push (must be >= 1.0x) — the front door is slower than no front door"
+        ))],
+        _ => vec![Regression(format!(
+            "ingest_throughput: {producers:.0}-producer row has no `speedup_vs_serial` \
+             field — the serial-push bar is unmeasured"
+        ))],
+    }
+}
 
 /// Compares two reports; returns (regressions, notes).
 fn compare_reports(baseline: &Value, candidate: &Value) -> (Vec<Regression>, Vec<String>) {
@@ -155,8 +200,10 @@ fn main() {
             .expect("usage: bench_gate CANDIDATE.json [BASELINE.json]"),
     );
     let candidate = load(&candidate_path);
-    // Required rows are gated even without a baseline to compare against.
+    // Required rows and the serial-push bar are gated even without a
+    // baseline to compare against.
     let mut regressions = check_required(&candidate);
+    regressions.extend(check_ingest_speedup(&candidate));
     let baseline_path = match args.next() {
         Some(p) => Some(std::path::PathBuf::from(p)),
         None => default_baseline(&candidate_path),
@@ -358,5 +405,70 @@ mod tests {
     #[test]
     fn required_check_rejects_missing_kernels_object() {
         assert_eq!(check_required(&Value::Null).len(), 1);
+    }
+
+    fn ingest_row(fields: &[(&str, Value)]) -> Value {
+        report("ingest_throughput", fields)
+    }
+
+    /// The PR-7 absolute bar: multi-producer ingestion below 1.0x serial
+    /// push fails regardless of any baseline file.
+    #[test]
+    fn multi_producer_ingest_below_serial_push_fails() {
+        let cand = ingest_row(&[
+            ("producers", 4.0.to_value()),
+            ("speedup_vs_serial", 0.85.to_value()),
+        ]);
+        let regressions = check_ingest_speedup(&cand);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].0.contains("0.850x"));
+    }
+
+    #[test]
+    fn multi_producer_ingest_at_or_above_serial_push_passes() {
+        for speedup in [1.0, 1.02, 3.5] {
+            let cand = ingest_row(&[
+                ("producers", 2.0.to_value()),
+                ("speedup_vs_serial", speedup.to_value()),
+            ]);
+            assert!(check_ingest_speedup(&cand).is_empty(), "at {speedup}x");
+        }
+    }
+
+    /// A ≥2-producer row that never measured the serial baseline is as
+    /// bad as one that failed it: the bar is unenforceable.
+    #[test]
+    fn multi_producer_ingest_without_speedup_field_fails() {
+        let cand = ingest_row(&[("producers", 4.0.to_value())]);
+        let regressions = check_ingest_speedup(&cand);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].0.contains("speedup_vs_serial"));
+    }
+
+    /// One lane through a ring cannot beat a direct call; the bar only
+    /// applies from 2 producers up.
+    #[test]
+    fn single_producer_ingest_is_exempt_from_the_serial_bar() {
+        let cand = ingest_row(&[
+            ("producers", 1.0.to_value()),
+            ("speedup_vs_serial", 0.6.to_value()),
+        ]);
+        assert!(check_ingest_speedup(&cand).is_empty());
+    }
+
+    #[test]
+    fn ingest_row_without_producers_field_fails_the_speedup_check() {
+        let cand = ingest_row(&[("speedup_vs_serial", 1.5.to_value())]);
+        let regressions = check_ingest_speedup(&cand);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].0.contains("producers"));
+    }
+
+    /// A report with no ingest row at all is handled by
+    /// `check_required`; the speedup check must not double-report it.
+    #[test]
+    fn missing_ingest_row_is_not_a_speedup_failure() {
+        assert!(check_ingest_speedup(&report_with_kernels(&["monte_carlo"])).is_empty());
+        assert!(check_ingest_speedup(&Value::Null).is_empty());
     }
 }

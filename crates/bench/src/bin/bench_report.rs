@@ -1,9 +1,9 @@
 //! Machine-readable perf trajectory: measures the PR-1 evaluation
 //! kernels, the PR-2 parallel pricing/runner paths, the PR-3
 //! incremental graph-build engine, the PR-4 sharded online service,
-//! the PR-5 multi-producer ingestion front-end and the PR-6
+//! the PR-5/PR-7 multi-producer ingestion front-end and the PR-6
 //! write-ahead journal against their retained baselines and writes
-//! `BENCH_PR6.json`.
+//! `BENCH_PR7.json`.
 //!
 //! ```sh
 //! cargo run --release -p maps-bench --bin bench_report [-- OUT.json]
@@ -13,7 +13,8 @@
 //! `kernels` object with one row per kernel; every `*_ns` field is the
 //! **median of repeated wall-clock runs** in nanoseconds for one full
 //! kernel invocation (not per sample/world). PR 5 adds the ingestion
-//! row next to PR 4's service row:
+//! row next to PR 4's service row; PR 7 extends it with the serial-push
+//! baseline it must beat:
 //!
 //! ```json
 //! {
@@ -21,8 +22,9 @@
 //!     "ingest_throughput": {
 //!       "n_workers": ..., "n_tasks": ..., "periods": ..., "shards": ...,
 //!       "producers": ..., "queue_capacity": ..., "events": ...,
-//!       "replay_ns": ..., "events_per_sec": ..., "threads": ...,
-//!       "bit_identical": true
+//!       "replay_ns": ..., "events_per_sec": ...,
+//!       "serial_ns": ..., "speedup_vs_serial": ...,
+//!       "threads": ..., "bit_identical": true
 //!     }
 //!   }
 //! }
@@ -30,10 +32,13 @@
 //!
 //! `events_per_sec` is the end-to-end ingest rate on a 100k-worker
 //! stream (arrivals + task requests + ticks over the replay
-//! wall-clock); `bit_identical` records the cross-check of the
-//! multi-producer outcome against serial ingestion (itself checked
-//! against `Simulation::run` in the `service_throughput` row) before
-//! anything is timed.
+//! wall-clock); `serial_ns` is the serial-push replay of the same
+//! stream measured in the same process, and `speedup_vs_serial` their
+//! ratio — `bench_gate` fails any report whose multi-producer ingestion
+//! is slower than serial push (< 1.0); `bit_identical` records the
+//! cross-check of the multi-producer outcome against serial ingestion
+//! (itself checked against `Simulation::run` in the
+//! `service_throughput` row) before anything is timed.
 //!
 //! Each PR appends its own `BENCH_PR<N>.json` so the perf trajectory
 //! stays diffable; the `bench_gate` binary fails CI when a fresh run
@@ -520,12 +525,26 @@ fn service_throughput_report() -> Value {
     ])
 }
 
-/// PR-5 tentpole row: end-to-end event throughput of the bounded
+/// PR-5/PR-7 tentpole row: end-to-end event throughput of the bounded
 /// multi-producer ingestion front-end on the same 100k-worker stream
 /// the `service_throughput` row uses, split across 4 producer threads.
 /// The ingested outcome is cross-checked bit-for-bit against serial
 /// ingestion (`replay_with_options`) before anything is timed — the
 /// interleaving-invariance contract observed at benchmark scale.
+///
+/// Since PR 7 the row also times the serial-push baseline it competes
+/// with (`serial_ns`) and records `speedup_vs_serial` — the number
+/// whose silent regression below 1.0 shipped the PR-5/6 front-door
+/// slowdown. `bench_gate` fails any candidate whose multi-producer
+/// ingestion is slower than serial push.
+///
+/// Measurement protocol: the serial and ingested replays run in
+/// **interleaved pairs** (serial, ingested, serial, ingested, …) and
+/// `speedup_vs_serial` is the median of the per-pair ratios. Both legs
+/// of a pair see the same instantaneous host conditions, so slow
+/// environmental drift (a noisy-neighbor VM, frequency scaling) cancels
+/// out of the ratio instead of landing on whichever block of
+/// back-to-back runs it happened to hit.
 fn ingest_throughput_report() -> Value {
     let n_workers = 100_000usize;
     let n_tasks = 2_000usize;
@@ -550,16 +569,43 @@ fn ingest_throughput_report() -> Value {
     let bit_identical = ingested.deterministic_bits() == serial.deterministic_bits();
     assert!(bit_identical, "ingested replay diverged from serial push");
 
-    let replay_ns = median_ns(3, || {
-        maps_service::replay_ingested(&truth, kind, shards, producers, options)
-    });
+    // Interleaved pairs: each round times one serial leg then one
+    // ingested leg back-to-back, and only the per-round ratio is kept.
+    let rounds = 5usize;
+    let mut serial_samples = Vec::with_capacity(rounds);
+    let mut ingested_samples = Vec::with_capacity(rounds);
+    let mut ratios = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t = std::time::Instant::now();
+        std::hint::black_box(maps_service::replay_with_options(
+            &truth, kind, shards, options,
+        ));
+        let s = t.elapsed().as_nanos() as f64;
+        let t = std::time::Instant::now();
+        std::hint::black_box(maps_service::replay_ingested(
+            &truth, kind, shards, producers, options,
+        ));
+        let i = t.elapsed().as_nanos() as f64;
+        serial_samples.push(s);
+        ingested_samples.push(i);
+        ratios.push(s / i);
+    }
+    let median = |mut v: Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let serial_ns = median(serial_samples);
+    let replay_ns = median(ingested_samples);
     let events_per_sec = events / (replay_ns / 1e9);
+    let speedup_vs_serial = median(ratios);
     let threads = rayon::current_num_threads();
     println!(
         "ingest_throughput {n_workers} workers, {n_tasks} tasks, {periods} periods, \
          {shards} shards, {producers} producers: replay {} | {events_per_sec:.0} events/s \
+         | serial {} | speedup_vs_serial {speedup_vs_serial:.2}x \
          ({threads} threads) | bit-identical {bit_identical}",
         format_ms(replay_ns),
+        format_ms(serial_ns),
     );
     serde::object([
         ("n_workers", (n_workers as f64).to_value()),
@@ -571,6 +617,8 @@ fn ingest_throughput_report() -> Value {
         ("events", events.to_value()),
         ("replay_ns", replay_ns.to_value()),
         ("events_per_sec", events_per_sec.to_value()),
+        ("serial_ns", serial_ns.to_value()),
+        ("speedup_vs_serial", speedup_vs_serial.to_value()),
         ("threads", (threads as f64).to_value()),
         ("bit_identical", bit_identical.to_value()),
     ])
@@ -666,9 +714,9 @@ fn journal_throughput_report() -> Value {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
 
-    println!("maps bench_report — PR 6 kernel trajectory");
+    println!("maps bench_report — PR 7 kernel trajectory");
     println!("==========================================");
     let (possible_worlds, pw_speedup) = possible_worlds_report();
     let (monte_carlo, _mc_speedup) = monte_carlo_report();
@@ -693,6 +741,19 @@ fn main() {
              acceptance bar"
         );
     }
+    let ingest_speedup = ingest_throughput
+        .get("speedup_vs_serial")
+        .and_then(|v| match v {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        })
+        .unwrap_or(0.0);
+    if ingest_speedup < 1.0 {
+        eprintln!(
+            "warning: multi-producer ingestion speedup_vs_serial {ingest_speedup:.2}x is \
+             below the serial-push bar"
+        );
+    }
     if pw_speedup < 5.0 {
         eprintln!("warning: gray-code speedup {pw_speedup:.1}x is below the 5x acceptance bar");
     }
@@ -710,7 +771,7 @@ fn main() {
 
     let report = serde::object([
         ("schema", "maps-bench-report/v1".to_value()),
-        ("pr", 6.0f64.to_value()),
+        ("pr", 7.0f64.to_value()),
         (
             "host",
             serde::object([("threads", (rayon::current_num_threads() as f64).to_value())]),

@@ -689,6 +689,110 @@ impl ShardedService {
         self.admit(event)
     }
 
+    /// Ingests a **contiguous run** of events from one producer:
+    /// `events[k]` carries the coordinates `(producer, epoch,
+    /// first_seq + k)`. Observably equivalent to calling
+    /// [`ShardedService::push_stamped`] once per event — same watermark
+    /// state, same journal byte stream, same rejection and suppression
+    /// counts — but the per-event stamping overhead (poisoned check,
+    /// tick dispatch, watermark compare-and-store) is hoisted out of
+    /// the loop: the at-least-once resend prefix is suppressed
+    /// arithmetically against the watermark, and the watermark is
+    /// stored once for the whole run. This is the ingest sequencer's
+    /// batched admission path.
+    ///
+    /// The same ordering contract as [`ShardedService::push_stamped`]
+    /// applies across runs, and runs must not contain
+    /// [`ServiceEvent::PeriodTick`] (ticks travel alone).
+    ///
+    /// # Errors
+    /// Only fatal faults ([`ServiceError::Poisoned`] /
+    /// [`ServiceError::Journal`]). Per-event *rejections* are counted
+    /// in [`ShardedService::rejected_events`] and the run keeps going —
+    /// the same net effect as the sequencer swallowing per-event
+    /// `Rejected` errors.
+    pub fn push_stamped_run(
+        &mut self,
+        producer: u32,
+        epoch: u64,
+        first_seq: u64,
+        events: &[ServiceEvent],
+    ) -> Result<(), ServiceError> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        if let Some(panic) = &self.poisoned {
+            return Err(ServiceError::Poisoned(panic.clone()));
+        }
+        debug_assert_ne!(producer, TICK_PRODUCER, "ticks travel via push_stamped");
+        debug_assert!(
+            !events.iter().any(|e| matches!(e, ServiceEvent::PeriodTick)),
+            "runs must not contain PeriodTick"
+        );
+        let lane = producer as usize;
+        if self.watermarks.len() <= lane {
+            self.watermarks.resize(lane + 1, None);
+        }
+        let last_seq = first_seq + (events.len() as u64 - 1);
+        // The already-delivered resend prefix, computed arithmetically:
+        // per event, `watermark >= Some((epoch, seq))` suppresses.
+        let skip = match self.watermarks[lane] {
+            Some((we, _)) if we > epoch => events.len(),
+            Some((we, ws)) if we == epoch && ws >= last_seq => events.len(),
+            Some((we, ws)) if we == epoch && ws >= first_seq => (ws - first_seq + 1) as usize,
+            _ => 0,
+        };
+        self.outcome.suppressed_duplicates += skip as u64;
+        if skip == events.len() {
+            return Ok(()); // fully suppressed: watermark unchanged
+        }
+        // Journal **before** validation, like `push_stamped`, so
+        // recovery re-counts rejections deterministically. The journal
+        // branch is hoisted out of the hot loop: the unjournaled run
+        // path pays no per-event `Option` check at all.
+        if self.journal.is_some() {
+            for (k, &event) in events[skip..].iter().enumerate() {
+                let seq = first_seq + (skip + k) as u64;
+                let journal = self.journal.as_mut().expect("checked above");
+                if let Err(e) = journal.writer.append(&JournalRecord {
+                    producer,
+                    epoch,
+                    seq,
+                    event,
+                }) {
+                    // The watermark the per-event path would leave on a
+                    // mid-run journal fault: the failing event's stamp.
+                    self.watermarks[lane] = Some((epoch, seq));
+                    return Err(e.into());
+                }
+                self.admit_run_event(event);
+            }
+        } else {
+            for &event in &events[skip..] {
+                self.admit_run_event(event);
+            }
+        }
+        self.watermarks[lane] = Some((epoch, last_seq));
+        Ok(())
+    }
+
+    /// Validation + dispatch of one event inside a batched run: like
+    /// [`ShardedService::admit`] but rejections only bump the counter
+    /// (the run keeps going; no error value is built).
+    #[inline]
+    fn admit_run_event(&mut self, event: ServiceEvent) {
+        if event.validate().is_err() {
+            self.outcome.rejected_events += 1;
+            return;
+        }
+        match event {
+            ServiceEvent::WorkerArrive { worker } => self.worker_arrive(worker),
+            ServiceEvent::WorkerDepart { id } => self.worker_depart(id),
+            ServiceEvent::TaskRequest { task } => self.pending_tasks.push(task),
+            ServiceEvent::PeriodTick => unreachable!("runs must not contain PeriodTick"),
+        }
+    }
+
     /// Validation + dispatch of an already-journaled event.
     fn admit(&mut self, event: ServiceEvent) -> Result<(), ServiceError> {
         if let Err(rejection) = event.validate() {

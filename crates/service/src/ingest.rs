@@ -10,7 +10,7 @@
 //!
 //! ```text
 //!   client threads (N producers)                 sequencer thread
-//!   ┌────────────┐  bounded ring (Mutex/Condvar)
+//!   ┌────────────┐  bounded lock-free SPSC ring
 //!   │ producer 0 │──[e₀₀ e₀₁ … ‖ epoch-end]──┐
 //!   ├────────────┤                           │   merge under the total
 //!   │ producer 1 │──[e₁₀ … ‖ epoch-end]──────┼─► (epoch, producer, seq)
@@ -21,12 +21,17 @@
 //!                                                epoch (barrier)
 //! ```
 //!
-//! Each [`IngressProducer`] stamps its events with a `(producer, seq)`
-//! label and appends them to its **own** bounded queue (a hand-rolled
-//! `Mutex`/`Condvar` ring — single producer, single consumer — so
-//! producers never contend with each other, only with backpressure
-//! from their own lane). A producer's [`ServiceEvent::PeriodTick`] does
-//! *not* tick the market: it closes the producer's current **epoch**.
+//! Each [`IngressProducer`] appends its events to its **own** bounded
+//! queue (a lock-free single-producer/single-consumer ring — see
+//! [`Queue`] — so producers never contend with each other, only with
+//! backpressure from their own lane). Ring slots carry **bare events,
+//! no stamps**: the `(epoch, seq)` coordinates of every slot are
+//! implicit in its position, mirrored by producer-side and
+//! consumer-side counters that advance in lock-step (an at-least-once
+//! reconnect, the one legal discontinuity, posts an out-of-band
+//! [`Rebase`] record). A producer's [`ServiceEvent::PeriodTick`] does
+//! *not* tick the market: it closes the producer's current **epoch**
+//! (it *is* the in-band epoch-end marker).
 //! The sequencer drains every producer's epoch-`e` segment — in
 //! producer-id order, each segment already in seq order — into the
 //! [`ShardedService`], and only then fires the real global tick. The
@@ -63,7 +68,9 @@
 use crate::engine::{ServiceError, ServiceEvent, ShardedService};
 use crate::journal::TICK_PRODUCER;
 use maps_simulator::PeriodData;
-use std::collections::VecDeque;
+use std::cell::{Cell, UnsafeCell};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -88,22 +95,17 @@ impl Default for IngestConfig {
     }
 }
 
-/// An event stamped with its producer-local coordinates. The triple
-/// `(epoch, producer, seq)` is the total order the sequencer feeds the
-/// service in.
+/// An out-of-band coordinate record: the slot at ring position `pos`
+/// (and everything after it, until the next record) carries explicit
+/// `(epoch, seq)` coordinates instead of the consumer's implicit
+/// count. Posted only by [`AbandonedLane::reconnect`] — an
+/// at-least-once reconnect may rewind `seq` or jump `epoch`, the one
+/// discontinuity the lock-step stamping arithmetic cannot see in-band.
 #[derive(Debug, Clone, Copy)]
-struct Stamped {
+struct Rebase {
+    pos: u64,
     epoch: u64,
     seq: u64,
-    event: ServiceEvent,
-}
-
-/// One slot of a producer's ring: a stamped event or the marker closing
-/// the producer's current epoch.
-#[derive(Debug, Clone, Copy)]
-enum Slot {
-    Event(Stamped),
-    EpochEnd(u64),
 }
 
 /// What one bounded drain of a lane yielded.
@@ -116,134 +118,507 @@ enum Chunk {
     Closed,
 }
 
+/// Pads and aligns a value to 128 bytes (two x86 cache lines — adjacent
+/// line prefetchers pull pairs) so the producer-owned and consumer-owned
+/// ring cursors never false-share.
+#[repr(align(128))]
 #[derive(Debug, Default)]
-struct Ring {
-    slots: VecDeque<Slot>,
+struct CachePadded<T>(T);
+
+/// The consumer's private cursor state (one padded group, touched by no
+/// other thread): its snapshot of `tail` plus the implicit stamp
+/// counters that mirror the producer's — `epoch` advances at each
+/// consumed epoch-end marker, `next_seq` at each event, and a
+/// [`Rebase`] record overwrites both at a reconnect discontinuity.
+#[derive(Debug, Default)]
+struct ReaderState {
+    tail_cache: Cell<u64>,
+    epoch: Cell<u64>,
+    next_seq: Cell<u64>,
+}
+
+/// Bounded spins before a waiter starts yielding, and yields before it
+/// parks on the condvar. Small on purpose — and skipped entirely on a
+/// single-hardware-thread host (see [`spin_limit`]), where a spinning
+/// waiter burns exactly the quantum the other side needs to make the
+/// awaited state change.
+const SPIN_LIMIT: u32 = 64;
+const YIELD_LIMIT: u32 = 8;
+
+/// [`SPIN_LIMIT`], or 0 when the host has a single hardware thread:
+/// there, the awaited condition *cannot* change while we spin, so the
+/// only useful move is yielding the CPU to the other side.
+fn spin_limit() -> u32 {
+    use std::sync::OnceLock;
+    static LIMIT: OnceLock<u32> = OnceLock::new();
+    *LIMIT.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => SPIN_LIMIT,
+        _ => 0,
+    })
+}
+
+/// One producer's bounded lane: a **lock-free SPSC ring**.
+///
+/// Layout: a power-of-two slot buffer indexed by monotonically
+/// increasing `head`/`tail` cursors (`pos & mask` is the physical
+/// index). The logical capacity is *not* rounded up — `tail - head <
+/// capacity` is the backpressure bound, exactly the configured slot
+/// count.
+///
+/// Ordering protocol (the per-lane FIFO the sequencing contract needs):
+///
+/// * The producer writes slots, then publishes them with **one
+///   `Release` store of `tail`** per batch; the consumer's `Acquire`
+///   load of `tail` therefore observes fully-written slots — for the
+///   whole batch, at the cost of a single fence.
+/// * The consumer reads slots, then frees them with **one `Release`
+///   store of `head`** per drain; the producer's `Acquire` load of
+///   `head` proves the reads finished before it overwrites.
+/// * Each side caches the other's cursor (`head_cache` /
+///   `reader.tail_cache`, plain [`Cell`]s private to their side) so the
+///   fast path touches no shared cache line at all until the cached
+///   view runs out.
+/// * Slots are **bare [`ServiceEvent`]s** — no per-slot stamps. Both
+///   sides count `(epoch, seq)` in lock-step ([`ServiceEvent::PeriodTick`]
+///   slots are the epoch-end markers), so the consumer can hand whole
+///   runs to admission **zero-copy, straight out of ring memory**.
+///   Reconnect discontinuities travel as out-of-band [`Rebase`] records;
+///   a record is posted (under its own mutex) *before* the slot it
+///   describes is written, so the release store of `tail` that publishes
+///   the slot also publishes the record's visibility counter.
+///
+/// Blocking is a spin → yield → park slow path. Parking uses a shared
+/// `park` mutex + per-side condvars and `*_parked` flags: a waiter sets
+/// its flag and re-checks state *while holding the mutex* before
+/// waiting; a waker publishes state, then `SeqCst`-fences and checks
+/// the flag — if set, it locks the (same) mutex before notifying. The
+/// fence pairing guarantees the waker either sees the flag or the
+/// waiter's re-check sees the new state; the lock-before-notify closes
+/// the window between the waiter's re-check and its wait. Shutdown
+/// paths (`close`, `close_consumer`) notify unconditionally.
+struct Queue {
+    /// Logical slot capacity — the backpressure bound.
+    capacity: u64,
+    /// `buf.len() - 1`; `buf.len()` is `capacity.next_power_of_two()`.
+    mask: u64,
+    buf: Box<[UnsafeCell<MaybeUninit<ServiceEvent>>]>,
+    /// Producer cursor: next position to write (monotonic).
+    tail: CachePadded<AtomicU64>,
+    /// Consumer cursor: next position to read (monotonic).
+    head: CachePadded<AtomicU64>,
+    /// Producer-private lower bound of `head`.
+    head_cache: CachePadded<Cell<u64>>,
+    /// Consumer-private cursors (tail snapshot + implicit stamps).
+    reader: CachePadded<ReaderState>,
+    /// Reconnect coordinate records, keyed by ring position (posted in
+    /// position order by the producer, drained in order by the
+    /// consumer).
+    rebases: Mutex<std::collections::VecDeque<Rebase>>,
+    /// Number of not-yet-consumed [`Rebase`] records: the consumer's
+    /// hot path checks this counter and skips the mutex while it is 0.
+    rebase_pending: AtomicU64,
     /// The producer closed its handle: no more slots will arrive.
-    closed: bool,
+    closed: AtomicBool,
     /// The sequencer is gone (dropped, or its thread panicked): slots
     /// will never drain again, so producers must fail fast instead of
     /// blocking forever on a full ring.
-    consumer_gone: bool,
-}
-
-/// One producer's bounded SPSC lane.
-#[derive(Debug)]
-struct Queue {
-    capacity: usize,
-    ring: Mutex<Ring>,
+    consumer_gone: AtomicBool,
+    park: Mutex<()>,
     not_empty: Condvar,
     not_full: Condvar,
+    producer_parked: AtomicBool,
+    consumer_parked: AtomicBool,
+}
+
+// Safety: the `UnsafeCell` slots are transferred between the two sides
+// by the release/acquire cursor protocol above, the `rebases` deque is
+// mutex-protected, and the `Cell` state is role-private —
+// `head_cache`/`tail` are touched only by producer-side methods,
+// reachable only through the single `IngressProducer` handle
+// (`&mut self`/owned, so one thread at a time; cross-thread handoffs of
+// the handle synchronize like any `Send` move), and `reader`/`head`
+// only by consumer-side methods, reachable only through the owning
+// `IngestService` sequencer.
+unsafe impl Send for Queue {}
+unsafe impl Sync for Queue {}
+
+impl std::fmt::Debug for Queue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Queue")
+            .field("capacity", &self.capacity)
+            .field("head", &self.head.0.load(Ordering::Relaxed))
+            .field("tail", &self.tail.0.load(Ordering::Relaxed))
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .field("consumer_gone", &self.consumer_gone.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 impl Queue {
     fn new(capacity: usize) -> Self {
+        let physical = capacity.next_power_of_two();
         Self {
-            capacity,
-            ring: Mutex::new(Ring::default()),
+            capacity: capacity as u64,
+            mask: physical as u64 - 1,
+            buf: (0..physical)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            tail: CachePadded(AtomicU64::new(0)),
+            head: CachePadded(AtomicU64::new(0)),
+            head_cache: CachePadded(Cell::new(0)),
+            reader: CachePadded(ReaderState::default()),
+            rebases: Mutex::new(std::collections::VecDeque::new()),
+            rebase_pending: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            consumer_gone: AtomicBool::new(false),
+            park: Mutex::new(()),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            producer_parked: AtomicBool::new(false),
+            consumer_parked: AtomicBool::new(false),
         }
     }
 
-    /// Appends one slot, blocking while the ring is at capacity.
+    /// Raw pointer to the slot at ring position `pos`.
+    #[inline]
+    fn slot_ptr(&self, pos: u64) -> *mut ServiceEvent {
+        // Safety: callers hold the position per the cursor protocol.
+        unsafe { (*self.buf[(pos & self.mask) as usize].get()).as_mut_ptr() }
+    }
+
+    fn park_lock(&self) -> std::sync::MutexGuard<'_, ()> {
+        // Never poisoned: no user code runs under this lock.
+        self.park.lock().expect("ingest park mutex poisoned")
+    }
+
+    /// Wakes the consumer if it is parked on an empty ring. Callers
+    /// publish `tail` (or `closed`) first; see the type-level ordering
+    /// notes for why fence + flag + lock-before-notify cannot miss.
+    fn wake_consumer(&self) {
+        fence(Ordering::SeqCst);
+        if self.consumer_parked.load(Ordering::Relaxed) {
+            drop(self.park_lock());
+            self.not_empty.notify_all();
+        }
+    }
+
+    /// Wakes the producer if it is parked on a full ring. Callers
+    /// publish `head` (or `consumer_gone`) first.
+    fn wake_producer(&self) {
+        fence(Ordering::SeqCst);
+        if self.producer_parked.load(Ordering::Relaxed) {
+            drop(self.park_lock());
+            self.not_full.notify_all();
+        }
+    }
+
+    /// Producer side: waits until at least one slot is writable at
+    /// `tail`, returning how many are. Fails fast with
+    /// [`SendError::Disconnected`] when the sequencer is gone — even
+    /// with ring room, the slot could never be consumed — and with
+    /// [`SendError::Timeout`] past `deadline` (`None` waits forever).
+    #[inline]
+    fn wait_space(&self, tail: u64, deadline: Option<Instant>) -> Result<u64, SendError> {
+        if self.consumer_gone.load(Ordering::Relaxed) {
+            return Err(SendError::Disconnected);
+        }
+        let cached = self.head_cache.0.get();
+        if tail - cached < self.capacity {
+            return Ok(self.capacity - (tail - cached));
+        }
+        let head = self.head.0.load(Ordering::Acquire);
+        self.head_cache.0.set(head);
+        if tail - head < self.capacity {
+            return Ok(self.capacity - (tail - head));
+        }
+        self.wait_space_slow(tail, deadline)
+    }
+
+    #[cold]
+    fn wait_space_slow(&self, tail: u64, deadline: Option<Instant>) -> Result<u64, SendError> {
+        let mut tries = 0u32;
+        loop {
+            if self.consumer_gone.load(Ordering::SeqCst) {
+                return Err(SendError::Disconnected);
+            }
+            let head = self.head.0.load(Ordering::Acquire);
+            if tail - head < self.capacity {
+                self.head_cache.0.set(head);
+                return Ok(self.capacity - (tail - head));
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(SendError::Timeout);
+                }
+            }
+            tries += 1;
+            let spins = spin_limit();
+            if tries <= spins {
+                std::hint::spin_loop();
+            } else if tries <= spins + YIELD_LIMIT {
+                std::thread::yield_now();
+            } else {
+                let guard = self.park_lock();
+                self.producer_parked.store(true, Ordering::SeqCst);
+                fence(Ordering::SeqCst);
+                let head = self.head.0.load(Ordering::SeqCst);
+                if tail - head < self.capacity || self.consumer_gone.load(Ordering::SeqCst) {
+                    self.producer_parked.store(false, Ordering::SeqCst);
+                    continue; // drop the guard; re-check at the top
+                }
+                match deadline {
+                    None => {
+                        let _guard = self
+                            .not_full
+                            .wait(guard)
+                            .expect("ingest park mutex poisoned");
+                    }
+                    Some(d) => {
+                        let Some(remaining) = d
+                            .checked_duration_since(Instant::now())
+                            .filter(|r| !r.is_zero())
+                        else {
+                            self.producer_parked.store(false, Ordering::SeqCst);
+                            return Err(SendError::Timeout);
+                        };
+                        let _guard = self
+                            .not_full
+                            .wait_timeout(guard, remaining)
+                            .expect("ingest park mutex poisoned")
+                            .0;
+                    }
+                }
+                self.producer_parked.store(false, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Appends one event, blocking while the ring is at capacity, then
+    /// publishes it with a release store of `tail`.
     ///
     /// # Panics
-    /// Panics (without poisoning the ring) when the sequencer is gone:
-    /// the slot could never be consumed, and blocking on `not_full`
-    /// would hang the producer thread forever — turning a reducer
-    /// panic into a silent process hang instead of a visible failure.
-    fn push(&self, slot: Slot) {
-        let mut ring = self.ring.lock().expect("ingest queue poisoned");
-        loop {
-            if ring.consumer_gone {
-                drop(ring); // release before panicking: no poison
-                panic!("ingestion sequencer is gone (dropped or panicked); cannot send");
-            }
-            if ring.slots.len() < self.capacity {
-                break;
-            }
-            ring = self.not_full.wait(ring).expect("ingest queue poisoned");
+    /// Panics when the sequencer is gone: the slot could never be
+    /// consumed, and blocking would hang the producer thread forever —
+    /// turning a reducer panic into a silent process hang instead of a
+    /// visible failure.
+    fn push(&self, event: ServiceEvent) {
+        if self.push_deadline_opt(event, None).is_err() {
+            panic!("ingestion sequencer is gone (dropped or panicked); cannot send");
         }
-        ring.slots.push_back(slot);
-        drop(ring);
-        self.not_empty.notify_one();
     }
 
     /// Bounded-wait variant of [`Queue::push`]: waits for ring space at
     /// most until `deadline`, and reports a dead sequencer as a typed
     /// error instead of panicking — the building block supervision
     /// loops need for retry/backoff admission.
-    fn push_deadline(&self, slot: Slot, deadline: Instant) -> Result<(), SendError> {
-        let mut ring = self.ring.lock().expect("ingest queue poisoned");
-        loop {
-            if ring.consumer_gone {
-                return Err(SendError::Disconnected);
-            }
-            if ring.slots.len() < self.capacity {
-                break;
-            }
-            let Some(remaining) = deadline
-                .checked_duration_since(Instant::now())
-                .filter(|d| !d.is_zero())
-            else {
-                return Err(SendError::Timeout);
-            };
-            let (guard, _timeout) = self
-                .not_full
-                .wait_timeout(ring, remaining)
-                .expect("ingest queue poisoned");
-            ring = guard;
-        }
-        ring.slots.push_back(slot);
-        drop(ring);
-        self.not_empty.notify_one();
+    fn push_deadline(&self, event: ServiceEvent, deadline: Instant) -> Result<(), SendError> {
+        self.push_deadline_opt(event, Some(deadline))
+    }
+
+    fn push_deadline_opt(
+        &self,
+        event: ServiceEvent,
+        deadline: Option<Instant>,
+    ) -> Result<(), SendError> {
+        let tail = self.tail.0.load(Ordering::Relaxed); // producer-owned
+        self.wait_space(tail, deadline)?;
+        // Safety: `wait_space` proved `tail` is writable; SPSC makes
+        // this thread the only writer.
+        unsafe { self.slot_ptr(tail).write(event) };
+        self.tail.0.store(tail + 1, Ordering::Release);
+        self.wake_consumer();
         Ok(())
     }
 
+    /// Appends every event the iterator yields, constructing each one
+    /// **directly in its ring slot** and publishing each acquired
+    /// window of ring space with a **single** release store of `tail`
+    /// (the batched-publish fast path: one fence per window, not per
+    /// event, and no intermediate buffer at all).
+    ///
+    /// # Panics
+    /// Like [`Queue::push`], when the sequencer is gone.
+    fn push_iter(&self, mut events: impl Iterator<Item = ServiceEvent>) {
+        let mut item = events.next();
+        while item.is_some() {
+            let tail = self.tail.0.load(Ordering::Relaxed);
+            let Ok(free) = self.wait_space(tail, None) else {
+                panic!("ingestion sequencer is gone (dropped or panicked); cannot send");
+            };
+            let mut wrote = 0u64;
+            while wrote < free {
+                let Some(event) = item.take() else { break };
+                // Safety: positions `tail..tail + free` are writable.
+                unsafe { self.slot_ptr(tail + wrote).write(event) };
+                wrote += 1;
+                item = events.next();
+            }
+            self.tail.0.store(tail + wrote, Ordering::Release);
+            self.wake_consumer();
+        }
+    }
+
+    /// Producer side: records that the slot about to be written at the
+    /// current `tail` (and everything after it) carries the explicit
+    /// coordinates `(epoch, seq)` — see [`Rebase`]. Must be called
+    /// *before* that slot is written: the release store of `tail` that
+    /// publishes the slot then also makes the record visible to any
+    /// consumer that can reach its position.
+    fn post_rebase(&self, epoch: u64, seq: u64) {
+        let pos = self.tail.0.load(Ordering::Relaxed); // producer-owned
+        self.rebases
+            .lock()
+            .expect("ingest rebase mutex poisoned")
+            .push_back(Rebase { pos, epoch, seq });
+        self.rebase_pending.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn close(&self) {
-        self.ring.lock().expect("ingest queue poisoned").closed = true;
+        self.closed.store(true, Ordering::SeqCst);
+        // Shutdown is rare: skip the parked-flag check and notify
+        // unconditionally (lock first — see the type-level notes).
+        drop(self.park_lock());
         self.not_empty.notify_all();
     }
 
     /// Marks the consumer side dead and wakes any producer blocked on
     /// backpressure so it can fail fast (see [`Queue::push`]).
     fn close_consumer(&self) {
-        self.ring
-            .lock()
-            .expect("ingest queue poisoned")
-            .consumer_gone = true;
+        self.consumer_gone.store(true, Ordering::SeqCst);
+        drop(self.park_lock());
         self.not_full.notify_all();
     }
 
-    /// Drains available events into `out`, stopping after an epoch-end
-    /// marker. Blocks only while the lane is empty and open; batches
-    /// everything already buffered under one lock acquisition.
-    fn pop_epoch_chunk(&self, out: &mut Vec<Stamped>) -> Chunk {
-        let mut ring = self.ring.lock().expect("ingest queue poisoned");
-        loop {
-            let mut popped = false;
-            while let Some(slot) = ring.slots.pop_front() {
-                popped = true;
-                match slot {
-                    Slot::Event(stamped) => out.push(stamped),
-                    Slot::EpochEnd(epoch) => {
-                        drop(ring);
-                        self.not_full.notify_one();
-                        return Chunk::Marker(epoch);
-                    }
-                }
-            }
-            if popped {
-                drop(ring);
-                self.not_full.notify_one();
-                return Chunk::Progress;
-            }
-            if ring.closed {
-                return Chunk::Closed;
-            }
-            ring = self.not_empty.wait(ring).expect("ingest queue poisoned");
+    /// Consumer side: waits until the ring is non-empty (returning the
+    /// published `tail`, claiming everything visible with one acquire
+    /// load) or closed-and-drained (`None`).
+    fn wait_events(&self, head: u64) -> Option<u64> {
+        let cached = self.reader.0.tail_cache.get();
+        if cached != head {
+            return Some(cached);
         }
+        let mut tries = 0u32;
+        loop {
+            let tail = self.tail.0.load(Ordering::Acquire);
+            if tail != head {
+                self.reader.0.tail_cache.set(tail);
+                return Some(tail);
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                // The producer publishes its final slots before setting
+                // `closed`: one more acquire re-read settles it.
+                let tail = self.tail.0.load(Ordering::Acquire);
+                if tail == head {
+                    return None;
+                }
+                self.reader.0.tail_cache.set(tail);
+                return Some(tail);
+            }
+            tries += 1;
+            let spins = spin_limit();
+            if tries <= spins {
+                std::hint::spin_loop();
+            } else if tries <= spins + YIELD_LIMIT {
+                std::thread::yield_now();
+            } else {
+                let guard = self.park_lock();
+                self.consumer_parked.store(true, Ordering::SeqCst);
+                fence(Ordering::SeqCst);
+                if self.tail.0.load(Ordering::SeqCst) != head || self.closed.load(Ordering::SeqCst)
+                {
+                    self.consumer_parked.store(false, Ordering::SeqCst);
+                    continue; // drop the guard; re-check at the top
+                }
+                let _guard = self
+                    .not_empty
+                    .wait(guard)
+                    .expect("ingest park mutex poisoned");
+                self.consumer_parked.store(false, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Drains everything already published — claimed under a single
+    /// acquire load, freed under a single release store of `head` —
+    /// handing `admit` whole `(epoch, first_seq, events)` runs
+    /// **zero-copy, straight out of ring memory**: the slices borrow
+    /// the slot buffer, which is sound because the producer cannot
+    /// reuse those slots until `head` advances, and `head` only
+    /// advances after `admit` returns. Stamps are implicit (the reader
+    /// counters mirror the producer's arithmetic; [`Rebase`] records
+    /// patch reconnect discontinuities), so runs split only at epoch-end
+    /// markers, rebase positions and the physical wrap boundary. Stops
+    /// after consuming an epoch-end marker — later slots belong to the
+    /// next epoch and must wait for the global tick. Blocks only while
+    /// the lane is empty and open.
+    ///
+    /// A fatal error from `admit` aborts the drain without freeing the
+    /// claimed slots — the sequencer is about to die and drop the
+    /// consumer side, which is what unblocks the producer.
+    fn pop_epoch_run(
+        &self,
+        mut admit: impl FnMut(u64, u64, &[ServiceEvent]) -> Result<(), ServiceError>,
+    ) -> Result<Chunk, ServiceError> {
+        let head = self.head.0.load(Ordering::Relaxed); // consumer-owned
+        let Some(tail) = self.wait_events(head) else {
+            return Ok(Chunk::Closed);
+        };
+        let reader = &self.reader.0;
+        let mut pos = head;
+        let mut outcome = Chunk::Progress;
+        while pos < tail {
+            // Reconnects are rare: the pending counter keeps the mutex
+            // off the hot path entirely.
+            let mut next_rebase = None;
+            if self.rebase_pending.load(Ordering::Relaxed) > 0 {
+                let mut rebases = self.rebases.lock().expect("ingest rebase mutex poisoned");
+                while rebases.front().is_some_and(|r| r.pos == pos) {
+                    let r = rebases.pop_front().expect("front was checked");
+                    self.rebase_pending.fetch_sub(1, Ordering::Relaxed);
+                    reader.epoch.set(r.epoch);
+                    reader.next_seq.set(r.seq);
+                }
+                next_rebase = rebases.front().map(|r| r.pos).filter(|&p| p < tail);
+            }
+            // One physically contiguous, rebase-free segment.
+            let wrap = (pos & !self.mask) + self.mask + 1;
+            let seg_end = tail.min(wrap).min(next_rebase.unwrap_or(u64::MAX));
+            let len = (seg_end - pos) as usize;
+            // Safety: `pos..seg_end` was published by the producer's
+            // release store of `tail` (slots initialized), stays claimed
+            // until the release store of `head` below, and does not
+            // cross the wrap boundary (physically contiguous); SPSC
+            // makes this thread the only reader. The cast is sound:
+            // `UnsafeCell<MaybeUninit<T>>` has the layout of `T`.
+            let events: &[ServiceEvent] = unsafe {
+                std::slice::from_raw_parts(
+                    self.buf[(pos & self.mask) as usize]
+                        .get()
+                        .cast::<ServiceEvent>(),
+                    len,
+                )
+            };
+            let marker = events
+                .iter()
+                .position(|e| matches!(e, ServiceEvent::PeriodTick));
+            let run_len = marker.unwrap_or(len);
+            if run_len > 0 {
+                let first_seq = reader.next_seq.get();
+                admit(reader.epoch.get(), first_seq, &events[..run_len])?;
+                reader.next_seq.set(first_seq + run_len as u64);
+                pos += run_len as u64;
+            }
+            if marker.is_some() {
+                pos += 1; // consume the epoch-end marker
+                outcome = Chunk::Marker(reader.epoch.get());
+                reader.epoch.set(reader.epoch.get() + 1);
+                reader.next_seq.set(0);
+                break;
+            }
+        }
+        self.head.0.store(pos, Ordering::Release);
+        self.wake_producer();
+        Ok(outcome)
     }
 }
 
@@ -284,6 +659,9 @@ pub struct IngressProducer {
     id: u32,
     epoch: u64,
     seq: u64,
+    /// A reconnect happened and its coordinates have not been posted
+    /// yet: the next enqueue must [`Queue::post_rebase`] first.
+    pending_rebase: bool,
 }
 
 impl IngressProducer {
@@ -299,26 +677,67 @@ impl IngressProducer {
     /// to [`IngressProducer::end_epoch`]); the sequencer fires the one
     /// global tick only after **every** producer has closed the epoch.
     pub fn send(&mut self, event: ServiceEvent) {
-        match event {
-            ServiceEvent::PeriodTick => self.end_epoch(),
-            event => {
-                let stamped = Stamped {
-                    epoch: self.epoch,
-                    seq: self.seq,
-                    event,
-                };
-                self.seq += 1;
-                self.queue.push(Slot::Event(stamped));
-            }
-        }
+        self.flush_rebase();
+        self.queue.push(event);
+        self.advance(&event);
+    }
+
+    /// Sends every event an iterator yields with zero-copy amortized
+    /// publication: items are constructed **directly into ring slots**
+    /// and each acquired window is published with one release store
+    /// ([`Queue::push_iter`]) instead of one fence per event.
+    /// [`ServiceEvent::PeriodTick`]s inside the stream close epochs
+    /// exactly like [`IngressProducer::send`]. Semantically identical
+    /// to sending every event individually — just cheaper.
+    ///
+    /// # Panics
+    /// Like [`IngressProducer::send`]: panics when the sequencer is
+    /// gone.
+    pub fn send_iter(&mut self, events: impl IntoIterator<Item = ServiceEvent>) {
+        self.flush_rebase();
+        let epoch = Cell::new(self.epoch);
+        let seq = Cell::new(self.seq);
+        self.queue
+            .push_iter(events.into_iter().inspect(|event| match event {
+                ServiceEvent::PeriodTick => {
+                    epoch.set(epoch.get() + 1);
+                    seq.set(0);
+                }
+                _ => seq.set(seq.get() + 1),
+            }));
+        self.epoch = epoch.get();
+        self.seq = seq.get();
+    }
+
+    /// [`IngressProducer::send_iter`] over a slice.
+    pub fn send_batch(&mut self, events: &[ServiceEvent]) {
+        self.send_iter(events.iter().copied());
     }
 
     /// Closes this producer's current epoch: its contribution to the
     /// next tick's barrier. Subsequent sends belong to the next epoch.
     pub fn end_epoch(&mut self) {
-        self.queue.push(Slot::EpochEnd(self.epoch));
-        self.epoch += 1;
-        self.seq = 0;
+        self.send(ServiceEvent::PeriodTick);
+    }
+
+    /// Advances the producer-side stamp counters past a sent event,
+    /// mirroring the consumer's arithmetic exactly.
+    fn advance(&mut self, event: &ServiceEvent) {
+        match event {
+            ServiceEvent::PeriodTick => {
+                self.epoch += 1;
+                self.seq = 0;
+            }
+            _ => self.seq += 1,
+        }
+    }
+
+    /// Posts the coordinates of a not-yet-announced reconnect, if any,
+    /// immediately before the slot they describe is written.
+    fn flush_rebase(&mut self) {
+        if std::mem::take(&mut self.pending_rebase) {
+            self.queue.post_rebase(self.epoch, self.seq);
+        }
     }
 
     /// Closes the lane (also happens on drop). Events sent before the
@@ -334,24 +753,13 @@ impl IngressProducer {
     /// successful enqueue), so the caller can back off and retry the
     /// same event without corrupting the stream.
     pub fn try_send(&mut self, event: ServiceEvent, timeout: Duration) -> Result<(), SendError> {
+        // Posting the rebase before a send that may time out is safe:
+        // the record names the position the next *successful* enqueue
+        // will occupy, whatever kind of slot that turns out to be.
+        self.flush_rebase();
         let deadline = Instant::now() + timeout;
-        match event {
-            ServiceEvent::PeriodTick => {
-                self.queue
-                    .push_deadline(Slot::EpochEnd(self.epoch), deadline)?;
-                self.epoch += 1;
-                self.seq = 0;
-            }
-            event => {
-                let stamped = Stamped {
-                    epoch: self.epoch,
-                    seq: self.seq,
-                    event,
-                };
-                self.queue.push_deadline(Slot::Event(stamped), deadline)?;
-                self.seq += 1;
-            }
-        }
+        self.queue.push_deadline(event, deadline)?;
+        self.advance(&event);
         Ok(())
     }
 
@@ -390,13 +798,18 @@ impl AbandonedLane {
     /// reconnect path. `epoch`/`seq` name the **next** event to send —
     /// resuming at the last acked `(epoch, seq + 1)` replays nothing;
     /// resuming earlier re-sends events the service's per-producer
-    /// watermark suppresses idempotently (at-least-once delivery).
+    /// watermark suppresses idempotently (at-least-once delivery). The
+    /// coordinates travel to the sequencer as an out-of-band [`Rebase`]
+    /// record posted just before the reconnected producer's first
+    /// enqueue — the one discontinuity the ring's implicit stamping
+    /// cannot carry in-band.
     pub fn reconnect(self, epoch: u64, seq: u64) -> IngressProducer {
         IngressProducer {
             queue: self.queue,
             id: self.id,
             epoch,
             seq,
+            pending_rebase: true,
         }
     }
 }
@@ -448,6 +861,7 @@ impl IngestService {
                 id: id as u32,
                 epoch: 0,
                 seq: 0,
+                pending_rebase: false,
             })
             .collect();
         (Self { queues }, producers)
@@ -488,7 +902,6 @@ impl IngestService {
     ) -> Result<u64, ServiceError> {
         let first_epoch = u64::from(service.periods_served());
         let mut epoch = first_epoch;
-        let mut chunk: Vec<Stamped> = Vec::new();
         loop {
             // Did any producer close this epoch with a marker (rather
             // than by closing its lane)? Only markers vote for a tick:
@@ -505,32 +918,35 @@ impl IngestService {
                     _ => 0,
                 };
                 loop {
-                    chunk.clear();
-                    let outcome = queue.pop_epoch_chunk(&mut chunk);
-                    for stamped in &chunk {
+                    // Runs are admitted zero-copy out of ring memory:
+                    // the callback borrows the claimed slots, and the
+                    // ring frees them only after it returns.
+                    let outcome = queue.pop_epoch_run(|run_epoch, first_seq, events| {
                         debug_assert_eq!(
-                            stamped.epoch, epoch,
+                            run_epoch, epoch,
                             "producer {producer} leaked an event across its epoch marker"
                         );
-                        // `<` (not `==`): a reconnected producer may
+                        // `<=` (not `==`): a reconnected producer may
                         // re-send acked events (at-least-once); the
                         // service's watermark suppresses them. Fresh
-                        // events must still arrive gap-free in order.
+                        // events must still arrive gap-free in order —
+                        // within a run the ring's implicit stamping
+                        // guarantees consecutive seqs.
                         debug_assert!(
-                            stamped.seq <= expected_seq,
+                            first_seq <= expected_seq,
                             "producer {producer} events arrived with a seq gap"
                         );
-                        expected_seq = expected_seq.max(stamped.seq + 1);
-                        match service.push_stamped(
+                        expected_seq = expected_seq.max(first_seq + events.len() as u64);
+                        match service.push_stamped_run(
                             producer as u32,
-                            stamped.epoch,
-                            stamped.seq,
-                            stamped.event,
+                            run_epoch,
+                            first_seq,
+                            events,
                         ) {
-                            Ok(()) | Err(ServiceError::Rejected(_)) => {}
-                            Err(fatal) => return Err(fatal),
+                            Ok(()) | Err(ServiceError::Rejected(_)) => Ok(()),
+                            Err(fatal) => Err(fatal),
                         }
-                    }
+                    })?;
                     match outcome {
                         Chunk::Marker(e) => {
                             debug_assert_eq!(e, epoch, "epoch markers out of order");
@@ -999,6 +1415,231 @@ mod tests {
         assert_eq!(clean.pop(), Some(0));
         assert_eq!(resent.pop(), Some(1));
         assert_eq!(clean, resent, "resend perturbed the outcome");
+    }
+
+    // ---- ring unit tests (PR 7): the Queue in isolation ----------------
+
+    /// The x-coordinate a test event was built with (events carry no
+    /// `PartialEq`; the coordinate is the identity).
+    fn x_of(event: &ServiceEvent) -> f64 {
+        match event {
+            ServiceEvent::WorkerArrive { worker } => worker.location.x,
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    /// Drains everything currently poppable, returning each admitted
+    /// run as `(epoch, first_seq, xs)`.
+    fn drain_runs(queue: &Queue) -> Vec<(u64, u64, Vec<f64>)> {
+        let mut runs = Vec::new();
+        loop {
+            let outcome = queue
+                .pop_epoch_run(|epoch, first_seq, events| {
+                    runs.push((epoch, first_seq, events.iter().map(x_of).collect()));
+                    Ok(())
+                })
+                .expect("admit never fails here");
+            match outcome {
+                Chunk::Closed => break,
+                Chunk::Marker(_) | Chunk::Progress => {
+                    // Only keep draining while something is published;
+                    // otherwise pop would block on the open lane.
+                    if queue.tail.0.load(Ordering::Acquire) == queue.head.0.load(Ordering::Relaxed)
+                    {
+                        break;
+                    }
+                }
+            }
+        }
+        runs
+    }
+
+    /// Wraparound: a ring smaller than the stream must reuse slots
+    /// without reordering, losing, or corrupting events, and the
+    /// implicit `(epoch, seq)` coordinates must advance in lock-step
+    /// across the physical boundary.
+    #[test]
+    fn ring_wraparound_preserves_order_and_coordinates() {
+        let queue = Queue::new(4);
+        let mut sent = Vec::new();
+        let mut got = Vec::new();
+        let mut x = 0.0f64;
+        for round in 0..5 {
+            // Alternate run lengths so the wrap point drifts through
+            // every slot over the rounds.
+            for _ in 0..=(round % 4) {
+                queue.push(ServiceEvent::WorkerArrive { worker: worker(x) });
+                sent.push(x);
+                x += 1.0;
+            }
+            for (_, _, xs) in drain_runs(&queue) {
+                got.extend(xs);
+            }
+        }
+        assert_eq!(got, sent, "wraparound reordered or lost events");
+        assert!(
+            queue.tail.0.load(Ordering::Relaxed) > queue.capacity,
+            "the test never actually wrapped"
+        );
+    }
+
+    /// A published window that crosses the physical wrap boundary is
+    /// handed to `admit` as two contiguous runs with continuous
+    /// sequence numbers (the zero-copy slices cannot straddle the
+    /// buffer end).
+    #[test]
+    fn wrap_boundary_splits_runs_with_continuous_seqs() {
+        let queue = Queue::new(4);
+        for i in 0..3 {
+            queue.push(ServiceEvent::WorkerArrive {
+                worker: worker(i as f64),
+            });
+        }
+        assert_eq!(drain_runs(&queue).len(), 1, "no wrap yet: one run");
+        // Positions 3..7 span the wrap at 4: one batched publish, two
+        // segments on the consumer side.
+        queue.push_iter((3..7).map(|i| ServiceEvent::WorkerArrive {
+            worker: worker(i as f64),
+        }));
+        let runs = drain_runs(&queue);
+        assert_eq!(
+            runs,
+            vec![(0, 3, vec![3.0]), (0, 4, vec![4.0, 5.0, 6.0]),],
+            "wrap split misplaced the seam or broke seq continuity"
+        );
+    }
+
+    /// Full/empty boundary transitions: `wait_space` counts free slots
+    /// against the *logical* capacity (which may be below the physical
+    /// power-of-two buffer), a full ring times out a bounded push, and
+    /// draining exactly one event reopens exactly one slot.
+    #[test]
+    fn full_and_empty_boundaries_respect_logical_capacity() {
+        for capacity in [1usize, 2, 3] {
+            let queue = Queue::new(capacity);
+            assert_eq!(queue.wait_space(0, None), Ok(capacity as u64));
+            let quick = || Instant::now() + Duration::from_millis(2);
+            for i in 0..capacity {
+                queue
+                    .push_deadline(
+                        ServiceEvent::WorkerArrive {
+                            worker: worker(i as f64),
+                        },
+                        quick(),
+                    )
+                    .expect("ring not full yet");
+            }
+            assert_eq!(
+                queue.push_deadline(
+                    ServiceEvent::WorkerArrive {
+                        worker: worker(99.0)
+                    },
+                    quick(),
+                ),
+                Err(SendError::Timeout),
+                "capacity {capacity}: logical bound not enforced"
+            );
+            // Drain one: exactly one slot reopens.
+            let mut seen = 0usize;
+            queue
+                .pop_epoch_run(|_, _, events| {
+                    seen = events.len();
+                    Ok(())
+                })
+                .expect("admit never fails");
+            assert_eq!(seen, capacity, "drain claims everything published");
+            assert_eq!(
+                queue.wait_space(queue.tail.0.load(Ordering::Relaxed), None),
+                Ok(capacity as u64),
+                "freed slots not visible to the producer"
+            );
+        }
+    }
+
+    /// Batched publication: `push_iter` publishes each acquired window
+    /// with a single release store, so the consumer sees the whole
+    /// window at once — one `admit` run, not one per event.
+    #[test]
+    fn batched_publish_is_visible_as_one_run() {
+        let queue = Queue::new(16);
+        queue.push_iter((0..5).map(|i| ServiceEvent::WorkerArrive {
+            worker: worker(i as f64),
+        }));
+        let runs = drain_runs(&queue);
+        assert_eq!(runs.len(), 1, "one window, one run: {runs:?}");
+        assert_eq!(runs[0], (0, 0, vec![0.0, 1.0, 2.0, 3.0, 4.0]));
+    }
+
+    /// The capacity-1 degenerate ring: every push rendezvouses with a
+    /// pop, epoch markers still close epochs, and the coordinate
+    /// arithmetic stays in lock-step.
+    #[test]
+    fn capacity_one_ring_rendezvous() {
+        let queue = Queue::new(1);
+        queue.push(ServiceEvent::WorkerArrive {
+            worker: worker(1.0),
+        });
+        assert_eq!(
+            queue.push_deadline(
+                ServiceEvent::WorkerArrive {
+                    worker: worker(2.0)
+                },
+                Instant::now() + Duration::from_millis(2),
+            ),
+            Err(SendError::Timeout),
+            "second slot must not exist"
+        );
+        assert_eq!(drain_runs(&queue), vec![(0, 0, vec![1.0])]);
+        queue.push(ServiceEvent::PeriodTick);
+        let outcome = queue.pop_epoch_run(|_, _, _| panic!("marker-only drain admits nothing"));
+        assert!(matches!(outcome, Ok(Chunk::Marker(0))));
+        queue.push(ServiceEvent::WorkerArrive {
+            worker: worker(3.0),
+        });
+        assert_eq!(
+            drain_runs(&queue),
+            vec![(1, 0, vec![3.0])],
+            "epoch advanced and seq reset after the marker"
+        );
+    }
+
+    /// A [`Rebase`] record posted before its slot is written retargets
+    /// the consumer's implicit coordinates at exactly that position.
+    #[test]
+    fn rebase_record_retargets_reader_coordinates() {
+        let queue = Queue::new(8);
+        queue.push(ServiceEvent::WorkerArrive {
+            worker: worker(1.0),
+        });
+        // Reconnect discontinuity: the next slot carries (epoch 4, seq 7).
+        queue.post_rebase(4, 7);
+        queue.push(ServiceEvent::WorkerArrive {
+            worker: worker(2.0),
+        });
+        queue.push(ServiceEvent::WorkerArrive {
+            worker: worker(3.0),
+        });
+        let runs = drain_runs(&queue);
+        assert_eq!(
+            runs,
+            vec![(0, 0, vec![1.0]), (4, 7, vec![2.0, 3.0])],
+            "rebase must split the run and retarget (epoch, seq)"
+        );
+        assert_eq!(queue.rebase_pending.load(Ordering::Relaxed), 0);
+    }
+
+    /// Closing an empty ring drains to `Closed`; closing with staged
+    /// events hands them over first.
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let queue = Queue::new(4);
+        queue.push(ServiceEvent::WorkerArrive {
+            worker: worker(5.0),
+        });
+        queue.close();
+        assert_eq!(drain_runs(&queue), vec![(0, 0, vec![5.0])]);
+        let outcome = queue.pop_epoch_run(|_, _, _| panic!("nothing left to admit"));
+        assert!(matches!(outcome, Ok(Chunk::Closed)));
     }
 
     /// A capacity-1 queue forces maximal backpressure; the stream must

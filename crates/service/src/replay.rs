@@ -178,16 +178,19 @@ pub fn replay_ingested(
         for mut handle in handles {
             scope.spawn(move || {
                 let p = handle.id() as usize;
-                // Stream each period's chunk straight off the borrowed
-                // ground truth (events are `Copy`) — no up-front
-                // materialization of the whole stream. Index `i` walks
-                // the period's serial event list [workers…, tasks…],
-                // the same order `period_events` enumerates.
+                // Stream each period's chunk off the borrowed ground
+                // truth (events are `Copy`), per period as one
+                // `send_iter` call: events are constructed directly in
+                // ring slots and published window-by-window with one
+                // release store each — no intermediate buffer. Index
+                // `i` walks the period's serial event list
+                // [workers…, tasks…], the same order `period_events`
+                // enumerates.
                 for period in &truth.periods {
                     let n_workers = period.workers.len();
                     let bounds = chunk_bounds(n_workers + period.tasks.len(), producers);
-                    for i in bounds[p]..bounds[p + 1] {
-                        let event = if i < n_workers {
+                    handle.send_iter((bounds[p]..bounds[p + 1]).map(|i| {
+                        if i < n_workers {
                             ServiceEvent::WorkerArrive {
                                 worker: period.workers[i],
                             }
@@ -195,9 +198,8 @@ pub fn replay_ingested(
                             ServiceEvent::TaskRequest {
                                 task: period.tasks[i - n_workers],
                             }
-                        };
-                        handle.send(event);
-                    }
+                        }
+                    }));
                     handle.end_epoch();
                 }
             });

@@ -193,6 +193,10 @@ fn ingest_oracle_across_queue_capacities() {
         for plan in [
             InterleavePlan::Free,
             InterleavePlan::Staggered(capacity as u64),
+            // Stutter's seeded sleeps drive both sides of every lane
+            // past their spin/yield budgets onto the condvar, so this
+            // sweep also exercises the ring's park/wake slow paths.
+            InterleavePlan::Stutter(capacity as u64),
         ] {
             let (ingested_final, ingested_epochs) =
                 ingested_epoch_bits(&world, kind, 2, 4, capacity, plan, options);

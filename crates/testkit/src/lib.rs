@@ -239,6 +239,14 @@ pub enum InterleavePlan {
     /// interleaving differently. Never blocks a producer on another, so
     /// it is safe at **any** queue capacity.
     Staggered(u64),
+    /// Deterministically seeded occasional *sleeps*: roughly one step
+    /// in sixteen parks the producer for 100–500µs — long enough to
+    /// drive every other party past its spin/yield budget onto the
+    /// condvar, so the queue's park/wake slow paths (not just the
+    /// lock-free fast paths) get exercised. Like
+    /// [`InterleavePlan::Staggered`] it never blocks a producer on
+    /// another, so it is safe at **any** queue capacity.
+    Stutter(u64),
     /// Strict global round-robin: step k across all unfinished
     /// producers is taken by the next producer in cyclic id order, one
     /// step at a time.
@@ -259,9 +267,9 @@ pub enum InterleavePlan {
 /// hold producers back, so anything downstream consuming their output
 /// in a fixed order (like the ingestion sequencer draining bounded
 /// queues producer-by-producer) must have room to buffer the held-back
-/// volume — size queues accordingly. [`InterleavePlan::Free`] and
-/// [`InterleavePlan::Staggered`] never block and are safe at any
-/// capacity.
+/// volume — size queues accordingly. [`InterleavePlan::Free`],
+/// [`InterleavePlan::Staggered`] and [`InterleavePlan::Stutter`] never
+/// block and are safe at any capacity.
 #[derive(Debug)]
 pub struct Interleaver {
     plan: InterleavePlan,
@@ -298,7 +306,7 @@ impl Interleaver {
     pub fn new(producers: usize, plan: InterleavePlan) -> Self {
         assert!(producers >= 1, "need at least one producer");
         let seed = match plan {
-            InterleavePlan::Staggered(seed) => seed,
+            InterleavePlan::Staggered(seed) | InterleavePlan::Stutter(seed) => seed,
             _ => 0,
         };
         Self {
@@ -324,6 +332,18 @@ impl Interleaver {
                     state.rngs[producer].next_u64() % 8
                 };
                 for _ in 0..spins {
+                    std::thread::yield_now();
+                }
+                f()
+            }
+            InterleavePlan::Stutter(_) => {
+                let draw = {
+                    let mut state = self.state.lock().expect("interleaver poisoned");
+                    state.rngs[producer].next_u64()
+                };
+                if draw % 16 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(100 + draw % 400));
+                } else {
                     std::thread::yield_now();
                 }
                 f()
@@ -625,8 +645,12 @@ mod tests {
     }
 
     #[test]
-    fn free_and_staggered_complete_without_coordination() {
-        for plan in [InterleavePlan::Free, InterleavePlan::Staggered(7)] {
+    fn uncoordinated_plans_complete_without_blocking() {
+        for plan in [
+            InterleavePlan::Free,
+            InterleavePlan::Staggered(7),
+            InterleavePlan::Stutter(7),
+        ] {
             let order = record_schedule(4, 5, plan);
             assert_eq!(order.len(), 20, "{plan:?}");
             for producer in 0..4 {

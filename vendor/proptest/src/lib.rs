@@ -10,89 +10,246 @@
 //!
 //! ## Shrinking
 //!
-//! A failing case is **shrunk** before being reported: the runner asks
-//! the strategy for simpler candidate values ([`strategy::Strategy::shrink`]),
-//! re-runs the test on each, adopts the first candidate that still
-//! fails and repeats until no candidate fails. Scalars shrink by
-//! binary search toward the range minimum (for a monotone predicate
-//! this converges to the exact failure boundary in `O(log²)` runs);
-//! vectors shrink by length (cut to the minimum, halve, drop single
-//! elements) and then element-wise; tuples shrink component-wise.
-//! `prop_map` / `prop_flat_map` outputs do not shrink (the combinator
-//! cannot invert the mapping), so a mapped failure is reported as
-//! generated. The final panic message contains the minimal failing
-//! case and the number of shrink steps taken.
+//! A failing case is **shrunk** before being reported. Strategies draw
+//! [value trees](strategy::ValueTree) — the value under test plus the
+//! recipe for simplifying it — and the runner repeatedly asks the
+//! failing tree for simpler candidate trees, re-runs the test on each
+//! candidate's value, adopts the first that still fails and repeats
+//! until no candidate fails. Scalars shrink by binary search toward
+//! the range minimum (for a monotone predicate this converges to the
+//! exact failure boundary in `O(log²)` runs); vectors shrink by length
+//! (cut to the minimum, halve, drop single elements) and then
+//! element-wise; tuples shrink component-wise.
+//!
+//! Because candidates are trees rather than bare values, shrinking
+//! composes through the combinators (the PR-7 fix — previously mapped
+//! outputs did not shrink at all): a `prop_map` tree shrinks by
+//! shrinking the base tree it captured and re-applying the mapping,
+//! and a `prop_flat_map` tree shrinks the base value first
+//! (regenerating the derived strategy's draw from an RNG snapshot so
+//! candidates stay deterministic), then the derived value with the
+//! base held fixed. The final panic message contains the minimal
+//! failing case and the number of shrink steps taken.
 
 #![warn(missing_docs)]
 
-/// Strategy trait and combinators.
+/// Strategy trait, value trees and combinators.
 pub mod strategy {
     use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generated value plus the recipe for simplifying it.
+    ///
+    /// Where the upstream crate materializes shrink candidates lazily,
+    /// this stand-in keeps the same contract in eager form:
+    /// [`current`](ValueTree::current) is the value under test and
+    /// [`simplify`](ValueTree::simplify) proposes whole simpler
+    /// *trees*, boldest first. Candidates being trees — not bare
+    /// values — is what lets shrinking compose through `prop_map` /
+    /// `prop_flat_map`: a combinator tree shrinks its captured base
+    /// tree and re-derives its output, which the old bare-value
+    /// `shrink(&value)` API could not express (it would have had to
+    /// invert the mapping).
+    pub trait ValueTree {
+        /// The tested type.
+        type Value;
+
+        /// The value this tree currently represents.
+        fn current(&self) -> Self::Value;
+
+        /// Simpler candidate trees derived from this one, boldest
+        /// simplification first. The runner adopts the first candidate
+        /// whose value still fails and calls `simplify` again on it;
+        /// returning an empty vector ends shrinking.
+        fn simplify(&self) -> Vec<Self>
+        where
+            Self: Sized;
+    }
 
     /// A recipe for generating random values of `Self::Value`.
     pub trait Strategy {
         /// The generated type.
         type Value;
 
-        /// Draws one value.
-        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+        /// The value-tree type [`new_tree`](Strategy::new_tree) draws.
+        type Tree: ValueTree<Value = Self::Value> + Clone;
 
-        /// Proposes simpler values derived from a failing `value`,
-        /// boldest simplification first. The runner adopts the first
-        /// candidate that still fails and calls `shrink` again on it;
-        /// returning an empty vector (the default) ends shrinking.
-        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
-            Vec::new()
+        /// Draws one value together with its shrink recipe.
+        fn new_tree(&self, rng: &mut TestRng) -> Self::Tree;
+
+        /// Draws one bare value (no shrink recipe).
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            self.new_tree(rng).current()
         }
 
         /// Maps generated values through `f`.
         ///
-        /// Mapped values do not shrink: the combinator cannot invert
-        /// `f` to recover the base value a candidate came from.
+        /// The mapped tree captures the base tree and re-applies `f`
+        /// to every base candidate, so mapped failures minimize
+        /// exactly as well as base failures do.
         fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
         where
             Self: Sized,
         {
-            Map { base: self, f }
+            Map {
+                base: self,
+                f: Rc::new(f),
+            }
         }
 
         /// Generates a value, then generates from the strategy `f`
-        /// builds out of it. Like [`Strategy::prop_map`], the result
-        /// does not shrink.
+        /// builds out of it.
+        ///
+        /// Shrinks at both levels: base-value candidates first (each
+        /// re-derives the inner strategy and re-draws it from a
+        /// snapshot of the RNG taken at generation time, so shrinking
+        /// is deterministic), then inner candidates with the base held
+        /// fixed.
         fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
         where
             Self: Sized,
         {
-            FlatMap { base: self, f }
+            FlatMap {
+                base: self,
+                f: Rc::new(f),
+            }
         }
     }
 
     /// See [`Strategy::prop_map`].
     pub struct Map<B, F> {
         base: B,
-        f: F,
+        f: Rc<F>,
     }
 
     impl<B: Strategy, O, F: Fn(B::Value) -> O> Strategy for Map<B, F> {
         type Value = O;
+        type Tree = MapTree<B::Tree, F>;
 
-        fn generate(&self, rng: &mut TestRng) -> O {
-            (self.f)(self.base.generate(rng))
+        fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+            MapTree {
+                base: self.base.new_tree(rng),
+                f: Rc::clone(&self.f),
+            }
+        }
+    }
+
+    /// Tree for [`Map`]: the captured base tree plus the mapping,
+    /// re-applied to every base candidate.
+    pub struct MapTree<T, F> {
+        base: T,
+        f: Rc<F>,
+    }
+
+    impl<T: Clone, F> Clone for MapTree<T, F> {
+        fn clone(&self) -> Self {
+            Self {
+                base: self.base.clone(),
+                f: Rc::clone(&self.f),
+            }
+        }
+    }
+
+    impl<T: ValueTree + Clone, O, F: Fn(T::Value) -> O> ValueTree for MapTree<T, F> {
+        type Value = O;
+
+        fn current(&self) -> O {
+            (self.f)(self.base.current())
+        }
+
+        fn simplify(&self) -> Vec<Self> {
+            self.base
+                .simplify()
+                .into_iter()
+                .map(|base| Self {
+                    base,
+                    f: Rc::clone(&self.f),
+                })
+                .collect()
         }
     }
 
     /// See [`Strategy::prop_flat_map`].
     pub struct FlatMap<B, F> {
         base: B,
-        f: F,
+        f: Rc<F>,
     }
 
     impl<B: Strategy, S: Strategy, F: Fn(B::Value) -> S> Strategy for FlatMap<B, F> {
         type Value = S::Value;
+        type Tree = FlatMapTree<B::Tree, S, F>;
 
-        fn generate(&self, rng: &mut TestRng) -> S::Value {
-            let inner = (self.f)(self.base.generate(rng));
-            inner.generate(rng)
+        fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+            let base = self.base.new_tree(rng);
+            // Snapshot the RNG *before* the inner draw: when a base
+            // candidate is adopted during shrinking, the derived
+            // strategy is re-drawn from this snapshot, so the inner
+            // value changes only through the base value.
+            let rng_snapshot = rng.clone();
+            let inner = (self.f)(base.current()).new_tree(rng);
+            FlatMapTree {
+                base,
+                inner,
+                f: Rc::clone(&self.f),
+                rng_snapshot,
+            }
+        }
+    }
+
+    /// Tree for [`FlatMap`]: shrinks the base tree first (re-deriving
+    /// the inner tree from the RNG snapshot), then the inner tree with
+    /// the base held fixed.
+    pub struct FlatMapTree<T, S: Strategy, F> {
+        base: T,
+        inner: S::Tree,
+        f: Rc<F>,
+        rng_snapshot: TestRng,
+    }
+
+    impl<T: Clone, S: Strategy, F> Clone for FlatMapTree<T, S, F> {
+        fn clone(&self) -> Self {
+            Self {
+                base: self.base.clone(),
+                inner: self.inner.clone(),
+                f: Rc::clone(&self.f),
+                rng_snapshot: self.rng_snapshot.clone(),
+            }
+        }
+    }
+
+    impl<T, S, F> ValueTree for FlatMapTree<T, S, F>
+    where
+        T: ValueTree + Clone,
+        S: Strategy,
+        F: Fn(T::Value) -> S,
+    {
+        type Value = S::Value;
+
+        fn current(&self) -> S::Value {
+            self.inner.current()
+        }
+
+        fn simplify(&self) -> Vec<Self> {
+            let mut out = Vec::new();
+            for base in self.base.simplify() {
+                let mut rng = self.rng_snapshot.clone();
+                let inner = (self.f)(base.current()).new_tree(&mut rng);
+                out.push(Self {
+                    base,
+                    inner,
+                    f: Rc::clone(&self.f),
+                    rng_snapshot: self.rng_snapshot.clone(),
+                });
+            }
+            for inner in self.inner.simplify() {
+                out.push(Self {
+                    base: self.base.clone(),
+                    inner,
+                    f: Rc::clone(&self.f),
+                    rng_snapshot: self.rng_snapshot.clone(),
+                });
+            }
+            out
         }
     }
 
@@ -123,36 +280,60 @@ pub mod strategy {
         );
     }
 
+    /// Value tree for integer-range strategies: the drawn value plus
+    /// the range minimum it binary-searches toward.
+    #[derive(Debug, Clone, Copy)]
+    pub struct IntTree<T> {
+        value: T,
+        min: T,
+    }
+
+    impl<T> IntTree<T> {
+        /// Tree representing `value`, shrinking toward `min`.
+        pub fn new(min: T, value: T) -> Self {
+            Self { value, min }
+        }
+    }
+
     macro_rules! impl_int_range {
         ($($t:ty => $helper:ident),*) => {$(
-            impl Strategy for std::ops::Range<$t> {
+            impl ValueTree for IntTree<$t> {
                 type Value = $t;
 
-                fn generate(&self, rng: &mut TestRng) -> $t {
-                    assert!(self.start < self.end, "empty range strategy");
-                    let span = (self.end - self.start) as u64;
-                    self.start + (rng.next_u64() % span) as $t
+                fn current(&self) -> $t {
+                    self.value
                 }
 
                 /// Binary-search candidates toward the range start:
                 /// `[start, v − d/2, v − d/4, …, v − 1]`.
-                fn shrink(&self, value: &$t) -> Vec<$t> {
-                    int_shrink::$helper(self.start, *value)
+                fn simplify(&self) -> Vec<Self> {
+                    int_shrink::$helper(self.min, self.value)
+                        .into_iter()
+                        .map(|value| Self { value, min: self.min })
+                        .collect()
+                }
+            }
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                type Tree = IntTree<$t>;
+
+                fn new_tree(&self, rng: &mut TestRng) -> IntTree<$t> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    let value = self.start + (rng.next_u64() % span) as $t;
+                    IntTree::new(self.start, value)
                 }
             }
             impl Strategy for std::ops::RangeInclusive<$t> {
                 type Value = $t;
+                type Tree = IntTree<$t>;
 
-                fn generate(&self, rng: &mut TestRng) -> $t {
+                fn new_tree(&self, rng: &mut TestRng) -> IntTree<$t> {
                     let (start, end) = (*self.start(), *self.end());
                     assert!(start <= end, "empty range strategy");
                     let span = (end - start) as u64 + 1;
-                    start + (rng.next_u64() % span) as $t
-                }
-
-                /// Binary-search candidates toward the range start.
-                fn shrink(&self, value: &$t) -> Vec<$t> {
-                    int_shrink::$helper(*self.start(), *value)
+                    let value = start + (rng.next_u64() % span) as $t;
+                    IntTree::new(start, value)
                 }
             }
         )*};
@@ -181,52 +362,88 @@ pub mod strategy {
         out
     }
 
-    impl Strategy for std::ops::Range<f64> {
+    /// Value tree for `f64`-range strategies: the drawn value plus the
+    /// range start it converges toward.
+    #[derive(Debug, Clone, Copy)]
+    pub struct F64Tree {
+        value: f64,
+        start: f64,
+    }
+
+    impl F64Tree {
+        /// Tree representing `value`, shrinking toward `start`.
+        pub fn new(start: f64, value: f64) -> Self {
+            Self { value, start }
+        }
+    }
+
+    impl ValueTree for F64Tree {
         type Value = f64;
 
-        fn generate(&self, rng: &mut TestRng) -> f64 {
-            assert!(self.start < self.end, "empty range strategy");
-            self.start + rng.next_f64() * (self.end - self.start)
+        fn current(&self) -> f64 {
+            self.value
         }
 
-        fn shrink(&self, value: &f64) -> Vec<f64> {
-            shrink_f64_toward(self.start, *value)
+        fn simplify(&self) -> Vec<Self> {
+            shrink_f64_toward(self.start, self.value)
+                .into_iter()
+                .map(|value| Self {
+                    value,
+                    start: self.start,
+                })
+                .collect()
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        type Tree = F64Tree;
+
+        fn new_tree(&self, rng: &mut TestRng) -> F64Tree {
+            assert!(self.start < self.end, "empty range strategy");
+            F64Tree::new(
+                self.start,
+                self.start + rng.next_f64() * (self.end - self.start),
+            )
         }
     }
 
     impl Strategy for std::ops::RangeInclusive<f64> {
         type Value = f64;
+        type Tree = F64Tree;
 
-        fn generate(&self, rng: &mut TestRng) -> f64 {
+        fn new_tree(&self, rng: &mut TestRng) -> F64Tree {
             let (start, end) = (*self.start(), *self.end());
             assert!(start <= end, "empty range strategy");
-            start + rng.next_f64() * (end - start)
-        }
-
-        fn shrink(&self, value: &f64) -> Vec<f64> {
-            shrink_f64_toward(*self.start(), *value)
+            F64Tree::new(start, start + rng.next_f64() * (end - start))
         }
     }
 
     macro_rules! impl_tuple {
         ($($name:ident : $idx:tt),+) => {
-            impl<$($name: Strategy),+> Strategy for ($($name,)+)
-            where
-                $($name::Value: Clone,)+
-            {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                type Tree = ($($name::Tree,)+);
+
+                fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+                    ($(self.$idx.new_tree(rng),)+)
+                }
+            }
+
+            impl<$($name: ValueTree + Clone),+> ValueTree for ($($name,)+) {
                 type Value = ($($name::Value,)+);
 
-                fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                    ($(self.$idx.generate(rng),)+)
+                fn current(&self) -> Self::Value {
+                    ($(self.$idx.current(),)+)
                 }
 
                 /// Component-wise shrinking: each component proposes
                 /// its candidates with the others held fixed.
-                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                fn simplify(&self) -> Vec<Self> {
                     let mut out = Vec::new();
                     $(
-                        for cand in self.$idx.shrink(&value.$idx) {
-                            let mut next = value.clone();
+                        for cand in self.$idx.simplify() {
+                            let mut next = self.clone();
                             next.$idx = cand;
                             out.push(next);
                         }
@@ -242,22 +459,36 @@ pub mod strategy {
     impl_tuple!(A: 0, B: 1, C: 2);
     impl_tuple!(A: 0, B: 1, C: 2, D: 3);
 
-    /// `Just`-style constant strategy (no shrinking: the constant is
-    /// already minimal).
+    /// `Just`-style constant strategy. It is its own value tree: the
+    /// constant is already minimal, so there are no candidates.
+    #[derive(Debug, Clone)]
     pub struct Just<T: Clone>(pub T);
 
     impl<T: Clone> Strategy for Just<T> {
         type Value = T;
+        type Tree = Just<T>;
 
-        fn generate(&self, _rng: &mut TestRng) -> T {
+        fn new_tree(&self, _rng: &mut TestRng) -> Just<T> {
+            self.clone()
+        }
+    }
+
+    impl<T: Clone> ValueTree for Just<T> {
+        type Value = T;
+
+        fn current(&self) -> T {
             self.0.clone()
+        }
+
+        fn simplify(&self) -> Vec<Self> {
+            Vec::new()
         }
     }
 }
 
 /// Collection strategies.
 pub mod collection {
-    use crate::strategy::Strategy;
+    use crate::strategy::{Strategy, ValueTree};
     use crate::test_runner::TestRng;
 
     /// Anything usable as the length spec of [`vec`]: a fixed length
@@ -315,41 +546,66 @@ pub mod collection {
         len: L,
     }
 
-    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L>
-    where
-        S::Value: Clone,
-    {
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
         type Value = Vec<S::Value>;
+        type Tree = VecTree<S::Tree>;
 
-        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        fn new_tree(&self, rng: &mut TestRng) -> VecTree<S::Tree> {
             let n = self.len.pick(rng);
-            (0..n).map(|_| self.element.generate(rng)).collect()
+            VecTree::new(
+                (0..n).map(|_| self.element.new_tree(rng)).collect(),
+                self.len.min_len(),
+            )
+        }
+    }
+
+    /// Value tree for [`vec`]: one element tree per position, plus the
+    /// minimum admissible length.
+    #[derive(Debug, Clone)]
+    pub struct VecTree<T> {
+        elements: Vec<T>,
+        min_len: usize,
+    }
+
+    impl<T> VecTree<T> {
+        /// Tree over `elements` whose length never shrinks below
+        /// `min_len`.
+        pub fn new(elements: Vec<T>, min_len: usize) -> Self {
+            Self { elements, min_len }
+        }
+    }
+
+    impl<T: ValueTree + Clone> ValueTree for VecTree<T> {
+        type Value = Vec<T::Value>;
+
+        fn current(&self) -> Vec<T::Value> {
+            self.elements.iter().map(T::current).collect()
         }
 
         /// Length shrinks first (cut to the minimum length, halve the
         /// removable suffix, drop each single element), then element
         /// shrinks (a few boldest candidates per position).
-        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
-            let min = self.len.min_len();
-            let n = value.len();
+        fn simplify(&self) -> Vec<Self> {
+            let min = self.min_len;
+            let n = self.elements.len();
             let mut out = Vec::new();
             if n > min {
-                out.push(value[..min].to_vec());
+                out.push(Self::new(self.elements[..min].to_vec(), min));
                 let half = min + (n - min) / 2;
                 if half > min && half < n {
-                    out.push(value[..half].to_vec());
+                    out.push(Self::new(self.elements[..half].to_vec(), min));
                 }
                 for i in 0..n {
-                    let mut next = value.clone();
+                    let mut next = self.elements.clone();
                     next.remove(i);
-                    out.push(next);
+                    out.push(Self::new(next, min));
                 }
             }
-            for (i, element) in value.iter().enumerate() {
-                for cand in self.element.shrink(element).into_iter().take(4) {
-                    let mut next = value.clone();
+            for (i, element) in self.elements.iter().enumerate() {
+                for cand in element.simplify().into_iter().take(4) {
+                    let mut next = self.elements.clone();
                     next[i] = cand;
-                    out.push(next);
+                    out.push(Self::new(next, min));
                 }
             }
             out
@@ -359,7 +615,7 @@ pub mod collection {
 
 /// Boolean strategies.
 pub mod bool {
-    use crate::strategy::Strategy;
+    use crate::strategy::{Strategy, ValueTree};
     use crate::test_runner::TestRng;
 
     /// Weighted coin: `true` with probability `p`.
@@ -375,15 +631,32 @@ pub mod bool {
 
     impl Strategy for Weighted {
         type Value = bool;
+        type Tree = BoolTree;
 
-        fn generate(&self, rng: &mut TestRng) -> bool {
-            rng.next_f64() < self.p
+        fn new_tree(&self, rng: &mut TestRng) -> BoolTree {
+            BoolTree {
+                value: rng.next_f64() < self.p,
+            }
+        }
+    }
+
+    /// Value tree for booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolTree {
+        value: bool,
+    }
+
+    impl ValueTree for BoolTree {
+        type Value = bool;
+
+        fn current(&self) -> bool {
+            self.value
         }
 
         /// `false` is the canonical simpler value.
-        fn shrink(&self, value: &bool) -> Vec<bool> {
-            if *value {
-                vec![false]
+        fn simplify(&self) -> Vec<Self> {
+            if self.value {
+                vec![Self { value: false }]
             } else {
                 Vec::new()
             }
@@ -394,7 +667,7 @@ pub mod bool {
 /// Test-runner plumbing: config, deterministic RNG, case execution and
 /// failure shrinking.
 pub mod test_runner {
-    use crate::strategy::Strategy;
+    use crate::strategy::{Strategy, ValueTree};
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
     /// Per-invocation configuration.
@@ -458,33 +731,33 @@ pub mod test_runner {
         }
     }
 
-    /// Shrinks a failing `value`: repeatedly asks the strategy for
-    /// candidates, adopts the first one that still fails and restarts
-    /// from it; stops when no candidate fails (a local minimum) or the
-    /// attempt budget runs out. Returns the minimal value, its failure
-    /// message and the number of adopted shrink steps.
-    pub fn shrink_failure<S, F>(
-        strategy: &S,
-        mut value: S::Value,
+    /// Shrinks a failing value tree: repeatedly asks the tree for
+    /// candidate trees, adopts the first one whose value still fails
+    /// and restarts from it; stops when no candidate fails (a local
+    /// minimum) or the attempt budget runs out. Returns the minimal
+    /// value, its failure message and the number of adopted shrink
+    /// steps.
+    pub fn shrink_failure<T, F>(
+        mut tree: T,
         mut message: String,
         run: &F,
         max_attempts: u32,
-    ) -> (S::Value, String, u32)
+    ) -> (T::Value, String, u32)
     where
-        S: Strategy,
-        S::Value: Clone,
-        F: Fn(&S::Value) -> TestCaseResult,
+        T: ValueTree,
+        F: Fn(&T::Value) -> TestCaseResult,
     {
         let mut steps = 0u32;
         let mut attempts = 0u32;
         'adopt: loop {
-            for cand in strategy.shrink(&value) {
+            for cand in tree.simplify() {
                 if attempts >= max_attempts {
                     break 'adopt;
                 }
                 attempts += 1;
-                if let Err(TestCaseError::Fail(msg)) = run_protected(run, &cand) {
-                    value = cand;
+                let value = cand.current();
+                if let Err(TestCaseError::Fail(msg)) = run_protected(run, &value) {
+                    tree = cand;
                     message = msg;
                     steps += 1;
                     continue 'adopt;
@@ -492,13 +765,13 @@ pub mod test_runner {
             }
             break;
         }
-        (value, message, steps)
+        (tree.current(), message, steps)
     }
 
     /// Generates and runs `config.cases` cases of `run` against
-    /// `strategy`; on the first failure, shrinks it and panics with the
-    /// minimal failing case. The [`crate::proptest!`] macro expands to
-    /// a call of this function.
+    /// `strategy`; on the first failure, shrinks its value tree and
+    /// panics with the minimal failing case. The [`crate::proptest!`]
+    /// macro expands to a call of this function.
     pub fn run_cases<S, F>(config: &ProptestConfig, name: &str, strategy: &S, run: F)
     where
         S: Strategy,
@@ -507,12 +780,13 @@ pub mod test_runner {
     {
         let mut rng = TestRng::deterministic(fnv1a(name));
         for case in 0..config.cases {
-            let value = strategy.generate(&mut rng);
+            let tree = strategy.new_tree(&mut rng);
+            let value = tree.current();
             match run_protected(&run, &value) {
                 Ok(()) | Err(TestCaseError::Reject) => {}
                 Err(TestCaseError::Fail(message)) => {
                     let (minimal, message, steps) =
-                        shrink_failure(strategy, value, message, &run, config.max_shrink_iters);
+                        shrink_failure(tree, message, &run, config.max_shrink_iters);
                     panic!(
                         "proptest {name}: case {case} failed; \
                          minimal failing case after {steps} shrink steps: {minimal:?}\n{message}"
@@ -565,7 +839,7 @@ pub mod test_runner {
 
 /// The common imports property tests use.
 pub mod prelude {
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{Just, Strategy, ValueTree};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
@@ -694,8 +968,10 @@ macro_rules! __proptest_items {
 
 #[cfg(test)]
 mod tests {
+    use crate::collection::VecTree;
     use crate::prelude::*;
-    use crate::test_runner::{shrink_failure, TestCaseError, TestCaseResult};
+    use crate::strategy::{F64Tree, IntTree};
+    use crate::test_runner::{shrink_failure, TestCaseError, TestCaseResult, TestRng};
     use std::cell::Cell;
 
     proptest! {
@@ -724,7 +1000,7 @@ mod tests {
 
     #[test]
     fn weighted_bool_rate() {
-        let mut rng = crate::test_runner::TestRng::deterministic(1);
+        let mut rng = TestRng::deterministic(1);
         let strat = crate::bool::weighted(0.25);
         let hits = (0..20_000)
             .filter(|_| crate::strategy::Strategy::generate(&strat, &mut rng))
@@ -747,12 +1023,18 @@ mod tests {
 
     #[test]
     fn int_shrink_candidates_are_bold_to_timid() {
-        use crate::strategy::Strategy;
-        let cands = (0u32..1000).shrink(&100);
+        let cands: Vec<u32> = IntTree::new(0u32, 100)
+            .simplify()
+            .iter()
+            .map(ValueTree::current)
+            .collect();
         assert_eq!(cands.first(), Some(&0), "boldest jump first");
         assert_eq!(cands.last(), Some(&99), "v-1 last");
         assert!(cands.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
-        assert!((0u32..1000).shrink(&0).is_empty(), "minimum is terminal");
+        assert!(
+            IntTree::new(0u32, 0).simplify().is_empty(),
+            "minimum is terminal"
+        );
     }
 
     #[test]
@@ -762,7 +1044,7 @@ mod tests {
         // descent would take.
         let runs = Cell::new(0);
         let pred = boundary_pred(57, &runs);
-        let (min, msg, steps) = shrink_failure(&(0u32..1000), 923, "seed".into(), &pred, 4096);
+        let (min, msg, steps) = shrink_failure(IntTree::new(0u32, 923), "seed".into(), &pred, 4096);
         assert_eq!(min, 57);
         assert!(msg.contains("57 >= 57"));
         assert!(steps >= 1);
@@ -784,14 +1066,13 @@ mod tests {
                 Ok(())
             }
         };
-        let (min, _, _) = shrink_failure(&(0.0f64..10.0), 9.75, "seed".into(), &pred, 4096);
+        let (min, _, _) = shrink_failure(F64Tree::new(0.0, 9.75), "seed".into(), &pred, 4096);
         assert!(min >= 2.5, "shrunk value must still fail");
         assert!(min - 2.5 < 1e-6, "converged to the boundary, got {min}");
     }
 
     #[test]
     fn vec_shrink_minimizes_length_and_elements() {
-        use crate::collection::vec;
         // Fails iff any element ≥ 10: minimal case is the single
         // element [10].
         let pred = |v: &Vec<u32>| -> TestCaseResult {
@@ -801,18 +1082,28 @@ mod tests {
                 Ok(())
             }
         };
-        let strat = vec(0u32..100, 0usize..=8);
-        let start = std::vec![55, 3, 97, 12, 4];
-        let (min, _, _) = shrink_failure(&strat, start, "seed".into(), &pred, 4096);
+        let start = VecTree::new(
+            [55, 3, 97, 12, 4]
+                .into_iter()
+                .map(|v| IntTree::new(0u32, v))
+                .collect(),
+            0,
+        );
+        let (min, _, _) = shrink_failure(start, "seed".into(), &pred, 4096);
         assert_eq!(min, std::vec![10]);
     }
 
     #[test]
     fn vec_shrink_respects_min_len() {
-        use crate::collection::vec;
         let pred = |_: &Vec<u32>| -> TestCaseResult { Err(TestCaseError::Fail("always".into())) };
-        let strat = vec(0u32..100, 3usize..=8);
-        let (min, _, _) = shrink_failure(&strat, std::vec![9, 8, 7, 6, 5], "s".into(), &pred, 4096);
+        let start = VecTree::new(
+            [9, 8, 7, 6, 5]
+                .into_iter()
+                .map(|v| IntTree::new(0u32, v))
+                .collect(),
+            3,
+        );
+        let (min, _, _) = shrink_failure(start, "s".into(), &pred, 4096);
         assert_eq!(min.len(), 3, "never shrinks below the length spec");
         assert!(
             min.iter().all(|&x| x == 0),
@@ -830,8 +1121,8 @@ mod tests {
                 Ok(())
             }
         };
-        let strat = (0u32..100, 0u32..100);
-        let (min, _, _) = shrink_failure(&strat, (80, 90), "seed".into(), &pred, 4096);
+        let start = (IntTree::new(0u32, 80), IntTree::new(0u32, 90));
+        let (min, _, _) = shrink_failure(start, "seed".into(), &pred, 4096);
         assert_eq!(min.0 + min.1, 30, "landed on the boundary: {min:?}");
     }
 
@@ -845,9 +1136,64 @@ mod tests {
             Ok(())
         };
         let run = |v: &u32| crate::test_runner::run_protected(&pred, v);
-        let (min, msg, _) = shrink_failure(&(0u32..1000), 800, "seed".into(), &run, 4096);
+        let (min, msg, _) = shrink_failure(IntTree::new(0u32, 800), "seed".into(), &run, 4096);
         assert_eq!(min, 21);
         assert!(msg.contains("boom at 21"), "message: {msg}");
+    }
+
+    /// PR-7: `prop_map` outputs shrink through the combinator — the
+    /// minimal case is the mapping applied at the base's failure
+    /// boundary, found by binary search on the *base* value.
+    #[test]
+    fn map_shrinks_through_the_combinator() {
+        let strat = (0u32..1000).prop_map(|b| 2 * b + 1);
+        // Fails iff v >= 101, i.e. base >= 50: minimal mapped value is
+        // exactly 101 (odd by construction — only values in the image
+        // of the mapping are ever proposed).
+        let pred = |&v: &u32| -> TestCaseResult {
+            if v >= 101 {
+                Err(TestCaseError::Fail(format!("{v}")))
+            } else {
+                Ok(())
+            }
+        };
+        let mut rng = TestRng::deterministic(0xA11CE);
+        let tree = loop {
+            let t = strat.new_tree(&mut rng);
+            if t.current() >= 101 {
+                break t;
+            }
+        };
+        let (min, _, steps) = shrink_failure(tree, "seed".into(), &pred, 4096);
+        assert_eq!(min, 101, "boundary through the mapping");
+        assert!(steps >= 1);
+    }
+
+    /// PR-7: `prop_flat_map` shrinks both levels — the base value (the
+    /// derived strategy is re-drawn from the RNG snapshot) and then
+    /// the derived value with the base held fixed.
+    #[test]
+    fn flat_map_shrinks_base_and_inner() {
+        let strat = (1usize..8).prop_flat_map(|n| crate::collection::vec(0u32..100, n));
+        // Fails iff the vector has ≥ 3 elements: the base shrinks to
+        // n = 3, then the (regenerated) elements shrink to the range
+        // start.
+        let pred = |v: &Vec<u32>| -> TestCaseResult {
+            if v.len() >= 3 {
+                Err(TestCaseError::Fail(format!("len {}", v.len())))
+            } else {
+                Ok(())
+            }
+        };
+        let mut rng = TestRng::deterministic(0xF1A7);
+        let tree = loop {
+            let t = strat.new_tree(&mut rng);
+            if t.current().len() >= 3 {
+                break t;
+            }
+        };
+        let (min, _, _) = shrink_failure(tree, "seed".into(), &pred, 4096);
+        assert_eq!(min, std::vec![0, 0, 0], "minimal length, minimal elements");
     }
 
     proptest! {
@@ -866,6 +1212,26 @@ mod tests {
         #[should_panic(expected = "(57,)")]
         fn macro_shrinks_to_the_boundary(v in 0u32..1000) {
             prop_assert!(v < 57);
+        }
+
+        /// PR-7 end-to-end: a mapped strategy reports the minimal
+        /// *mapped* case. `v = 2b` fails for v ≥ 99 ⇔ b ≥ 50, so the
+        /// minimal report is exactly `(100,)`.
+        #[test]
+        #[should_panic(expected = "(100,)")]
+        fn macro_shrinks_through_prop_map(v in (0u32..1000).prop_map(|b| 2 * b)) {
+            prop_assert!(v < 99);
+        }
+
+        /// PR-7 end-to-end: a flat-mapped strategy shrinks the base
+        /// (vector length) to the boundary and the regenerated
+        /// elements to the range start.
+        #[test]
+        #[should_panic(expected = "([0, 0],)")]
+        fn macro_shrinks_through_prop_flat_map(
+            v in (1usize..8).prop_flat_map(|n| crate::collection::vec(0u32..100, n))
+        ) {
+            prop_assert!(v.len() < 2);
         }
     }
 }
