@@ -21,24 +21,31 @@
 //! path), not single-digit-percent drift.
 //!
 //! Beyond the trend comparison, a small set of kernels is **required**:
-//! the `graph_build_{scratch,incremental}` pair (PR 3), the
-//! `service_throughput` row (PR 4), the `ingest_throughput` row
+//! the `graph_build_{scratch,incremental}` pair (PR 3), the `knn_query`
+//! row (PR 8), the `service_throughput` row (PR 4), the
+//! `telemetry_overhead` row (PR 8), the `ingest_throughput` row
 //! (PR 5) and the `journal_throughput` row (PR 6) must be present in
 //! every candidate report. Most kernels may come and go as they are
 //! added and retired, but these are the standing evidence for the
-//! churn-driven period engine, the sharded online service, the
-//! multi-producer ingestion front-end and the write-ahead journal — a
-//! candidate that silently dropped one would leave that subsystem
-//! unbenchmarked (and, for the service, ingestion and journal rows,
-//! un-cross-checked against their serial oracles), so a missing
-//! required row fails the gate outright.
+//! churn-driven period engine, the SoA k-NN kernel, the sharded online
+//! service, the always-on latency telemetry, the multi-producer
+//! ingestion front-end and the write-ahead journal — a candidate that
+//! silently dropped one would leave that subsystem unbenchmarked (and,
+//! for the k-NN, service, ingestion and journal rows, un-cross-checked
+//! against their serial oracles), so a missing required row fails the
+//! gate outright.
 //!
-//! One rule is **absolute** rather than trend-relative (PR 7): if the
+//! Two rules are **absolute** rather than trend-relative. PR 7: if the
 //! candidate's `ingest_throughput` row ran with ≥ 2 producers, its
 //! `speedup_vs_serial` must be present and ≥ 1.0. The multi-producer
 //! front door being slower than serial push is the regression that
 //! motivated the PR-7 ring rewrite; it needs no baseline file because
 //! the serial push measured inside the same report is the baseline.
+//! PR 8: the `telemetry_overhead` row's `overhead` field (the latency
+//! histograms' recording cost expressed against the same report's
+//! `service_throughput` replay) must be present and ≤ 1.03 — telemetry
+//! that costs more than 3% of service throughput is a regression, not
+//! an observability feature.
 
 use serde::Value;
 
@@ -46,7 +53,9 @@ use serde::Value;
 const REQUIRED_KERNELS: &[&str] = &[
     "graph_build_scratch",
     "graph_build_incremental",
+    "knn_query",
     "service_throughput",
+    "telemetry_overhead",
     "ingest_throughput",
     "journal_throughput",
 ];
@@ -104,6 +113,38 @@ fn check_ingest_speedup(candidate: &Value) -> Vec<Regression> {
             "ingest_throughput: {producers:.0}-producer row has no `speedup_vs_serial` \
              field — the serial-push bar is unmeasured"
         ))],
+    }
+}
+
+/// PR-8 absolute bar: the latency histograms ride inside
+/// `deterministic_bits`, so they are always on — there is no
+/// "telemetry disabled" deployment to fall back to if recording gets
+/// expensive. The `telemetry_overhead` row prices one
+/// `service_throughput` replay's worth of `record_period` calls
+/// against that replay's own wall-clock (`overhead = 1 +
+/// telemetry_ns / replay_ns`); a candidate whose overhead exceeds
+/// 1.03 (3% of service throughput) fails outright. Like the
+/// serial-push bar this needs no baseline file — the service replay
+/// measured in the same report *is* the baseline.
+fn check_telemetry_overhead(candidate: &Value) -> Vec<Regression> {
+    let Some(row) = candidate
+        .get("kernels")
+        .and_then(|k| k.get("telemetry_overhead"))
+    else {
+        return Vec::new(); // absence is already a required-row failure
+    };
+    match row.get("overhead") {
+        Some(Value::Number(overhead)) if *overhead <= 1.03 => Vec::new(),
+        Some(Value::Number(overhead)) => vec![Regression(format!(
+            "telemetry_overhead: latency histograms cost {:.2}% of service throughput \
+             (overhead {overhead:.4}x > 1.03x) — the 3% telemetry budget is blown",
+            (overhead - 1.0) * 100.0
+        ))],
+        _ => vec![Regression(
+            "telemetry_overhead row has no `overhead` field — the 3% telemetry budget \
+             is unmeasured"
+                .to_string(),
+        )],
     }
 }
 
@@ -200,10 +241,11 @@ fn main() {
             .expect("usage: bench_gate CANDIDATE.json [BASELINE.json]"),
     );
     let candidate = load(&candidate_path);
-    // Required rows and the serial-push bar are gated even without a
-    // baseline to compare against.
+    // Required rows, the serial-push bar and the telemetry budget are
+    // gated even without a baseline to compare against.
     let mut regressions = check_required(&candidate);
     regressions.extend(check_ingest_speedup(&candidate));
+    regressions.extend(check_telemetry_overhead(&candidate));
     let baseline_path = match args.next() {
         Some(p) => Some(std::path::PathBuf::from(p)),
         None => default_baseline(&candidate_path),
@@ -328,16 +370,20 @@ mod tests {
     #[test]
     fn candidate_missing_required_graph_build_rows_fails() {
         let regressions = check_required(&report_with_kernels(&["monte_carlo"]));
-        assert_eq!(regressions.len(), 5, "{regressions:?}");
+        assert_eq!(regressions.len(), 7, "{regressions:?}");
         assert!(regressions[0].0.contains("graph_build_scratch"));
         assert!(regressions[1].0.contains("graph_build_incremental"));
-        assert!(regressions[2].0.contains("service_throughput"));
-        assert!(regressions[3].0.contains("ingest_throughput"));
-        assert!(regressions[4].0.contains("journal_throughput"));
+        assert!(regressions[2].0.contains("knn_query"));
+        assert!(regressions[3].0.contains("service_throughput"));
+        assert!(regressions[4].0.contains("telemetry_overhead"));
+        assert!(regressions[5].0.contains("ingest_throughput"));
+        assert!(regressions[6].0.contains("journal_throughput"));
         // Some present, one dropped: still a failure.
         let regressions = check_required(&report_with_kernels(&[
             "graph_build_scratch",
+            "knn_query",
             "service_throughput",
+            "telemetry_overhead",
             "ingest_throughput",
             "journal_throughput",
         ]));
@@ -352,6 +398,8 @@ mod tests {
         let regressions = check_required(&report_with_kernels(&[
             "graph_build_scratch",
             "graph_build_incremental",
+            "knn_query",
+            "telemetry_overhead",
             "ingest_throughput",
             "journal_throughput",
         ]));
@@ -367,7 +415,9 @@ mod tests {
         let regressions = check_required(&report_with_kernels(&[
             "graph_build_scratch",
             "graph_build_incremental",
+            "knn_query",
             "service_throughput",
+            "telemetry_overhead",
             "journal_throughput",
         ]));
         assert_eq!(regressions.len(), 1, "{regressions:?}");
@@ -382,11 +432,30 @@ mod tests {
         let regressions = check_required(&report_with_kernels(&[
             "graph_build_scratch",
             "graph_build_incremental",
+            "knn_query",
             "service_throughput",
+            "telemetry_overhead",
             "ingest_throughput",
         ]));
         assert_eq!(regressions.len(), 1, "{regressions:?}");
         assert!(regressions[0].0.contains("journal_throughput"));
+    }
+
+    /// The PR-8 required row: a candidate that silently dropped the SoA
+    /// k-NN kernel benchmark (and with it the static-rebuild
+    /// cross-check) must fail the gate.
+    #[test]
+    fn candidate_missing_knn_query_fails() {
+        let regressions = check_required(&report_with_kernels(&[
+            "graph_build_scratch",
+            "graph_build_incremental",
+            "service_throughput",
+            "telemetry_overhead",
+            "ingest_throughput",
+            "journal_throughput",
+        ]));
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].0.contains("knn_query"));
     }
 
     #[test]
@@ -394,7 +463,9 @@ mod tests {
         let regressions = check_required(&report_with_kernels(&[
             "graph_build_scratch",
             "graph_build_incremental",
+            "knn_query",
             "service_throughput",
+            "telemetry_overhead",
             "ingest_throughput",
             "journal_throughput",
             "monte_carlo",
@@ -470,5 +541,45 @@ mod tests {
     fn missing_ingest_row_is_not_a_speedup_failure() {
         assert!(check_ingest_speedup(&report_with_kernels(&["monte_carlo"])).is_empty());
         assert!(check_ingest_speedup(&Value::Null).is_empty());
+    }
+
+    fn telemetry_row(fields: &[(&str, Value)]) -> Value {
+        report("telemetry_overhead", fields)
+    }
+
+    /// The PR-8 absolute bar: telemetry costing more than 3% of service
+    /// throughput fails regardless of any baseline file.
+    #[test]
+    fn telemetry_overhead_beyond_3_percent_fails() {
+        let cand = telemetry_row(&[("overhead", 1.031.to_value())]);
+        let regressions = check_telemetry_overhead(&cand);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].0.contains("1.03"));
+    }
+
+    #[test]
+    fn telemetry_overhead_within_budget_passes() {
+        for overhead in [1.0, 1.0001, 1.03] {
+            let cand = telemetry_row(&[("overhead", overhead.to_value())]);
+            assert!(check_telemetry_overhead(&cand).is_empty(), "at {overhead}x");
+        }
+    }
+
+    /// A telemetry row that never measured its own overhead is as bad
+    /// as one that blew the budget: the bar is unenforceable.
+    #[test]
+    fn telemetry_row_without_overhead_field_fails() {
+        let cand = telemetry_row(&[("telemetry_ns", 500.0.to_value())]);
+        let regressions = check_telemetry_overhead(&cand);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].0.contains("overhead"));
+    }
+
+    /// A report with no telemetry row at all is handled by
+    /// `check_required`; the budget check must not double-report it.
+    #[test]
+    fn missing_telemetry_row_is_not_a_budget_failure() {
+        assert!(check_telemetry_overhead(&report_with_kernels(&["monte_carlo"])).is_empty());
+        assert!(check_telemetry_overhead(&Value::Null).is_empty());
     }
 }

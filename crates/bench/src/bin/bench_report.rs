@@ -1,9 +1,9 @@
 //! Machine-readable perf trajectory: measures the PR-1 evaluation
 //! kernels, the PR-2 parallel pricing/runner paths, the PR-3
 //! incremental graph-build engine, the PR-4 sharded online service,
-//! the PR-5/PR-7 multi-producer ingestion front-end and the PR-6
-//! write-ahead journal against their retained baselines and writes
-//! `BENCH_PR7.json`.
+//! the PR-5/PR-7 multi-producer ingestion front-end, the PR-6
+//! write-ahead journal, and the PR-8 SoA k-NN + telemetry rows
+//! against their retained baselines and writes `BENCH_PR8.json`.
 //!
 //! ```sh
 //! cargo run --release -p maps-bench --bin bench_report [-- OUT.json]
@@ -40,12 +40,23 @@
 //! (itself checked against `Simulation::run` in the
 //! `service_throughput` row) before anything is timed.
 //!
+//! PR 8 adds two rows: `knn_query` isolates the SoA capped k-NN
+//! kernel (the inner loop of every graph build) on a 200k-point index,
+//! bit-checked against a fresh static index before timing; and
+//! `telemetry_overhead` prices the always-on latency histograms —
+//! recording is a pure function of per-period counts, so the row
+//! measures the exact `record_period` call pattern one
+//! `service_throughput` replay performs and reports
+//! `overhead = 1 + telemetry_ns / replay_ns`. `bench_gate` fails a
+//! report whose telemetry costs more than 3% of service throughput
+//! (`overhead > 1.03`).
+//!
 //! Each PR appends its own `BENCH_PR<N>.json` so the perf trajectory
 //! stays diffable; the `bench_gate` binary fails CI when a fresh run
 //! regresses >2x against the last committed report **or when a required
-//! row (`graph_build_*`, `service_throughput`, `ingest_throughput`,
-//! `journal_throughput`) goes missing** (so a refactor cannot silently
-//! drop a standing subsystem benchmark).
+//! row (`graph_build_*`, `knn_query`, `service_throughput`,
+//! `ingest_throughput`, `journal_throughput`) goes missing** (so a
+//! refactor cannot silently drop a standing subsystem benchmark).
 
 use maps_bench::{plateau_maps, random_graph, random_weights, PeriodFixture, XorShift};
 use maps_core::{
@@ -56,7 +67,7 @@ use maps_core::{
 use maps_experiments::{run_panel, PanelSpec, RunOptions, Scale};
 use maps_matching::{max_weight_matching_left_weights, MatchScratch, PossibleWorlds};
 use maps_simulator::SyntheticConfig;
-use maps_spatial::{GridSpec, Point, Rect};
+use maps_spatial::{BucketIndex, DynamicBucketIndex, GridSpec, Point, Rect};
 use serde::{Serialize, Value};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -471,6 +482,129 @@ fn graph_build_report() -> (Value, Value, f64) {
     (scratch_row, incremental_row, speedup)
 }
 
+/// PR-8 tentpole row: the SoA capped k-NN kernel in isolation. A batch
+/// of capped nearest-neighbour queries runs against a churn-built
+/// [`DynamicBucketIndex`] (the structure-of-arrays coordinate lanes the
+/// PR-8 layout change introduced) over a 200k-point set. Every query
+/// result is cross-checked for exact `(distance, id)` equality against
+/// a fresh static [`BucketIndex`] over the same live set before
+/// anything is timed; `bit_identical` records the check. The timed loop
+/// uses `k_nearest_within_into` with a reused buffer — the exact shape
+/// of the sharded service's per-period graph build.
+fn knn_query_report() -> Value {
+    let n_points = 200_000usize;
+    let queries = 512usize;
+    let k = 16usize;
+    let radius = 10.0f64;
+    let grid = GridSpec::square(Rect::square(100.0), 32);
+    let mut rng = XorShift(0x50A0);
+    let points: Vec<(Point, u32)> = (0..n_points)
+        .map(|id| {
+            (
+                Point::new(rng.next_f64() * 100.0, rng.next_f64() * 100.0),
+                id as u32,
+            )
+        })
+        .collect();
+    // Build the dynamic index by insertion (the path the service uses),
+    // with a churn pass so the SoA lanes contain reuse holes rather than
+    // a pristine append-only layout.
+    let mut dynamic = DynamicBucketIndex::new(grid);
+    for &(p, id) in &points {
+        dynamic.insert(p, id);
+    }
+    let churn = n_points / 100;
+    for &(p, id) in points.iter().take(churn) {
+        dynamic.remove(p, id);
+    }
+    for &(p, id) in points.iter().take(churn) {
+        dynamic.insert(p, id);
+    }
+    let static_index = BucketIndex::build_with_grid(grid, &points);
+    let centers: Vec<Point> = (0..queries)
+        .map(|_| Point::new(rng.next_f64() * 100.0, rng.next_f64() * 100.0))
+        .collect();
+
+    // Correctness cross-check before timing anything.
+    let mut bit_identical = true;
+    for &c in &centers {
+        let got = dynamic.k_nearest_within(c, radius, k, |_, _| true);
+        let want = static_index.k_nearest_within(c, radius, k, |_, _| true);
+        bit_identical &= got.len() == want.len()
+            && got
+                .iter()
+                .zip(&want)
+                .all(|(a, b)| a.0.to_bits() == b.0.to_bits() && a.1 == b.1);
+    }
+    assert!(bit_identical, "dynamic k-NN diverged from static rebuild");
+
+    let mut buf: Vec<(f64, u32)> = Vec::new();
+    let query_ns = median_ns(5, || {
+        let mut checksum = 0u64;
+        for &c in &centers {
+            dynamic.k_nearest_within_into(c, radius, k, |_, _| true, &mut buf);
+            checksum = checksum.wrapping_add(buf.len() as u64);
+        }
+        checksum
+    });
+    let queries_per_sec = queries as f64 / (query_ns / 1e9);
+    println!(
+        "knn_query {n_points} points, {queries} queries, k={k}, r={radius}: batch {} \
+         | {queries_per_sec:.0} queries/s | bit-identical {bit_identical}",
+        format_ms(query_ns),
+    );
+    serde::object([
+        ("n_points", (n_points as f64).to_value()),
+        ("queries", (queries as f64).to_value()),
+        ("k", (k as f64).to_value()),
+        ("radius", radius.to_value()),
+        ("query_ns", query_ns.to_value()),
+        ("queries_per_sec", queries_per_sec.to_value()),
+        ("bit_identical", bit_identical.to_value()),
+    ])
+}
+
+/// PR-8 telemetry row: the price of the always-on latency histograms.
+/// Telemetry recording is a pure function of per-period counts (it
+/// participates in `deterministic_bits`, so it cannot be compiled out
+/// for an A/B leg without changing the outcome), which means its
+/// end-to-end cost is exactly the `record_period` call pattern one
+/// `service_throughput` replay performs: one call per period at that
+/// row's issued-task and live-worker scale. The row times that pattern
+/// (amplified for timer resolution, averaged back down) and reports
+/// `overhead = 1 + telemetry_ns / replay_ns` against the service row's
+/// replay measured in the same process. `bench_gate` fails any report
+/// where `overhead > 1.03`.
+fn telemetry_overhead_report(service_replay_ns: f64) -> Value {
+    let periods = 10u64;
+    let tasks_per_period = 200u64; // service_throughput: 2k tasks over 10 periods
+    let live_workers = 100_000u64;
+    let reps = 10_000usize;
+    let batch_ns = median_ns(5, || {
+        let mut t = maps_telemetry::LatencyTelemetry::new();
+        for _ in 0..reps {
+            for _ in 0..periods {
+                t.record_period(black_box(tasks_per_period), black_box(live_workers));
+            }
+        }
+        t
+    });
+    let telemetry_ns = batch_ns / reps as f64;
+    let overhead = 1.0 + telemetry_ns / service_replay_ns;
+    println!(
+        "telemetry_overhead {periods} record_period calls/replay ({tasks_per_period} tasks, \
+         {live_workers} workers): {telemetry_ns:.0} ns/replay | overhead {overhead:.6}x",
+    );
+    serde::object([
+        ("periods", (periods as f64).to_value()),
+        ("tasks_per_period", (tasks_per_period as f64).to_value()),
+        ("live_workers", (live_workers as f64).to_value()),
+        ("telemetry_ns", telemetry_ns.to_value()),
+        ("replay_ns", service_replay_ns.to_value()),
+        ("overhead", overhead.to_value()),
+    ])
+}
+
 /// PR-4 tentpole row: end-to-end event throughput of the grid-sharded
 /// online service on a 100k-worker stream (every worker arrival, task
 /// request and period tick is one event). The replayed outcome is
@@ -714,9 +848,9 @@ fn journal_throughput_report() -> Value {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
 
-    println!("maps bench_report — PR 7 kernel trajectory");
+    println!("maps bench_report — PR 8 kernel trajectory");
     println!("==========================================");
     let (possible_worlds, pw_speedup) = possible_worlds_report();
     let (monte_carlo, _mc_speedup) = monte_carlo_report();
@@ -724,7 +858,16 @@ fn main() {
     let (pricing_period, pricing_speedup) = pricing_period_report();
     let seed_runner = seed_runner_report();
     let (graph_build_scratch, graph_build_incremental, graph_speedup) = graph_build_report();
+    let knn_query = knn_query_report();
     let service_throughput = service_throughput_report();
+    let service_replay_ns = service_throughput
+        .get("replay_ns")
+        .and_then(|v| match v {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        })
+        .expect("service row has replay_ns");
+    let telemetry_overhead = telemetry_overhead_report(service_replay_ns);
     let ingest_throughput = ingest_throughput_report();
     let journal_throughput = journal_throughput_report();
 
@@ -768,10 +911,23 @@ fn main() {
              acceptance bar"
         );
     }
+    let telemetry_cost = telemetry_overhead
+        .get("overhead")
+        .and_then(|v| match v {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        })
+        .unwrap_or(f64::INFINITY);
+    if telemetry_cost > 1.03 {
+        eprintln!(
+            "warning: telemetry overhead {telemetry_cost:.4}x exceeds the 3% service-throughput \
+             budget"
+        );
+    }
 
     let report = serde::object([
         ("schema", "maps-bench-report/v1".to_value()),
-        ("pr", 7.0f64.to_value()),
+        ("pr", 8.0f64.to_value()),
         (
             "host",
             serde::object([("threads", (rayon::current_num_threads() as f64).to_value())]),
@@ -786,7 +942,9 @@ fn main() {
                 ("seed_runner", seed_runner),
                 ("graph_build_scratch", graph_build_scratch),
                 ("graph_build_incremental", graph_build_incremental),
+                ("knn_query", knn_query),
                 ("service_throughput", service_throughput),
+                ("telemetry_overhead", telemetry_overhead),
                 ("ingest_throughput", ingest_throughput),
                 ("journal_throughput", journal_throughput),
             ]),

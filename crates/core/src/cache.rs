@@ -175,17 +175,34 @@ impl PeriodGraphCache {
 
     /// Applies one period's churn: departures, then relocations, then
     /// arrivals, then a single merge pass over the live-id list (so bulk
-    /// churn does not pay a per-event `O(live)` shift).
+    /// churn does not pay a per-event `O(live)` shift). Departures and
+    /// arrivals go through the index's bulk paths
+    /// ([`DynamicBucketIndex::remove_bulk`] /
+    /// [`DynamicBucketIndex::insert_bulk`]), one compaction/merge pass
+    /// per touched bucket instead of one lane shift per event — the
+    /// final bucket contents are identical to the one-at-a-time ops, so
+    /// queries stay bit-identical.
     pub fn apply(&mut self, churn: WorkerChurn<'_>) {
+        let mut departing: Vec<(Point, u32)> = Vec::with_capacity(churn.departures.len());
         for &id in churn.departures {
-            self.remove_slot(id);
+            let w = self.book_departure(id);
+            departing.push((w.location, id));
         }
+        let removed = self.index.remove_bulk(&departing);
+        assert_eq!(
+            removed,
+            departing.len(),
+            "live worker missing from the spatial index"
+        );
         for &(id, to) in churn.relocations {
             self.relocate(id, to);
         }
+        let mut arriving: Vec<(Point, u32)> = Vec::with_capacity(churn.arrivals.len());
         for &(id, w) in churn.arrivals {
-            self.insert_slot(id, w);
+            self.book_arrival(id, w);
+            arriving.push((w.location, id));
         }
+        self.index.insert_bulk(&arriving);
         self.merge_live_ids(churn.departures, churn.arrivals);
     }
 
@@ -326,6 +343,14 @@ impl PeriodGraphCache {
     }
 
     fn insert_slot(&mut self, id: u32, worker: WorkerInput) {
+        self.book_arrival(id, worker);
+        self.index.insert(worker.location, id);
+    }
+
+    /// The slot/max-radius bookkeeping of an arrival, *without* the
+    /// spatial-index insert — [`PeriodGraphCache::apply`] books a whole
+    /// batch first and then bulk-inserts into the index in one pass.
+    fn book_arrival(&mut self, id: u32, worker: WorkerInput) {
         assert!(
             worker.radius.is_finite() && worker.radius >= 0.0,
             "worker radius must be non-negative, got {}",
@@ -340,7 +365,6 @@ impl PeriodGraphCache {
             "arrival of an already-live worker id {id}"
         );
         self.slots[idx] = Some(worker);
-        self.index.insert(worker.location, id);
         if !self.max_radius_dirty {
             let radius = normalize_radius(worker.radius);
             if self.max_radius_count == 0 || radius > self.max_radius {
@@ -353,15 +377,22 @@ impl PeriodGraphCache {
     }
 
     fn remove_slot(&mut self, id: u32) -> WorkerInput {
+        let w = self.book_departure(id);
+        assert!(
+            self.index.remove(w.location, id),
+            "live worker missing from the spatial index"
+        );
+        w
+    }
+
+    /// The slot/max-radius bookkeeping of a departure, *without* the
+    /// spatial-index removal — the bulk twin of [`Self::book_arrival`].
+    fn book_departure(&mut self, id: u32) -> WorkerInput {
         let w = self
             .slots
             .get_mut(id as usize)
             .and_then(Option::take)
             .expect("departure of a non-live worker");
-        assert!(
-            self.index.remove(w.location, id),
-            "live worker missing from the spatial index"
-        );
         if !self.max_radius_dirty && normalize_radius(w.radius) == self.max_radius {
             self.max_radius_count -= 1;
             if self.max_radius_count == 0 {

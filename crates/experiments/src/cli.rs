@@ -2,7 +2,7 @@
 //! the offline dependency set).
 
 use crate::panels::{all_panels, panel_by_name, PanelSpec, Scale};
-use crate::report::{print_metric_tables, write_jsonl};
+use crate::report::{print_metric_tables, print_telemetry, write_jsonl};
 use crate::runner::{run_panel, run_panel_journaled, JournalOptions, RunOptions};
 use std::path::PathBuf;
 
@@ -57,6 +57,12 @@ pub struct CliArgs {
     /// stream) instead of recomputing them. Requires `--journal`; rows
     /// stay bit-identical (recovery equals uninterrupted).
     pub recover: bool,
+    /// `--telemetry`: print the deterministic event-time latency dump
+    /// (task wait / queue depth / worker pool log2-histogram quantiles)
+    /// after each panel's metric tables. The numbers are part of
+    /// `Outcome::deterministic_bits`, so the dump is diffable across
+    /// shard/thread/producer configurations.
+    pub telemetry: bool,
 }
 
 /// Why [`CliArgs::try_parse`] refused an argument list.
@@ -116,6 +122,7 @@ impl CliArgs {
             producers: defaults.producers,
             journal: None,
             recover: false,
+            telemetry: false,
         };
         let mut it = args.into_iter();
         // A flag's value: present, non-flag-shaped, and parseable.
@@ -174,6 +181,7 @@ impl CliArgs {
                         Some(PathBuf::from(value_of::<String>("--journal", it.next())?))
                 }
                 "--recover" => parsed.recover = true,
+                "--telemetry" => parsed.telemetry = true,
                 "--out" => parsed.out_dir = PathBuf::from(value_of::<String>("--out", it.next())?),
                 "--help" | "-h" => return Err(CliError::HelpRequested),
                 other => return Err(format!("unknown argument: {other}").into()),
@@ -244,7 +252,7 @@ fn usage(bin: &str) -> ! {
     eprintln!(
         "usage: {bin} [--panel KEY] [--quick] [--parallel] [--seeds N] \
          [--out DIR] [--no-memory] [--max-edges K] [--shards N] \
-         [--producers N] [--journal DIR [--recover]] \
+         [--producers N] [--journal DIR [--recover]] [--telemetry] \
          [--incremental|--no-incremental]\n\
          panels: w r mu-t mean-s | mu-v sigma-v t g | aw scale beijing1 beijing2 | alpha\n\
          --seeds N           average over N >= 1 seeds (default 1)\n\
@@ -264,6 +272,10 @@ fn usage(bin: &str) -> ! {
                              --journal DIR from a previous (possibly crashed)\n\
                              run instead of recomputing them; rows bit-identical\n\
                              (recovery equals uninterrupted)\n\
+         --telemetry         print the deterministic event-time latency dump\n\
+                             (task wait / queue depth / worker pool quantiles)\n\
+                             after each panel — diffable across shard/thread/\n\
+                             producer configurations\n\
          --no-incremental    use the retained rescan-and-rebuild period engine\n\
                              (bit-identical revenue/count columns; for A/B\n\
                              timing of the incremental cache)"
@@ -303,6 +315,9 @@ pub fn run_figure(figure: &str, args: &CliArgs) {
         };
         eprintln!("  done in {:.1}s", start.elapsed().as_secs_f64());
         print_metric_tables(&rows);
+        if args.telemetry {
+            print_telemetry(&rows);
+        }
         let path = args
             .out_dir
             .join(format!("{}_{}.jsonl", spec.figure, spec.panel));
@@ -351,6 +366,7 @@ mod tests {
             "--producers",
             "2",
             "--no-incremental",
+            "--telemetry",
         ])
         .unwrap();
         assert_eq!(args.panel.as_deref(), Some("w"));
@@ -360,6 +376,8 @@ mod tests {
         assert_eq!(args.shards, 4);
         assert_eq!(args.producers, 2);
         assert!(!args.incremental);
+        assert!(args.telemetry);
+        assert!(!parse(&[]).unwrap().telemetry, "dump is opt-in");
         let options = args.run_options();
         assert_eq!(options.num_seeds, 3);
         assert_eq!(options.shards, 4);

@@ -1,8 +1,78 @@
 //! Result rows, paper-style tables and JSON-lines output.
 
+use maps_telemetry::{LatencyTelemetry, Log2Histogram};
 use serde::{Deserialize, Serialize, Value};
 use std::io::Write;
 use std::path::Path;
+
+/// Deterministic event-time latency summary of one experiment cell:
+/// count and log2-bucket p50/p99/p999 upper bounds for each of the
+/// three histograms an [`maps_simulator::Outcome`] carries. These are
+/// derived from `Outcome::latency` (merged over seeds), so — unlike
+/// the wall-clock columns — two runs of the same cell always export
+/// the same numbers at any shard/thread/producer count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// `(count, p50, p99, p999)` of the admission→priced task wait.
+    pub task_wait: (u64, u64, u64, u64),
+    /// `(count, p50, p99, p999)` of the per-tick pricing queue depth.
+    pub queue_depth: (u64, u64, u64, u64),
+    /// `(count, p50, p99, p999)` of the live worker pool per tick.
+    pub worker_pool: (u64, u64, u64, u64),
+}
+
+fn quantiles(h: &Log2Histogram) -> (u64, u64, u64, u64) {
+    (h.count(), h.p50(), h.p99(), h.p999())
+}
+
+impl From<&LatencyTelemetry> for LatencySummary {
+    fn from(t: &LatencyTelemetry) -> Self {
+        LatencySummary {
+            task_wait: quantiles(&t.task_wait),
+            queue_depth: quantiles(&t.queue_depth),
+            worker_pool: quantiles(&t.worker_pool),
+        }
+    }
+}
+
+fn summary_object(q: (u64, u64, u64, u64)) -> Value {
+    serde::object([
+        ("count", q.0.to_value()),
+        ("p50", q.1.to_value()),
+        ("p99", q.2.to_value()),
+        ("p999", q.3.to_value()),
+    ])
+}
+
+fn summary_field(value: &Value, name: &str) -> Result<(u64, u64, u64, u64), serde::DeError> {
+    let inner: Value = serde::field(value, name)?;
+    Ok((
+        serde::field(&inner, "count")?,
+        serde::field(&inner, "p50")?,
+        serde::field(&inner, "p99")?,
+        serde::field(&inner, "p999")?,
+    ))
+}
+
+impl Serialize for LatencySummary {
+    fn to_value(&self) -> Value {
+        serde::object([
+            ("task_wait", summary_object(self.task_wait)),
+            ("queue_depth", summary_object(self.queue_depth)),
+            ("worker_pool", summary_object(self.worker_pool)),
+        ])
+    }
+}
+
+impl Deserialize for LatencySummary {
+    fn from_value(value: &Value) -> Result<Self, serde::DeError> {
+        Ok(LatencySummary {
+            task_wait: summary_field(value, "task_wait")?,
+            queue_depth: summary_field(value, "queue_depth")?,
+            worker_pool: summary_field(value, "worker_pool")?,
+        })
+    }
+}
 
 /// One aggregated experiment cell (a point in one of the paper's plots).
 ///
@@ -38,6 +108,8 @@ pub struct Row {
     pub accepted: f64,
     /// Average matched tasks.
     pub matched: f64,
+    /// Event-time latency summary (merged over the cell's seeds).
+    pub telemetry: Option<LatencySummary>,
 }
 
 impl Serialize for Row {
@@ -57,6 +129,7 @@ impl Serialize for Row {
             ("issued", self.issued.to_value()),
             ("accepted", self.accepted.to_value()),
             ("matched", self.matched.to_value()),
+            ("telemetry", self.telemetry.to_value()),
         ])
     }
 }
@@ -78,6 +151,7 @@ impl Deserialize for Row {
             issued: serde::field(value, "issued")?,
             accepted: serde::field(value, "accepted")?,
             matched: serde::field(value, "matched")?,
+            telemetry: serde::field(value, "telemetry")?,
         })
     }
 }
@@ -149,6 +223,41 @@ pub fn print_metric_tables(rows: &[Row]) {
     }
 }
 
+/// Prints the `--telemetry` dump for a panel: one line per row with the
+/// event-time latency quantiles. Everything here is deterministic (the
+/// histograms ride in `Outcome::deterministic_bits`), so this output is
+/// diffable across shard/thread/producer configurations.
+pub fn print_telemetry(rows: &[Row]) {
+    println!("-- event-time latency telemetry (deterministic) --");
+    println!(
+        "{:<10} {:>10} {:>28} {:>28} {:>28}",
+        "strategy",
+        "x",
+        "task_wait p50/p99/p999",
+        "queue_depth p50/p99/p999",
+        "worker_pool p50/p99/p999"
+    );
+    for row in rows {
+        let Some(t) = &row.telemetry else {
+            println!(
+                "{:<10} {:>10} (no telemetry recorded)",
+                row.strategy,
+                fmt_value(row.x)
+            );
+            continue;
+        };
+        let fmt = |q: (u64, u64, u64, u64)| format!("{}/{}/{} (n={})", q.1, q.2, q.3, q.0);
+        println!(
+            "{:<10} {:>10} {:>28} {:>28} {:>28}",
+            row.strategy,
+            fmt_value(row.x),
+            fmt(t.task_wait),
+            fmt(t.queue_depth),
+            fmt(t.worker_pool),
+        );
+    }
+}
+
 /// Appends rows as JSON lines to `path` (creates parent dirs).
 pub fn write_jsonl(rows: &[Row], path: &Path) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
@@ -187,6 +296,11 @@ mod tests {
             issued: 100.0,
             accepted: 70.0,
             matched: 50.0,
+            telemetry: Some(LatencySummary {
+                task_wait: (100, 63, 127, 127),
+                queue_depth: (10, 15, 15, 15),
+                worker_pool: (10, 255, 255, 255),
+            }),
         }
     }
 

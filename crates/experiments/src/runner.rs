@@ -243,6 +243,15 @@ fn aggregate(spec: &PanelSpec, x: f64, kind: StrategyKind, outcomes: &[Outcome])
         issued: mean(&|o| o.issued_tasks as f64),
         accepted: mean(&|o| o.accepted_tasks as f64),
         matched: mean(&|o| o.matched_tasks as f64),
+        telemetry: {
+            // Merged over seeds; histogram merge is order-independent,
+            // so the summary is as deterministic as each outcome.
+            let mut merged = maps_telemetry::LatencyTelemetry::new();
+            for o in outcomes {
+                merged.merge(&o.latency);
+            }
+            Some(crate::report::LatencySummary::from(&merged))
+        },
     }
 }
 

@@ -1,0 +1,230 @@
+//! Dense generational slot arena for the shard staging hot path.
+//!
+//! The arrive/depart/cancel path used to resolve "is this admission id
+//! still a staged arrival?" through a per-shard `HashMap<u32, u32>` —
+//! a hash + probe per event, and a rehash whenever a churn burst grew
+//! the table. [`SlotArena`] replaces it with plain array indexing:
+//! slots live in one dense `Vec`, insertion pops a free slot (or
+//! appends), and the caller keeps the returned [`SlotHandle`] wherever
+//! it already keeps per-worker state (the service stores it in the
+//! worker's lifecycle record).
+//!
+//! Stale handles are rejected by a **generation check that holds in
+//! release builds**: every slot carries a generation counter that is
+//! bumped each time the slot is freed, and a handle only dereferences
+//! while its recorded generation matches the slot's current one. A
+//! handle kept across a free-and-reuse (the classic ABA hazard of slot
+//! reuse — in the service, a worker departing in a *later* window than
+//! it arrived in) misses the check and reads as "not present" instead
+//! of silently aliasing whatever lives in the slot now. This replaces
+//! the `debug_assert_eq!` the map-based staging relied on, which
+//! compiled away exactly where it mattered.
+
+/// A handle to a value inserted into a [`SlotArena`].
+///
+/// Copyable and freely storable; dereferencing through a stale handle
+/// (the slot was freed, and possibly reused, since the handle was
+/// issued) is safe and returns `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotHandle {
+    index: u32,
+    generation: u32,
+}
+
+impl SlotHandle {
+    /// A handle that never resolves: its index is out of range for any
+    /// arena (and its generation is below any slot's). Useful as the
+    /// "not currently staged" default in records that embed a handle.
+    pub const DEAD: SlotHandle = SlotHandle {
+        index: u32::MAX,
+        generation: 0,
+    };
+}
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    /// Bumped on every free; a handle resolves only while its recorded
+    /// generation equals this. Starts at 1 so `SlotHandle::DEAD`
+    /// (generation 0) can never match even index-colliding slots.
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A dense generational slot arena: O(1) insert / remove / lookup with
+/// no hashing, and ABA-safe handle invalidation on slot reuse.
+#[derive(Debug, Clone, Default)]
+pub struct SlotArena<T> {
+    slots: Vec<Slot<T>>,
+    /// Indices of freed slots, reused LIFO.
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> SlotArena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live (occupied) slots.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts `value`, reusing a freed slot if one exists, and returns
+    /// the handle under which it can be read back or removed.
+    pub fn insert(&mut self, value: T) -> SlotHandle {
+        self.live += 1;
+        match self.free.pop() {
+            Some(index) => {
+                let slot = &mut self.slots[index as usize];
+                debug_assert!(slot.value.is_none(), "free list held an occupied slot");
+                slot.value = Some(value);
+                SlotHandle {
+                    index,
+                    generation: slot.generation,
+                }
+            }
+            None => {
+                let index = u32::try_from(self.slots.len()).expect("arena outgrew u32 indexing");
+                self.slots.push(Slot {
+                    generation: 1,
+                    value: Some(value),
+                });
+                SlotHandle {
+                    index,
+                    generation: 1,
+                }
+            }
+        }
+    }
+
+    /// The value behind `handle`, or `None` if the handle is stale (its
+    /// slot was freed — and possibly reused — since it was issued).
+    pub fn get(&self, handle: SlotHandle) -> Option<&T> {
+        let slot = self.slots.get(handle.index as usize)?;
+        if slot.generation != handle.generation {
+            return None;
+        }
+        slot.value.as_ref()
+    }
+
+    /// Removes and returns the value behind `handle`, bumping the
+    /// slot's generation so every outstanding copy of the handle goes
+    /// stale. Returns `None` (arena untouched) if the handle is stale.
+    pub fn remove(&mut self, handle: SlotHandle) -> Option<T> {
+        let slot = self.slots.get_mut(handle.index as usize)?;
+        if slot.generation != handle.generation {
+            return None;
+        }
+        let value = slot.value.take()?;
+        slot.generation += 1;
+        self.free.push(handle.index);
+        self.live -= 1;
+        Some(value)
+    }
+
+    /// Drains every live value into `out` (cleared first) in ascending
+    /// slot order, freeing all slots. After the drain the arena is
+    /// empty, every outstanding handle is stale, and the free list is
+    /// rebuilt so the next fill allocates slots `0, 1, 2, …` densely in
+    /// insertion order again.
+    pub fn drain_dense(&mut self, out: &mut Vec<T>) {
+        out.clear();
+        out.reserve(self.live);
+        self.free.clear();
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(value) = slot.value.take() {
+                out.push(value);
+                slot.generation += 1;
+            }
+            self.free.push(index as u32);
+        }
+        // LIFO free list: reversed so slot 0 is popped first.
+        self.free.reverse();
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut arena = SlotArena::new();
+        let a = arena.insert("a");
+        let b = arena.insert("b");
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(a), Some(&"a"));
+        assert_eq!(arena.get(b), Some(&"b"));
+        assert_eq!(arena.remove(a), Some("a"));
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.get(a), None, "freed handle is stale");
+        assert_eq!(arena.remove(a), None, "double remove is a no-op");
+        assert_eq!(arena.remove(b), Some("b"));
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn reused_slot_rejects_the_old_handle() {
+        let mut arena = SlotArena::new();
+        let old = arena.insert(1u32);
+        assert_eq!(arena.remove(old), Some(1));
+        let new = arena.insert(2u32);
+        // Same dense slot, different generation.
+        assert_eq!(arena.get(old), None);
+        assert_eq!(arena.get(new), Some(&2));
+        assert_eq!(
+            arena.remove(old),
+            None,
+            "stale handle cannot evict the reuser"
+        );
+        assert_eq!(arena.get(new), Some(&2));
+    }
+
+    #[test]
+    fn dead_handle_never_resolves() {
+        let mut arena = SlotArena::new();
+        assert_eq!(arena.get(SlotHandle::DEAD), None);
+        assert_eq!(arena.remove(SlotHandle::DEAD), None);
+        arena.insert(7u32);
+        assert_eq!(arena.get(SlotHandle::DEAD), None);
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn drain_dense_empties_and_invalidates() {
+        let mut arena = SlotArena::new();
+        let handles: Vec<SlotHandle> = (0..5u32).map(|i| arena.insert(i)).collect();
+        arena.remove(handles[2]);
+        let mut out = Vec::new();
+        arena.drain_dense(&mut out);
+        assert_eq!(out, vec![0, 1, 3, 4], "ascending slot order, hole skipped");
+        assert!(arena.is_empty());
+        for h in handles {
+            assert_eq!(arena.get(h), None, "all pre-drain handles are stale");
+        }
+        // The next window refills slots densely from 0 again.
+        let a = arena.insert(10u32);
+        let b = arena.insert(11u32);
+        assert_eq!(arena.get(a), Some(&10));
+        assert_eq!(arena.get(b), Some(&11));
+        let mut out2 = Vec::new();
+        arena.drain_dense(&mut out2);
+        assert_eq!(
+            out2,
+            vec![10, 11],
+            "insertion order when nothing was cancelled"
+        );
+    }
+}

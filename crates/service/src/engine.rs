@@ -14,11 +14,14 @@ use maps_simulator::{
     settle_period, GroundTask, GroundWorker, MatchPolicy, Outcome, RunningMoments,
 };
 use maps_spatial::{BucketIndex, GridSpec, Point, ShardMap};
+use maps_telemetry::LatencyTelemetry;
 use rayon::prelude::*;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::time::Instant;
+
+use crate::arena::{SlotArena, SlotHandle};
 
 use crate::journal::{
     write_checkpoint_file, JournalConfig, JournalError, JournalRecord, JournalWriter, TICK_PRODUCER,
@@ -288,6 +291,13 @@ struct Record {
     /// Shard currently owning the worker's location. Updated when a
     /// relocation release lands the worker in another shard's cells.
     shard: u32,
+    /// Handle of the worker's most recent staged arrival in the owning
+    /// shard's staging arena. Only meaningful while that staging window
+    /// is open; the arena's generation check rejects it afterwards, so
+    /// it never needs clearing (and restores as [`SlotHandle::DEAD`],
+    /// since checkpoints are cut at tick boundaries where nothing is
+    /// staged).
+    staged: SlotHandle,
 }
 
 /// A scheduled lifecycle transition, fired at the start of its tick.
@@ -299,12 +309,6 @@ enum Timed {
     Release(u32, WorkerInput),
 }
 
-/// Tombstone id marking a staged arrival cancelled by a same-window
-/// departure. Never collides with a real id: admission ids are assigned
-/// sequentially and a service would run out of memory long before
-/// admitting 2³² − 1 workers.
-const CANCELLED: u32 = u32::MAX;
-
 /// One shard: the spatial state for its cells plus the churn staged
 /// since the last tick. All mutation between ticks is staging; the
 /// cache is only touched inside the tick's parallel phases, which also
@@ -313,13 +317,19 @@ const CANCELLED: u32 = u32::MAX;
 #[derive(Debug)]
 struct Shard {
     cache: PeriodGraphCache,
+    /// Staged arrivals of the current inter-tick window in a dense
+    /// generational [`SlotArena`]: staging is an O(1) slot write, a
+    /// same-window departure cancels in O(1) through the handle stored
+    /// in the worker's [`Record`], and no hashing happens anywhere on
+    /// the arrive/depart/cancel path. Handles from earlier windows are
+    /// rejected by the arena's generation check (which holds in
+    /// release builds), so the tick drain doubles as bulk handle
+    /// invalidation. Safe because `PeriodGraphCache::apply` is
+    /// arrival-order-independent: cancellation holes and slot reuse
+    /// can reorder the drained batch without moving a single bit.
+    staged: SlotArena<(u32, WorkerInput)>,
+    /// Tick-time drain buffer for `staged` (reused across ticks).
     arrivals: Vec<(u32, WorkerInput)>,
-    /// id → slot in `arrivals` for every *live* staged arrival, so a
-    /// same-window departure cancels in O(1) instead of scanning the
-    /// staging buffer (which is O(n²) over a high-churn inter-tick
-    /// window — a real stall under concurrent ingestion, where whole
-    /// epochs of arrivals are staged before each barrier tick).
-    staged: HashMap<u32, u32>,
     departures: Vec<u32>,
     /// Capped path: this tick's candidate lists, flattened;
     /// `candidate_starts[t]..candidate_starts[t+1]` indexes task `t`'s.
@@ -335,8 +345,8 @@ impl Shard {
     fn new(cache: PeriodGraphCache) -> Self {
         Self {
             cache,
+            staged: SlotArena::new(),
             arrivals: Vec::new(),
-            staged: HashMap::new(),
             departures: Vec::new(),
             candidates: Vec::new(),
             candidate_starts: Vec::new(),
@@ -345,19 +355,24 @@ impl Shard {
         }
     }
 
-    /// Stages an arrival, recording its slot for O(1) cancellation.
-    fn stage_arrival(&mut self, id: u32, input: WorkerInput) {
-        self.staged.insert(id, self.arrivals.len() as u32);
-        self.arrivals.push((id, input));
+    /// Stages an arrival; the returned handle (stored in the worker's
+    /// [`Record`]) is the O(1) cancellation token.
+    fn stage_arrival(&mut self, id: u32, input: WorkerInput) -> SlotHandle {
+        self.staged.insert((id, input))
     }
 
-    /// Cancels a staged arrival by tombstoning its slot (slots never
-    /// move, so the map stays valid). Returns whether `id` was staged.
-    fn cancel_staged(&mut self, id: u32) -> bool {
-        match self.staged.remove(&id) {
-            Some(slot) => {
-                debug_assert_eq!(self.arrivals[slot as usize].0, id, "stale staging slot");
-                self.arrivals[slot as usize].0 = CANCELLED;
+    /// Cancels a staged arrival through the handle issued when it was
+    /// staged. Returns whether it was still staged in the current
+    /// window: a handle from a pre-drain window fails the arena's
+    /// generation check — in release builds too — instead of aliasing
+    /// whatever later arrival reused the slot.
+    fn cancel_staged(&mut self, id: u32, handle: SlotHandle) -> bool {
+        match self.staged.remove(handle) {
+            Some((staged_id, _)) => {
+                // The generation check already proves the slot is the
+                // one the handle was issued for; an id mismatch here
+                // would mean the record table itself is corrupt.
+                assert_eq!(staged_id, id, "staging arena returned a foreign id");
                 true
             }
             None => false,
@@ -368,10 +383,11 @@ impl Shard {
     /// for the global reduction. Pure per-shard work: safe to run on
     /// any thread.
     fn apply_staged(&mut self) -> (usize, f64) {
-        // Drop the tombstoned slots before the cache sees the batch
-        // (O(staged) once per tick — amortized O(1) per event).
-        self.arrivals.retain(|&(id, _)| id != CANCELLED);
-        self.staged.clear();
+        // One dense pass: drain the arena into the reused batch buffer
+        // (O(staged) once per tick — amortized O(1) per event) and
+        // invalidate every outstanding staging handle via the
+        // generation bump.
+        self.staged.drain_dense(&mut self.arrivals);
         self.cache.apply(WorkerChurn {
             arrivals: &self.arrivals,
             departures: &self.departures,
@@ -531,6 +547,7 @@ impl ShardedService {
             matched_distance: 0.0,
             rejected_events: 0,
             suppressed_duplicates: 0,
+            latency: LatencyTelemetry::new(),
         };
         Self {
             grid,
@@ -956,21 +973,23 @@ impl ShardedService {
                 expires_at,
                 status: Status::Gone,
                 shard: 0,
+                staged: SlotHandle::DEAD,
             });
             return;
         }
         let input = WorkerInput::new(&self.grid, worker.location, worker.radius);
         let shard = self.router.shard_of(input.cell) as u32;
+        let staged = self.shards[shard as usize].stage_arrival(id, input);
         self.records.push(Record {
             expires_at,
             status: Status::Available,
             shard,
+            staged,
         });
         self.schedule
             .entry(expires_at)
             .or_default()
             .push(Timed::Expire(id));
-        self.shards[shard as usize].stage_arrival(id, input);
     }
 
     fn worker_depart(&mut self, id: u32) {
@@ -983,10 +1002,12 @@ impl ShardedService {
         if record.status == Status::Available {
             let shard = &mut self.shards[record.shard as usize];
             // A worker departing in the same inter-tick window it
-            // arrived in is still a staged arrival: cancel it (O(1) via
-            // the staging map) instead of staging a departure the cache
-            // has never seen.
-            if !shard.cancel_staged(id) {
+            // arrived in is still a staged arrival: cancel it (O(1)
+            // through the record's arena handle) instead of staging a
+            // departure the cache has never seen. A handle from an
+            // already-applied window fails the generation check and
+            // falls through to a normal departure.
+            if !shard.cancel_staged(id, record.staged) {
                 shard.departures.push(id);
             }
         }
@@ -1016,7 +1037,7 @@ impl ShardedService {
                         // shard's cells: re-route by the new location.
                         let shard = self.router.shard_of(input.cell) as u32;
                         record.shard = shard;
-                        self.shards[shard as usize].stage_arrival(id, input);
+                        record.staged = self.shards[shard as usize].stage_arrival(id, input);
                     } else {
                         record.status = Status::Gone;
                     }
@@ -1169,6 +1190,14 @@ impl ShardedService {
 
         // 4. Shard-merged graph + global period view.
         let graph = self.build_graph(&stats)?;
+        // Event-time telemetry, the same call the batch loop makes with
+        // the same replay-contract-equal inputs (queued tasks, merged
+        // live pool), so the histograms land bit-identical to
+        // `Simulation::run` at any shard/thread/producer count.
+        self.outcome.latency.record_period(
+            self.task_inputs.len() as u64,
+            self.worker_inputs.len() as u64,
+        );
         let input = PeriodInput {
             grid: &self.grid,
             tasks: &self.task_inputs,
@@ -1315,7 +1344,7 @@ impl ShardedService {
         }
         // -- staged churn (arrivals empty at a boundary; departures =
         //    the closing tick's matched pairs) --
-        let staged_arrivals: usize = self.shards.iter().map(|s| s.arrivals.len()).sum();
+        let staged_arrivals: usize = self.shards.iter().map(|s| s.staged.len()).sum();
         debug_assert_eq!(staged_arrivals, 0, "checkpoint off an epoch boundary");
         w.push(
             self.shards
@@ -1393,6 +1422,7 @@ impl ShardedService {
         w.push(self.outcome.matched_distance.to_bits());
         w.push(self.outcome.rejected_events);
         w.push(self.outcome.suppressed_duplicates);
+        self.outcome.latency.extend_words(&mut w);
         let (count, mean_bits, m2_bits) = self.price_moments.to_raw();
         w.push(count);
         w.push(mean_bits);
@@ -1451,6 +1481,7 @@ impl ShardedService {
                 expires_at,
                 status,
                 shard: 0,
+                staged: SlotHandle::DEAD,
             });
         }
         // -- live workers: re-route by cell into this service's shards
@@ -1549,6 +1580,8 @@ impl ShardedService {
         self.outcome.matched_distance = r.take_f64()?;
         self.outcome.rejected_events = r.take()?;
         self.outcome.suppressed_duplicates = r.take()?;
+        self.outcome.latency = LatencyTelemetry::from_words(r.take_n(LatencyTelemetry::WORDS)?)
+            .ok_or("checkpoint latency telemetry corrupt")?;
         let (count, mean_bits, m2_bits) = (r.take()?, r.take()?, r.take()?);
         self.price_moments = RunningMoments::from_raw(count, mean_bits, m2_bits);
         // -- strategy learning state --
@@ -1583,6 +1616,16 @@ impl<'a> WordReader<'a> {
 
     fn take_f64(&mut self) -> Result<f64, &'static str> {
         self.take().map(f64::from_bits)
+    }
+
+    fn take_n(&mut self, n: usize) -> Result<&'a [u64], &'static str> {
+        let end = self.pos.checked_add(n).ok_or("checkpoint truncated")?;
+        let s = self
+            .words
+            .get(self.pos..end)
+            .ok_or("checkpoint truncated")?;
+        self.pos = end;
+        Ok(s)
     }
 
     fn rest(&self) -> &'a [u64] {

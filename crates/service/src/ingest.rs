@@ -1408,12 +1408,16 @@ mod tests {
         assert_eq!(clean_suppressed, 0);
         assert_eq!(resend_suppressed, 1, "the resend was suppressed");
         // The duplicate-suppression counter itself participates in the
-        // bits, so compare the rest: zero it out via reconstruction.
+        // bits, so compare the rest: zero it out in place.
+        // suppressed_duplicates sits just before the latency telemetry
+        // words at the tail of the encoding.
+        let idx = clean_bits.len() - 1 - maps_telemetry::LatencyTelemetry::WORDS;
         let mut clean = clean_bits.clone();
         let mut resent = resend_bits.clone();
-        // suppressed_duplicates is the final word of the encoding.
-        assert_eq!(clean.pop(), Some(0));
-        assert_eq!(resent.pop(), Some(1));
+        assert_eq!(clean[idx], 0);
+        assert_eq!(resent[idx], 1);
+        clean[idx] = 0;
+        resent[idx] = 0;
         assert_eq!(clean, resent, "resend perturbed the outcome");
     }
 

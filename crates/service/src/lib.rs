@@ -65,12 +65,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod engine;
 pub mod ingest;
 pub mod journal;
 pub mod recovery;
 pub mod replay;
 
+pub use arena::{SlotArena, SlotHandle};
 pub use engine::{
     EventRejection, ServiceConfig, ServiceError, ServiceEvent, ShardPanic, ShardedService,
 };

@@ -412,9 +412,13 @@ fn producer_kill_mid_epoch_recovers_at_every_epoch() {
                 bounds[victim + 1] - bounds[victim]
             };
             assert_eq!(suppressed, events_sent.min(chunk_len) as u64);
-            let mut expect = batch.clone();
-            assert_eq!(expect.pop(), Some(0), "batch run suppressed nothing");
-            assert_eq!(resent.pop(), Some(suppressed));
+            // suppressed_duplicates sits just before the latency
+            // telemetry words at the tail of the encoding.
+            let idx = batch.len() - 1 - maps_telemetry::LatencyTelemetry::WORDS;
+            let expect = batch.clone();
+            assert_eq!(expect[idx], 0, "batch run suppressed nothing");
+            assert_eq!(resent[idx], suppressed);
+            resent[idx] = 0;
             assert_eq!(
                 resent, expect,
                 "resend run (producer {victim}/{producers}, epoch {crash_epoch}) perturbed \

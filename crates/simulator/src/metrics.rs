@@ -2,6 +2,8 @@
 //! of the paper (Revenue, Time(secs), Memory(MB)) plus conservation
 //! counters used by the integration tests.
 
+use maps_telemetry::LatencyTelemetry;
+
 /// Numerically stable streaming mean/variance (Welford's online
 /// algorithm).
 ///
@@ -126,6 +128,14 @@ pub struct Outcome {
     /// watermark during at-least-once recovery handoff. `0` for the
     /// batch simulator and for any run without producer retries.
     pub suppressed_duplicates: u64,
+    /// Event-time latency histograms (admission→priced task wait,
+    /// per-tick queue depth, live worker pool). Unlike the wall-clock
+    /// columns these are pure functions of the admitted event stream —
+    /// measured in canonical-replay-order positions, not seconds — so
+    /// they participate in `deterministic_bits` and must agree bitwise
+    /// across every engine, shard count, thread count and producer
+    /// interleaving.
+    pub latency: LatencyTelemetry,
 }
 
 impl Outcome {
@@ -202,8 +212,11 @@ impl Outcome {
             matched_distance,
             rejected_events,
             suppressed_duplicates,
+            latency,
         } = self;
-        let mut out = Vec::with_capacity(18 + strategy.len() + revenue_per_period.len());
+        let mut out = Vec::with_capacity(
+            18 + strategy.len() + revenue_per_period.len() + LatencyTelemetry::WORDS,
+        );
         out.push(strategy.len() as u64);
         out.extend(strategy.bytes().map(u64::from));
         out.push(total_revenue.to_bits());
@@ -217,6 +230,7 @@ impl Outcome {
         out.push(matched_distance.to_bits());
         out.push(*rejected_events);
         out.push(*suppressed_duplicates);
+        latency.extend_words(&mut out);
         out
     }
 }
@@ -226,6 +240,9 @@ mod tests {
     use super::*;
 
     fn outcome() -> Outcome {
+        let mut latency = LatencyTelemetry::new();
+        latency.record_period(25, 80);
+        latency.record_period(25, 75);
         Outcome {
             strategy: "MAPS".into(),
             total_revenue: 100.0,
@@ -242,6 +259,7 @@ mod tests {
             matched_distance: 60.0,
             rejected_events: 3,
             suppressed_duplicates: 1,
+            latency,
         }
     }
 
@@ -303,6 +321,9 @@ mod tests {
             |o: &mut Outcome| o.matched_distance += 1.0,
             |o: &mut Outcome| o.rejected_events += 1,
             |o: &mut Outcome| o.suppressed_duplicates += 1,
+            |o: &mut Outcome| o.latency.record_period(1, 1),
+            |o: &mut Outcome| o.latency.queue_depth.record(7),
+            |o: &mut Outcome| o.latency.worker_pool.record(7),
         ] {
             let mut changed = base.clone();
             mutate(&mut changed);

@@ -337,6 +337,7 @@ impl Simulation {
             matched_distance: 0.0,
             rejected_events: 0,
             suppressed_duplicates: 0,
+            latency: maps_telemetry::LatencyTelemetry::new(),
         };
         // Posted-price moments via Welford's algorithm (see
         // [`RunningMoments`]): the naive Σx/Σx² finish cancels
@@ -372,6 +373,15 @@ impl Simulation {
             outcome.issued_tasks += task_inputs.len() as u64;
 
             let graph = engine.build_graph(&task_inputs, self.options.max_edges_per_task);
+            // Event-time telemetry for the settled period: both
+            // quantities (queued tasks, live workers at pricing time)
+            // are already replay-contract-equal across every engine and
+            // the sharded reducer, so recording them here and in the
+            // service's tick keeps the histograms bit-identical too.
+            outcome.latency.record_period(
+                task_inputs.len() as u64,
+                engine.worker_inputs().len() as u64,
+            );
             let input = PeriodInput {
                 grid: &self.truth.grid,
                 tasks: &task_inputs,

@@ -529,19 +529,30 @@ mod tests {
                 .collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
-        // Pre-shift halves agree (same seed, same draws).
+        // Pre-shift halves: the shift only perturbs post-shift draws, so
+        // the two streams are *the same* draws — pin exact bit equality,
+        // not a 0.05 tolerance (measured diff under the vendored
+        // ChaCha stream: exactly 0.0).
         let early_base = mean_v(&truth_base, 0..20);
         let early_shift = mean_v(&truth_shift, 0..20);
-        assert!((early_base - early_shift).abs() < 0.05);
-        // Post-shift valuations drop by roughly the delta.
+        assert_eq!(
+            early_base.to_bits(),
+            early_shift.to_bits(),
+            "pre-shift halves drew different valuations"
+        );
+        // Post-shift valuations drop by roughly the delta. The full
+        // |delta_mu| = 1.0 is compressed by truncation to [1, 5];
+        // measured drop under the pinned seed/stream: 0.39679. The
+        // generator is deterministic, so pin a tight two-sided band
+        // around that instead of the old one-sided 0.35 margin — a
+        // generator change that moves the distribution (not just the
+        // mean) now fails loudly instead of sliding under a loose bound.
         let late_base = mean_v(&truth_base, 20..40);
         let late_shift = mean_v(&truth_shift, 20..40);
-        // The full |delta_mu| = 1.0 is compressed by truncation to
-        // [1, 5]; the observed drop is ~0.4 but its exact value depends
-        // on the RNG stream, so keep a margin below it.
+        let drop = late_base - late_shift;
         assert!(
-            late_base - late_shift > 0.35,
-            "late means: base {late_base} vs shifted {late_shift}"
+            (0.39..0.41).contains(&drop),
+            "late-mean drop {drop} outside the pinned band (base {late_base}, shifted {late_shift})"
         );
     }
 

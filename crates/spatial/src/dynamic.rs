@@ -7,7 +7,9 @@
 //! rebuild dominates. [`DynamicBucketIndex`] keeps the same bucketed
 //! layout mutable: `insert` / `remove` / `relocate` cost one binary
 //! search plus a slot shift in a single bucket, turning per-period index
-//! maintenance into `O(churn · log bucket)`.
+//! maintenance into `O(churn · log bucket)`. Each bucket stores its
+//! points struct-of-arrays (`xs` / `ys` / `payloads` lanes) so the
+//! capped k-nearest distance loop runs over contiguous `f64` slices.
 //!
 //! ## Stable iteration order
 //!
@@ -25,6 +27,28 @@ use crate::geom::{Point, Rect};
 use crate::grid::GridSpec;
 use crate::index::{for_each_within_disc_impl, k_nearest_within_impl, BucketStore};
 
+/// One cell's live points in struct-of-arrays layout: coordinates in
+/// dense `f64` lanes separate from the payloads, kept sorted by payload.
+/// The split is what lets the shared query cores run their distance
+/// arithmetic over contiguous `f64` slices (SIMD-friendly) instead of
+/// striding over `(Point, T)` tuples.
+#[derive(Debug, Clone)]
+struct CellSoA<T> {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    payloads: Vec<T>,
+}
+
+impl<T> CellSoA<T> {
+    const fn new() -> Self {
+        Self {
+            xs: Vec::new(),
+            ys: Vec::new(),
+            payloads: Vec::new(),
+        }
+    }
+}
+
 /// A mutable bucket index over a changing set of points.
 ///
 /// Payloads must be unique while live (they identify the point for
@@ -34,7 +58,7 @@ use crate::index::{for_each_within_disc_impl, k_nearest_within_impl, BucketStore
 pub struct DynamicBucketIndex<T> {
     grid: GridSpec,
     /// `buckets[c]` holds the live points of cell `c`, sorted by payload.
-    buckets: Vec<Vec<(Point, T)>>,
+    buckets: Vec<CellSoA<T>>,
     len: usize,
     /// Number of live points outside the grid region (disables the
     /// ring-search early termination while non-zero, exactly like the
@@ -50,7 +74,7 @@ impl<T: Copy + Ord> DynamicBucketIndex<T> {
         let cells = grid.num_cells();
         Self {
             grid,
-            buckets: vec![Vec::new(); cells],
+            buckets: (0..cells).map(|_| CellSoA::new()).collect(),
             len: 0,
             outside: 0,
         }
@@ -86,9 +110,13 @@ impl<T: Copy + Ord> DynamicBucketIndex<T> {
     /// Panics if `payload` is already live in the same bucket.
     pub fn insert(&mut self, p: Point, payload: T) {
         let bucket = &mut self.buckets[self.grid.cell_of(p).index()];
-        match bucket.binary_search_by(|&(_, t)| t.cmp(&payload)) {
+        match bucket.payloads.binary_search(&payload) {
             Ok(_) => panic!("duplicate payload inserted into dynamic index"),
-            Err(pos) => bucket.insert(pos, (p, payload)),
+            Err(pos) => {
+                bucket.xs.insert(pos, p.x);
+                bucket.ys.insert(pos, p.y);
+                bucket.payloads.insert(pos, payload);
+            }
         }
         self.len += 1;
         if !self.grid.region().contains(p) {
@@ -101,9 +129,11 @@ impl<T: Copy + Ord> DynamicBucketIndex<T> {
     /// contract can treat `false` as a bug).
     pub fn remove(&mut self, p: Point, payload: T) -> bool {
         let bucket = &mut self.buckets[self.grid.cell_of(p).index()];
-        match bucket.binary_search_by(|&(_, t)| t.cmp(&payload)) {
+        match bucket.payloads.binary_search(&payload) {
             Ok(pos) => {
-                bucket.remove(pos);
+                bucket.xs.remove(pos);
+                bucket.ys.remove(pos);
+                bucket.payloads.remove(pos);
                 self.len -= 1;
                 if !self.grid.region().contains(p) {
                     self.outside -= 1;
@@ -126,6 +156,108 @@ impl<T: Copy + Ord> DynamicBucketIndex<T> {
             "relocate of a payload that is not live at `from`"
         );
         self.insert(to, payload);
+    }
+
+    /// Inserts a batch of points with **one merge pass per touched
+    /// bucket** instead of one `O(bucket)` lane shift per point. The
+    /// resulting buckets are identical to inserting the items one by
+    /// one (sorted by payload), so queries stay bit-identical — this is
+    /// purely the churn-application fast path: a period applying `a`
+    /// arrivals into a bucket of `b` points moves `O(a + b)` slots
+    /// instead of `O(a · b)`.
+    ///
+    /// # Panics
+    /// Panics if any payload is already live in the same bucket (or
+    /// duplicated within `items` into the same bucket).
+    pub fn insert_bulk(&mut self, items: &[(Point, T)]) {
+        if items.len() <= 1 {
+            if let Some(&(p, t)) = items.first() {
+                self.insert(p, t);
+            }
+            return;
+        }
+        // Group by (cell, payload): each group is a payload-sorted run
+        // ready to back-merge into its bucket's payload-sorted lanes.
+        let mut tagged: Vec<(u32, T, Point)> = items
+            .iter()
+            .map(|&(p, t)| (self.grid.cell_of(p).index() as u32, t, p))
+            .collect();
+        tagged.sort_unstable_by_key(|&(cell, payload, _)| (cell, payload));
+        let mut start = 0;
+        while start < tagged.len() {
+            let cell = tagged[start].0;
+            let mut end = start + 1;
+            while end < tagged.len() && tagged[end].0 == cell {
+                end += 1;
+            }
+            merge_group(&mut self.buckets[cell as usize], &tagged[start..end]);
+            start = end;
+        }
+        self.len += items.len();
+        let region = self.grid.region();
+        self.outside += items.iter().filter(|&&(p, _)| !region.contains(p)).count();
+    }
+
+    /// Removes a batch of points with **one compaction pass per touched
+    /// bucket** instead of one `O(bucket)` lane shift per point —
+    /// the departure-side twin of [`DynamicBucketIndex::insert_bulk`].
+    /// Each `(point, payload)` pair must match how the point was
+    /// inserted (the point selects the bucket). Returns how many were
+    /// found and removed; callers enforcing a stricter contract can
+    /// compare against `items.len()`.
+    pub fn remove_bulk(&mut self, items: &[(Point, T)]) -> usize {
+        if items.len() <= 1 {
+            return match items.first() {
+                Some(&(p, t)) => usize::from(self.remove(p, t)),
+                None => 0,
+            };
+        }
+        let mut tagged: Vec<(u32, T, Point)> = items
+            .iter()
+            .map(|&(p, t)| (self.grid.cell_of(p).index() as u32, t, p))
+            .collect();
+        tagged.sort_unstable_by_key(|&(cell, payload, _)| (cell, payload));
+        let region = self.grid.region();
+        let mut removed = 0usize;
+        let mut start = 0;
+        while start < tagged.len() {
+            let cell = tagged[start].0;
+            let mut end = start + 1;
+            while end < tagged.len() && tagged[end].0 == cell {
+                end += 1;
+            }
+            let group = &tagged[start..end];
+            let bucket = &mut self.buckets[cell as usize];
+            // Two-pointer compaction: both the bucket lanes and the
+            // group are payload-sorted, so one forward pass keeps every
+            // survivor in order.
+            let len = bucket.payloads.len();
+            let mut write = 0usize;
+            let mut g = 0usize;
+            for read in 0..len {
+                while g < group.len() && group[g].1 < bucket.payloads[read] {
+                    g += 1;
+                }
+                if g < group.len() && group[g].1 == bucket.payloads[read] {
+                    removed += 1;
+                    if !region.contains(group[g].2) {
+                        self.outside -= 1;
+                    }
+                    g += 1;
+                    continue;
+                }
+                bucket.xs[write] = bucket.xs[read];
+                bucket.ys[write] = bucket.ys[read];
+                bucket.payloads[write] = bucket.payloads[read];
+                write += 1;
+            }
+            bucket.xs.truncate(write);
+            bucket.ys.truncate(write);
+            bucket.payloads.truncate(write);
+            start = end;
+        }
+        self.len -= removed;
+        removed
     }
 
     /// Calls `f(point, payload)` for every live point within the closed
@@ -173,6 +305,51 @@ impl<T: Copy + Ord> DynamicBucketIndex<T> {
     }
 }
 
+/// Back-merges one payload-sorted group of `(cell, payload, point)`
+/// entries into a bucket whose lanes are payload-sorted: the new run is
+/// copied to a scratch, the lanes grow by `n`, and one backwards merge
+/// writes every slot exactly once — `O(old + n)` moves total, against
+/// `O(n · old)` for `n` one-at-a-time sorted inserts. Panics on any
+/// payload collision (within the group or against the bucket), matching
+/// [`DynamicBucketIndex::insert`].
+fn merge_group<T: Copy + Ord>(bucket: &mut CellSoA<T>, group: &[(u32, T, Point)]) {
+    for pair in group.windows(2) {
+        assert!(
+            pair[0].1 != pair[1].1,
+            "duplicate payload inserted into dynamic index"
+        );
+    }
+    let old = bucket.payloads.len();
+    let n = group.len();
+    let scratch: Vec<(f64, f64, T)> = group.iter().map(|g| (g.2.x, g.2.y, g.1)).collect();
+    bucket.xs.resize(old + n, 0.0);
+    bucket.ys.resize(old + n, 0.0);
+    bucket.payloads.extend(group.iter().map(|g| g.1));
+    let mut wp = old + n;
+    let mut ro = old;
+    let mut rn = n;
+    while rn > 0 {
+        if ro > 0 {
+            assert!(
+                bucket.payloads[ro - 1] != scratch[rn - 1].2,
+                "duplicate payload inserted into dynamic index"
+            );
+        }
+        wp -= 1;
+        if ro > 0 && bucket.payloads[ro - 1] > scratch[rn - 1].2 {
+            bucket.xs[wp] = bucket.xs[ro - 1];
+            bucket.ys[wp] = bucket.ys[ro - 1];
+            bucket.payloads[wp] = bucket.payloads[ro - 1];
+            ro -= 1;
+        } else {
+            bucket.xs[wp] = scratch[rn - 1].0;
+            bucket.ys[wp] = scratch[rn - 1].1;
+            bucket.payloads[wp] = scratch[rn - 1].2;
+            rn -= 1;
+        }
+    }
+}
+
 impl<T: Copy> BucketStore<T> for DynamicBucketIndex<T> {
     fn grid(&self) -> &GridSpec {
         &self.grid
@@ -182,8 +359,9 @@ impl<T: Copy> BucketStore<T> for DynamicBucketIndex<T> {
         self.outside > 0
     }
 
-    fn cell_entries(&self, cell: usize) -> &[(Point, T)] {
-        &self.buckets[cell]
+    fn cell_slices(&self, cell: usize) -> (&[f64], &[f64], &[T]) {
+        let bucket = &self.buckets[cell];
+        (&bucket.xs, &bucket.ys, &bucket.payloads)
     }
 }
 
@@ -339,6 +517,41 @@ mod tests {
         // stay exact either way.
         assert!(idx.remove(Point::new(12.0, 12.0), 0));
         assert_eq!(idx.within_disc(Point::new(9.0, 9.0), 0.5), vec![1]);
+    }
+
+    /// Degenerate cap values: `k = 0` returns nothing, and any `k` at or
+    /// beyond the live-set size returns the whole in-radius set in
+    /// `(distance, payload)` order — capped and uncapped queries agree.
+    #[test]
+    fn k_nearest_degenerate_k_values() {
+        let grid = GridSpec::square(Rect::square(100.0), 9);
+        let mut dynamic = DynamicBucketIndex::new(grid);
+        let mut live: Vec<(Point, u32)> = Vec::new();
+        let mut rng = XorShift(0xD0_5EED);
+        for id in 0..37u32 {
+            let p = Point::new(rng.next_f64() * 100.0, rng.next_f64() * 100.0);
+            dynamic.insert(p, id);
+            live.push((p, id));
+        }
+        let c = Point::new(50.0, 50.0);
+        let r = 35.0;
+        assert!(dynamic.k_nearest_within(c, r, 0, |_, _| true).is_empty());
+        let mut buf = Vec::new();
+        dynamic.k_nearest_within_into(c, r, 0, |_, _| true, &mut buf);
+        assert!(buf.is_empty());
+        // Every k >= the live-set size yields the identical full
+        // in-radius answer (fresh-rebuild order), bit for bit.
+        let fresh = rebuild(grid, &live);
+        let all = fresh.k_nearest_within(c, r, live.len(), |_, _| true);
+        assert!(!all.is_empty(), "fixture must have in-radius points");
+        for k in [live.len(), live.len() + 1, usize::MAX] {
+            let got = dynamic.k_nearest_within(c, r, k, |_, _| true);
+            assert_eq!(got.len(), all.len(), "k={k}");
+            for (g, w) in got.iter().zip(&all) {
+                assert_eq!(g.0.to_bits(), w.0.to_bits(), "k={k}");
+                assert_eq!(g.1, w.1, "k={k}");
+            }
+        }
     }
 
     #[test]

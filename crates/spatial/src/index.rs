@@ -17,14 +17,20 @@ use crate::grid::GridSpec;
 /// Both answer queries through the shared [`for_each_within_disc_impl`] /
 /// [`k_nearest_within_impl`] cores below, which is what makes their query
 /// results bit-identical on the same point set.
+///
+/// Storage is struct-of-arrays: coordinates live in dense `f64` slices
+/// separate from the payloads, so the distance loops in the query cores
+/// compile to straight-line arithmetic over contiguous lanes (no
+/// `(Point, T)` stride) and autovectorize.
 pub(crate) trait BucketStore<T> {
     /// The bucketing grid.
     fn grid(&self) -> &GridSpec;
     /// Whether any stored point lies outside the grid region (disables
     /// the ring-search early termination of `k_nearest_within_impl`).
     fn any_outside(&self) -> bool;
-    /// The points bucketed into `cell`, in the store's iteration order.
-    fn cell_entries(&self, cell: usize) -> &[(Point, T)];
+    /// The points bucketed into `cell` as parallel `(xs, ys, payloads)`
+    /// slices of equal length, in the store's iteration order.
+    fn cell_slices(&self, cell: usize) -> (&[f64], &[f64], &[T]);
 }
 
 /// Calls `f(point, payload)` for every stored point within the closed
@@ -45,9 +51,14 @@ pub(crate) fn for_each_within_disc_impl<T: Copy>(
     let grid = store.grid();
     let bucket_center = center.clamped(grid.region());
     for cell in grid.cells_intersecting_disc(bucket_center, radius) {
-        for &(p, t) in store.cell_entries(cell.index()) {
-            if p.euclidean_sq(center) <= r2 {
-                f(p, t);
+        let (xs, ys, ts) = store.cell_slices(cell.index());
+        // Same float sequence as `Point::euclidean_sq(p, center)`, over
+        // SoA lanes.
+        for i in 0..xs.len() {
+            let dx = xs[i] - center.x;
+            let dy = ys[i] - center.y;
+            if dx * dx + dy * dy <= r2 {
+                f(Point::new(xs[i], ys[i]), ts[i]);
             }
         }
     }
@@ -88,22 +99,17 @@ pub(crate) fn k_nearest_within_into_impl<T: Copy + Ord>(
         return;
     }
     let grid = store.grid();
-    best.reserve(k + 1);
-    // Keeps `best` sorted ascending by (distance, payload) and capped at
-    // k entries; inserting every candidate yields the k smallest under
-    // the total order regardless of visit order.
-    let push = |d: f64, t: T, best: &mut Vec<(f64, T)>| {
-        let pos = best.partition_point(|&(bd, bt)| bd < d || (bd == d && bt <= t));
-        best.insert(pos, (d, t));
-        if best.len() > k {
-            best.pop();
-        }
-    };
+    // Degenerate caps (k near usize::MAX, i.e. "uncapped") must not
+    // overflow or over-reserve; growth past the hint is amortized anyway.
+    best.reserve(k.saturating_add(1).min(1024));
     if store.any_outside() {
         for_each_within_disc_impl(store, center, radius, |p, t| {
             let d = p.euclidean(center);
+            if prune(d, k, best) {
+                return;
+            }
             if accept(d, t) {
-                push(d, t, best);
+                push(d, t, k, best);
             }
         });
         return;
@@ -115,6 +121,13 @@ pub(crate) fn k_nearest_within_into_impl<T: Copy + Ord>(
     let min_side = grid.cell_width().min(grid.cell_height());
     let max_ring = (grid.nx().max(grid.ny())) as i64;
     let r2 = radius * radius;
+    let mut visit = |x: i64, y: i64, best: &mut Vec<(f64, T)>| {
+        if x < 0 || x >= nx || y < 0 || y >= ny {
+            return;
+        }
+        let cell = (y * nx + x) as usize;
+        scan_cell(store.cell_slices(cell), center, r2, k, &mut accept, best);
+    };
     for ring in 0..=max_ring {
         // Nothing in ring `d` can be closer than (d-1)·min_side. The
         // break is strict, so rings that could still hold an equal
@@ -125,34 +138,77 @@ pub(crate) fn k_nearest_within_into_impl<T: Copy + Ord>(
         if ring_lb > radius || (best.len() == k && kth.is_some_and(|d| ring_lb > d)) {
             break;
         }
-        let visit =
-            |x: i64, y: i64, best: &mut Vec<(f64, T)>, accept: &mut dyn FnMut(f64, T) -> bool| {
-                if x < 0 || x >= nx || y < 0 || y >= ny {
-                    return;
-                }
-                let cell = (y * nx + x) as usize;
-                for &(p, t) in store.cell_entries(cell) {
-                    let d2 = p.euclidean_sq(center);
-                    if d2 <= r2 {
-                        let d = d2.sqrt();
-                        if accept(d, t) {
-                            push(d, t, best);
-                        }
-                    }
-                }
-            };
         if ring == 0 {
-            visit(cx, cy, best, &mut accept);
+            visit(cx, cy, best);
         } else {
             for dx in -ring..=ring {
-                visit(cx + dx, cy - ring, best, &mut accept);
-                visit(cx + dx, cy + ring, best, &mut accept);
+                visit(cx + dx, cy - ring, best);
+                visit(cx + dx, cy + ring, best);
             }
             for dy in (-ring + 1)..ring {
-                visit(cx - ring, cy + dy, best, &mut accept);
-                visit(cx + ring, cy + dy, best, &mut accept);
+                visit(cx - ring, cy + dy, best);
+                visit(cx + ring, cy + dy, best);
             }
         }
+    }
+}
+
+/// One cell of the ring search: distance arithmetic over the SoA lanes,
+/// then the prune → accept → ordered-insert tail for in-radius hits.
+/// Generic over `accept` (monomorphized, so the predicate inlines into
+/// the loop — this used to go through `&mut dyn FnMut`, one indirect
+/// call per candidate).
+#[inline]
+fn scan_cell<T: Copy + Ord>(
+    (xs, ys, ts): (&[f64], &[f64], &[T]),
+    center: Point,
+    r2: f64,
+    k: usize,
+    accept: &mut impl FnMut(f64, T) -> bool,
+    best: &mut Vec<(f64, T)>,
+) {
+    // Same float sequence as `Point::euclidean_sq(p, center)` followed
+    // by `.sqrt()` (= `Point::euclidean`), over SoA lanes: the pure
+    // distance arithmetic vectorizes and only in-radius hits fall
+    // through to the ordered insert.
+    for i in 0..xs.len() {
+        let dx = xs[i] - center.x;
+        let dy = ys[i] - center.y;
+        let d2 = dx * dx + dy * dy;
+        if d2 <= r2 {
+            let d = d2.sqrt();
+            if prune(d, k, best) {
+                continue;
+            }
+            if accept(d, ts[i]) {
+                push(d, ts[i], k, best);
+            }
+        }
+    }
+}
+
+/// Whether a candidate at distance `d` can be discarded without
+/// consulting `accept`: once `best` holds `k` entries, anything
+/// *strictly* farther than the current k-th cannot enter the result
+/// under the `(distance, payload)` total order. Equal-distance
+/// candidates still go through the insert (a smaller payload displaces
+/// the k-th), and `accept` must be a pure predicate of `(d, payload)` —
+/// the ring early-termination already skips it for whole pruned rings,
+/// so its call pattern was never part of the contract.
+#[inline]
+fn prune<T: Copy>(d: f64, k: usize, best: &[(f64, T)]) -> bool {
+    best.len() == k && best.last().is_some_and(|&(kd, _)| d > kd)
+}
+
+/// Keeps `best` sorted ascending by (distance, payload) and capped at
+/// k entries; inserting every non-pruned candidate yields the k
+/// smallest under the total order regardless of visit order.
+#[inline]
+fn push<T: Copy + Ord>(d: f64, t: T, k: usize, best: &mut Vec<(f64, T)>) {
+    let pos = best.partition_point(|&(bd, bt)| bd < d || (bd == d && bt <= t));
+    best.insert(pos, (d, t));
+    if best.len() > k {
+        best.pop();
     }
 }
 
@@ -164,9 +220,15 @@ pub(crate) fn k_nearest_within_into_impl<T: Copy + Ord>(
 #[derive(Debug, Clone)]
 pub struct BucketIndex<T> {
     grid: GridSpec,
-    /// CSR layout: `starts[c]..starts[c+1]` indexes `entries` for cell `c`.
+    /// CSR layout: `starts[c]..starts[c+1]` indexes the SoA arrays for
+    /// cell `c`.
     starts: Vec<u32>,
-    entries: Vec<(Point, T)>,
+    /// X coordinates, SoA lane parallel to `ys` / `payloads`.
+    xs: Vec<f64>,
+    /// Y coordinates.
+    ys: Vec<f64>,
+    /// Payloads.
+    payloads: Vec<T>,
     /// Whether any indexed point lies outside the grid region (disables
     /// the ring-search early termination of `k_nearest_within`).
     any_outside: bool,
@@ -197,33 +259,42 @@ impl<T: Copy> BucketIndex<T> {
             starts[c + 1] += starts[c];
         }
         let mut cursor = starts.clone();
-        let mut entries: Vec<(Point, T)> = Vec::with_capacity(items.len());
-        // Place via a permutation so `entries` is initialized exactly once.
+        // Place via a permutation so the SoA lanes are written exactly once.
         let mut order = vec![0u32; items.len()];
         for (i, &(p, _)) in items.iter().enumerate() {
             let c = grid.cell_of(p).index();
             order[cursor[c] as usize] = i as u32;
             cursor[c] += 1;
         }
-        entries.extend(order.into_iter().map(|i| items[i as usize]));
+        let mut xs = Vec::with_capacity(items.len());
+        let mut ys = Vec::with_capacity(items.len());
+        let mut payloads = Vec::with_capacity(items.len());
+        for i in order {
+            let (p, t) = items[i as usize];
+            xs.push(p.x);
+            ys.push(p.y);
+            payloads.push(t);
+        }
         let region = grid.region();
-        let any_outside = entries.iter().any(|&(p, _)| !region.contains(p));
+        let any_outside = items.iter().any(|&(p, _)| !region.contains(p));
         Self {
             grid,
             starts,
-            entries,
+            xs,
+            ys,
+            payloads,
             any_outside,
         }
     }
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.payloads.len()
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.payloads.is_empty()
     }
 
     /// Calls `f(point, payload)` for every indexed point within the closed
@@ -285,10 +356,10 @@ impl<T: Copy> BucketStore<T> for BucketIndex<T> {
         self.any_outside
     }
 
-    fn cell_entries(&self, cell: usize) -> &[(Point, T)] {
+    fn cell_slices(&self, cell: usize) -> (&[f64], &[f64], &[T]) {
         let lo = self.starts[cell] as usize;
         let hi = self.starts[cell + 1] as usize;
-        &self.entries[lo..hi]
+        (&self.xs[lo..hi], &self.ys[lo..hi], &self.payloads[lo..hi])
     }
 }
 

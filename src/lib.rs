@@ -23,6 +23,9 @@
 //!   worker/task/tick event streams and serves posted prices
 //!   continuously, with replay bit-identical to the batch simulator at
 //!   any shard count.
+//! * [`telemetry`] — O(1) fixed-bucket log2 latency histograms: pure
+//!   deterministic counters (event-time, never wall-clock) that ride
+//!   inside `Outcome::deterministic_bits`.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@ pub use maps_matching as matching;
 pub use maps_service as service;
 pub use maps_simulator as simulator;
 pub use maps_spatial as spatial;
+pub use maps_telemetry as telemetry;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {

@@ -13,7 +13,9 @@ use maps::prelude::{
     GroundTask, GroundTruth, GroundWorker, MatchPolicy, PeriodData, SimOptions, Simulation,
     SyntheticConfig,
 };
-use maps::service::{IngestConfig, IngestService, ServiceConfig, ServiceEvent, ShardedService};
+use maps::service::{
+    IngestConfig, IngestService, ServiceConfig, ServiceEvent, ShardedService, SlotArena, SlotHandle,
+};
 use maps::spatial::{CellId, GridSpec, Point, Rect};
 use maps_testkit::{InterleavePlan, Interleaver};
 use proptest::prelude::*;
@@ -766,6 +768,64 @@ proptest! {
                     cut
                 );
             }
+        }
+    }
+
+    /// PR-8 oracle: the staging slot arena never aliases a live id
+    /// through slot reuse. A random op script (insert / remove-live /
+    /// remove-stale / drain) is mirrored against a plain shadow model;
+    /// after every op, each live handle resolves to exactly the value
+    /// it was issued for, every freed handle is stale forever (the
+    /// generation bump — the release-mode ABA defence the service's
+    /// `cancel_staged` leans on), and `SlotHandle::DEAD` never
+    /// resolves.
+    #[test]
+    fn slot_arena_reuse_never_aliases_a_live_id(
+        ops in proptest::collection::vec((0u64..u64::MAX, 0u64..4), 1usize..200),
+    ) {
+        let mut arena: SlotArena<u64> = SlotArena::new();
+        let mut live: Vec<(SlotHandle, u64)> = Vec::new();
+        let mut stale: Vec<SlotHandle> = Vec::new();
+        let mut next_value = 0u64;
+        let mut drained = Vec::new();
+        for &(pick, op) in &ops {
+            match op {
+                // Insert (weighted double so scripts grow).
+                0 | 1 => {
+                    let value = next_value;
+                    next_value += 1;
+                    live.push((arena.insert(value), value));
+                }
+                // Remove a live handle: exactly its own value comes out.
+                2 if !live.is_empty() => {
+                    let (handle, value) = live.swap_remove(pick as usize % live.len());
+                    prop_assert_eq!(arena.remove(handle), Some(value));
+                    stale.push(handle);
+                }
+                // Remove through a stale handle: rejected, nothing moves.
+                3 if !stale.is_empty() => {
+                    let handle = stale[pick as usize % stale.len()];
+                    let before = arena.len();
+                    prop_assert_eq!(arena.remove(handle), None);
+                    prop_assert_eq!(arena.len(), before);
+                }
+                // Occasional window close: drain frees everything.
+                _ if pick % 11 == 0 => {
+                    arena.drain_dense(&mut drained);
+                    prop_assert_eq!(drained.len(), live.len());
+                    stale.extend(live.drain(..).map(|(h, _)| h));
+                }
+                _ => {}
+            }
+            // The aliasing invariants, after every single op.
+            prop_assert_eq!(arena.len(), live.len());
+            for &(handle, value) in &live {
+                prop_assert_eq!(arena.get(handle).copied(), Some(value));
+            }
+            for &handle in &stale {
+                prop_assert!(arena.get(handle).is_none(), "stale handle resolved");
+            }
+            prop_assert!(arena.get(SlotHandle::DEAD).is_none());
         }
     }
 
