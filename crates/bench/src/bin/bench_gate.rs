@@ -24,16 +24,17 @@
 //! the `graph_build_{scratch,incremental}` pair (PR 3), the `knn_query`
 //! row (PR 8), the `service_throughput` row (PR 4), the
 //! `telemetry_overhead` row (PR 8), the `ingest_throughput` row
-//! (PR 5) and the `journal_throughput` row (PR 6) must be present in
-//! every candidate report. Most kernels may come and go as they are
-//! added and retired, but these are the standing evidence for the
-//! churn-driven period engine, the SoA k-NN kernel, the sharded online
-//! service, the always-on latency telemetry, the multi-producer
-//! ingestion front-end and the write-ahead journal — a candidate that
-//! silently dropped one would leave that subsystem unbenchmarked (and,
-//! for the k-NN, service, ingestion and journal rows, un-cross-checked
-//! against their serial oracles), so a missing required row fails the
-//! gate outright.
+//! (PR 5), the `journal_throughput` row (PR 6) and the `lint_runtime`
+//! row (PR 9) must be present in every candidate report. Most kernels
+//! may come and go as they are added and retired, but these are the
+//! standing evidence for the churn-driven period engine, the SoA k-NN
+//! kernel, the sharded online service, the always-on latency telemetry,
+//! the multi-producer ingestion front-end, the write-ahead journal and
+//! the static-analysis gate — a candidate that silently dropped one
+//! would leave that subsystem unbenchmarked (and, for the k-NN,
+//! service, ingestion and journal rows, un-cross-checked against their
+//! serial oracles; the lint row additionally asserts the workspace
+//! scans clean), so a missing required row fails the gate outright.
 //!
 //! Two rules are **absolute** rather than trend-relative. PR 7: if the
 //! candidate's `ingest_throughput` row ran with ≥ 2 producers, its
@@ -58,6 +59,7 @@ const REQUIRED_KERNELS: &[&str] = &[
     "telemetry_overhead",
     "ingest_throughput",
     "journal_throughput",
+    "lint_runtime",
 ];
 
 /// Checks that `candidate` carries every required kernel row.
@@ -370,7 +372,7 @@ mod tests {
     #[test]
     fn candidate_missing_required_graph_build_rows_fails() {
         let regressions = check_required(&report_with_kernels(&["monte_carlo"]));
-        assert_eq!(regressions.len(), 7, "{regressions:?}");
+        assert_eq!(regressions.len(), 8, "{regressions:?}");
         assert!(regressions[0].0.contains("graph_build_scratch"));
         assert!(regressions[1].0.contains("graph_build_incremental"));
         assert!(regressions[2].0.contains("knn_query"));
@@ -378,6 +380,7 @@ mod tests {
         assert!(regressions[4].0.contains("telemetry_overhead"));
         assert!(regressions[5].0.contains("ingest_throughput"));
         assert!(regressions[6].0.contains("journal_throughput"));
+        assert!(regressions[7].0.contains("lint_runtime"));
         // Some present, one dropped: still a failure.
         let regressions = check_required(&report_with_kernels(&[
             "graph_build_scratch",
@@ -386,6 +389,7 @@ mod tests {
             "telemetry_overhead",
             "ingest_throughput",
             "journal_throughput",
+            "lint_runtime",
         ]));
         assert_eq!(regressions.len(), 1);
         assert!(regressions[0].0.contains("graph_build_incremental"));
@@ -402,6 +406,7 @@ mod tests {
             "telemetry_overhead",
             "ingest_throughput",
             "journal_throughput",
+            "lint_runtime",
         ]));
         assert_eq!(regressions.len(), 1, "{regressions:?}");
         assert!(regressions[0].0.contains("service_throughput"));
@@ -419,6 +424,7 @@ mod tests {
             "service_throughput",
             "telemetry_overhead",
             "journal_throughput",
+            "lint_runtime",
         ]));
         assert_eq!(regressions.len(), 1, "{regressions:?}");
         assert!(regressions[0].0.contains("ingest_throughput"));
@@ -436,9 +442,28 @@ mod tests {
             "service_throughput",
             "telemetry_overhead",
             "ingest_throughput",
+            "lint_runtime",
         ]));
         assert_eq!(regressions.len(), 1, "{regressions:?}");
         assert!(regressions[0].0.contains("journal_throughput"));
+    }
+
+    /// The PR-9 required row: a candidate that silently dropped the
+    /// static-analysis scan benchmark (and with it the scans-clean
+    /// assertion) must fail the gate.
+    #[test]
+    fn candidate_missing_lint_runtime_fails() {
+        let regressions = check_required(&report_with_kernels(&[
+            "graph_build_scratch",
+            "graph_build_incremental",
+            "knn_query",
+            "service_throughput",
+            "telemetry_overhead",
+            "ingest_throughput",
+            "journal_throughput",
+        ]));
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].0.contains("lint_runtime"));
     }
 
     /// The PR-8 required row: a candidate that silently dropped the SoA
@@ -453,6 +478,7 @@ mod tests {
             "telemetry_overhead",
             "ingest_throughput",
             "journal_throughput",
+            "lint_runtime",
         ]));
         assert_eq!(regressions.len(), 1, "{regressions:?}");
         assert!(regressions[0].0.contains("knn_query"));
@@ -468,6 +494,7 @@ mod tests {
             "telemetry_overhead",
             "ingest_throughput",
             "journal_throughput",
+            "lint_runtime",
             "monte_carlo",
         ]));
         assert!(regressions.is_empty(), "{regressions:?}");

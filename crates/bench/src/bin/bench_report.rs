@@ -2,8 +2,9 @@
 //! kernels, the PR-2 parallel pricing/runner paths, the PR-3
 //! incremental graph-build engine, the PR-4 sharded online service,
 //! the PR-5/PR-7 multi-producer ingestion front-end, the PR-6
-//! write-ahead journal, and the PR-8 SoA k-NN + telemetry rows
-//! against their retained baselines and writes `BENCH_PR8.json`.
+//! write-ahead journal, the PR-8 SoA k-NN + telemetry rows, and the
+//! PR-9 static-analysis scan against their retained baselines and
+//! writes `BENCH_PR9.json`.
 //!
 //! ```sh
 //! cargo run --release -p maps-bench --bin bench_report [-- OUT.json]
@@ -51,12 +52,18 @@
 //! report whose telemetry costs more than 3% of service throughput
 //! (`overhead > 1.03`).
 //!
+//! PR 9 adds the `lint_runtime` row: a full `maps-lint` workspace scan
+//! (the static-analysis pass CI runs before the build), asserted clean
+//! and then timed — the gate that keeps the determinism contracts
+//! machine-checked must itself stay cheap enough to run on every push.
+//!
 //! Each PR appends its own `BENCH_PR<N>.json` so the perf trajectory
 //! stays diffable; the `bench_gate` binary fails CI when a fresh run
 //! regresses >2x against the last committed report **or when a required
 //! row (`graph_build_*`, `knn_query`, `service_throughput`,
-//! `ingest_throughput`, `journal_throughput`) goes missing** (so a
-//! refactor cannot silently drop a standing subsystem benchmark).
+//! `ingest_throughput`, `journal_throughput`, `lint_runtime`) goes
+//! missing** (so a refactor cannot silently drop a standing subsystem
+//! benchmark).
 
 use maps_bench::{plateau_maps, random_graph, random_weights, PeriodFixture, XorShift};
 use maps_core::{
@@ -845,12 +852,43 @@ fn journal_throughput_report() -> Value {
     ])
 }
 
+/// PR-9 row: the static-analysis gate's own runtime. Scans every
+/// workspace `.rs` file through `maps_lint::scan_workspace` — the same
+/// library entry the `maps-lint` binary and CI use — asserting the
+/// workspace is clean (zero violations, matching the CI bar) before
+/// timing, so the row can never report the latency of a failing scan.
+fn lint_runtime_report() -> Value {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = maps_lint::scan_workspace(&root).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations; fix or waive before benchmarking"
+    );
+    let files = report.files_scanned as f64;
+    let waived = report.waived.len() as f64;
+    let scan_ns = median_ns(5, || {
+        maps_lint::scan_workspace(&root).expect("workspace scan")
+    });
+    let files_per_sec = files / (scan_ns / 1e9);
+    println!(
+        "lint_runtime {files:.0} files, {waived:.0} waivers: scan {} | {files_per_sec:.0} files/s",
+        format_ms(scan_ns),
+    );
+    serde::object([
+        ("files", files.to_value()),
+        ("waived", waived.to_value()),
+        ("violations", (report.violations.len() as f64).to_value()),
+        ("scan_ns", scan_ns.to_value()),
+        ("files_per_sec", files_per_sec.to_value()),
+    ])
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
 
-    println!("maps bench_report — PR 8 kernel trajectory");
+    println!("maps bench_report — PR 9 kernel trajectory");
     println!("==========================================");
     let (possible_worlds, pw_speedup) = possible_worlds_report();
     let (monte_carlo, _mc_speedup) = monte_carlo_report();
@@ -870,6 +908,7 @@ fn main() {
     let telemetry_overhead = telemetry_overhead_report(service_replay_ns);
     let ingest_throughput = ingest_throughput_report();
     let journal_throughput = journal_throughput_report();
+    let lint_runtime = lint_runtime_report();
 
     let journal_overhead = journal_throughput
         .get("overhead")
@@ -927,7 +966,7 @@ fn main() {
 
     let report = serde::object([
         ("schema", "maps-bench-report/v1".to_value()),
-        ("pr", 8.0f64.to_value()),
+        ("pr", 9.0f64.to_value()),
         (
             "host",
             serde::object([("threads", (rayon::current_num_threads() as f64).to_value())]),
@@ -947,6 +986,7 @@ fn main() {
                 ("telemetry_overhead", telemetry_overhead),
                 ("ingest_throughput", ingest_throughput),
                 ("journal_throughput", journal_throughput),
+                ("lint_runtime", lint_runtime),
             ]),
         ),
     ]);

@@ -96,7 +96,7 @@ impl LFunction {
         for &d in &dists {
             assert!(d.is_finite() && d >= 0.0, "invalid task distance {d}");
         }
-        dists.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite distances"));
+        dists.sort_unstable_by(|a, b| b.total_cmp(a));
         let mut prefix = Vec::with_capacity(dists.len() + 1);
         prefix.push(0.0);
         let mut acc = 0.0;

@@ -308,6 +308,7 @@ pub fn run_figure(figure: &str, args: &CliArgs) {
             "running {}/{} ({}, scale {:?}, seeds {})…",
             spec.figure, spec.panel, spec.paper_ref, options.scale, options.num_seeds
         );
+        // lint-allow(det-wallclock): progress reporting for the operator, never enters result rows
         let start = std::time::Instant::now();
         let rows = match args.journal_options() {
             Some(journal) => run_panel_journaled(&spec, options, &journal),

@@ -1,0 +1,19 @@
+//! Known-bad fixture: float ordering through `partial_cmp(..).unwrap()`
+//! and a float `sort_by` in a deterministic module. Besides the NaN
+//! panic path, `partial_cmp` orders `-0.0 == 0.0`, so two encodings of
+//! zero can swap across runs of a parallel sort — real code routes
+//! through `f64::total_cmp` (or a total-order key).
+
+fn rank(weights: &mut Vec<f64>) {
+    weights.sort_by(|a, b| a.partial_cmp(b).unwrap()); // ~BAD~
+}
+
+fn best(weights: &[f64]) -> Option<f64> {
+    let mut best = weights.first().copied()?;
+    for w in &weights[1..] {
+        if w.partial_cmp(&best).unwrap() == std::cmp::Ordering::Greater { // ~BAD~
+            best = *w;
+        }
+    }
+    Some(best)
+}

@@ -1,0 +1,17 @@
+//! Known-bad fixture: iterating a `HashMap` inside a deterministic
+//! module. Iteration order depends on the hasher's per-process seed,
+//! so any fold over it leaks nondeterminism into the outcome bits.
+//! The fix in real code is `BTreeMap` or collect-then-sort.
+use std::collections::HashMap;
+
+fn worker_totals(assignments: &[(u64, f64)]) -> f64 {
+    let mut per_worker: HashMap<u64, f64> = HashMap::new();
+    for (worker, price) in assignments {
+        *per_worker.entry(*worker).or_insert(0.0) += price;
+    }
+    let mut acc = 0.0;
+    for (_, total) in per_worker.iter() { // ~BAD~
+        acc = acc * 0.5 + total;
+    }
+    acc
+}

@@ -1,0 +1,10 @@
+//! Known-bad fixture: ambient randomness outside `maps-testkit`.
+//! `thread_rng`/`from_entropy` seed from the OS, so two runs of the
+//! same scenario produce different outcome bits. Real code threads an
+//! explicitly-seeded `ChaCha8Rng` from the scenario config.
+use rand::Rng;
+
+fn jitter(base: f64) -> f64 {
+    let mut rng = rand::thread_rng(); // ~BAD~
+    base + rng.gen_range(0.0..1.0)
+}

@@ -1,0 +1,22 @@
+//! Known-bad fixture: a Release store of a cursor field whose loads
+//! are all Relaxed. The Release half of the protocol publishes the
+//! slot write, but without a paired Acquire load the consumer may see
+//! the cursor advance before the slot contents — the classic torn-read
+//! SPSC bug.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Ring {
+    tail: AtomicUsize,
+}
+
+impl Ring {
+    fn publish(&self, pos: usize) {
+        // ordering: Release publishes the slot write below the cursor.
+        self.tail.store(pos, Ordering::Release); // ~BAD~
+    }
+
+    fn poll(&self) -> usize {
+        // ordering: relaxed is wrong here, which is the point.
+        self.tail.load(Ordering::Relaxed)
+    }
+}

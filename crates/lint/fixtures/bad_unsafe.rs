@@ -1,0 +1,8 @@
+//! Known-bad fixture: an `unsafe` block with no immediately-preceding
+//! `// SAFETY:` comment. The invariant being relied on (caller holds
+//! the only live index into the arena) exists only in the author's
+//! head, which is where it gets lost.
+
+fn read_slot(slots: &[u64], idx: usize) -> u64 {
+    unsafe { *slots.get_unchecked(idx) } // ~BAD~
+}

@@ -1,0 +1,15 @@
+//! Known-bad fixture: waiver abuse. A waiver with no reason is a
+//! violation (the reason *is* the review artifact), and a waiver
+//! naming a rule that does not exist is a typo that would otherwise
+//! silently waive nothing forever.
+use std::time::Instant;
+
+fn stamp() -> Instant {
+    // lint-allow(det-wallclock) ~BAD~
+    Instant::now()
+}
+
+fn stamp2() -> Instant {
+    // lint-allow(det-wallclok): typo in the rule name ~BAD~
+    Instant::now()
+}

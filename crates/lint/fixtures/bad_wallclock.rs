@@ -1,0 +1,9 @@
+//! Known-bad fixture: reading the wall clock in a deterministic
+//! module. Replay of the same journal on another machine (or the same
+//! machine, later) would observe different time and diverge.
+use std::time::Instant;
+
+fn surge_window_open(started: Instant) -> bool {
+    let now = Instant::now(); // ~BAD~
+    now.duration_since(started).as_millis() < 500
+}

@@ -1,0 +1,732 @@
+//! A small comment/string-aware Rust lexer.
+//!
+//! The container has no registry access, so `syn` is not an option —
+//! and the lint rules do not need a parse tree, only a token stream
+//! that **never confuses source code with the inside of a string
+//! literal or a comment**. That is exactly the part naive `grep`-style
+//! linting gets wrong: `"thread_rng"` inside a test-name string, a
+//! `// HashMap used to live here` comment, or `'{'` as a char literal
+//! must not look like code. The lexer therefore implements the lexical
+//! subset of the Rust grammar faithfully — raw strings with arbitrary
+//! `#` fences, byte/raw-byte strings, char vs. lifetime disambiguation,
+//! nested block comments, raw identifiers — and leaves everything
+//! above the token level (items, types, expressions) to the rules'
+//! token-pattern matching.
+//!
+//! Two token-stream annotations ride on top:
+//!
+//! * **Test regions** ([`test_lines`]): the brace-matched bodies of
+//!   `#[cfg(test)]` / `#[test]` items. Determinism rules skip them
+//!   (a test may time itself with `Instant::now`), while the safety
+//!   rules (`unsafe-safety`) apply everywhere. Brace matching over
+//!   *tokens* is reliable precisely because strings and comments were
+//!   already lexed away.
+//! * **Waivers** ([`waivers`]): `lint-allow` comments — rule name in
+//!   parentheses, then `: reason` —
+//!   comments, the escape hatch every rule honors (and audits — a
+//!   waiver without a reason is itself a violation).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident` identifiers,
+    /// whose text keeps the `r#` prefix so they can never be confused
+    /// with the keyword they escape).
+    Ident,
+    /// A lifetime such as `'a` (text includes the leading `'`).
+    Lifetime,
+    /// Integer or float literal, suffix included.
+    Number,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`. Text is the full literal including quotes/fences.
+    Str,
+    /// Char or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `// …` comment (doc comments included). Text includes the
+    /// slashes but not the trailing newline.
+    LineComment,
+    /// `/* … */` comment, nesting handled. Text includes delimiters.
+    BlockComment,
+    /// A single punctuation byte (`.`, `:`, `{`, …). Multi-byte
+    /// operators arrive as consecutive one-byte tokens; rules match
+    /// the sequences they care about (e.g. `:` `:` for a path).
+    Punct,
+}
+
+/// One lexeme with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// The exact source text of the lexeme.
+    pub text: String,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based line of the last byte (differs from `line` only for
+    /// multi-line strings and block comments).
+    pub end_line: u32,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: &str, line: u32, end_line: u32) -> Self {
+        Self {
+            kind,
+            text: text.to_string(),
+            line,
+            end_line,
+        }
+    }
+
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes Rust source. Unterminated constructs (a string or block
+/// comment running to EOF) are closed at EOF rather than reported —
+/// the workspace compiles, so they cannot occur on real input, and the
+/// lint must never panic on a fixture.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        src,
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, counting newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, start_line: u32) {
+        self.tokens.push(Token::new(
+            kind,
+            &self.src[start..self.pos],
+            start_line,
+            self.line,
+        ));
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            let start = self.pos;
+            let start_line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::LineComment, start, start_line);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.block_comment(start, start_line);
+                }
+                b'r' if self.raw_string_ahead(1) => {
+                    self.bump(); // r
+                    self.raw_string_body(start, start_line);
+                }
+                b'b' => self.byte_prefixed(start, start_line),
+                b'"' => self.string(start, start_line),
+                b'\'' => self.quote(start, start_line),
+                _ if is_ident_start(b) => {
+                    // `r#ident` raw identifiers (raw strings were
+                    // dispatched above).
+                    if b == b'r' && self.peek(1) == b'#' && is_ident_start(self.peek(2)) {
+                        self.bump();
+                        self.bump();
+                    }
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::Ident, start, start_line);
+                }
+                _ if b.is_ascii_digit() => self.number(start, start_line),
+                _ => {
+                    self.bump();
+                    self.emit(TokenKind::Punct, start, start_line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// Nested `/* … */`; unterminated closes at EOF.
+    fn block_comment(&mut self, start: usize, start_line: u32) {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.emit(TokenKind::BlockComment, start, start_line);
+    }
+
+    /// Is `#*"` (a raw-string fence) next, starting `ahead` bytes in?
+    fn raw_string_ahead(&self, ahead: usize) -> bool {
+        let mut i = ahead;
+        while self.peek(i) == b'#' {
+            i += 1;
+        }
+        self.peek(i) == b'"'
+    }
+
+    /// Consumes `#*" … "#*` after the `r`/`br` prefix was consumed.
+    fn raw_string_body(&mut self, start: usize, start_line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening "
+        'body: while self.pos < self.bytes.len() {
+            if self.peek(0) == b'"' {
+                // A closing quote must be followed by exactly the
+                // opening fence's hash count.
+                let mut i = 1;
+                while i <= hashes {
+                    if self.peek(i) != b'#' {
+                        self.bump(); // a " inside the raw body
+                        continue 'body;
+                    }
+                    i += 1;
+                }
+                self.bump(); // "
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            self.bump();
+        }
+        self.emit(TokenKind::Str, start, start_line);
+    }
+
+    /// `b`-prefixed literals (`b'x'`, `b"…"`, `br#"…"#`) — or just an
+    /// identifier starting with `b`.
+    fn byte_prefixed(&mut self, start: usize, start_line: u32) {
+        match self.peek(1) {
+            b'\'' => {
+                self.bump(); // b
+                self.bump(); // '
+                self.char_body();
+                self.emit(TokenKind::Char, start, start_line);
+            }
+            b'"' => {
+                self.bump(); // b
+                self.string(start, start_line);
+            }
+            b'r' if self.raw_string_ahead(2) => {
+                self.bump(); // b
+                self.bump(); // r
+                self.raw_string_body(start, start_line);
+            }
+            _ => {
+                while is_ident_continue(self.peek(0)) {
+                    self.bump();
+                }
+                self.emit(TokenKind::Ident, start, start_line);
+            }
+        }
+    }
+
+    /// `" … "` with escapes; unterminated closes at EOF.
+    fn string(&mut self, start: usize, start_line: u32) {
+        self.bump(); // opening "
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump(); // the escaped byte ("\"" and "\\")
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.emit(TokenKind::Str, start, start_line);
+    }
+
+    /// After a consumed opening `'` of a char/byte literal: consume the
+    /// body and the closing `'`.
+    fn char_body(&mut self) {
+        if self.peek(0) == b'\\' {
+            self.bump();
+            if self.pos < self.bytes.len() {
+                self.bump(); // escape head: n, ', x, u, …
+            }
+            // `\x7f` / `\u{…}` tails run to the closing quote.
+            while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+        } else {
+            // One char, possibly multi-byte UTF-8.
+            let width = utf8_width(self.peek(0));
+            for _ in 0..width {
+                if self.pos < self.bytes.len() {
+                    self.bump();
+                }
+            }
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+    }
+
+    /// A `'`: either a char literal (`'x'`, `'{'`, `'\n'`) or a
+    /// lifetime (`'a`, `'static`). Disambiguation: an escape or a
+    /// non-identifier char is always a char literal; an identifier
+    /// char is a char literal iff the very next char closes the quote.
+    fn quote(&mut self, start: usize, start_line: u32) {
+        let next = self.peek(1);
+        if next == b'\\' || !is_ident_start(next) {
+            self.bump(); // '
+            self.char_body();
+            self.emit(TokenKind::Char, start, start_line);
+            return;
+        }
+        let width = utf8_width(next);
+        if self.peek(1 + width) == b'\'' {
+            // 'x' — a single ident-class char then the closing quote.
+            self.bump(); // '
+            self.char_body();
+            self.emit(TokenKind::Char, start, start_line);
+        } else {
+            self.bump(); // '
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            self.emit(TokenKind::Lifetime, start, start_line);
+        }
+    }
+
+    /// Numeric literal: digits/underscores, radix prefixes, exponents,
+    /// type suffixes, and a fractional part only when a digit follows
+    /// the dot (`1..n` stays Number, Punct, Punct, Ident).
+    fn number(&mut self, start: usize, start_line: u32) {
+        while is_ident_continue(self.peek(0)) {
+            let b = self.peek(0);
+            self.bump();
+            // Exponent sign: the only place +/- belongs to the literal.
+            if (b == b'e' || b == b'E')
+                && (self.peek(0) == b'+' || self.peek(0) == b'-')
+                && self.peek(1).is_ascii_digit()
+                && !self.src[start..self.pos].starts_with("0x")
+            {
+                self.bump();
+            }
+        }
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump(); // .
+            while is_ident_continue(self.peek(0)) {
+                let b = self.peek(0);
+                self.bump();
+                if (b == b'e' || b == b'E')
+                    && (self.peek(0) == b'+' || self.peek(0) == b'-')
+                    && self.peek(1).is_ascii_digit()
+                {
+                    self.bump();
+                }
+            }
+        }
+        self.emit(TokenKind::Number, start, start_line);
+    }
+}
+
+/// Byte length of the UTF-8 char starting with `b`.
+fn utf8_width(b: u8) -> usize {
+    match b {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+/// Returns the set of source lines inside test code: the brace-matched
+/// bodies of items annotated `#[test]` or `#[cfg(test)]` (including
+/// `cfg(all(test, …))` and `cfg_attr(test, …)` spellings — any
+/// attribute whose argument list mentions the bare `test` ident).
+///
+/// The result is a sorted list of disjoint `(first_line, last_line)`
+/// ranges, inclusive.
+pub fn test_lines(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let toks: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut regions: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text != "#" {
+            i += 1;
+            continue;
+        }
+        let attr_line = toks[i].line;
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].text == "!" {
+            j += 1; // inner attribute `#![…]`
+        }
+        if j >= toks.len() || toks[j].text != "[" {
+            i += 1;
+            continue;
+        }
+        // Scan the bracket-balanced attribute, looking for `test`.
+        let mut depth = 0i32;
+        let mut has_test = false;
+        let mut k = j;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "[" | "(" => depth += 1,
+                "]" | ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "test" if toks[k].kind == TokenKind::Ident => has_test = true,
+                _ => {}
+            }
+            k += 1;
+        }
+        if !has_test {
+            i = k + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut m = k + 1;
+        while m < toks.len() && toks[m].text == "#" {
+            let mut d = 0i32;
+            m += 1;
+            while m < toks.len() {
+                match toks[m].text.as_str() {
+                    "[" | "(" => d += 1,
+                    "]" | ")" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            m += 1;
+        }
+        // The annotated item runs to its matching close brace (fn/mod
+        // body) or to a `;` at depth 0 (e.g. `#[cfg(test)] use …;`).
+        let mut d = 0i32;
+        let mut end_line = attr_line;
+        while m < toks.len() {
+            match toks[m].text.as_str() {
+                "{" => d += 1,
+                "}" => {
+                    d -= 1;
+                    if d == 0 {
+                        end_line = toks[m].line;
+                        break;
+                    }
+                }
+                ";" if d == 0 => {
+                    end_line = toks[m].line;
+                    break;
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        regions.push((attr_line, end_line.max(attr_line)));
+        i = m + 1;
+    }
+    regions
+}
+
+/// True when `line` falls inside any of the `regions` from
+/// [`test_lines`].
+pub fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+}
+
+/// A parsed `lint-allow` waiver comment: the rule name in parentheses,
+/// a `:`, then the reason.
+#[derive(Debug, Clone)]
+pub struct WaiverComment {
+    /// The rule being waived.
+    pub rule: String,
+    /// The stated reason (may be empty — which the pass then flags).
+    pub reason: String,
+    /// Line of the comment's last byte: a waiver covers violations on
+    /// its own line (trailing comment) and the line directly below.
+    pub line: u32,
+}
+
+/// Extracts every waiver comment from a token stream.
+pub fn waivers(tokens: &[Token]) -> Vec<WaiverComment> {
+    let mut out = Vec::new();
+    for token in tokens.iter().filter(|t| t.is_comment()) {
+        let Some(start) = token.text.find("lint-allow(") else {
+            continue;
+        };
+        let rest = &token.text[start + "lint-allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        let reason = after
+            .strip_prefix(':')
+            .unwrap_or("")
+            .trim()
+            .trim_end_matches("*/")
+            .trim()
+            .to_string();
+        out.push(WaiverComment {
+            rule,
+            reason,
+            line: token.end_line,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    /// Raw strings: arbitrary hash fences, embedded quotes and
+    /// comment-lookalikes stay inside the one Str token.
+    #[test]
+    fn raw_strings_swallow_quotes_and_comment_lookalikes() {
+        let src = r####"let s = r#"// not a comment, "quoted", 'c'"#;"####;
+        let toks = kinds(src);
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "s".into()),
+                (TokenKind::Punct, "=".into()),
+                (
+                    TokenKind::Str,
+                    r####"r#"// not a comment, "quoted", 'c'"#"####.into()
+                ),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+        // Double-fenced: a `"#` inside does not close `r##"…"##`.
+        let toks = kinds(r#####"r##"inner "# still open"## "#####);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, r#####"r##"inner "# still open"##"#####);
+        // Plain r"" (zero hashes).
+        let toks = kinds(r#" r"\no escapes\" "#);
+        assert_eq!(toks[0], (TokenKind::Str, r#"r"\no escapes\""#.into()));
+    }
+
+    /// Nested block comments close at the matching depth, exactly like
+    /// rustc's lexical grammar.
+    #[test]
+    fn nested_block_comments_track_depth() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a".into()),
+                (
+                    TokenKind::BlockComment,
+                    "/* outer /* inner */ still comment */".into()
+                ),
+                (TokenKind::Ident, "b".into()),
+            ]
+        );
+    }
+
+    /// Char and byte literals holding `{`, `"`, `/` and escapes never
+    /// leak into brace matching, strings, or comments.
+    #[test]
+    fn char_literals_with_delimiters_and_escapes() {
+        let toks = kinds("let c = ['{', '}', '\\\"', '/', '\\'', '\\n', b'{', b'\\'']; // done");
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            chars,
+            vec![r"'{'", r"'}'", "'\\\"'", r"'/'", r"'\''", r"'\n'", r"b'{'", r"b'\''"]
+        );
+        // The trailing // after the char-heavy soup is still a comment.
+        assert_eq!(toks.last().unwrap().0, TokenKind::LineComment);
+        // And `'//'`-adjacent code: a char slash must not open a comment.
+        let toks = kinds("x('/') // real");
+        assert_eq!(toks[2], (TokenKind::Char, "'/'".into()));
+        assert_eq!(toks.last().unwrap().0, TokenKind::LineComment);
+    }
+
+    /// Lifetimes vs char literals: `'a` is a lifetime, `'a'` a char,
+    /// `'static` a lifetime, multi-byte `'é'` a char.
+    #[test]
+    fn lifetime_vs_char_disambiguation() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let s: &'static str = \"\"; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'a'"]);
+        let toks = kinds("let c = 'é';");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "'é'"));
+    }
+
+    /// Strings with escaped quotes and backslashes terminate at the
+    /// real closing quote.
+    #[test]
+    fn string_escapes() {
+        let toks = kinds(r#"let s = "a \" b \\"; let t = 1;"#);
+        assert_eq!(toks[3], (TokenKind::Str, r#""a \" b \\""#.into()));
+        assert_eq!(toks[6], (TokenKind::Ident, "t".into()));
+    }
+
+    /// Numbers: ranges keep the dots as punctuation; floats, exponents
+    /// and suffixes stay one token.
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e-3f64; let y = 0xFFu8; }");
+        assert!(toks.contains(&(TokenKind::Number, "0".into())));
+        assert!(toks.contains(&(TokenKind::Number, "10".into())));
+        assert!(toks.contains(&(TokenKind::Number, "1.5e-3f64".into())));
+        assert!(toks.contains(&(TokenKind::Number, "0xFFu8".into())));
+        assert_eq!(
+            toks.iter().filter(|(_, t)| t == ".").count(),
+            2,
+            "0..10 must lex as Number Punct Punct Number"
+        );
+    }
+
+    /// Raw identifiers keep their `r#` so they cannot shadow keywords.
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#unsafe = 1;");
+        assert_eq!(toks[1], (TokenKind::Ident, "r#unsafe".into()));
+    }
+
+    /// `#[cfg(test)]`-gated modules and `#[test]` fns become test
+    /// regions; surrounding code does not.
+    #[test]
+    fn cfg_test_regions() {
+        let src = "\
+fn live() {}            // line 1
+#[cfg(test)]            // line 2
+mod tests {             // line 3
+    use super::*;       // line 4
+    #[test]
+    fn case() {}        // line 6
+}                       // line 7
+fn also_live() {}       // line 8
+";
+        let tokens = lex(src);
+        let regions = test_lines(&tokens);
+        assert!(in_regions(&regions, 2));
+        assert!(in_regions(&regions, 4));
+        assert!(in_regions(&regions, 7));
+        assert!(!in_regions(&regions, 1));
+        assert!(!in_regions(&regions, 8));
+        // A cfg(all(test, …)) spelling counts too, and `;`-terminated
+        // items end their own region.
+        let src = "#[cfg(all(test, unix))]\nuse foo::bar;\nfn live() {}\n";
+        let tokens = lex(src);
+        let regions = test_lines(&tokens);
+        assert!(in_regions(&regions, 2));
+        assert!(!in_regions(&regions, 3));
+    }
+
+    /// Multi-line strings and block comments report correct start/end
+    /// lines (line numbers are what violations anchor to).
+    #[test]
+    fn line_tracking_across_multiline_tokens() {
+        let src = "let a = \"one\ntwo\";\n/* b\nc */\nlet d = 1;";
+        let tokens = lex(src);
+        let s = tokens.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert_eq!((s.line, s.end_line), (1, 2));
+        let c = tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::BlockComment)
+            .unwrap();
+        assert_eq!((c.line, c.end_line), (3, 4));
+        let d = tokens.iter().find(|t| t.text == "d").unwrap();
+        assert_eq!(d.line, 5);
+    }
+
+    /// Waiver comments parse into (rule, reason, line); a reason-less
+    /// waiver parses with an empty reason for the pass to flag.
+    #[test]
+    fn waiver_parsing() {
+        let src = "\
+// lint-allow(det-wallclock): timing excluded from bits
+let t = 1;
+// lint-allow(det-rng)
+let u = 2; // lint-allow(unsafe-safety): trailing form
+";
+        let ws = waivers(&lex(src));
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].rule, "det-wallclock");
+        assert_eq!(ws[0].reason, "timing excluded from bits");
+        assert_eq!(ws[0].line, 1);
+        assert_eq!(ws[1].rule, "det-rng");
+        assert_eq!(ws[1].reason, "");
+        assert_eq!(ws[2].rule, "unsafe-safety");
+        assert_eq!(ws[2].line, 4);
+    }
+}

@@ -1,0 +1,116 @@
+//! `maps-lint` CLI: scan the workspace (or `--self-test` the rules).
+//!
+//! Exit codes: `0` clean, `1` violations found (or self-test failure),
+//! `2` usage / I/O error. CI runs both modes before the build:
+//!
+//! ```text
+//! cargo run --release -p maps-lint              # workspace must be clean
+//! cargo run --release -p maps-lint -- --self-test   # known-bad must stay bad
+//! cargo run --release -p maps-lint -- --json lint.json
+//! ```
+
+use maps_lint::{scan_workspace, self_test, FIXTURES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: maps-lint [--root DIR] [--json OUT] [--self-test]\n\
+         \n\
+         Scans every workspace .rs file for determinism & concurrency\n\
+         contract violations. --self-test instead runs the known-bad\n\
+         fixture suite (each fixture must fail). --json writes the\n\
+         maps-lint/v1 report to OUT."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut run_self_test = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--json" => match args.next() {
+                Some(path) => json_out = Some(PathBuf::from(path)),
+                None => return usage(),
+            },
+            "--self-test" => run_self_test = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    if run_self_test {
+        let failures = self_test();
+        if failures.is_empty() {
+            println!(
+                "maps-lint self-test: all {} known-bad fixtures produced their expected violations",
+                FIXTURES.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "maps-lint self-test FAILED: {} fixture(s) did not trip their rule:",
+            failures.len()
+        );
+        for name in failures {
+            eprintln!("  {name}");
+        }
+        return ExitCode::from(1);
+    }
+
+    // Default root: the workspace containing this crate, so
+    // `cargo run -p maps-lint` does the right thing from any cwd.
+    let root = root.unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+
+    let report = match scan_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("maps-lint: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = json_out {
+        let value = report.to_value();
+        let rendered = match serde_json::to_string(&value) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("maps-lint: failed to render JSON report: {err:?}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(err) = std::fs::write(&path, rendered) {
+            eprintln!("maps-lint: failed to write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for v in &report.violations {
+        eprintln!(
+            "{}:{}: [{}] {}",
+            v.file, v.violation.line, v.violation.rule, v.violation.message
+        );
+    }
+    println!(
+        "maps-lint: {} files scanned, {} violation(s), {} waived",
+        report.files_scanned,
+        report.violations.len(),
+        report.waived.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -313,8 +313,7 @@ pub fn sort_by_weight_desc(weights: &[f64], out: &mut Vec<u32>) {
     }
     out.sort_unstable_by(|&a, &b| {
         weights[b as usize]
-            .partial_cmp(&weights[a as usize])
-            .expect("weights are not NaN")
+            .total_cmp(&weights[a as usize])
             .then(a.cmp(&b))
     });
 }

@@ -582,6 +582,7 @@ impl ShardedService {
     /// Runs the strategy's one-off Algorithm-1 calibration against
     /// `probe` (before the first tick, like the batch simulator).
     pub fn calibrate(&mut self, probe: &mut dyn maps_core::DemandProbe) {
+        // lint-allow(det-wallclock): calibration_secs is timing telemetry, excluded from deterministic_bits
         let start = Instant::now();
         self.strategy.calibrate(probe);
         self.outcome.calibration_secs += start.elapsed().as_secs_f64();
@@ -1207,6 +1208,7 @@ impl ShardedService {
 
         // 5. Price the period (the strategy's own rayon fan-out is
         //    bit-stable per the workspace invariant).
+        // lint-allow(det-wallclock): pricing_secs is timing telemetry, excluded from deterministic_bits
         let start = Instant::now();
         let schedule = self.strategy.price_period(&input);
         self.outcome.pricing_secs += start.elapsed().as_secs_f64();

@@ -230,7 +230,7 @@ struct Queue {
     consumer_parked: AtomicBool,
 }
 
-// Safety: the `UnsafeCell` slots are transferred between the two sides
+// SAFETY: the `UnsafeCell` slots are transferred between the two sides
 // by the release/acquire cursor protocol above, the `rebases` deque is
 // mutex-protected, and the `Cell` state is role-private —
 // `head_cache`/`tail` are touched only by producer-side methods,
@@ -240,16 +240,21 @@ struct Queue {
 // only by consumer-side methods, reachable only through the owning
 // `IngestService` sequencer.
 unsafe impl Send for Queue {}
+// SAFETY: shared references expose only the atomics, the mutexes, and
+// the role-private `Cell`s; the `Send` justification above covers why
+// each `Cell` is reached from at most one thread at a time.
 unsafe impl Sync for Queue {}
 
 impl std::fmt::Debug for Queue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Queue")
             .field("capacity", &self.capacity)
+            // ordering: Debug is a racy diagnostic snapshot; these loads
+            // synchronize-with nothing and stale values are acceptable.
             .field("head", &self.head.0.load(Ordering::Relaxed))
-            .field("tail", &self.tail.0.load(Ordering::Relaxed))
-            .field("closed", &self.closed.load(Ordering::Relaxed))
-            .field("consumer_gone", &self.consumer_gone.load(Ordering::Relaxed))
+            .field("tail", &self.tail.0.load(Ordering::Relaxed)) // ordering: racy snapshot, as above
+            .field("closed", &self.closed.load(Ordering::Relaxed)) // ordering: racy snapshot, as above
+            .field("consumer_gone", &self.consumer_gone.load(Ordering::Relaxed)) // ordering: racy snapshot, as above
             .finish_non_exhaustive()
     }
 }
@@ -282,7 +287,7 @@ impl Queue {
     /// Raw pointer to the slot at ring position `pos`.
     #[inline]
     fn slot_ptr(&self, pos: u64) -> *mut ServiceEvent {
-        // Safety: callers hold the position per the cursor protocol.
+        // SAFETY: callers hold the position per the cursor protocol.
         unsafe { (*self.buf[(pos & self.mask) as usize].get()).as_mut_ptr() }
     }
 
@@ -295,7 +300,13 @@ impl Queue {
     /// publish `tail` (or `closed`) first; see the type-level ordering
     /// notes for why fence + flag + lock-before-notify cannot miss.
     fn wake_consumer(&self) {
+        // ordering: the SeqCst fence orders our tail/closed publish
+        // before the flag read below, pairing with the consumer's
+        // flag-store → fence → cursor-re-check sequence — one side
+        // always sees the other, so a parked consumer cannot be missed.
         fence(Ordering::SeqCst);
+        // ordering: the fence above provides the ordering; the load
+        // itself needs none.
         if self.consumer_parked.load(Ordering::Relaxed) {
             drop(self.park_lock());
             self.not_empty.notify_all();
@@ -305,7 +316,11 @@ impl Queue {
     /// Wakes the producer if it is parked on a full ring. Callers
     /// publish `head` (or `consumer_gone`) first.
     fn wake_producer(&self) {
+        // ordering: as in `wake_consumer` — fence pairs with the
+        // producer's flag-store → fence → cursor-re-check before parking.
         fence(Ordering::SeqCst);
+        // ordering: the fence above provides the ordering; the load
+        // itself needs none.
         if self.producer_parked.load(Ordering::Relaxed) {
             drop(self.park_lock());
             self.not_full.notify_all();
@@ -319,6 +334,9 @@ impl Queue {
     /// [`SendError::Timeout`] past `deadline` (`None` waits forever).
     #[inline]
     fn wait_space(&self, tail: u64, deadline: Option<Instant>) -> Result<u64, SendError> {
+        // ordering: monotonic one-way flag, checked again with SeqCst
+        // on the slow path before parking; a stale read here only costs
+        // one extra loop iteration.
         if self.consumer_gone.load(Ordering::Relaxed) {
             return Err(SendError::Disconnected);
         }
@@ -347,6 +365,7 @@ impl Queue {
                 return Ok(self.capacity - (tail - head));
             }
             if let Some(d) = deadline {
+                // lint-allow(det-wallclock): backpressure timeout on the producer thread, outside the deterministic pipeline
                 if Instant::now() >= d {
                     return Err(SendError::Timeout);
                 }
@@ -360,6 +379,9 @@ impl Queue {
             } else {
                 let guard = self.park_lock();
                 self.producer_parked.store(true, Ordering::SeqCst);
+                // ordering: fence pairs with the waker's fence — either
+                // this re-check sees the new head/flag, or the waker
+                // sees our parked flag and takes the lock to notify.
                 fence(Ordering::SeqCst);
                 let head = self.head.0.load(Ordering::SeqCst);
                 if tail - head < self.capacity || self.consumer_gone.load(Ordering::SeqCst) {
@@ -374,9 +396,10 @@ impl Queue {
                             .expect("ingest park mutex poisoned");
                     }
                     Some(d) => {
-                        let Some(remaining) = d
-                            .checked_duration_since(Instant::now())
-                            .filter(|r| !r.is_zero())
+                        // lint-allow(det-wallclock): converts the caller deadline into a park timeout; never observed by replay
+                        let now = Instant::now();
+                        let Some(remaining) =
+                            d.checked_duration_since(now).filter(|r| !r.is_zero())
                         else {
                             self.producer_parked.store(false, Ordering::SeqCst);
                             return Err(SendError::Timeout);
@@ -420,9 +443,11 @@ impl Queue {
         event: ServiceEvent,
         deadline: Option<Instant>,
     ) -> Result<(), SendError> {
-        let tail = self.tail.0.load(Ordering::Relaxed); // producer-owned
+        // ordering: `tail` is producer-owned — this thread is its only
+        // writer, so the load cannot be stale.
+        let tail = self.tail.0.load(Ordering::Relaxed);
         self.wait_space(tail, deadline)?;
-        // Safety: `wait_space` proved `tail` is writable; SPSC makes
+        // SAFETY: `wait_space` proved `tail` is writable; SPSC makes
         // this thread the only writer.
         unsafe { self.slot_ptr(tail).write(event) };
         self.tail.0.store(tail + 1, Ordering::Release);
@@ -441,6 +466,8 @@ impl Queue {
     fn push_iter(&self, mut events: impl Iterator<Item = ServiceEvent>) {
         let mut item = events.next();
         while item.is_some() {
+            // ordering: `tail` is producer-owned; only this thread
+            // stores it.
             let tail = self.tail.0.load(Ordering::Relaxed);
             let Ok(free) = self.wait_space(tail, None) else {
                 panic!("ingestion sequencer is gone (dropped or panicked); cannot send");
@@ -448,7 +475,7 @@ impl Queue {
             let mut wrote = 0u64;
             while wrote < free {
                 let Some(event) = item.take() else { break };
-                // Safety: positions `tail..tail + free` are writable.
+                // SAFETY: positions `tail..tail + free` are writable.
                 unsafe { self.slot_ptr(tail + wrote).write(event) };
                 wrote += 1;
                 item = events.next();
@@ -465,11 +492,16 @@ impl Queue {
     /// publishes the slot then also makes the record visible to any
     /// consumer that can reach its position.
     fn post_rebase(&self, epoch: u64, seq: u64) {
-        let pos = self.tail.0.load(Ordering::Relaxed); // producer-owned
+        // ordering: `tail` is producer-owned; only this thread stores it.
+        let pos = self.tail.0.load(Ordering::Relaxed);
         self.rebases
             .lock()
             .expect("ingest rebase mutex poisoned")
             .push_back(Rebase { pos, epoch, seq });
+        // ordering: the counter is only a fast-path hint — the deque
+        // itself is mutex-protected, and a consumer that reads a stale
+        // zero revisits on the next drain after the release store of
+        // `tail` publishes the slot the rebase names.
         self.rebase_pending.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -523,6 +555,9 @@ impl Queue {
             } else {
                 let guard = self.park_lock();
                 self.consumer_parked.store(true, Ordering::SeqCst);
+                // ordering: fence pairs with the waker's fence — either
+                // this re-check sees the new tail/closed, or the waker
+                // sees our parked flag and takes the lock to notify.
                 fence(Ordering::SeqCst);
                 if self.tail.0.load(Ordering::SeqCst) != head || self.closed.load(Ordering::SeqCst)
                 {
@@ -559,7 +594,9 @@ impl Queue {
         &self,
         mut admit: impl FnMut(u64, u64, &[ServiceEvent]) -> Result<(), ServiceError>,
     ) -> Result<Chunk, ServiceError> {
-        let head = self.head.0.load(Ordering::Relaxed); // consumer-owned
+        // ordering: `head` is consumer-owned — this thread is its only
+        // writer, so the load cannot be stale.
+        let head = self.head.0.load(Ordering::Relaxed);
         let Some(tail) = self.wait_events(head) else {
             return Ok(Chunk::Closed);
         };
@@ -570,10 +607,16 @@ impl Queue {
             // Reconnects are rare: the pending counter keeps the mutex
             // off the hot path entirely.
             let mut next_rebase = None;
+            // ordering: hint only — any rebase relevant to `pos` was
+            // posted before the release store of `tail` that published
+            // `pos`, so the acquire load that claimed this batch also
+            // made the incremented counter visible.
             if self.rebase_pending.load(Ordering::Relaxed) > 0 {
                 let mut rebases = self.rebases.lock().expect("ingest rebase mutex poisoned");
                 while rebases.front().is_some_and(|r| r.pos == pos) {
                     let r = rebases.pop_front().expect("front was checked");
+                    // ordering: decrement under the deque mutex; the
+                    // counter is a fast-path hint, not a synchronizer.
                     self.rebase_pending.fetch_sub(1, Ordering::Relaxed);
                     reader.epoch.set(r.epoch);
                     reader.next_seq.set(r.seq);
@@ -584,7 +627,7 @@ impl Queue {
             let wrap = (pos & !self.mask) + self.mask + 1;
             let seg_end = tail.min(wrap).min(next_rebase.unwrap_or(u64::MAX));
             let len = (seg_end - pos) as usize;
-            // Safety: `pos..seg_end` was published by the producer's
+            // SAFETY: `pos..seg_end` was published by the producer's
             // release store of `tail` (slots initialized), stays claimed
             // until the release store of `head` below, and does not
             // cross the wrap boundary (physically contiguous); SPSC
@@ -757,6 +800,7 @@ impl IngressProducer {
         // the record names the position the next *successful* enqueue
         // will occupy, whatever kind of slot that turns out to be.
         self.flush_rebase();
+        // lint-allow(det-wallclock): caller-facing timeout for backpressure; never enters the event stream
         let deadline = Instant::now() + timeout;
         self.queue.push_deadline(event, deadline)?;
         self.advance(&event);
@@ -771,7 +815,7 @@ impl IngressProducer {
     pub fn abandon(self) -> AbandonedLane {
         let this = std::mem::ManuallyDrop::new(self);
         AbandonedLane {
-            // Safety: `this` is ManuallyDrop and never used again, so
+            // SAFETY: `this` is ManuallyDrop and never used again, so
             // the Arc is moved out exactly once and Drop (which would
             // close the lane) never runs.
             queue: unsafe { std::ptr::read(&this.queue) },

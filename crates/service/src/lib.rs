@@ -64,6 +64,8 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod arena;
 pub mod engine;

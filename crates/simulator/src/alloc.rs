@@ -33,11 +33,14 @@ impl TrackingAllocator {
 
     /// Currently outstanding heap bytes.
     pub fn current_bytes() -> usize {
+        // ordering: standalone diagnostic counter; no other memory is
+        // published through it.
         CURRENT.load(Ordering::Relaxed)
     }
 
     /// High-water mark since the last [`Self::reset_peak`].
     pub fn peak_bytes() -> usize {
+        // ordering: standalone diagnostic counter, as above.
         PEAK.load(Ordering::Relaxed)
     }
 
@@ -48,15 +51,22 @@ impl TrackingAllocator {
 
     /// Resets the peak to the current level (call between experiments).
     pub fn reset_peak() {
+        // ordering: called between experiments on a quiesced process;
+        // the counters are diagnostics, not synchronization.
         PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 }
 
 fn add(size: usize) {
+    // ordering: the RMW is atomic regardless of ordering; the counter
+    // guards no other memory, so Relaxed costs nothing in correctness.
     let cur = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
     // Racy max update is fine: the peak is a diagnostic, not a ledger.
+    // ordering: racy-max protocol; only the counter value itself
+    // matters, never its ordering relative to other memory.
     let mut peak = PEAK.load(Ordering::Relaxed);
     while cur > peak {
+        // ordering: as above — the CAS only has to be atomic on PEAK.
         match PEAK.compare_exchange_weak(peak, cur, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => break,
             Err(p) => peak = p,
@@ -65,11 +75,14 @@ fn add(size: usize) {
 }
 
 fn sub(size: usize) {
+    // ordering: atomic RMW on a standalone diagnostic counter.
     CURRENT.fetch_sub(size, Ordering::Relaxed);
 }
 
 // SAFETY: defers all allocation to `System`, only adjusting counters.
 unsafe impl GlobalAlloc for TrackingAllocator {
+    // SAFETY: caller upholds the `GlobalAlloc::alloc` contract
+    // (non-zero-sized `layout`); we forward it to `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let ptr = System.alloc(layout);
         if !ptr.is_null() {
@@ -78,11 +91,14 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         ptr
     }
 
+    // SAFETY: caller guarantees `ptr` came from this allocator with
+    // this `layout`; `System` sees exactly the pair it handed out.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         sub(layout.size());
     }
 
+    // SAFETY: same contract as `alloc`, forwarded to `System`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let ptr = System.alloc_zeroed(layout);
         if !ptr.is_null() {
@@ -91,6 +107,8 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         ptr
     }
 
+    // SAFETY: caller guarantees `ptr`/`layout` match a live allocation
+    // and `new_size` is non-zero; forwarded to `System` unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let new_ptr = System.realloc(ptr, layout, new_size);
         if !new_ptr.is_null() {
@@ -116,6 +134,8 @@ mod tests {
         TrackingAllocator::reset_peak();
         let before = TrackingAllocator::current_bytes();
         let layout = Layout::from_size_align(4096, 8).unwrap();
+        // SAFETY: valid non-zero layout; realloc/dealloc receive the
+        // pointer and layout of the preceding live allocation.
         unsafe {
             let p = a.alloc(layout);
             assert!(!p.is_null());
@@ -131,6 +151,7 @@ mod tests {
 
         // Peak high-water mark + reset semantics.
         let big = Layout::from_size_align(1 << 20, 8).unwrap();
+        // SAFETY: valid non-zero layout; dealloc gets the same pair.
         unsafe {
             let p = a.alloc(big);
             a.dealloc(p, big);

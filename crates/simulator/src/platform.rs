@@ -78,6 +78,7 @@ pub fn settle_period(
         });
     }
     let accepted = keep.iter().filter(|&&k| k).count() as u64;
+    // lint-allow(det-wallclock): clearing_secs is timing telemetry, excluded from deterministic_bits
     let start = Instant::now();
     let revenue = graph.masked(keep).max_weight_value(weights, clearing);
     PeriodSettlement {
@@ -347,6 +348,7 @@ impl Simulation {
         let mut price_moments = RunningMoments::new();
 
         if self.options.calibrate {
+            // lint-allow(det-wallclock): calibration_secs is timing telemetry, excluded from deterministic_bits
             let start = Instant::now();
             let mut probe = GroundTruthProbe::new(&self.truth.demands, self.options.probe_seed);
             self.strategy.calibrate(&mut probe);
@@ -389,6 +391,7 @@ impl Simulation {
                 graph: &graph,
             };
 
+            // lint-allow(det-wallclock): pricing_secs is timing telemetry, excluded from deterministic_bits
             let start = Instant::now();
             let schedule = self.strategy.price_period(&input);
             outcome.pricing_secs += start.elapsed().as_secs_f64();

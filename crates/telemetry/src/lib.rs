@@ -22,6 +22,8 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 /// Number of buckets: bucket `b` counts values with exactly `b`
 /// significant bits (`b = 0` holds only the value `0`; `b = 64` holds
