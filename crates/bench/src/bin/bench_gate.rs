@@ -24,17 +24,20 @@
 //! the `graph_build_{scratch,incremental}` pair (PR 3), the `knn_query`
 //! row (PR 8), the `service_throughput` row (PR 4), the
 //! `telemetry_overhead` row (PR 8), the `ingest_throughput` row
-//! (PR 5), the `journal_throughput` row (PR 6) and the `lint_runtime`
-//! row (PR 9) must be present in every candidate report. Most kernels
-//! may come and go as they are added and retired, but these are the
-//! standing evidence for the churn-driven period engine, the SoA k-NN
-//! kernel, the sharded online service, the always-on latency telemetry,
-//! the multi-producer ingestion front-end, the write-ahead journal and
-//! the static-analysis gate — a candidate that silently dropped one
-//! would leave that subsystem unbenchmarked (and, for the k-NN,
-//! service, ingestion and journal rows, un-cross-checked against their
-//! serial oracles; the lint row additionally asserts the workspace
-//! scans clean), so a missing required row fails the gate outright.
+//! (PR 5), the `journal_throughput` row (PR 6), the `lint_runtime`
+//! row (PR 9) and the `model_check_runtime` row (PR 10) must be
+//! present in every candidate report. Most kernels may come and go as
+//! they are added and retired, but these are the standing evidence for
+//! the churn-driven period engine, the SoA k-NN kernel, the sharded
+//! online service, the always-on latency telemetry, the multi-producer
+//! ingestion front-end, the write-ahead journal, the static-analysis
+//! gate and the interleaving model checker — a candidate that silently
+//! dropped one would leave that subsystem unbenchmarked (and, for the
+//! k-NN, service, ingestion and journal rows, un-cross-checked against
+//! their serial oracles; the lint row additionally asserts the
+//! workspace scans clean, and the model-check row asserts the ring's
+//! park/wake handshake is counterexample-free), so a missing required
+//! row fails the gate outright.
 //!
 //! Two rules are **absolute** rather than trend-relative. PR 7: if the
 //! candidate's `ingest_throughput` row ran with ≥ 2 producers, its
@@ -60,6 +63,7 @@ const REQUIRED_KERNELS: &[&str] = &[
     "ingest_throughput",
     "journal_throughput",
     "lint_runtime",
+    "model_check_runtime",
 ];
 
 /// Checks that `candidate` carries every required kernel row.
@@ -372,7 +376,7 @@ mod tests {
     #[test]
     fn candidate_missing_required_graph_build_rows_fails() {
         let regressions = check_required(&report_with_kernels(&["monte_carlo"]));
-        assert_eq!(regressions.len(), 8, "{regressions:?}");
+        assert_eq!(regressions.len(), 9, "{regressions:?}");
         assert!(regressions[0].0.contains("graph_build_scratch"));
         assert!(regressions[1].0.contains("graph_build_incremental"));
         assert!(regressions[2].0.contains("knn_query"));
@@ -381,6 +385,7 @@ mod tests {
         assert!(regressions[5].0.contains("ingest_throughput"));
         assert!(regressions[6].0.contains("journal_throughput"));
         assert!(regressions[7].0.contains("lint_runtime"));
+        assert!(regressions[8].0.contains("model_check_runtime"));
         // Some present, one dropped: still a failure.
         let regressions = check_required(&report_with_kernels(&[
             "graph_build_scratch",
@@ -390,6 +395,7 @@ mod tests {
             "ingest_throughput",
             "journal_throughput",
             "lint_runtime",
+            "model_check_runtime",
         ]));
         assert_eq!(regressions.len(), 1);
         assert!(regressions[0].0.contains("graph_build_incremental"));
@@ -407,6 +413,7 @@ mod tests {
             "ingest_throughput",
             "journal_throughput",
             "lint_runtime",
+            "model_check_runtime",
         ]));
         assert_eq!(regressions.len(), 1, "{regressions:?}");
         assert!(regressions[0].0.contains("service_throughput"));
@@ -425,6 +432,7 @@ mod tests {
             "telemetry_overhead",
             "journal_throughput",
             "lint_runtime",
+            "model_check_runtime",
         ]));
         assert_eq!(regressions.len(), 1, "{regressions:?}");
         assert!(regressions[0].0.contains("ingest_throughput"));
@@ -443,6 +451,7 @@ mod tests {
             "telemetry_overhead",
             "ingest_throughput",
             "lint_runtime",
+            "model_check_runtime",
         ]));
         assert_eq!(regressions.len(), 1, "{regressions:?}");
         assert!(regressions[0].0.contains("journal_throughput"));
@@ -461,9 +470,30 @@ mod tests {
             "telemetry_overhead",
             "ingest_throughput",
             "journal_throughput",
+            "model_check_runtime",
         ]));
         assert_eq!(regressions.len(), 1, "{regressions:?}");
         assert!(regressions[0].0.contains("lint_runtime"));
+    }
+
+    /// The PR-10 required row: a candidate that silently dropped the
+    /// model-checker benchmark (and with it the counterexample-free
+    /// assertion over the ring's park/wake handshake) must fail the
+    /// gate.
+    #[test]
+    fn candidate_missing_model_check_runtime_fails() {
+        let regressions = check_required(&report_with_kernels(&[
+            "graph_build_scratch",
+            "graph_build_incremental",
+            "knn_query",
+            "service_throughput",
+            "telemetry_overhead",
+            "ingest_throughput",
+            "journal_throughput",
+            "lint_runtime",
+        ]));
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].0.contains("model_check_runtime"));
     }
 
     /// The PR-8 required row: a candidate that silently dropped the SoA
@@ -479,6 +509,7 @@ mod tests {
             "ingest_throughput",
             "journal_throughput",
             "lint_runtime",
+            "model_check_runtime",
         ]));
         assert_eq!(regressions.len(), 1, "{regressions:?}");
         assert!(regressions[0].0.contains("knn_query"));
@@ -495,6 +526,7 @@ mod tests {
             "ingest_throughput",
             "journal_throughput",
             "lint_runtime",
+            "model_check_runtime",
             "monte_carlo",
         ]));
         assert!(regressions.is_empty(), "{regressions:?}");

@@ -2,9 +2,9 @@
 //! kernels, the PR-2 parallel pricing/runner paths, the PR-3
 //! incremental graph-build engine, the PR-4 sharded online service,
 //! the PR-5/PR-7 multi-producer ingestion front-end, the PR-6
-//! write-ahead journal, the PR-8 SoA k-NN + telemetry rows, and the
-//! PR-9 static-analysis scan against their retained baselines and
-//! writes `BENCH_PR9.json`.
+//! write-ahead journal, the PR-8 SoA k-NN + telemetry rows, the PR-9
+//! static-analysis scan, and the PR-10 model-checker run against their
+//! retained baselines and writes `BENCH_PR10.json`.
 //!
 //! ```sh
 //! cargo run --release -p maps-bench --bin bench_report [-- OUT.json]
@@ -57,12 +57,19 @@
 //! and then timed — the gate that keeps the determinism contracts
 //! machine-checked must itself stay cheap enough to run on every push.
 //!
+//! PR 10 adds the `model_check_runtime` row: an exhaustive `maps-model`
+//! exploration of the ring's SeqCst-fenced park/wake handshake (the
+//! PR-7 fix in miniature), asserted counterexample-free and then timed.
+//! Like `lint_runtime`, the row exists so the interleaving checker CI
+//! runs on every push stays cheap enough to keep running — and so a
+//! refactor cannot silently drop the model-check step from the gate.
+//!
 //! Each PR appends its own `BENCH_PR<N>.json` so the perf trajectory
 //! stays diffable; the `bench_gate` binary fails CI when a fresh run
 //! regresses >2x against the last committed report **or when a required
 //! row (`graph_build_*`, `knn_query`, `service_throughput`,
-//! `ingest_throughput`, `journal_throughput`, `lint_runtime`) goes
-//! missing** (so a refactor cannot silently drop a standing subsystem
+//! `ingest_throughput`, `journal_throughput`, `lint_runtime`,
+//! `model_check_runtime`) goes missing** (so a refactor cannot silently drop a standing subsystem
 //! benchmark).
 
 use maps_bench::{plateau_maps, random_graph, random_weights, PeriodFixture, XorShift};
@@ -883,13 +890,84 @@ fn lint_runtime_report() -> Value {
     ])
 }
 
+/// PR-10 row: the interleaving model checker's own runtime. Exhaustively
+/// explores the ring's SeqCst-fenced park/wake handshake in miniature —
+/// the exact Dekker-style publish/park rendezvous PR 7's fence fix
+/// relies on, and the same shape the `maps-service` model suite checks
+/// against the shipping `ingest.rs` — through `maps-model`'s DFS
+/// scheduler with sleep-set pruning. The exploration is asserted
+/// counterexample-free (matching the CI bar) before timing, so the row
+/// can never report the latency of a failing check.
+///
+/// The scenario deliberately uses `maps_model` types directly rather
+/// than enabling `maps-service`'s `maps_model` feature: cargo feature
+/// unification would otherwise switch the shipping ring to tracked
+/// atomics for the whole bench binary and corrupt `ingest_throughput`.
+fn model_check_runtime_report() -> Value {
+    use maps_model::sync::{fence, AtomicBool, AtomicU64, Condvar, Mutex, Ordering};
+    use std::sync::Arc;
+    let scenario = || {
+        let state = Arc::new((
+            Mutex::new(()),
+            Condvar::new(),
+            AtomicU64::new(0),      // published
+            AtomicBool::new(false), // parked
+        ));
+        let s2 = Arc::clone(&state);
+        let t = maps_model::thread::spawn(move || {
+            let (park, cv, published, parked) = &*s2;
+            published.store(1, Ordering::Relaxed);
+            fence(Ordering::SeqCst); // the PR 7 fix under test
+            if parked.load(Ordering::Relaxed) {
+                drop(park.lock().expect("park mutex"));
+                cv.notify_all();
+            }
+        });
+        let (park, cv, published, parked) = &*state;
+        let guard = park.lock().expect("park mutex");
+        parked.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if published.load(Ordering::SeqCst) == 0 {
+            let _g = cv.wait(guard).expect("park mutex");
+        } else {
+            drop(guard);
+        }
+        parked.store(false, Ordering::SeqCst);
+        t.join().unwrap();
+    };
+    let report = maps_model::explore(scenario);
+    assert!(
+        report.failure.is_none(),
+        "park/wake handshake has a counterexample: {:?}",
+        report.failure
+    );
+    let executions = report.executions as f64;
+    let pruned = report.pruned as f64;
+    let check_ns = median_ns(5, || {
+        let r = maps_model::explore(scenario);
+        assert!(r.failure.is_none(), "{:?}", r.failure);
+    });
+    let executions_per_sec = executions / (check_ns / 1e9);
+    println!(
+        "model_check_runtime park/wake handshake: {executions:.0} executions \
+         ({pruned:.0} pruned): check {} | {executions_per_sec:.0} executions/s",
+        format_ms(check_ns),
+    );
+    serde::object([
+        ("executions", executions.to_value()),
+        ("pruned", pruned.to_value()),
+        ("check_ns", check_ns.to_value()),
+        ("executions_per_sec", executions_per_sec.to_value()),
+    ])
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
 
-    println!("maps bench_report — PR 9 kernel trajectory");
-    println!("==========================================");
+    println!("maps bench_report — PR 10 kernel trajectory");
+    println!("===========================================");
     let (possible_worlds, pw_speedup) = possible_worlds_report();
     let (monte_carlo, _mc_speedup) = monte_carlo_report();
     let masked_clearing = masked_clearing_report();
@@ -909,6 +987,7 @@ fn main() {
     let ingest_throughput = ingest_throughput_report();
     let journal_throughput = journal_throughput_report();
     let lint_runtime = lint_runtime_report();
+    let model_check_runtime = model_check_runtime_report();
 
     let journal_overhead = journal_throughput
         .get("overhead")
@@ -966,7 +1045,7 @@ fn main() {
 
     let report = serde::object([
         ("schema", "maps-bench-report/v1".to_value()),
-        ("pr", 9.0f64.to_value()),
+        ("pr", 10.0f64.to_value()),
         (
             "host",
             serde::object([("threads", (rayon::current_num_threads() as f64).to_value())]),
@@ -987,6 +1066,7 @@ fn main() {
                 ("ingest_throughput", ingest_throughput),
                 ("journal_throughput", journal_throughput),
                 ("lint_runtime", lint_runtime),
+                ("model_check_runtime", model_check_runtime),
             ]),
         ),
     ]);

@@ -1,0 +1,13 @@
+//! Known-bad fixture: a stale waiver. The `lint-allow` below is
+//! well-formed — known rule, stated reason — but the wall-clock read it
+//! once excused has been refactored away, so the waiver now suppresses
+//! nothing. Left in place it would silently pre-authorize the next
+//! `Instant::now()` someone writes on that line, so the unused license
+//! itself must be flagged.
+
+/// A logical timestamp derived from the event stream, which is what
+/// the deleted wall-clock read was replaced with.
+pub fn stamp(logical_ticks: u64) -> u64 {
+    // lint-allow(det-wallclock): stamp is timing telemetry, excluded from deterministic_bits ~BAD~
+    logical_ticks * 2
+}

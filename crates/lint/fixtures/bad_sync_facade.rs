@@ -1,0 +1,22 @@
+//! Known-bad fixture: direct `std::sync` primitives in a model-checked
+//! protocol file. The ring's atomics, mutexes and condvars must come
+//! through the crate's sync facade (`crate::sync`) — a `std::sync` path
+//! here is synchronization the `maps-model` checker silently cannot
+//! see, which quietly shrinks the checked surface back to prose.
+use std::sync::atomic::{AtomicU64, Ordering}; // ~BAD~
+use std::sync::Arc; // Arc is not a tracked primitive: allowed.
+use std::sync::{Condvar, Mutex}; // ~BAD~
+
+struct Ring {
+    tail: AtomicU64,
+    park: Mutex<()>,
+    cv: Condvar,
+    _shared: Arc<()>,
+}
+
+impl Ring {
+    fn publish(&self) {
+        self.tail.store(1, Ordering::Release);
+        std::sync::atomic::fence(Ordering::SeqCst); // ~BAD~
+    }
+}

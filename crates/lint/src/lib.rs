@@ -15,6 +15,7 @@
 //! | `det-wallclock` | `Instant::now`/`SystemTime` only in the bench/timing allow-list |
 //! | `det-rng` | no ambient randomness (`thread_rng`, entropy seeds) outside `maps-testkit` |
 //! | `atomic-ordering` | every `Ordering::Relaxed`/`fence` in the lock-free protocol files carries a `// ordering:` justification; Release stores pair with Acquire loads |
+//! | `sync-facade` | the lock-free protocol files import atomics/`Mutex`/`Condvar` through the crate's sync facade, never `std::sync` directly — so the shipping code is what `maps-model` checks |
 //! | `unsafe-safety` | every `unsafe` block/fn/impl has an immediately-preceding `// SAFETY:` comment |
 //! | `float-total-order` | no bare `partial_cmp(…).unwrap()` / float `sort_by` in deterministic modules |
 //!
@@ -22,7 +23,10 @@
 //! rule in parentheses followed by `: reason`, placed on the offending
 //! line or the line above — and the waiver is itself
 //! audited: a waiver without a reason, or naming an unknown rule, is a
-//! violation. The pass has **no registry dependencies**: it carries its
+//! violation (`waiver`), and a well-formed waiver whose covered lines
+//! no longer trip its rule is one too (`stale-waiver` — an unused
+//! license silently pre-authorizes the next regression on that line).
+//! The pass has **no registry dependencies**: it carries its
 //! own comment/string-aware Rust lexer ([`lexer`]) because `syn` is not
 //! vendored, and token-level analysis is exactly the granularity the
 //! rules need.
@@ -90,7 +94,7 @@ impl LintReport {
     /// arrays.
     pub fn to_value(&self) -> Value {
         let mut per_rule: BTreeMap<String, (u64, u64)> = BTreeMap::new();
-        for name in RULES.iter().chain(std::iter::once(&"waiver")) {
+        for name in RULES.iter().chain(["waiver", "stale-waiver"].iter()) {
             per_rule.insert((*name).to_string(), (0, 0));
         }
         for v in &self.violations {
@@ -292,6 +296,18 @@ pub const FIXTURES: &[Fixture] = &[
         expect_rule: "waiver",
         source: include_str!("../fixtures/bad_waiver.rs"),
     },
+    Fixture {
+        name: "bad_sync_facade.rs",
+        path: "crates/service/src/ingest.rs",
+        expect_rule: "sync-facade",
+        source: include_str!("../fixtures/bad_sync_facade.rs"),
+    },
+    Fixture {
+        name: "bad_stale_waiver.rs",
+        path: "crates/core/src/bad_stale_waiver.rs",
+        expect_rule: "stale-waiver",
+        source: include_str!("../fixtures/bad_stale_waiver.rs"),
+    },
 ];
 
 /// Runs the known-bad fixture suite. Returns the list of fixtures that
@@ -400,6 +416,85 @@ fn g() {}
         let rules: Vec<&str> = analysis.violations.iter().map(|v| v.rule).collect();
         assert!(rules.contains(&"det-wallclock"));
         assert!(rules.contains(&"waiver"));
+    }
+
+    /// `sync-facade` is scoped to the atomic protocol files: a direct
+    /// `std::sync` primitive is a violation there, fine elsewhere, and
+    /// non-primitive items (`Arc`) are always allowed.
+    #[test]
+    fn sync_facade_scoping() {
+        let src = "\
+use std::sync::Arc;
+use std::sync::{Mutex, Condvar};
+fn f() { std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst); }
+";
+        let analysis = analyze("crates/service/src/ingest.rs", src);
+        let lines: Vec<u32> = analysis
+            .violations
+            .iter()
+            .filter(|v| v.rule == "sync-facade")
+            .map(|v| v.line)
+            .collect();
+        // (`Mutex` and `Condvar` both fire on line 2, but findings
+        // collapse to one per rule+line.)
+        assert_eq!(lines, vec![2, 3], "{:?}", analysis.violations);
+
+        let elsewhere = analyze("crates/service/src/engine.rs", src);
+        assert!(
+            !elsewhere.violations.iter().any(|v| v.rule == "sync-facade"),
+            "sync-facade must only apply to the protocol files"
+        );
+
+        let gated = "\
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+}
+";
+        assert!(
+            analyze("crates/service/src/ingest.rs", gated)
+                .violations
+                .is_empty(),
+            "test regions drive the ring; they are not part of its protocol"
+        );
+    }
+
+    /// A well-formed waiver that no longer suppresses anything is
+    /// reported as `stale-waiver`; the same waiver with a live
+    /// violation under it stays a plain waived entry.
+    #[test]
+    fn stale_waivers_are_flagged_and_live_ones_are_not() {
+        let stale = "\
+// lint-allow(det-wallclock): excused code was refactored away
+fn f(x: u64) -> u64 { x }
+";
+        let analysis = analyze("crates/core/src/x.rs", stale);
+        assert!(
+            analysis
+                .violations
+                .iter()
+                .any(|v| v.rule == "stale-waiver" && v.line == 1),
+            "{:?}",
+            analysis.violations
+        );
+
+        let live = "\
+// lint-allow(det-wallclock): deadline math, excluded from bits
+fn f() { let t = Instant::now(); }
+";
+        let analysis = analyze("crates/core/src/x.rs", live);
+        assert!(analysis.violations.is_empty(), "{:?}", analysis.violations);
+        assert_eq!(analysis.waived.len(), 1);
+
+        // Malformed waivers are `waiver` violations, not double-counted
+        // as stale.
+        let reasonless = "\
+// lint-allow(det-wallclock)
+fn f(x: u64) -> u64 { x }
+";
+        let analysis = analyze("crates/core/src/x.rs", reasonless);
+        let rules: Vec<&str> = analysis.violations.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec!["waiver"], "{:?}", analysis.violations);
     }
 
     /// Rules respect their path scoping: the same source is clean in

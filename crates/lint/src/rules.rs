@@ -1,4 +1,4 @@
-//! The six repo-specific rules and the waiver machinery.
+//! The seven repo-specific rules and the waiver machinery.
 //!
 //! Each rule encodes one clause of the ROADMAP's standing invariants as
 //! a token-pattern check (see the crate docs for the rule table). Rules
@@ -29,6 +29,7 @@ pub const RULES: &[&str] = &[
     "det-wallclock",
     "det-rng",
     "atomic-ordering",
+    "sync-facade",
     "unsafe-safety",
     "float-total-order",
 ];
@@ -138,6 +139,7 @@ pub fn analyze(path: &str, src: &str) -> FileAnalysis {
     rule_unsafe_safety(&code, &comments, &mut raw);
     if is_atomic_protocol_file(path) {
         rule_atomic_ordering(&code, &comments, &in_test, &mut raw);
+        rule_sync_facade(&code, &in_test, &mut raw);
     }
     if !wallclock_allowed(path) {
         rule_det_wallclock(&code, &in_test, &mut raw);
@@ -159,7 +161,12 @@ pub fn analyze(path: &str, src: &str) -> FileAnalysis {
 }
 
 /// Splits raw findings into surviving vs. waived, and audits the
-/// waiver comments themselves (reason required, rule name must exist).
+/// waiver comments themselves: a reason is required, the rule name must
+/// exist, and — the `stale-waiver` audit — a well-formed waiver whose
+/// covered lines no longer trip its rule is itself a violation. A stale
+/// waiver is a license nobody is using: the code it excused was fixed
+/// or moved, and leaving it behind silently pre-authorizes the next
+/// regression on that line.
 fn apply_waivers(tokens: &[Token], raw: Vec<Violation>) -> FileAnalysis {
     let waiver_comments = lexer::waivers(tokens);
     let mut out = FileAnalysis::default();
@@ -187,19 +194,42 @@ fn apply_waivers(tokens: &[Token], raw: Vec<Violation>) -> FileAnalysis {
         }
     }
 
+    let mut used = vec![false; waiver_comments.len()];
     for v in raw {
         // A waiver covers its own line (trailing comment) and the line
         // directly below it.
-        let waiver = waiver_comments.iter().find(|w| {
+        let waiver = waiver_comments.iter().position(|w| {
             w.rule == v.rule && !w.reason.is_empty() && (w.line == v.line || w.line + 1 == v.line)
         });
         match waiver {
-            Some(w) => out.waived.push(Waived {
-                rule: v.rule,
-                line: v.line,
-                reason: w.reason.clone(),
-            }),
+            Some(i) => {
+                used[i] = true;
+                out.waived.push(Waived {
+                    rule: v.rule,
+                    line: v.line,
+                    reason: waiver_comments[i].reason.clone(),
+                });
+            }
             None => out.violations.push(v),
+        }
+    }
+
+    // Well-formed waivers that suppressed nothing are stale. Malformed
+    // ones (unknown rule / missing reason) are already violations above
+    // and could never have matched, so they are excluded here.
+    for (w, used) in waiver_comments.iter().zip(&used) {
+        if !used && RULES.contains(&w.rule.as_str()) && !w.reason.is_empty() {
+            out.violations.push(Violation {
+                rule: "stale-waiver",
+                line: w.line,
+                message: format!(
+                    "waiver for `{}` no longer matches a violation on its covered lines \
+                     (line {} or {}) — the excused code was fixed or moved; delete the waiver",
+                    w.rule,
+                    w.line,
+                    w.line + 1
+                ),
+            });
         }
     }
     out
@@ -397,6 +427,61 @@ fn rule_atomic_ordering(
                      the acquire pairs with nothing"
                 ),
             });
+        }
+    }
+}
+
+/// `sync-facade`: the lock-free protocol files must take their
+/// synchronization primitives from the crate's sync facade
+/// (`crate::sync` in `maps-service`), never from `std::sync` directly —
+/// the facade is what lets the *shipping* ring code compile against the
+/// `maps-model` tracked types and be exhaustively model-checked. A
+/// direct `std::sync::atomic` path (or `std::sync::{Mutex, MutexGuard,
+/// Condvar}`) in these files is code the model checker silently cannot
+/// see. `Arc`, `OnceLock`, `mpsc` and the other non-protocol items stay
+/// allowed; test regions are exempt (tests drive the ring, they are not
+/// part of its protocol).
+fn rule_sync_facade(code: &[&Token], in_test: &dyn Fn(u32) -> bool, out: &mut Vec<Violation>) {
+    const TRACKED: &[&str] = &["atomic", "Mutex", "MutexGuard", "Condvar"];
+    let flag = |t: &Token, out: &mut Vec<Violation>| {
+        out.push(Violation {
+            rule: "sync-facade",
+            line: t.line,
+            message: format!(
+                "direct `std::sync::{}` in a model-checked protocol file — import it \
+                 through the crate's sync facade so maps-model can track it",
+                t.text
+            ),
+        });
+    };
+    for i in 0..code.len() {
+        if in_test(code[i].line) || !path_match(code, i, &["std", ":", ":", "sync", ":", ":"]) {
+            continue;
+        }
+        let Some(next) = code.get(i + 6) else {
+            continue;
+        };
+        if next.kind == TokenKind::Ident && TRACKED.contains(&next.text.as_str()) {
+            flag(next, out);
+        } else if next.text == "{" {
+            // `use std::sync::{…}` — flag every tracked item in the
+            // brace list (depth-aware: `atomic::{…}` nests).
+            let mut depth = 0i32;
+            for t in &code[i + 6..] {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ if t.kind == TokenKind::Ident && TRACKED.contains(&t.text.as_str()) => {
+                        flag(t, out);
+                    }
+                    _ => {}
+                }
+            }
         }
     }
 }

@@ -1,0 +1,71 @@
+//! `maps-model`: a loom-style concurrency model checker for the
+//! workspace's lock-free ingestion ring (zero registry deps, vendored
+//! like `proptest`).
+//!
+//! The checker runs a closure many times, exploring a different thread
+//! interleaving on every run. Synchronization goes through the tracked
+//! types in [`sync`] and [`thread`], which simulate the **C11
+//! acquire/release memory model** — per-location modification orders,
+//! per-thread causality views, release/acquire fence synchronization, a
+//! global SeqCst order — so a `Relaxed` load can return *any* value the
+//! memory model allows, not just the one this host's hardware happened
+//! to produce. The scheduler is a deterministic DFS over every thread
+//! interleaving at atomic-access granularity, with sleep-set pruning
+//! (DPOR-lite, a conservative static-conflict approximation of
+//! persistent sets) and an optional seeded bounded mode for state
+//! spaces too large to exhaust.
+//!
+//! What the checker reports as a failure:
+//!
+//! * a **panic** in the checked closure (an assertion about an outcome
+//!   that some interleaving violates),
+//! * a **deadlock**: every unfinished thread blocked (the lost-wakeup
+//!   class of bug — a missed condvar notify — lands here),
+//! * a **data race**: a non-atomic access (a [`sync::Cell`] or a
+//!   [`sync::CellGroup`] slot) not ordered happens-before against a
+//!   conflicting access,
+//! * a **state-space explosion** past the configured bounds (a signal
+//!   to shrink the scenario or switch to bounded exploration).
+//!
+//! Known, documented approximations (shared with loom):
+//!
+//! * SeqCst loads/stores additionally synchronize like a SeqCst fence
+//!   (slightly stronger than C11, never weaker than the hardware).
+//! * Load-buffering outcomes requiring speculation (`r1 = r2 = 1` from
+//!   two relaxed load→store threads) are not produced: the model is
+//!   operational, values read must already be in the modification
+//!   order.
+//! * No spurious condvar wakeups, and `wait_timeout` never times out
+//!   inside the model: a lost wakeup therefore surfaces as a hard
+//!   deadlock instead of being papered over by a timeout.
+//!
+//! All tracked objects must be **created inside the checked closure**
+//! (each execution re-runs the closure and re-registers them); objects
+//! created outside an active execution fall through to the real `std`
+//! primitives, which is what lets shipping code compile against these
+//! types and still run normally in non-model tests.
+
+mod memory;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::{is_active, Builder, Failure, FailureKind, Report};
+
+/// Checks `f` under every explored interleaving with the default
+/// [`Builder`]; panics with the failing trace if any execution fails.
+pub fn check<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}
+
+/// [`check`], but returns the [`Report`] instead of panicking — the
+/// form the bug-seed self-tests use to assert a seeded race IS found.
+pub fn explore<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().explore(f)
+}

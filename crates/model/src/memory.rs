@@ -1,0 +1,370 @@
+//! The simulated C11 memory model: per-location modification orders,
+//! per-thread causality views, fence synchronization, and vector-clock
+//! data-race detection for non-atomic locations.
+
+use crate::rt::{ExecState, MAX_THREADS};
+use std::sync::atomic::Ordering;
+
+/// A fixed-width vector clock: one component per model thread slot.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub(crate) struct VersionVec(pub(crate) [u64; MAX_THREADS]);
+
+impl VersionVec {
+    pub(crate) fn join(&mut self, other: &VersionVec) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Does this view know the event `(tid, clock)`?
+    pub(crate) fn knows(&self, tid: usize, clock: u64) -> bool {
+        self.0[tid] >= clock
+    }
+}
+
+/// One entry in a location's modification order.
+#[derive(Clone, Debug)]
+pub(crate) struct StoreRec {
+    pub(crate) val: u64,
+    /// The view an acquire load of this store synchronizes with
+    /// (accumulated along release sequences for RMWs).
+    pub(crate) sync: VersionVec,
+    /// Identity of the store for happens-before tests.
+    pub(crate) tid: usize,
+    pub(crate) clock: u64,
+}
+
+/// A tracked atomic location: an append-only modification order.
+#[derive(Default, Debug)]
+pub(crate) struct AtomicLoc {
+    pub(crate) stores: Vec<StoreRec>,
+}
+
+/// A tracked non-atomic location (a `Cell` or one slot of a
+/// `CellGroup`): last write plus all reads since, for vector-clock race
+/// detection. Plain accesses are not scheduling points — ordering must
+/// come from happens-before, which is exactly what gets checked.
+#[derive(Default, Debug)]
+pub(crate) struct CellLoc {
+    pub(crate) write: Option<(usize, u64)>,
+    pub(crate) reads: Vec<(usize, u64)>,
+}
+
+#[derive(Default, Debug)]
+pub(crate) struct MutexLoc {
+    pub(crate) owner: Option<usize>,
+    /// Released-by-last-unlock view, joined by the next lock.
+    pub(crate) sync: VersionVec,
+}
+
+/// The operation a thread is about to perform at a scheduling point.
+/// Granularity: every atomic access, fence, mutex/condvar operation and
+/// thread lifecycle edge is one op; plain (`Cell`) accesses are not.
+#[derive(Copy, Clone, Debug)]
+pub(crate) enum Op {
+    Load {
+        loc: u32,
+        ord: Ordering,
+    },
+    Store {
+        loc: u32,
+        ord: Ordering,
+    },
+    Rmw {
+        loc: u32,
+    },
+    Fence {
+        ord: Ordering,
+    },
+    Lock {
+        m: u32,
+    },
+    Unlock {
+        m: u32,
+    },
+    /// The atomic unlock-and-sleep step of a condvar wait. While the
+    /// thread sleeps it keeps this op; it resumes by re-locking `m`.
+    Wait {
+        cv: u32,
+        m: u32,
+    },
+    Notify {
+        cv: u32,
+        all: bool,
+    },
+    Yield,
+    Spawn {
+        child: u32,
+    },
+    Join {
+        target: u32,
+    },
+    /// First scheduling of a thread body.
+    Start,
+}
+
+impl Op {
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Op::Load { loc, ord } => format!("load a{loc} ({ord:?})"),
+            Op::Store { loc, ord } => format!("store a{loc} ({ord:?})"),
+            Op::Rmw { loc } => format!("rmw a{loc}"),
+            Op::Fence { ord } => format!("fence({ord:?})"),
+            Op::Lock { m } => format!("lock m{m}"),
+            Op::Unlock { m } => format!("unlock m{m}"),
+            Op::Wait { cv, m } => format!("wait cv{cv} (m{m})"),
+            Op::Notify { cv, all } => {
+                format!("notify_{} cv{cv}", if *all { "all" } else { "one" })
+            }
+            Op::Yield => "yield".to_string(),
+            Op::Spawn { child } => format!("spawn t{child}"),
+            Op::Join { target } => format!("join t{target}"),
+            Op::Start => "start".to_string(),
+        }
+    }
+}
+
+/// The pieces of shared checker state an op reads or writes, for the
+/// static conflict relation behind sleep-set pruning.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Res {
+    /// An atomic location; `true` = mutates the modification order.
+    Atomic(u32, bool),
+    /// The global SeqCst view.
+    Sc,
+    Mutex(u32),
+    Condvar(u32),
+    /// Thread lifecycle edges: conservatively conflict with everything.
+    All,
+}
+
+fn resources(op: &Op) -> ([Option<Res>; 2], bool) {
+    let sc = |ord: &Ordering| matches!(ord, Ordering::SeqCst);
+    match op {
+        Op::Load { loc, ord } => (
+            [Some(Res::Atomic(*loc, false)), sc(ord).then_some(Res::Sc)],
+            false,
+        ),
+        Op::Store { loc, ord } => (
+            [Some(Res::Atomic(*loc, true)), sc(ord).then_some(Res::Sc)],
+            false,
+        ),
+        // RMW ordering is not in the descriptor; assume SeqCst.
+        Op::Rmw { loc } => ([Some(Res::Atomic(*loc, true)), Some(Res::Sc)], false),
+        // Non-SeqCst fences only mutate views of their own thread and
+        // commute with every other-thread op.
+        Op::Fence { ord } => ([sc(ord).then_some(Res::Sc), None], false),
+        Op::Lock { m } | Op::Unlock { m } => ([Some(Res::Mutex(*m)), None], false),
+        Op::Wait { cv, m } => ([Some(Res::Mutex(*m)), Some(Res::Condvar(*cv))], false),
+        Op::Notify { cv, .. } => ([Some(Res::Condvar(*cv)), None], false),
+        Op::Yield => ([None, None], false),
+        Op::Spawn { .. } | Op::Join { .. } | Op::Start => ([Some(Res::All), None], true),
+    }
+}
+
+fn conflicts(a: Res, b: Res) -> bool {
+    match (a, b) {
+        (Res::All, _) | (_, Res::All) => true,
+        (Res::Atomic(l1, w1), Res::Atomic(l2, w2)) => l1 == l2 && (w1 || w2),
+        _ => a == b,
+    }
+}
+
+/// Conservative static independence for sleep-set pruning: `true` only
+/// when reordering the two ops can never change any reachable state.
+/// Anything uncertain is dependent (less pruning, never unsoundness).
+pub(crate) fn independent(a: &Op, b: &Op) -> bool {
+    let (ra, wild_a) = resources(a);
+    let (rb, wild_b) = resources(b);
+    if wild_a || wild_b {
+        return false;
+    }
+    for x in ra.iter().flatten() {
+        for y in rb.iter().flatten() {
+            if conflicts(*x, *y) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl ExecState {
+    /// The loom-style SeqCst approximation: every SeqCst operation also
+    /// synchronizes two-way with the global SC view, which is what
+    /// gives Dekker/store-buffering its guarantee under SC fences.
+    fn sc_sync(&mut self, tid: usize) {
+        self.threads[tid].causality.join(&self.global_sc.clone());
+        let causality = self.threads[tid].causality;
+        self.global_sc.join(&causality);
+    }
+
+    /// The modification-order index floor below which `tid` can no
+    /// longer read at `loc`: the newest store it knows happened-before
+    /// (coherence with happens-before), raised by its own previous
+    /// reads/writes at the location (per-thread coherence).
+    fn floor(&self, tid: usize, loc: u32) -> usize {
+        let stores = &self.atomics[loc as usize].stores;
+        let causality = &self.threads[tid].causality;
+        let mut floor = self.threads[tid].floor(loc);
+        for (i, s) in stores.iter().enumerate().rev() {
+            if causality.knows(s.tid, s.clock) {
+                floor = floor.max(i);
+                break;
+            }
+        }
+        floor
+    }
+
+    /// Performs a tracked load. The caller has already been scheduled;
+    /// when several stores are coherently readable, the choice is a
+    /// branch point (newest first, so the first-explored execution
+    /// behaves like the SC interleaving).
+    pub(crate) fn atomic_load(&mut self, tid: usize, loc: u32, ord: Ordering) -> u64 {
+        if matches!(ord, Ordering::SeqCst) {
+            self.sc_sync(tid);
+        }
+        let floor = self.floor(tid, loc);
+        let n = self.atomics[loc as usize].stores.len() - floor;
+        let pick = floor + (n - 1 - self.choice(n));
+        let (val, sync) = {
+            let s = &self.atomics[loc as usize].stores[pick];
+            (s.val, s.sync)
+        };
+        self.threads[tid].set_floor(loc, pick);
+        if is_acquire(ord) {
+            self.threads[tid].causality.join(&sync);
+        } else {
+            self.threads[tid].acq_pending.join(&sync);
+        }
+        val
+    }
+
+    pub(crate) fn atomic_store(&mut self, tid: usize, loc: u32, val: u64, ord: Ordering) {
+        if matches!(ord, Ordering::SeqCst) {
+            self.sc_sync(tid);
+        }
+        let sync = if is_release(ord) {
+            self.threads[tid].causality
+        } else {
+            self.threads[tid].released
+        };
+        let clock = self.threads[tid].causality.0[tid];
+        let stores = &mut self.atomics[loc as usize].stores;
+        stores.push(StoreRec {
+            val,
+            sync,
+            tid,
+            clock,
+        });
+        let idx = stores.len() - 1;
+        self.threads[tid].set_floor(loc, idx);
+    }
+
+    /// Read-modify-write: reads the newest store (RMWs are never stale)
+    /// and appends, continuing the release sequence.
+    pub(crate) fn atomic_rmw(
+        &mut self,
+        tid: usize,
+        loc: u32,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        if matches!(ord, Ordering::SeqCst) {
+            self.sc_sync(tid);
+        }
+        let (prev, prev_sync) = {
+            let s = self.atomics[loc as usize]
+                .stores
+                .last()
+                .expect("atomic locations always hold their initial store");
+            (s.val, s.sync)
+        };
+        if is_acquire(ord) {
+            self.threads[tid].causality.join(&prev_sync);
+        } else {
+            self.threads[tid].acq_pending.join(&prev_sync);
+        }
+        let mut sync = prev_sync;
+        sync.join(if is_release(ord) {
+            &self.threads[tid].causality
+        } else {
+            &self.threads[tid].released
+        });
+        let clock = self.threads[tid].causality.0[tid];
+        let stores = &mut self.atomics[loc as usize].stores;
+        stores.push(StoreRec {
+            val: f(prev),
+            sync,
+            tid,
+            clock,
+        });
+        let idx = stores.len() - 1;
+        self.threads[tid].set_floor(loc, idx);
+        prev
+    }
+
+    pub(crate) fn fence(&mut self, tid: usize, ord: Ordering) {
+        if is_acquire(ord) {
+            let pending = self.threads[tid].acq_pending;
+            self.threads[tid].causality.join(&pending);
+        }
+        if matches!(ord, Ordering::SeqCst) {
+            self.sc_sync(tid);
+        }
+        if is_release(ord) {
+            self.threads[tid].released = self.threads[tid].causality;
+        }
+    }
+
+    /// Race-checks and records a non-atomic write. Returns a
+    /// description of the race when one exists.
+    pub(crate) fn cell_write(&mut self, tid: usize, cell: u32) -> Result<(), String> {
+        self.threads[tid].causality.0[tid] += 1;
+        let clock = self.threads[tid].causality.0[tid];
+        let causality = self.threads[tid].causality;
+        let c = &mut self.cells[cell as usize];
+        if let Some((wt, wc)) = c.write {
+            if wt != tid && !causality.knows(wt, wc) {
+                return Err(format!(
+                    "data race: write to c{cell} by t{tid} not ordered after write by t{wt}"
+                ));
+            }
+        }
+        for &(rt, rc) in &c.reads {
+            if rt != tid && !causality.knows(rt, rc) {
+                return Err(format!(
+                    "data race: write to c{cell} by t{tid} not ordered after read by t{rt}"
+                ));
+            }
+        }
+        c.write = Some((tid, clock));
+        c.reads.clear();
+        Ok(())
+    }
+
+    /// Race-checks and records a non-atomic read.
+    pub(crate) fn cell_read(&mut self, tid: usize, cell: u32) -> Result<(), String> {
+        self.threads[tid].causality.0[tid] += 1;
+        let clock = self.threads[tid].causality.0[tid];
+        let causality = self.threads[tid].causality;
+        let c = &mut self.cells[cell as usize];
+        if let Some((wt, wc)) = c.write {
+            if wt != tid && !causality.knows(wt, wc) {
+                return Err(format!(
+                    "data race: read of c{cell} by t{tid} not ordered after write by t{wt}"
+                ));
+            }
+        }
+        c.reads.push((tid, clock));
+        Ok(())
+    }
+}

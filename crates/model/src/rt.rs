@@ -1,0 +1,1208 @@
+//! The deterministic DFS scheduler: one global execution at a time,
+//! real OS worker threads handed the CPU one at a time, a replayable
+//! path of branch decisions (thread choices and load-value choices),
+//! sleep-set pruning, and an optional seeded bounded mode.
+
+use crate::memory::{independent, AtomicLoc, CellLoc, MutexLoc, Op, StoreRec, VersionVec};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Maximum concurrently-live threads per execution (the root closure is
+/// thread 0). Sized for the ring's scenarios: producer, consumer, and a
+/// supervisor or second observer.
+pub(crate) const MAX_THREADS: usize = 4;
+
+// ---------------------------------------------------------------------------
+// Public report types
+// ---------------------------------------------------------------------------
+
+/// Why an exploration stopped with a counterexample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The checked closure panicked (a violated assertion).
+    Panic,
+    /// Every unfinished thread was blocked — the lost-wakeup shape.
+    Deadlock,
+    /// A non-atomic access without happens-before ordering.
+    DataRace,
+    /// The state space outgrew the configured bounds.
+    Explosion,
+}
+
+/// A counterexample: what went wrong and the interleaving that did it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+    /// The schedule prefix of the failing execution, one line per
+    /// scheduled op (`t<id>: <op>`), most recent last.
+    pub trace: Vec<String>,
+}
+
+/// Outcome of an exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Executions run (including the failing one, if any).
+    pub executions: u64,
+    /// Executions cut short by sleep-set pruning (their remainders are
+    /// covered by sibling branches).
+    pub pruned: u64,
+    pub failure: Option<Failure>,
+}
+
+/// Exploration configuration. Default: exhaustive DFS with sleep-set
+/// pruning, no preemption bound.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Cap on involuntary context switches per execution (CHESS-style
+    /// preemption bounding); `None` explores all interleavings.
+    pub preemption_bound: Option<u32>,
+    /// Sleep-set (DPOR-lite) pruning. Soundness of the conservative
+    /// conflict relation is itself regression-tested by running the
+    /// litmus suite with pruning on and off.
+    pub pruning: bool,
+    /// DFS guard: give up (as [`FailureKind::Explosion`]) past this
+    /// many executions.
+    pub max_executions: u64,
+    /// Per-execution guard against divergence under the model (e.g. an
+    /// unbounded spin loop, which can never terminate in a fairness-free
+    /// exhaustive search).
+    pub max_steps: u64,
+    /// `Some((seed, n))`: seeded random exploration of `n` executions
+    /// instead of exhaustive DFS — for state spaces too large to
+    /// exhaust, with a pinned schedule count for reproducibility.
+    pub bounded: Option<(u64, u64)>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self {
+            preemption_bound: None,
+            pruning: true,
+            max_executions: 2_000_000,
+            max_steps: 100_000,
+            bounded: None,
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn preemption_bound(mut self, bound: u32) -> Self {
+        self.preemption_bound = Some(bound);
+        self
+    }
+
+    pub fn pruning(mut self, on: bool) -> Self {
+        self.pruning = on;
+        self
+    }
+
+    pub fn bounded(mut self, seed: u64, executions: u64) -> Self {
+        self.bounded = Some((seed, executions));
+        self
+    }
+
+    /// Runs `f` under every explored interleaving; panics with the
+    /// failing trace if a counterexample is found.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let report = self.explore(f);
+        if let Some(failure) = report.failure {
+            panic!(
+                "maps-model: {:?} after {} executions: {}\nschedule:\n  {}",
+                failure.kind,
+                report.executions,
+                failure.message,
+                failure.trace.join("\n  ")
+            );
+        }
+    }
+
+    /// Runs `f` under every explored interleaving and reports the
+    /// outcome without panicking.
+    pub fn explore<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        assert!(
+            !is_active(),
+            "maps-model: nested check() inside a model execution"
+        );
+        let _serial = lock_poison_ok(check_lock());
+        let _quiet = HookGuard::install();
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let rt = rt();
+        let mut path = Path::default();
+        let mut executions = 0u64;
+        let mut pruned = 0u64;
+        let mut failure = None;
+        loop {
+            executions += 1;
+            let mode = match self.bounded {
+                None => ModeState::Dfs {
+                    path: std::mem::take(&mut path),
+                },
+                Some((seed, _)) => ModeState::Bounded {
+                    rng: splitmix(seed ^ executions.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                },
+            };
+            rt.begin(self, mode);
+            rt.spawn_root(Arc::clone(&f));
+            rt.wait_done();
+            let (exec_failure, exec_pruned, mode_out) = rt.end();
+            if exec_pruned {
+                pruned += 1;
+            }
+            if let Some(fx) = exec_failure {
+                failure = Some(fx);
+                break;
+            }
+            match (self.bounded, mode_out) {
+                (None, ModeState::Dfs { path: p }) => {
+                    path = p;
+                    if !path.backtrack() {
+                        break;
+                    }
+                    if executions >= self.max_executions {
+                        failure = Some(Failure {
+                            kind: FailureKind::Explosion,
+                            message: format!(
+                                "state space not exhausted after {executions} executions; \
+                                 shrink the scenario or use bounded exploration"
+                            ),
+                            trace: Vec::new(),
+                        });
+                        break;
+                    }
+                }
+                (Some((_, n)), _) => {
+                    if executions >= n {
+                        break;
+                    }
+                }
+                _ => unreachable!("mode survives an execution"),
+            }
+        }
+        Report {
+            executions,
+            pruned,
+            failure,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local identity & passthrough detection
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static TID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+    /// Set while unwinding out of an aborted execution: tracked ops
+    /// become passthrough no-ops so drop glue cannot re-panic.
+    static UNWINDING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The current model thread id, or `None` when this thread is not part
+/// of an active execution (the passthrough case).
+pub(crate) fn cur_tid() -> Option<usize> {
+    if UNWINDING.with(|u| u.get()) {
+        None
+    } else {
+        TID.with(|t| t.get())
+    }
+}
+
+/// Is the calling thread inside an active model execution? Shipping
+/// facades use this to pick model vs. real behavior (spin bounds,
+/// frozen time).
+pub fn is_active() -> bool {
+    cur_tid().is_some()
+}
+
+/// Sentinel panic payload used to unwind threads of an aborted
+/// execution; never surfaces to user code.
+struct AbortSignal;
+
+/// Silences the default panic hook for model worker threads while a
+/// check runs, restoring the previous hook on drop. Worker panics are
+/// captured into [`Failure::message`] (and [`AbortSignal`] unwinds are
+/// pure control flow), so the default hook would only spam one
+/// backtrace per aborted execution. Installation is safe to scope to
+/// `explore` because checks are serialized by the check lock.
+struct HookGuard;
+
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+impl HookGuard {
+    fn install() -> Self {
+        let prev: Arc<PanicHook> = Arc::new(std::panic::take_hook());
+        let fwd = Arc::clone(&prev);
+        PREV_HOOK.with(|p| p.set(Some(prev)));
+        std::panic::set_hook(Box::new(move |info| {
+            if TID.with(|t| t.get()).is_none() && !UNWINDING.with(|u| u.get()) {
+                fwd(info);
+            }
+        }));
+        Self
+    }
+}
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        drop(std::panic::take_hook());
+        if let Some(prev) = PREV_HOOK.with(|p| p.take()) {
+            // `Err` means a worker still holds a clone (cannot happen
+            // once the execution has drained, but don't panic in drop).
+            if let Ok(hook) = Arc::try_unwrap(prev) {
+                std::panic::set_hook(hook);
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// The hook displaced by [`HookGuard::install`], parked here so
+    /// `Drop` can restore it by value.
+    static PREV_HOOK: std::cell::Cell<Option<Arc<PanicHook>>> =
+        const { std::cell::Cell::new(None) };
+}
+
+fn payload_to_string(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+fn lock_poison_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn check_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+// ---------------------------------------------------------------------------
+// The replayable decision path
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Branch {
+    /// A scheduling decision among the eligible (enabled, non-sleeping)
+    /// threads at one step.
+    Schedule { choices: Vec<u8>, chosen: usize },
+    /// A value-ish decision below a schedule step (which coherent store
+    /// a load reads, which waiter a notify_one wakes).
+    Choice { n: usize, chosen: usize },
+}
+
+#[derive(Debug, Default)]
+struct Path {
+    branches: Vec<Branch>,
+    pos: usize,
+}
+
+impl Path {
+    fn choice(&mut self, n: usize) -> usize {
+        if self.pos < self.branches.len() {
+            let Branch::Choice { n: rec_n, chosen } = &self.branches[self.pos] else {
+                panic!(
+                    "maps-model: nondeterministic execution (schedule point became a value point)"
+                );
+            };
+            assert_eq!(
+                *rec_n, n,
+                "maps-model: nondeterministic execution (value choice arity changed on replay)"
+            );
+            self.pos += 1;
+            *chosen
+        } else {
+            self.branches.push(Branch::Choice { n, chosen: 0 });
+            self.pos += 1;
+            0
+        }
+    }
+
+    /// Returns the chosen thread and the bitmask of already-explored
+    /// siblings at this branch (for the sleep-set update).
+    fn schedule(&mut self, eligible: Vec<u8>) -> (usize, u8) {
+        if self.pos < self.branches.len() {
+            let Branch::Schedule { choices, chosen } = &self.branches[self.pos] else {
+                panic!(
+                    "maps-model: nondeterministic execution (value point became a schedule point)"
+                );
+            };
+            assert_eq!(
+                *choices, eligible,
+                "maps-model: nondeterministic execution (eligible set changed on replay)"
+            );
+            let mut explored = 0u8;
+            for &c in &choices[..*chosen] {
+                explored |= 1 << c;
+            }
+            let tid = choices[*chosen] as usize;
+            self.pos += 1;
+            (tid, explored)
+        } else {
+            let tid = eligible[0] as usize;
+            self.branches.push(Branch::Schedule {
+                choices: eligible,
+                chosen: 0,
+            });
+            self.pos += 1;
+            (tid, 0)
+        }
+    }
+
+    /// Advances to the next unexplored execution; `false` when the
+    /// whole tree has been visited.
+    fn backtrack(&mut self) -> bool {
+        while let Some(last) = self.branches.last_mut() {
+            match last {
+                Branch::Schedule { choices, chosen } if *chosen + 1 < choices.len() => {
+                    *chosen += 1;
+                    self.pos = 0;
+                    return true;
+                }
+                Branch::Choice { n, chosen } if *chosen + 1 < *n => {
+                    *chosen += 1;
+                    self.pos = 0;
+                    return true;
+                }
+                _ => {
+                    self.branches.pop();
+                }
+            }
+        }
+        false
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum ModeState {
+    Dfs { path: Path },
+    Bounded { rng: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    preemption_bound: Option<u32>,
+    pruning: bool,
+    max_steps: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            preemption_bound: None,
+            pruning: true,
+            max_steps: 100_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Run {
+    Unused,
+    /// Announced an op; waiting to be scheduled to perform it.
+    Ready(OpSlot),
+    /// Scheduled and running user code up to its next op.
+    Active,
+    /// Asleep in a condvar wait; resumes by re-locking `m`.
+    Waiting {
+        cv: u32,
+        m: u32,
+        notified: bool,
+    },
+    Finished,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OpSlot(pub(crate) Op);
+
+#[derive(Debug)]
+pub(crate) struct ThreadState {
+    run: Run,
+    pub(crate) causality: VersionVec,
+    pub(crate) released: VersionVec,
+    pub(crate) acq_pending: VersionVec,
+    floors: Vec<usize>,
+}
+
+impl ThreadState {
+    fn unused() -> Self {
+        Self {
+            run: Run::Unused,
+            causality: VersionVec::default(),
+            released: VersionVec::default(),
+            acq_pending: VersionVec::default(),
+            floors: Vec::new(),
+        }
+    }
+
+    pub(crate) fn floor(&self, loc: u32) -> usize {
+        self.floors.get(loc as usize).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn set_floor(&mut self, loc: u32, v: usize) {
+        let i = loc as usize;
+        if self.floors.len() <= i {
+            self.floors.resize(i + 1, 0);
+        }
+        self.floors[i] = v;
+    }
+}
+
+pub(crate) struct ExecState {
+    pub(crate) threads: Vec<ThreadState>,
+    n_threads: usize,
+    active: Option<usize>,
+    pub(crate) atomics: Vec<AtomicLoc>,
+    pub(crate) cells: Vec<CellLoc>,
+    pub(crate) mutexes: Vec<MutexLoc>,
+    n_condvars: u32,
+    pub(crate) global_sc: VersionVec,
+    /// Process-monotonic execution counter; object ids are stamped with
+    /// it so objects from past executions re-register instead of
+    /// aliasing.
+    exec_id: u64,
+    running: bool,
+    aborting: bool,
+    failure: Option<Failure>,
+    pruned: bool,
+    trace: Vec<(usize, Op)>,
+    sleep: u8,
+    last_run: Option<usize>,
+    preemptions: u32,
+    steps: u64,
+    finished: usize,
+    mode: ModeState,
+    cfg: Config,
+}
+
+impl ExecState {
+    fn new() -> Self {
+        Self {
+            threads: (0..MAX_THREADS).map(|_| ThreadState::unused()).collect(),
+            n_threads: 0,
+            active: None,
+            atomics: Vec::new(),
+            cells: Vec::new(),
+            mutexes: Vec::new(),
+            n_condvars: 0,
+            global_sc: VersionVec::default(),
+            exec_id: 0,
+            running: false,
+            aborting: false,
+            failure: None,
+            pruned: false,
+            trace: Vec::new(),
+            sleep: 0,
+            last_run: None,
+            preemptions: 0,
+            steps: 0,
+            finished: 0,
+            mode: ModeState::Bounded { rng: 0 },
+            cfg: Config::default(),
+        }
+    }
+
+    /// A value-ish branch point: which of `n` outcomes happens.
+    pub(crate) fn choice(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        match &mut self.mode {
+            ModeState::Dfs { path } => path.choice(n),
+            ModeState::Bounded { rng } => {
+                *rng = splitmix(*rng);
+                (*rng % n as u64) as usize
+            }
+        }
+    }
+
+    fn schedule_choice(&mut self, eligible: Vec<u8>) -> (usize, u8) {
+        match &mut self.mode {
+            ModeState::Dfs { path } => path.schedule(eligible),
+            ModeState::Bounded { rng } => {
+                *rng = splitmix(*rng);
+                (
+                    eligible[(*rng % eligible.len() as u64) as usize] as usize,
+                    0,
+                )
+            }
+        }
+    }
+
+    fn is_enabled(&self, i: usize) -> bool {
+        match self.threads[i].run {
+            Run::Ready(OpSlot(op)) => match op {
+                Op::Lock { m } => self.mutexes[m as usize].owner.is_none(),
+                Op::Join { target } => {
+                    matches!(self.threads[target as usize].run, Run::Finished)
+                }
+                _ => true,
+            },
+            Run::Waiting { m, notified, .. } => {
+                notified && self.mutexes[m as usize].owner.is_none()
+            }
+            _ => false,
+        }
+    }
+
+    fn pending_op(&self, i: usize) -> Op {
+        match self.threads[i].run {
+            Run::Ready(OpSlot(op)) => op,
+            Run::Waiting { cv, m, .. } => Op::Wait { cv, m },
+            _ => Op::Yield,
+        }
+    }
+
+    fn fail(&mut self, kind: FailureKind, message: String) {
+        if self.failure.is_none() {
+            let trace = self
+                .trace
+                .iter()
+                .rev()
+                .take(200)
+                .map(|(tid, op)| format!("t{tid}: {}", op.describe()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            self.failure = Some(Failure {
+                kind,
+                message,
+                trace,
+            });
+        }
+        self.aborting = true;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The runtime singleton
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Rt {
+    state: Mutex<ExecState>,
+    cvs: [Condvar; MAX_THREADS],
+    done: Condvar,
+}
+
+pub(crate) fn rt() -> &'static Rt {
+    static RT: OnceLock<Rt> = OnceLock::new();
+    RT.get_or_init(|| Rt {
+        state: Mutex::new(ExecState::new()),
+        cvs: std::array::from_fn(|_| Condvar::new()),
+        done: Condvar::new(),
+    })
+}
+
+impl Rt {
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        lock_poison_ok(&self.state)
+    }
+
+    fn wake_all(&self, st: &ExecState) {
+        let _ = st;
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+        self.done.notify_all();
+    }
+
+    fn abort_unwind(&self) -> ! {
+        UNWINDING.with(|u| u.set(true));
+        std::panic::panic_any(AbortSignal)
+    }
+
+    /// Blocks until the scheduler hands `tid` the CPU; unwinds if the
+    /// execution aborts first.
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        tid: usize,
+    ) -> MutexGuard<'a, ExecState> {
+        loop {
+            if st.aborting {
+                drop(st);
+                self.abort_unwind();
+            }
+            if st.active == Some(tid) {
+                return st;
+            }
+            st = self.cvs[tid]
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// The heart of every tracked operation: announce `op`, let the
+    /// scheduler pick who runs next, block until it is this thread
+    /// again, then return with the state locked so the caller can apply
+    /// the op's semantics.
+    pub(crate) fn op_point(&self, tid: usize, op: Op) -> MutexGuard<'_, ExecState> {
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            self.abort_unwind();
+        }
+        debug_assert_eq!(st.active, Some(tid), "op from a descheduled thread");
+        st.threads[tid].run = Run::Ready(OpSlot(op));
+        st.active = None;
+        self.advance(&mut st);
+        st = self.wait_for_turn(st, tid);
+        st.threads[tid].run = Run::Active;
+        st.threads[tid].causality.0[tid] += 1;
+        st
+    }
+
+    /// Picks and wakes the next thread. Called with `active == None`.
+    fn advance(&self, st: &mut ExecState) {
+        if st.aborting || !st.running {
+            return;
+        }
+        let mut enabled: Vec<u8> = Vec::with_capacity(MAX_THREADS);
+        for i in 0..st.n_threads {
+            if st.is_enabled(i) {
+                enabled.push(i as u8);
+            }
+        }
+        if enabled.is_empty() {
+            if st.finished == st.n_threads {
+                return; // completion is handled by `finish`
+            }
+            let blocked: Vec<String> = (0..st.n_threads)
+                .filter(|&i| !matches!(st.threads[i].run, Run::Finished | Run::Unused))
+                .map(|i| format!("t{i} blocked at {}", st.pending_op(i).describe()))
+                .collect();
+            st.fail(
+                FailureKind::Deadlock,
+                format!("deadlock: {}", blocked.join("; ")),
+            );
+            self.wake_all(st);
+            return;
+        }
+        let pruning = st.cfg.pruning && matches!(st.mode, ModeState::Dfs { .. });
+        let eligible: Vec<u8> = if pruning {
+            enabled
+                .iter()
+                .copied()
+                .filter(|&t| st.sleep & (1 << t) == 0)
+                .collect()
+        } else {
+            enabled.clone()
+        };
+        if eligible.is_empty() {
+            // Every enabled thread is in the sleep set: this execution's
+            // remainder is covered by already-explored siblings.
+            st.pruned = true;
+            st.aborting = true;
+            self.wake_all(st);
+            return;
+        }
+        let eligible = match (st.cfg.preemption_bound, st.last_run) {
+            (Some(bound), Some(lr))
+                if st.preemptions >= bound && eligible.contains(&(lr as u8)) =>
+            {
+                vec![lr as u8]
+            }
+            _ => eligible,
+        };
+        let (tid, explored) = st.schedule_choice(eligible);
+        if pruning {
+            let op_t = st.pending_op(tid);
+            let mut sleep = st.sleep | explored;
+            sleep &= !(1 << tid);
+            let mut new_sleep = 0u8;
+            for u in 0..st.n_threads {
+                if sleep & (1 << u) != 0 && independent(&st.pending_op(u), &op_t) {
+                    new_sleep |= 1 << u;
+                }
+            }
+            st.sleep = new_sleep;
+        }
+        if let Some(lr) = st.last_run {
+            if lr != tid && enabled.contains(&(lr as u8)) {
+                st.preemptions += 1;
+            }
+        }
+        st.last_run = Some(tid);
+        st.steps += 1;
+        if st.steps > st.cfg.max_steps {
+            st.fail(
+                FailureKind::Explosion,
+                format!(
+                    "execution exceeded {} scheduled ops (divergent loop under the model?)",
+                    st.cfg.max_steps
+                ),
+            );
+            self.wake_all(st);
+            return;
+        }
+        let op = st.pending_op(tid);
+        st.trace.push((tid, op));
+        st.active = Some(tid);
+        self.cvs[tid].notify_all();
+    }
+
+    fn finish(&self, tid: usize, outcome: Result<(), Box<dyn std::any::Any + Send>>) {
+        let mut st = self.lock();
+        st.threads[tid].run = Run::Finished;
+        st.finished += 1;
+        if let Err(p) = outcome {
+            if !p.is::<AbortSignal>() {
+                let msg = payload_to_string(p);
+                st.fail(FailureKind::Panic, msg);
+            }
+        }
+        if st.active == Some(tid) {
+            st.active = None;
+        }
+        if st.finished == st.n_threads {
+            st.running = false;
+            self.done.notify_all();
+        } else if st.aborting {
+            self.wake_all(&st);
+        } else if st.active.is_none() {
+            self.advance(&mut st);
+        }
+    }
+
+    // -- driver side --------------------------------------------------------
+
+    fn begin(&self, b: &Builder, mode: ModeState) {
+        let mut st = self.lock();
+        assert!(!st.running, "overlapping model executions");
+        st.exec_id += 1;
+        st.atomics.clear();
+        st.cells.clear();
+        st.mutexes.clear();
+        st.n_condvars = 0;
+        st.global_sc = VersionVec::default();
+        st.trace.clear();
+        st.sleep = 0;
+        st.last_run = None;
+        st.preemptions = 0;
+        st.steps = 0;
+        st.finished = 0;
+        st.aborting = false;
+        st.pruned = false;
+        st.failure = None;
+        st.mode = mode;
+        st.cfg = Config {
+            preemption_bound: b.preemption_bound,
+            pruning: b.pruning,
+            max_steps: b.max_steps,
+        };
+        for t in &mut st.threads {
+            *t = ThreadState::unused();
+        }
+        st.n_threads = 0;
+        st.active = None;
+    }
+
+    fn spawn_root(&'static self, f: Arc<dyn Fn() + Send + Sync>) {
+        {
+            let mut st = self.lock();
+            st.n_threads = 1;
+            st.threads[0].run = Run::Ready(OpSlot(Op::Start));
+            st.running = true;
+            self.advance(&mut st);
+        }
+        pool()[0].submit(Box::new(move || thread_main(self, 0, move || f())));
+    }
+
+    fn wait_done(&self) {
+        let mut st = self.lock();
+        while st.running {
+            st = self
+                .done
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn end(&self) -> (Option<Failure>, bool, ModeState) {
+        let mut st = self.lock();
+        (
+            st.failure.take(),
+            st.pruned,
+            std::mem::replace(&mut st.mode, ModeState::Bounded { rng: 0 }),
+        )
+    }
+}
+
+/// Body run by a pool worker for one model thread of one execution.
+fn thread_main(rt: &'static Rt, tid: usize, body: impl FnOnce()) {
+    TID.with(|t| t.set(Some(tid)));
+    UNWINDING.with(|u| u.set(false));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut st = rt.lock();
+        st = rt.wait_for_turn(st, tid);
+        st.threads[tid].run = Run::Active;
+        st.threads[tid].causality.0[tid] += 1;
+        drop(st);
+        body()
+    }));
+    rt.finish(tid, outcome.map(|_| ()));
+    TID.with(|t| t.set(None));
+    UNWINDING.with(|u| u.set(false));
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool: MAX_THREADS long-lived OS threads reused across
+// executions (spawning per execution would dominate the runtime of a
+// DFS over tens of thousands of executions).
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Worker {
+    slot: Mutex<Option<Job>>,
+    cv: Condvar,
+}
+
+impl Worker {
+    fn submit(&self, job: Job) {
+        let mut s = lock_poison_ok(&self.slot);
+        debug_assert!(s.is_none(), "worker already has a job");
+        *s = Some(job);
+        self.cv.notify_all();
+    }
+}
+
+fn pool() -> &'static [Worker; MAX_THREADS] {
+    static POOL: OnceLock<&'static [Worker; MAX_THREADS]> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers: &'static [Worker; MAX_THREADS] =
+            Box::leak(Box::new(std::array::from_fn(|_| Worker {
+                slot: Mutex::new(None),
+                cv: Condvar::new(),
+            })));
+        for w in workers.iter() {
+            std::thread::Builder::new()
+                .name("maps-model-worker".to_string())
+                .spawn(move || loop {
+                    let job = {
+                        let mut s = lock_poison_ok(&w.slot);
+                        loop {
+                            if let Some(job) = s.take() {
+                                break job;
+                            }
+                            s =
+                                w.cv.wait(s)
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        }
+                    };
+                    job();
+                })
+                .expect("spawn model worker");
+        }
+        workers
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Object registration (lazy, per-execution) and op entry points used by
+// the public sync types.
+// ---------------------------------------------------------------------------
+
+/// Per-object registration slot: packs `(exec_id << 24) | (index + 1)`
+/// so an object created in a past execution re-registers instead of
+/// aliasing a location of the current one.
+#[derive(Debug, Default)]
+pub(crate) struct ObjId(std::sync::atomic::AtomicU64);
+
+impl ObjId {
+    pub(crate) const fn new() -> Self {
+        Self(std::sync::atomic::AtomicU64::new(0))
+    }
+}
+
+const IDX_BITS: u32 = 24;
+const IDX_MASK: u64 = (1 << IDX_BITS) - 1;
+
+fn resolve(st: &mut ExecState, id: &ObjId, alloc: impl FnOnce(&mut ExecState) -> u32) -> u32 {
+    let packed = id.0.load(Ordering::Relaxed);
+    if packed != 0 && packed >> IDX_BITS == st.exec_id {
+        return (packed & IDX_MASK) as u32 - 1;
+    }
+    let idx = alloc(st);
+    assert!((idx as u64) < IDX_MASK, "too many tracked objects");
+    id.0.store(
+        (st.exec_id << IDX_BITS) | (idx as u64 + 1),
+        Ordering::Relaxed,
+    );
+    idx
+}
+
+impl Rt {
+    fn resolve_atomic(&self, id: &ObjId, init: u64, tid: usize) -> u32 {
+        let mut st = self.lock();
+        resolve(&mut st, id, |st| {
+            let clock = st.threads[tid].causality.0[tid];
+            st.atomics.push(AtomicLoc {
+                stores: vec![StoreRec {
+                    val: init,
+                    sync: VersionVec::default(),
+                    tid,
+                    clock,
+                }],
+            });
+            (st.atomics.len() - 1) as u32
+        })
+    }
+
+    fn resolve_cells(&self, id: &ObjId, n: usize) -> u32 {
+        let mut st = self.lock();
+        resolve(&mut st, id, |st| {
+            let base = st.cells.len() as u32;
+            st.cells.extend((0..n).map(|_| CellLoc::default()));
+            base
+        })
+    }
+
+    fn resolve_mutex(&self, id: &ObjId) -> u32 {
+        let mut st = self.lock();
+        resolve(&mut st, id, |st| {
+            st.mutexes.push(MutexLoc::default());
+            (st.mutexes.len() - 1) as u32
+        })
+    }
+
+    fn resolve_condvar(&self, id: &ObjId) -> u32 {
+        let mut st = self.lock();
+        resolve(&mut st, id, |st| {
+            st.n_condvars += 1;
+            st.n_condvars - 1
+        })
+    }
+}
+
+pub(crate) fn atomic_load(id: &ObjId, init: u64, ord: Ordering) -> Option<u64> {
+    let tid = cur_tid()?;
+    let rt = rt();
+    let loc = rt.resolve_atomic(id, init, tid);
+    let mut st = rt.op_point(tid, Op::Load { loc, ord });
+    Some(st.atomic_load(tid, loc, ord))
+}
+
+pub(crate) fn atomic_store(id: &ObjId, init: u64, val: u64, ord: Ordering) -> bool {
+    let Some(tid) = cur_tid() else { return false };
+    let rt = rt();
+    let loc = rt.resolve_atomic(id, init, tid);
+    let mut st = rt.op_point(tid, Op::Store { loc, ord });
+    st.atomic_store(tid, loc, val, ord);
+    true
+}
+
+pub(crate) fn atomic_rmw(
+    id: &ObjId,
+    init: u64,
+    ord: Ordering,
+    f: impl FnOnce(u64) -> u64,
+) -> Option<u64> {
+    let tid = cur_tid()?;
+    let rt = rt();
+    let loc = rt.resolve_atomic(id, init, tid);
+    let mut st = rt.op_point(tid, Op::Rmw { loc });
+    Some(st.atomic_rmw(tid, loc, ord, f))
+}
+
+pub(crate) fn fence(ord: Ordering) -> bool {
+    let Some(tid) = cur_tid() else { return false };
+    let rt = rt();
+    let mut st = rt.op_point(tid, Op::Fence { ord });
+    st.fence(tid, ord);
+    true
+}
+
+pub(crate) fn mutex_lock(id: &ObjId) -> bool {
+    let Some(tid) = cur_tid() else { return false };
+    let rt = rt();
+    let m = rt.resolve_mutex(id);
+    let mut st = rt.op_point(tid, Op::Lock { m });
+    debug_assert!(st.mutexes[m as usize].owner.is_none());
+    st.mutexes[m as usize].owner = Some(tid);
+    let sync = st.mutexes[m as usize].sync;
+    st.threads[tid].causality.join(&sync);
+    true
+}
+
+pub(crate) fn mutex_unlock(id: &ObjId) -> bool {
+    let Some(tid) = cur_tid() else { return false };
+    let rt = rt();
+    let m = rt.resolve_mutex(id);
+    let mut st = rt.op_point(tid, Op::Unlock { m });
+    debug_assert_eq!(st.mutexes[m as usize].owner, Some(tid));
+    let causality = st.threads[tid].causality;
+    st.mutexes[m as usize].sync.join(&causality);
+    st.mutexes[m as usize].owner = None;
+    true
+}
+
+/// The model side of `Condvar::wait`: atomically release the mutex and
+/// sleep; the scheduler only resumes this thread once it has been
+/// notified *and* the mutex is free, and resumption re-locks the mutex.
+/// No spurious wakeups, no timeouts: a lost wakeup is a deadlock.
+pub(crate) fn condvar_wait(cv_id: &ObjId, m_id: &ObjId) -> bool {
+    let Some(tid) = cur_tid() else { return false };
+    let rt = rt();
+    let cv = rt.resolve_condvar(cv_id);
+    let m = rt.resolve_mutex(m_id);
+    let mut st = rt.op_point(tid, Op::Wait { cv, m });
+    debug_assert_eq!(st.mutexes[m as usize].owner, Some(tid));
+    let causality = st.threads[tid].causality;
+    st.mutexes[m as usize].sync.join(&causality);
+    st.mutexes[m as usize].owner = None;
+    st.threads[tid].run = Run::Waiting {
+        cv,
+        m,
+        notified: false,
+    };
+    st.active = None;
+    rt.advance(&mut st);
+    st = rt.wait_for_turn(st, tid);
+    st.threads[tid].run = Run::Active;
+    st.threads[tid].causality.0[tid] += 1;
+    st.mutexes[m as usize].owner = Some(tid);
+    let sync = st.mutexes[m as usize].sync;
+    st.threads[tid].causality.join(&sync);
+    true
+}
+
+pub(crate) fn condvar_notify(cv_id: &ObjId, all: bool) -> bool {
+    let Some(tid) = cur_tid() else { return false };
+    let rt = rt();
+    let cv = rt.resolve_condvar(cv_id);
+    let mut st = rt.op_point(tid, Op::Notify { cv, all });
+    let waiters: Vec<usize> = (0..st.threads.len())
+        .filter(|&i| {
+            matches!(
+                st.threads[i].run,
+                Run::Waiting { cv: c, notified: false, .. } if c == cv
+            )
+        })
+        .collect();
+    if waiters.is_empty() {
+        return true; // a missed signal — exactly what lost-wakeup bugs are made of
+    }
+    let targets: Vec<usize> = if all {
+        waiters
+    } else {
+        let k = st.choice(waiters.len());
+        vec![waiters[k]]
+    };
+    for t in targets {
+        if let Run::Waiting { notified, .. } = &mut st.threads[t].run {
+            *notified = true;
+        }
+    }
+    true
+}
+
+/// Race-tracks a read of cell `base + i`; aborts the execution on a
+/// race.
+pub(crate) fn cell_read(id: &ObjId, n: usize, i: usize) {
+    let Some(tid) = cur_tid() else { return };
+    let rt = rt();
+    let base = rt.resolve_cells(id, n);
+    let mut st = rt.lock();
+    if st.aborting {
+        drop(st);
+        rt.abort_unwind();
+    }
+    if let Err(msg) = st.cell_read(tid, base + i as u32) {
+        st.fail(FailureKind::DataRace, msg);
+        rt.wake_all(&st);
+        drop(st);
+        rt.abort_unwind();
+    }
+}
+
+/// Race-tracks a write of cell `base + i`; aborts the execution on a
+/// race.
+pub(crate) fn cell_write(id: &ObjId, n: usize, i: usize) {
+    let Some(tid) = cur_tid() else { return };
+    let rt = rt();
+    let base = rt.resolve_cells(id, n);
+    let mut st = rt.lock();
+    if st.aborting {
+        drop(st);
+        rt.abort_unwind();
+    }
+    if let Err(msg) = st.cell_write(tid, base + i as u32) {
+        st.fail(FailureKind::DataRace, msg);
+        rt.wake_all(&st);
+        drop(st);
+        rt.abort_unwind();
+    }
+}
+
+/// A pure scheduling point with no memory effect (`yield_now`).
+pub(crate) fn yield_point() -> bool {
+    let Some(tid) = cur_tid() else { return false };
+    let rt = rt();
+    drop(rt.op_point(tid, Op::Yield));
+    true
+}
+
+/// Spawns a model thread; the child inherits the parent's causal view.
+pub(crate) fn spawn_thread(body: Box<dyn FnOnce() + Send>) -> usize {
+    let tid = cur_tid().expect("maps_model::thread::spawn outside a model execution");
+    let rt = rt();
+    let mut st = rt.op_point(tid, Op::Spawn { child: 0 });
+    let child = st.n_threads;
+    assert!(
+        child < MAX_THREADS,
+        "maps-model supports at most {MAX_THREADS} threads per execution"
+    );
+    st.n_threads += 1;
+    let parent_view = st.threads[tid].causality;
+    st.threads[child] = ThreadState::unused();
+    st.threads[child].causality = parent_view;
+    st.threads[child].run = Run::Ready(OpSlot(Op::Start));
+    drop(st);
+    pool()[child].submit(Box::new(move || thread_main(rt, child, body)));
+    child
+}
+
+/// Blocks until `target` finishes, joining its causal view.
+pub(crate) fn join_thread(target: usize) {
+    let tid = cur_tid().expect("maps_model JoinHandle::join outside a model execution");
+    let rt = rt();
+    let mut st = rt.op_point(
+        tid,
+        Op::Join {
+            target: target as u32,
+        },
+    );
+    debug_assert!(matches!(st.threads[target].run, Run::Finished));
+    let view = st.threads[target].causality;
+    st.threads[tid].causality.join(&view);
+}

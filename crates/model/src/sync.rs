@@ -1,0 +1,415 @@
+//! Tracked drop-in replacements for the `std::sync` primitives the
+//! ingestion ring uses. Inside an active model execution every
+//! operation is a scheduling point evaluated against the simulated C11
+//! memory model; outside one (including while unwinding out of an
+//! aborted execution) every operation passes through to the real `std`
+//! primitive each type wraps. That passthrough is what lets shipping
+//! code compile against these types permanently and still run normally
+//! when no checker is driving.
+
+use crate::rt::{self, ObjId};
+use std::sync::PoisonError;
+use std::time::Duration;
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::LockResult;
+
+/// A tracked [`std::sync::atomic::AtomicU64`].
+#[derive(Debug, Default)]
+pub struct AtomicU64 {
+    real: std::sync::atomic::AtomicU64,
+    id: ObjId,
+}
+
+impl AtomicU64 {
+    pub const fn new(v: u64) -> Self {
+        Self {
+            real: std::sync::atomic::AtomicU64::new(v),
+            id: ObjId::new(),
+        }
+    }
+
+    pub fn load(&self, ord: Ordering) -> u64 {
+        match rt::atomic_load(&self.id, self.real.load(Ordering::Relaxed), ord) {
+            Some(v) => v,
+            None => self.real.load(ord),
+        }
+    }
+
+    pub fn store(&self, val: u64, ord: Ordering) {
+        if rt::atomic_store(&self.id, self.real.load(Ordering::Relaxed), val, ord) {
+            // Keep the wrapped value loosely current so a passthrough
+            // read after the execution sees the final state.
+            self.real.store(val, Ordering::Relaxed);
+        } else {
+            self.real.store(val, ord);
+        }
+    }
+
+    pub fn fetch_add(&self, val: u64, ord: Ordering) -> u64 {
+        match rt::atomic_rmw(&self.id, self.real.load(Ordering::Relaxed), ord, |v| {
+            v.wrapping_add(val)
+        }) {
+            Some(prev) => {
+                self.real.store(prev.wrapping_add(val), Ordering::Relaxed);
+                prev
+            }
+            None => self.real.fetch_add(val, ord),
+        }
+    }
+
+    pub fn fetch_sub(&self, val: u64, ord: Ordering) -> u64 {
+        match rt::atomic_rmw(&self.id, self.real.load(Ordering::Relaxed), ord, |v| {
+            v.wrapping_sub(val)
+        }) {
+            Some(prev) => {
+                self.real.store(prev.wrapping_sub(val), Ordering::Relaxed);
+                prev
+            }
+            None => self.real.fetch_sub(val, ord),
+        }
+    }
+}
+
+/// A tracked [`std::sync::atomic::AtomicBool`].
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    real: std::sync::atomic::AtomicBool,
+    id: ObjId,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self {
+            real: std::sync::atomic::AtomicBool::new(v),
+            id: ObjId::new(),
+        }
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        match rt::atomic_load(&self.id, self.real.load(Ordering::Relaxed) as u64, ord) {
+            Some(v) => v != 0,
+            None => self.real.load(ord),
+        }
+    }
+
+    pub fn store(&self, val: bool, ord: Ordering) {
+        if rt::atomic_store(
+            &self.id,
+            self.real.load(Ordering::Relaxed) as u64,
+            val as u64,
+            ord,
+        ) {
+            self.real.store(val, Ordering::Relaxed);
+        } else {
+            self.real.store(val, ord);
+        }
+    }
+
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        match rt::atomic_rmw(
+            &self.id,
+            self.real.load(Ordering::Relaxed) as u64,
+            ord,
+            |_| val as u64,
+        ) {
+            Some(prev) => {
+                self.real.store(val, Ordering::Relaxed);
+                prev != 0
+            }
+            None => self.real.swap(val, ord),
+        }
+    }
+}
+
+/// A tracked [`std::sync::atomic::fence`].
+pub fn fence(ord: Ordering) {
+    if !rt::fence(ord) {
+        std::sync::atomic::fence(ord);
+    }
+}
+
+/// A tracked [`std::cell::Cell`]. Accesses are **not** scheduling
+/// points — they are plain memory — but each one is race-checked
+/// against the happens-before order: two unordered accesses (one a
+/// write) fail the execution as a data race.
+#[derive(Default)]
+pub struct Cell<T> {
+    inner: std::cell::Cell<T>,
+    id: ObjId,
+}
+
+impl<T: Copy> Cell<T> {
+    pub const fn new(v: T) -> Self {
+        Self {
+            inner: std::cell::Cell::new(v),
+            id: ObjId::new(),
+        }
+    }
+
+    pub fn get(&self) -> T {
+        rt::cell_read(&self.id, 1, 0);
+        self.inner.get()
+    }
+
+    pub fn set(&self, v: T) {
+        rt::cell_write(&self.id, 1, 0);
+        self.inner.set(v);
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for Cell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Diagnostic peek, deliberately untracked: formatting state for
+        // an error message must not itself flag a race.
+        f.debug_tuple("Cell").field(&self.inner.get()).finish()
+    }
+}
+
+/// Race-tracking for a block of `n` non-atomic locations that the model
+/// cannot wrap directly — the ring buffer's slots, whose layout must
+/// stay `UnsafeCell<MaybeUninit<T>>` for the zero-copy
+/// `from_raw_parts` borrow. The ring records a `write(i)` where the
+/// producer fills a slot and a `read(i)` where the consumer claims it;
+/// the model race-checks those records exactly like [`Cell`] accesses.
+/// Outside a model execution every call is a no-op.
+#[derive(Debug, Default)]
+pub struct CellGroup {
+    n: usize,
+    id: ObjId,
+}
+
+impl CellGroup {
+    pub const fn new(n: usize) -> Self {
+        Self {
+            n,
+            id: ObjId::new(),
+        }
+    }
+
+    pub fn write(&self, i: usize) {
+        debug_assert!(i < self.n);
+        rt::cell_write(&self.id, self.n, i);
+    }
+
+    pub fn read(&self, i: usize) {
+        debug_assert!(i < self.n);
+        rt::cell_read(&self.id, self.n, i);
+    }
+
+    pub fn read_range(&self, lo: usize, hi: usize) {
+        for i in lo..hi {
+            self.read(i);
+        }
+    }
+}
+
+/// A tracked [`std::sync::Mutex`].
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    real: std::sync::Mutex<T>,
+    id: ObjId,
+}
+
+/// Guard for a [`Mutex`]; in model mode, dropping it is the tracked
+/// unlock scheduling point.
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    mx: &'a Mutex<T>,
+    model: bool,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Self {
+            real: std::sync::Mutex::new(t),
+            id: ObjId::new(),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if rt::mutex_lock(&self.id) {
+            // The scheduler enforces mutual exclusion, so the wrapped
+            // mutex must be free by the time the lock op is granted.
+            let inner = self
+                .real
+                .try_lock()
+                .expect("model mutex out of sync with wrapped std mutex");
+            Ok(MutexGuard {
+                inner: Some(inner),
+                mx: self,
+                model: true,
+            })
+        } else {
+            match self.real.lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    inner: Some(inner),
+                    mx: self,
+                    model: false,
+                }),
+                Err(pe) => Err(PoisonError::new(MutexGuard {
+                    inner: Some(pe.into_inner()),
+                    mx: self,
+                    model: false,
+                })),
+            }
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the wrapped lock *before* the tracked unlock op: the
+        // unlock op is a scheduling point, and the next thread granted
+        // the model lock immediately try_locks the wrapped mutex.
+        drop(self.inner.take());
+        if self.model {
+            rt::mutex_unlock(&self.mx.id);
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+/// Result of a [`Condvar::wait_timeout`]; in model mode the timeout
+/// never fires (a lost wakeup must surface as a deadlock, not be
+/// papered over by a timeout).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A tracked [`std::sync::Condvar`]. Model semantics: no spurious
+/// wakeups, `notify_one` with several waiters is a branch point, a
+/// notify with no waiter is silently lost (exactly the raw material of
+/// lost-wakeup bugs).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    real: std::sync::Condvar,
+    id: ObjId,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self {
+            real: std::sync::Condvar::new(),
+            id: ObjId::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (inner, mx, model) = dismantle(guard);
+        if model {
+            drop(inner); // release the wrapped lock; no schedule point until the Wait op
+            rt::condvar_wait(&self.id, &mx.id);
+            let inner = mx
+                .real
+                .try_lock()
+                .expect("model mutex out of sync with wrapped std mutex");
+            Ok(MutexGuard {
+                inner: Some(inner),
+                mx,
+                model: true,
+            })
+        } else {
+            match self.real.wait(inner.expect("guard holds the lock")) {
+                Ok(inner) => Ok(MutexGuard {
+                    inner: Some(inner),
+                    mx,
+                    model: false,
+                }),
+                Err(pe) => Err(PoisonError::new(MutexGuard {
+                    inner: Some(pe.into_inner()),
+                    mx,
+                    model: false,
+                })),
+            }
+        }
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let (inner, mx, model) = dismantle(guard);
+        if model {
+            drop(inner);
+            rt::condvar_wait(&self.id, &mx.id);
+            let inner = mx
+                .real
+                .try_lock()
+                .expect("model mutex out of sync with wrapped std mutex");
+            Ok((
+                MutexGuard {
+                    inner: Some(inner),
+                    mx,
+                    model: true,
+                },
+                WaitTimeoutResult(false),
+            ))
+        } else {
+            match self
+                .real
+                .wait_timeout(inner.expect("guard holds the lock"), dur)
+            {
+                Ok((inner, wtr)) => Ok((
+                    MutexGuard {
+                        inner: Some(inner),
+                        mx,
+                        model: false,
+                    },
+                    WaitTimeoutResult(wtr.timed_out()),
+                )),
+                Err(pe) => {
+                    let (inner, wtr) = pe.into_inner();
+                    Err(PoisonError::new((
+                        MutexGuard {
+                            inner: Some(inner),
+                            mx,
+                            model: false,
+                        },
+                        WaitTimeoutResult(wtr.timed_out()),
+                    )))
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if !rt::condvar_notify(&self.id, false) {
+            self.real.notify_one();
+        }
+    }
+
+    pub fn notify_all(&self) {
+        if !rt::condvar_notify(&self.id, true) {
+            self.real.notify_all();
+        }
+    }
+}
+
+/// Takes a guard apart without running its `Drop` (the caller is
+/// transferring the lock into a condvar wait, which performs the unlock
+/// itself as part of the atomic wait op).
+fn dismantle<T>(
+    guard: MutexGuard<'_, T>,
+) -> (Option<std::sync::MutexGuard<'_, T>>, &Mutex<T>, bool) {
+    let mut guard = std::mem::ManuallyDrop::new(guard);
+    (guard.inner.take(), guard.mx, guard.model)
+}

@@ -1,0 +1,61 @@
+//! Tracked thread lifecycle: inside a model execution, `spawn` creates
+//! a model thread (the child inherits the parent's causal view, `join`
+//! acquires the child's); outside one, both delegate to `std::thread`.
+
+use crate::rt;
+use std::sync::{Arc, Mutex};
+
+enum Inner<T> {
+    Model {
+        target: usize,
+        result: Arc<Mutex<Option<T>>>,
+    },
+    Std(std::thread::JoinHandle<T>),
+}
+
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Model { target, result } => {
+                rt::join_thread(target);
+                let v = result
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("joined model thread finished without a result");
+                Ok(v)
+            }
+            Inner::Std(h) => h.join(),
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if crate::is_active() {
+        let result = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&result);
+        let target = rt::spawn_thread(Box::new(move || {
+            let v = f();
+            *slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(v);
+        }));
+        JoinHandle(Inner::Model { target, result })
+    } else {
+        JoinHandle(Inner::Std(std::thread::spawn(f)))
+    }
+}
+
+/// A pure scheduling point in the model; `std::thread::yield_now`
+/// otherwise.
+pub fn yield_now() {
+    if !rt::yield_point() {
+        std::thread::yield_now();
+    }
+}

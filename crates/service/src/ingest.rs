@@ -67,12 +67,20 @@
 
 use crate::engine::{ServiceError, ServiceEvent, ShardedService};
 use crate::journal::TICK_PRODUCER;
+// All synchronization primitives come through the `crate::sync` facade
+// (enforced by the `sync-facade` maps-lint rule): std re-exports in
+// normal builds, maps-model tracked types under the `maps_model`
+// feature, so the shipping ring code below is exactly what the model
+// checker explores.
+use crate::sync::{
+    fence, spin_limit, thread_yield, yield_limit, AtomicBool, AtomicU64, Cell, Condvar, Instant,
+    Mutex, MutexGuard, Ordering, SlotTracker,
+};
 use maps_simulator::PeriodData;
-use std::cell::{Cell, UnsafeCell};
+use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Configuration of the ingestion front-end.
 #[derive(Debug, Clone, Copy)]
@@ -135,26 +143,6 @@ struct ReaderState {
     tail_cache: Cell<u64>,
     epoch: Cell<u64>,
     next_seq: Cell<u64>,
-}
-
-/// Bounded spins before a waiter starts yielding, and yields before it
-/// parks on the condvar. Small on purpose — and skipped entirely on a
-/// single-hardware-thread host (see [`spin_limit`]), where a spinning
-/// waiter burns exactly the quantum the other side needs to make the
-/// awaited state change.
-const SPIN_LIMIT: u32 = 64;
-const YIELD_LIMIT: u32 = 8;
-
-/// [`SPIN_LIMIT`], or 0 when the host has a single hardware thread:
-/// there, the awaited condition *cannot* change while we spin, so the
-/// only useful move is yielding the CPU to the other side.
-fn spin_limit() -> u32 {
-    use std::sync::OnceLock;
-    static LIMIT: OnceLock<u32> = OnceLock::new();
-    *LIMIT.get_or_init(|| match std::thread::available_parallelism() {
-        Ok(n) if n.get() > 1 => SPIN_LIMIT,
-        _ => 0,
-    })
 }
 
 /// One producer's bounded lane: a **lock-free SPSC ring**.
@@ -228,6 +216,14 @@ struct Queue {
     not_full: Condvar,
     producer_parked: AtomicBool,
     consumer_parked: AtomicBool,
+    /// Race-tracking for the raw slot buffer under the model checker
+    /// (`maps_model` feature); a zero-sized no-op in shipping builds.
+    /// The slots themselves must stay bare `UnsafeCell<MaybeUninit<_>>`
+    /// for the zero-copy `from_raw_parts` borrow in
+    /// [`Queue::pop_epoch_run`], so the model cannot wrap them — the
+    /// producer records each slot write and the consumer each slot
+    /// claim, and the model race-checks those records instead.
+    slots: SlotTracker,
 }
 
 // SAFETY: the `UnsafeCell` slots are transferred between the two sides
@@ -245,16 +241,41 @@ unsafe impl Send for Queue {}
 // each `Cell` is reached from at most one thread at a time.
 unsafe impl Sync for Queue {}
 
+/// A racy diagnostic snapshot of the ring's cursors and lifecycle
+/// flags, taken by [`Queue::debug_snapshot`] for `Debug` formatting.
+/// The four loads are independent and can each be stale — `head` may
+/// even appear ahead of `tail` if the cursors move mid-snapshot — so
+/// the values must only ever feed diagnostics, never control flow.
+struct QueueSnapshot {
+    head: u64,
+    tail: u64,
+    closed: bool,
+    consumer_gone: bool,
+}
+
+impl Queue {
+    /// See [`QueueSnapshot`]: the one place the ring reads its shared
+    /// state without synchronization, quarantined so every other load
+    /// in this file participates in the ordering protocol.
+    fn debug_snapshot(&self) -> QueueSnapshot {
+        QueueSnapshot {
+            head: self.head.0.load(Ordering::Relaxed), // ordering: racy Debug-only snapshot
+            tail: self.tail.0.load(Ordering::Relaxed), // ordering: racy Debug-only snapshot
+            closed: self.closed.load(Ordering::Relaxed), // ordering: racy Debug-only snapshot
+            consumer_gone: self.consumer_gone.load(Ordering::Relaxed), // ordering: see QueueSnapshot
+        }
+    }
+}
+
 impl std::fmt::Debug for Queue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.debug_snapshot();
         f.debug_struct("Queue")
             .field("capacity", &self.capacity)
-            // ordering: Debug is a racy diagnostic snapshot; these loads
-            // synchronize-with nothing and stale values are acceptable.
-            .field("head", &self.head.0.load(Ordering::Relaxed))
-            .field("tail", &self.tail.0.load(Ordering::Relaxed)) // ordering: racy snapshot, as above
-            .field("closed", &self.closed.load(Ordering::Relaxed)) // ordering: racy snapshot, as above
-            .field("consumer_gone", &self.consumer_gone.load(Ordering::Relaxed)) // ordering: racy snapshot, as above
+            .field("head", &snap.head)
+            .field("tail", &snap.tail)
+            .field("closed", &snap.closed)
+            .field("consumer_gone", &snap.consumer_gone)
             .finish_non_exhaustive()
     }
 }
@@ -281,6 +302,7 @@ impl Queue {
             not_full: Condvar::new(),
             producer_parked: AtomicBool::new(false),
             consumer_parked: AtomicBool::new(false),
+            slots: SlotTracker::new(physical),
         }
     }
 
@@ -291,7 +313,7 @@ impl Queue {
         unsafe { (*self.buf[(pos & self.mask) as usize].get()).as_mut_ptr() }
     }
 
-    fn park_lock(&self) -> std::sync::MutexGuard<'_, ()> {
+    fn park_lock(&self) -> MutexGuard<'_, ()> {
         // Never poisoned: no user code runs under this lock.
         self.park.lock().expect("ingest park mutex poisoned")
     }
@@ -374,8 +396,8 @@ impl Queue {
             let spins = spin_limit();
             if tries <= spins {
                 std::hint::spin_loop();
-            } else if tries <= spins + YIELD_LIMIT {
-                std::thread::yield_now();
+            } else if tries <= spins + yield_limit() {
+                thread_yield();
             } else {
                 let guard = self.park_lock();
                 self.producer_parked.store(true, Ordering::SeqCst);
@@ -447,6 +469,7 @@ impl Queue {
         // writer, so the load cannot be stale.
         let tail = self.tail.0.load(Ordering::Relaxed);
         self.wait_space(tail, deadline)?;
+        self.slots.write((tail & self.mask) as usize);
         // SAFETY: `wait_space` proved `tail` is writable; SPSC makes
         // this thread the only writer.
         unsafe { self.slot_ptr(tail).write(event) };
@@ -475,6 +498,7 @@ impl Queue {
             let mut wrote = 0u64;
             while wrote < free {
                 let Some(event) = item.take() else { break };
+                self.slots.write(((tail + wrote) & self.mask) as usize);
                 // SAFETY: positions `tail..tail + free` are writable.
                 unsafe { self.slot_ptr(tail + wrote).write(event) };
                 wrote += 1;
@@ -550,8 +574,8 @@ impl Queue {
             let spins = spin_limit();
             if tries <= spins {
                 std::hint::spin_loop();
-            } else if tries <= spins + YIELD_LIMIT {
-                std::thread::yield_now();
+            } else if tries <= spins + yield_limit() {
+                thread_yield();
             } else {
                 let guard = self.park_lock();
                 self.consumer_parked.store(true, Ordering::SeqCst);
@@ -627,6 +651,8 @@ impl Queue {
             let wrap = (pos & !self.mask) + self.mask + 1;
             let seg_end = tail.min(wrap).min(next_rebase.unwrap_or(u64::MAX));
             let len = (seg_end - pos) as usize;
+            let lo = (pos & self.mask) as usize;
+            self.slots.read_range(lo, lo + len);
             // SAFETY: `pos..seg_end` was published by the producer's
             // release store of `tail` (slots initialized), stays claimed
             // until the release store of `head` below, and does not
@@ -1711,5 +1737,356 @@ mod tests {
         assert_eq!(epochs, 20);
         assert_eq!(svc.periods_served(), 20);
         assert_eq!(svc.admitted_workers(), 20);
+    }
+}
+
+/// Model-checked ring scenarios (`cargo test -p maps-service --features
+/// maps_model`): the **shipping** `Queue` above, compiled against
+/// `maps-model`'s tracked sync types through the `crate::sync` facade,
+/// explored at every interleaving the C11 memory model allows. The
+/// small configurations (capacity 1 and 2, one producer + the root
+/// consumer) are explored exhaustively; the larger wrap-boundary batch
+/// uses seeded bounded exploration with a pinned schedule count. The
+/// `seeded_*` tests are the known-bad gallery: they re-introduce the
+/// pre-PR-7 unfenced wake and a `Relaxed`-published tail in miniature
+/// and MUST fail the exploration — if one ever stops being detected,
+/// the checker has rotted and CI exits 1.
+#[cfg(all(test, feature = "maps_model"))]
+mod model_tests {
+    use super::*;
+    use maps_model::{explore, thread, Builder, FailureKind};
+
+    fn ev(id: u32) -> ServiceEvent {
+        ServiceEvent::WorkerDepart { id }
+    }
+
+    fn depart_id(e: &ServiceEvent) -> u32 {
+        match e {
+            ServiceEvent::WorkerDepart { id } => *id,
+            other => panic!("unexpected event in ring: {other:?}"),
+        }
+    }
+
+    /// Drains the queue until the producer closes it, returning every
+    /// admitted `(epoch, first_seq, ids)` run.
+    fn drain(q: &Queue) -> Vec<(u64, u64, Vec<u32>)> {
+        let mut got = Vec::new();
+        loop {
+            let chunk = q
+                .pop_epoch_run(|epoch, seq, evs| {
+                    got.push((epoch, seq, evs.iter().map(depart_id).collect()));
+                    Ok(())
+                })
+                .expect("admit never fails in model scenarios");
+            if matches!(chunk, Chunk::Closed) {
+                break;
+            }
+        }
+        got
+    }
+
+    /// Flattens runs into per-event `(epoch, seq, id)` stamps.
+    fn flatten(runs: &[(u64, u64, Vec<u32>)]) -> Vec<(u64, u64, u32)> {
+        runs.iter()
+            .flat_map(|(e, s, ids)| {
+                ids.iter()
+                    .enumerate()
+                    .map(move |(i, id)| (*e, s + i as u64, *id))
+            })
+            .collect()
+    }
+
+    /// Capacity-1 push/pop, fully exhaustive: every interleaving of one
+    /// push + close against the draining consumer, with no preemption
+    /// bound and no schedule sampling (~27k distinct executions after
+    /// sleep-set pruning). This covers the empty-ring consumer park and
+    /// the close/wake handshake at the smallest ring size.
+    #[test]
+    fn model_push_pop_capacity_1() {
+        maps_model::check(|| {
+            let q = Arc::new(Queue::new(1));
+            let q2 = Arc::clone(&q);
+            let t = thread::spawn(move || {
+                q2.push(ev(1));
+                q2.close();
+            });
+            let runs = drain(&q);
+            t.join().unwrap();
+            assert_eq!(flatten(&runs), vec![(0, 0, 1)]);
+        });
+    }
+
+    /// Capacity-2 push/pop, fully exhaustive (same budget as the
+    /// capacity-1 scenario): the logical capacity rides a larger
+    /// physical buffer, so the mask arithmetic and the publish window
+    /// differ from capacity 1 even for a single event.
+    #[test]
+    fn model_push_pop_capacity_2() {
+        maps_model::check(|| {
+            let q = Arc::new(Queue::new(2));
+            let q2 = Arc::clone(&q);
+            let t = thread::spawn(move || {
+                q2.push(ev(1));
+                q2.close();
+            });
+            let runs = drain(&q);
+            t.join().unwrap();
+            assert_eq!(flatten(&runs), vec![(0, 0, 1)]);
+        });
+    }
+
+    /// Capacity-2 ring with an in-band epoch-end marker: the consumer
+    /// must advance its epoch counter at the marker and stamp the next
+    /// event `(epoch 1, seq 0)`. Three pushes exceed the exhaustive
+    /// budget, so this runs every schedule with up to 3 forced
+    /// preemptions (~1.1k executions) — the CHESS-style bound that
+    /// catches any bug needing three or fewer context switches.
+    #[test]
+    fn model_epoch_marker_stamps_next_event() {
+        Builder::new().preemption_bound(3).check(|| {
+            let q = Arc::new(Queue::new(2));
+            let q2 = Arc::clone(&q);
+            let t = thread::spawn(move || {
+                q2.push(ev(1));
+                q2.push(ServiceEvent::PeriodTick);
+                q2.push(ev(2));
+                q2.close();
+            });
+            let runs = drain(&q);
+            t.join().unwrap();
+            assert_eq!(flatten(&runs), vec![(0, 0, 1), (1, 0, 2)]);
+        });
+    }
+
+    /// The full producer-park / consumer-wake rendezvous: two pushes
+    /// through a capacity-1 ring force the producer to park on the full
+    /// ring while the consumer parks on the empty one, so both SeqCst
+    /// fence handshakes are crossed in every schedule with up to 4
+    /// forced preemptions (~6.4k executions). A lost wakeup on either
+    /// side surfaces as a model deadlock because frozen model time
+    /// never fires the backpressure timeout.
+    #[test]
+    fn model_park_wake_rendezvous() {
+        Builder::new().preemption_bound(4).check(|| {
+            let q = Arc::new(Queue::new(1));
+            let q2 = Arc::clone(&q);
+            let t = thread::spawn(move || {
+                q2.push(ev(7));
+                q2.push(ev(8));
+                q2.close();
+            });
+            let runs = drain(&q);
+            t.join().unwrap();
+            assert_eq!(flatten(&runs), vec![(0, 0, 7), (0, 1, 8)]);
+        });
+    }
+
+    /// Close racing a parked (or about-to-park) consumer, fully
+    /// exhaustive: the consumer must always observe the close, in every
+    /// interleaving.
+    #[test]
+    fn model_close_vs_park() {
+        maps_model::check(|| {
+            let q = Arc::new(Queue::new(1));
+            let q2 = Arc::clone(&q);
+            let t = thread::spawn(move || {
+                q2.close();
+            });
+            let runs = drain(&q);
+            t.join().unwrap();
+            assert!(runs.is_empty());
+        });
+    }
+
+    /// An out-of-band rebase record between two pushes: the consumer
+    /// must stamp the slot after the record with the record's explicit
+    /// coordinates, not its implicit count. Three ring writes, so this
+    /// uses the 3-preemption bound like the marker scenario.
+    #[test]
+    fn model_rebase_record() {
+        Builder::new().preemption_bound(3).check(|| {
+            let q = Arc::new(Queue::new(2));
+            let q2 = Arc::clone(&q);
+            let t = thread::spawn(move || {
+                q2.push(ev(1));
+                q2.post_rebase(7, 3);
+                q2.push(ev(2));
+                q2.close();
+            });
+            let runs = drain(&q);
+            t.join().unwrap();
+            assert_eq!(flatten(&runs), vec![(0, 0, 1), (7, 3, 2)]);
+        });
+    }
+
+    /// `try_send` racing consumer death on a full ring, fully
+    /// exhaustive: the producer must always fail fast with
+    /// `Disconnected` — never hang parked (model time is frozen, so a
+    /// hang cannot hide behind the timeout), and never report
+    /// `Timeout`.
+    #[test]
+    fn model_try_send_vs_consumer_death() {
+        maps_model::check(|| {
+            let q = Arc::new(Queue::new(1));
+            q.push(ev(1)); // fill the ring; nothing will ever drain it
+            let q2 = Arc::clone(&q);
+            let t = thread::spawn(move || {
+                q2.close_consumer();
+            });
+            let r = q.push_deadline(ev(2), Instant::now() + Duration::from_millis(5));
+            t.join().unwrap();
+            assert_eq!(r, Err(SendError::Disconnected));
+        });
+    }
+
+    /// Wrap-boundary batched publication: capacity 3 rides a physical
+    /// 4-slot buffer, so a 6-event batch wraps; each acquired window is
+    /// published with a single release store. Largest state space of
+    /// the suite, so this uses seeded bounded exploration with a pinned
+    /// schedule count instead of exhaustive DFS.
+    #[test]
+    fn model_wrap_boundary_batched_publish() {
+        Builder::new().bounded(0x5EED, 400).check(|| {
+            let q = Arc::new(Queue::new(3));
+            let q2 = Arc::clone(&q);
+            let t = thread::spawn(move || {
+                q2.push_iter((1..=6).map(ev));
+                q2.close();
+            });
+            let runs = drain(&q);
+            t.join().unwrap();
+            assert_eq!(
+                flatten(&runs),
+                (1..=6u32)
+                    .map(|i| (0, u64::from(i) - 1, i))
+                    .collect::<Vec<_>>()
+            );
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // The known-bad gallery: seeded bugs the checker MUST report.
+    // ------------------------------------------------------------------
+
+    /// The pre-PR-7 bug in miniature: the waker publishes state and
+    /// checks the parked flag **without** the SeqCst fence in between.
+    /// Both relaxed accesses can then miss each other and the waiter
+    /// sleeps forever — the checker must report the deadlock.
+    #[test]
+    fn seeded_unfenced_wake_is_detected() {
+        let report = explore(|| {
+            let state = Arc::new((
+                Mutex::new(()),
+                Condvar::new(),
+                AtomicU64::new(0),      // published
+                AtomicBool::new(false), // parked
+            ));
+            let s2 = Arc::clone(&state);
+            let t = thread::spawn(move || {
+                let (park, cv, published, parked) = &*s2;
+                published.store(1, Ordering::Relaxed);
+                // BUG (pre-PR-7): no fence(Ordering::SeqCst) here, so
+                // this load can miss the waiter's parked flag...
+                if parked.load(Ordering::Relaxed) {
+                    drop(park.lock().expect("park mutex"));
+                    cv.notify_all();
+                }
+            });
+            let (park, cv, published, parked) = &*state;
+            let guard = park.lock().expect("park mutex");
+            parked.store(true, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            // ...while this re-check missed the waker's publish.
+            if published.load(Ordering::SeqCst) == 0 {
+                let _g = cv.wait(guard).expect("park mutex");
+            } else {
+                drop(guard);
+            }
+            parked.store(false, Ordering::SeqCst);
+            t.join().unwrap();
+        });
+        let failure = report
+            .failure
+            .expect("the unfenced wake must be detected — checker self-test");
+        assert_eq!(failure.kind, FailureKind::Deadlock, "{failure:?}");
+    }
+
+    /// The same handshake with PR 7's fence restored: no interleaving
+    /// loses the wakeup (the positive control for the seed above).
+    #[test]
+    fn pr7_fenced_wake_has_no_lost_wakeup() {
+        maps_model::check(|| {
+            let state = Arc::new((
+                Mutex::new(()),
+                Condvar::new(),
+                AtomicU64::new(0),
+                AtomicBool::new(false),
+            ));
+            let s2 = Arc::clone(&state);
+            let t = thread::spawn(move || {
+                let (park, cv, published, parked) = &*s2;
+                published.store(1, Ordering::Relaxed);
+                fence(Ordering::SeqCst); // the PR 7 fix
+                if parked.load(Ordering::Relaxed) {
+                    drop(park.lock().expect("park mutex"));
+                    cv.notify_all();
+                }
+            });
+            let (park, cv, published, parked) = &*state;
+            let guard = park.lock().expect("park mutex");
+            parked.store(true, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            if published.load(Ordering::SeqCst) == 0 {
+                let _g = cv.wait(guard).expect("park mutex");
+            } else {
+                drop(guard);
+            }
+            parked.store(false, Ordering::SeqCst);
+            t.join().unwrap();
+        });
+    }
+
+    /// A deliberately `Relaxed`-published tail: the consumer's acquire
+    /// load then synchronizes with nothing, so its zero-copy claim of
+    /// the slot races the producer's write — the checker must report
+    /// the data race.
+    #[test]
+    fn seeded_relaxed_tail_publish_is_detected() {
+        let report = explore(|| {
+            let tail = Arc::new(AtomicU64::new(0));
+            let slots = Arc::new(SlotTracker::new(1));
+            let (t2, s2) = (Arc::clone(&tail), Arc::clone(&slots));
+            let t = thread::spawn(move || {
+                s2.write(0); // fill the slot
+                t2.store(1, Ordering::Relaxed); // BUG: must be Release
+            });
+            if tail.load(Ordering::Acquire) == 1 {
+                slots.read_range(0, 1); // zero-copy claim
+            }
+            t.join().unwrap();
+        });
+        let failure = report
+            .failure
+            .expect("the relaxed tail publish must be detected — checker self-test");
+        assert_eq!(failure.kind, FailureKind::DataRace, "{failure:?}");
+    }
+
+    /// The shipping publication protocol (release tail store) passes
+    /// the same scenario (the positive control for the seed above).
+    #[test]
+    fn release_tail_publish_has_no_race() {
+        maps_model::check(|| {
+            let tail = Arc::new(AtomicU64::new(0));
+            let slots = Arc::new(SlotTracker::new(1));
+            let (t2, s2) = (Arc::clone(&tail), Arc::clone(&slots));
+            let t = thread::spawn(move || {
+                s2.write(0);
+                t2.store(1, Ordering::Release);
+            });
+            if tail.load(Ordering::Acquire) == 1 {
+                slots.read_range(0, 1);
+            }
+            t.join().unwrap();
+        });
     }
 }

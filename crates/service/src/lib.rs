@@ -73,6 +73,7 @@ pub mod ingest;
 pub mod journal;
 pub mod recovery;
 pub mod replay;
+pub(crate) mod sync;
 
 pub use arena::{SlotArena, SlotHandle};
 pub use engine::{

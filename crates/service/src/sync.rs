@@ -1,0 +1,196 @@
+//! The sync facade for the ingestion ring's concurrency primitives.
+//!
+//! `ingest.rs` imports every synchronization primitive it uses —
+//! atomics, `fence`, the park mutex/condvars, the role-private `Cell`
+//! cursors, `Instant`, and the spin/yield knobs — from this module and
+//! **never** from `std::sync` directly (enforced by the `sync-facade`
+//! maps-lint rule). Normally the facade re-exports the real `std`
+//! types, so shipping builds are exactly what they were. Under the
+//! `maps_model` cargo feature it re-exports the tracked types from
+//! `maps-model`, so the **same shipping ring code** is what the model
+//! checker explores — no checked copy that can drift:
+//!
+//! * atomics/fences/mutexes/condvars become model scheduling points
+//!   evaluated against the simulated C11 memory model;
+//! * `spin_limit()`/`yield_limit()` collapse to 0 inside an execution
+//!   (spinning cannot make progress under an exhaustive scheduler, and
+//!   the park path is precisely what wants checking);
+//! * [`Instant`] freezes inside an execution: deadlines never expire,
+//!   so `wait_timeout` cannot paper over a lost wakeup — it must
+//!   surface as a model deadlock;
+//! * [`SlotTracker`] race-tracks the ring's raw slot buffer (which must
+//!   stay `UnsafeCell<MaybeUninit<T>>` for the zero-copy borrow, so the
+//!   model cannot wrap the slots themselves).
+//!
+//! Outside an active model execution the tracked types pass through to
+//! the real `std` primitives they wrap, which is why the feature can
+//! stay enabled for a whole test binary while its non-model tests still
+//! behave normally.
+
+/// Bounded spins before a waiter starts yielding, and yields before it
+/// parks on the condvar. Small on purpose — and skipped entirely on a
+/// single-hardware-thread host (see [`spin_limit`]), where a spinning
+/// waiter burns exactly the quantum the other side needs to make the
+/// awaited state change.
+const SPIN_LIMIT: u32 = 64;
+const YIELD_LIMIT: u32 = 8;
+
+/// [`SPIN_LIMIT`], or 0 when the host has a single hardware thread:
+/// there, the awaited condition *cannot* change while we spin, so the
+/// only useful move is yielding the CPU to the other side.
+fn host_spin_limit() -> u32 {
+    use std::sync::OnceLock;
+    static LIMIT: OnceLock<u32> = OnceLock::new();
+    *LIMIT.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => SPIN_LIMIT,
+        _ => 0,
+    })
+}
+
+#[cfg(not(feature = "maps_model"))]
+mod imp {
+    pub use std::cell::Cell;
+    pub use std::sync::atomic::{fence, AtomicBool, AtomicU64};
+    pub use std::sync::{Condvar, Mutex, MutexGuard};
+    pub use std::time::Instant;
+
+    pub fn spin_limit() -> u32 {
+        super::host_spin_limit()
+    }
+
+    pub fn yield_limit() -> u32 {
+        super::YIELD_LIMIT
+    }
+
+    pub fn thread_yield() {
+        std::thread::yield_now();
+    }
+
+    /// No-op stand-in for the model's slot race tracker: shipping
+    /// builds carry no per-slot bookkeeping at all.
+    #[derive(Debug, Default)]
+    pub struct SlotTracker;
+
+    impl SlotTracker {
+        pub fn new(_slots: usize) -> Self {
+            Self
+        }
+
+        /// The producer is writing physical slot `i`.
+        #[inline]
+        pub fn write(&self, _i: usize) {}
+
+        /// The consumer is claiming physical slots `lo..hi`.
+        #[inline]
+        pub fn read_range(&self, _lo: usize, _hi: usize) {}
+    }
+}
+
+#[cfg(feature = "maps_model")]
+mod imp {
+    pub use maps_model::sync::{fence, AtomicBool, AtomicU64, Cell, Condvar, Mutex, MutexGuard};
+
+    pub fn spin_limit() -> u32 {
+        if maps_model::is_active() {
+            0
+        } else {
+            super::host_spin_limit()
+        }
+    }
+
+    pub fn yield_limit() -> u32 {
+        if maps_model::is_active() {
+            0
+        } else {
+            super::YIELD_LIMIT
+        }
+    }
+
+    pub fn thread_yield() {
+        maps_model::thread::yield_now();
+    }
+
+    /// Race-tracks the ring's raw slot buffer via a
+    /// [`maps_model::sync::CellGroup`]; a no-op outside an execution.
+    #[derive(Debug, Default)]
+    pub struct SlotTracker(maps_model::sync::CellGroup);
+
+    impl SlotTracker {
+        pub fn new(slots: usize) -> Self {
+            Self(maps_model::sync::CellGroup::new(slots))
+        }
+
+        /// The producer is writing physical slot `i`.
+        #[inline]
+        pub fn write(&self, i: usize) {
+            self.0.write(i);
+        }
+
+        /// The consumer is claiming physical slots `lo..hi`.
+        #[inline]
+        pub fn read_range(&self, lo: usize, hi: usize) {
+            self.0.read_range(lo, hi);
+        }
+    }
+
+    /// A model-aware [`std::time::Instant`]: frozen while a model
+    /// execution is active, so backpressure deadlines never expire and
+    /// a lost wakeup must surface as a model deadlock instead of being
+    /// papered over by `wait_timeout`. The only comparisons the ring
+    /// performs are `now >= deadline` and
+    /// `deadline.checked_duration_since(now)`, and both consistently
+    /// report "the deadline is forever away" inside an execution.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Instant {
+        real: std::time::Instant,
+        model: bool,
+    }
+
+    impl Instant {
+        pub fn now() -> Self {
+            Self {
+                // lint-allow(det-wallclock): facade passthrough for the ring's backpressure deadlines; frozen under the model, never observed by replay
+                real: std::time::Instant::now(),
+                model: maps_model::is_active(),
+            }
+        }
+
+        pub fn checked_duration_since(&self, earlier: Instant) -> Option<std::time::Duration> {
+            if self.model || earlier.model {
+                Some(std::time::Duration::from_secs(3600))
+            } else {
+                self.real.checked_duration_since(earlier.real)
+            }
+        }
+    }
+
+    impl PartialEq for Instant {
+        fn eq(&self, other: &Self) -> bool {
+            !self.model && !other.model && self.real == other.real
+        }
+    }
+
+    impl PartialOrd for Instant {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            if self.model || other.model {
+                // Frozen time: "now" is forever before any deadline.
+                Some(std::cmp::Ordering::Less)
+            } else {
+                self.real.partial_cmp(&other.real)
+            }
+        }
+    }
+
+    impl std::ops::Add<std::time::Duration> for Instant {
+        type Output = Instant;
+        fn add(self, rhs: std::time::Duration) -> Instant {
+            Instant {
+                real: self.real + rhs,
+                model: self.model,
+            }
+        }
+    }
+}
+
+pub use imp::*;
+pub use std::sync::atomic::Ordering;
